@@ -1,0 +1,153 @@
+// Ablation — the design choices of paper §4:
+//   * predictor kind per data-dependent task (constant / EWMA-only /
+//     EWMA+Markov / linear+Markov),
+//   * the EWMA smoothing factor alpha (Eq. 1),
+//   * the Markov state-count multiplier (the paper settled on ~2M states
+//     where M = C_max/sigma).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "trace/dataset.hpp"
+#include "tripleC/accuracy.hpp"
+
+using namespace tc;
+
+namespace {
+
+struct Series {
+  std::vector<std::vector<model::TrainingSample>> train;
+  std::vector<std::vector<model::TrainingSample>> test;
+};
+
+/// Extract per-task (measured_ms, roi_pixels) sequences from the dataset.
+Series task_series(const trace::RecordedDataset& d, i32 node,
+                   usize train_count) {
+  Series s;
+  for (usize i = 0; i < d.sequences.size(); ++i) {
+    std::vector<model::TrainingSample> seq;
+    for (const graph::FrameRecord& rec : d.sequences[i]) {
+      const graph::TaskExecution* exec = rec.find(node);
+      if (exec != nullptr && exec->executed) {
+        seq.push_back({exec->simulated_ms, rec.roi_pixels});
+      }
+    }
+    if (seq.empty()) continue;
+    if (i < train_count) {
+      s.train.push_back(std::move(seq));
+    } else {
+      s.test.push_back(std::move(seq));
+    }
+  }
+  return s;
+}
+
+model::AccuracyReport evaluate(const model::PredictorConfig& cfg,
+                               const Series& s) {
+  model::TaskPredictor p(cfg);
+  p.train(s.train);
+  std::vector<f64> pred;
+  std::vector<f64> meas;
+  for (const auto& seq : s.test) {
+    p.reset_online_state();
+    for (const model::TrainingSample& sample : seq) {
+      pred.push_back(p.predict(sample.size));
+      meas.push_back(sample.measured_ms);
+      p.observe(sample.measured_ms, sample.size);
+    }
+  }
+  return model::evaluate_accuracy(pred, meas);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — predictor kind, EWMA alpha, Markov state multiplier",
+      "Albers et al., IPDPS 2009, Section 4 design choices");
+
+  trace::DatasetParams params;
+  params.sequences = 16;
+  params.frames_per_sequence = 52;
+  params.width = 256;
+  params.height = 256;
+  trace::RecordedDataset dataset = trace::build_dataset(params);
+  const usize train_count = 12;
+
+  const std::vector<std::pair<const char*, i32>> tasks{
+      {"RDG_ROI", app::kRdgRoi},
+      {"CPLS_SEL", app::kCplsSel},
+      {"GW_EXT", app::kGwExt},
+      {"ZOOM", app::kZoom},
+  };
+
+  // ---- predictor kind per task -------------------------------------------
+  std::printf("accuracy %% by predictor kind (held-out replay):\n");
+  std::printf("  %-10s %10s %10s %13s %15s\n", "task", "constant", "EWMA",
+              "EWMA+Markov", "linear+Markov");
+  for (const auto& [name, node] : tasks) {
+    Series s = task_series(dataset, node, train_count);
+    if (s.train.empty() || s.test.empty()) continue;
+    std::printf("  %-10s", name);
+    for (model::PredictorKind kind :
+         {model::PredictorKind::Constant, model::PredictorKind::Ewma,
+          model::PredictorKind::EwmaMarkov,
+          model::PredictorKind::LinearMarkov}) {
+      model::PredictorConfig cfg;
+      cfg.kind = kind;
+      model::AccuracyReport r = evaluate(cfg, s);
+      int width = kind == model::PredictorKind::Constant ? 10
+                  : kind == model::PredictorKind::Ewma   ? 10
+                  : kind == model::PredictorKind::EwmaMarkov ? 13 : 15;
+      std::printf(" %*.1f", width, r.mean_accuracy_pct);
+    }
+    std::printf("\n");
+  }
+
+  // ---- EWMA alpha sweep ----------------------------------------------------
+  std::printf("\nEWMA+Markov accuracy %% vs alpha (Eq. 1), per task:\n");
+  const std::vector<f64> alphas{0.05, 0.1, 0.25, 0.5, 0.8};
+  std::printf("  %-10s", "task");
+  for (f64 a : alphas) std::printf("  a=%.2f", a);
+  std::printf("\n");
+  for (const auto& [name, node] : tasks) {
+    Series s = task_series(dataset, node, train_count);
+    if (s.train.empty() || s.test.empty()) continue;
+    std::printf("  %-10s", name);
+    for (f64 a : alphas) {
+      model::PredictorConfig cfg;
+      cfg.kind = model::PredictorKind::EwmaMarkov;
+      cfg.ewma_alpha = a;
+      std::printf(" %6.1f", evaluate(cfg, s).mean_accuracy_pct);
+    }
+    std::printf("\n");
+  }
+
+  // ---- Markov state-count multiplier ---------------------------------------
+  std::printf("\nEWMA+Markov accuracy %% vs state multiplier "
+              "(paper: ~2M states needed):\n");
+  const std::vector<f64> multipliers{0.5, 1.0, 2.0, 3.0, 4.0};
+  std::printf("  %-10s", "task");
+  for (f64 m : multipliers) std::printf("  x%.1f ", m);
+  std::printf("\n");
+  for (const auto& [name, node] : tasks) {
+    Series s = task_series(dataset, node, train_count);
+    if (s.train.empty() || s.test.empty()) continue;
+    std::printf("  %-10s", name);
+    for (f64 m : multipliers) {
+      model::PredictorConfig cfg;
+      cfg.kind = model::PredictorKind::EwmaMarkov;
+      cfg.state_multiplier = m;
+      std::printf(" %5.1f", evaluate(cfg, s).mean_accuracy_pct);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected shape: EWMA+Markov dominates constant/EWMA-only for the\n"
+      "data-dependent tasks; linear+Markov wins for the granularity-driven\n"
+      "RDG_ROI; accuracy saturates around the 2x state multiplier, matching\n"
+      "the paper's \"approximately 2M states\" observation.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks of the imaging kernels (google-benchmark).  Not a paper
+// figure; used to track the substrate's host performance.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "imaging/pipeline.hpp"
+#include "imaging/synthetic.hpp"
+#include "app/stentboost.hpp"
+
+using namespace tc;
+
+namespace {
+
+img::ImageF32 random_image(i32 size, u64 seed) {
+  img::ImageF32 im(size, size);
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] = static_cast<f32>(rng.uniform(0.0, 40000.0));
+  }
+  return im;
+}
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  img::ImageF32 im = random_image(size, 1);
+  for (auto _ : state) {
+    img::ImageF32 out = img::gaussian_blur(im, 2.0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_GaussianBlur)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_RidgeDetect(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  img::ImageF32 im = random_image(size, 2);
+  img::RidgeParams params;
+  for (auto _ : state) {
+    img::RidgeResult r = img::ridge_detect(im, im.full_rect(), params);
+    benchmark::DoNotOptimize(r.dominant_pixels);
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_RidgeDetect)->Arg(128)->Arg(256);
+
+void BM_ExtractMarkers(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  img::ImageF32 im = random_image(size, 3);
+  img::MarkerParams params;
+  for (auto _ : state) {
+    img::MarkerResult r =
+        img::extract_markers(im, im.full_rect(), params, nullptr);
+    benchmark::DoNotOptimize(r.candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_ExtractMarkers)->Arg(256);
+
+void BM_TranslateBilinear(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  img::ImageF32 im = random_image(size, 4);
+  for (auto _ : state) {
+    img::ImageF32 out = img::translate_bilinear(im, 0.7, -1.3);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_TranslateBilinear)->Arg(256);
+
+void BM_Zoom(benchmark::State& state) {
+  img::ImageF32 roi = random_image(128, 5);
+  img::ZoomParams params;
+  params.output_width = 512;
+  params.output_height = 512;
+  for (auto _ : state) {
+    img::ZoomResult r = img::zoom(roi, params);
+    benchmark::DoNotOptimize(r.output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_Zoom);
+
+void BM_SyntheticRender(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  img::SequenceParams p;
+  p.width = size;
+  p.height = size;
+  p.frames = 1000;
+  img::AngioSequence seq(p);
+  i32 t = 0;
+  for (auto _ : state) {
+    img::ImageU16 frame = seq.render(t++ % 1000);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_SyntheticRender)->Arg(256);
+
+void BM_FullPipelineFrame(benchmark::State& state) {
+  app::StentBoostConfig c = app::StentBoostConfig::make(256, 256, 100000, 6);
+  c.sequence.contrast_in_frame = 0;
+  app::StentBoostApp app(c);
+  i32 t = 0;
+  for (auto _ : state) {
+    graph::FrameRecord r = app.process_frame(t++);
+    benchmark::DoNotOptimize(r.latency_ms);
+  }
+}
+BENCHMARK(BM_FullPipelineFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

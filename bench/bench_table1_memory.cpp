@@ -1,0 +1,131 @@
+// Table 1 — memory requirements (input / intermediate / output KB) for each
+// task of the Fig. 2 flow graph, derived from the reference implementation's
+// WorkReports and scaled to the paper's 1024x1024, 2 B/pixel format.
+//
+// Also prints the Fig. 4 platform parameters used everywhere else.
+
+#include <array>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tripleC/memory_model.hpp"
+
+using namespace tc;
+
+namespace {
+
+struct PaperRow {
+  const char* task;
+  bool rdg_selected;
+  f64 input_kb;
+  f64 intermediate_kb;
+  f64 output_kb;
+};
+
+// Table 1 of the paper, for side-by-side comparison.
+constexpr std::array<PaperRow, 8> kPaperTable1 = {{
+    {"RDG_FULL", false, 2048, 7168, 5120},
+    {"RDG_ROI", false, 2048, 5120, 5120},
+    {"MKX_FULL", false, 512, 512, 2560},
+    {"MKX_ROI", false, 512, 512, 2560},
+    {"MKX_FULL", true, 4608, 512, 2560},
+    {"MKX_ROI", true, 4608, 512, 2560},
+    {"ENH", false, 2048, 8192, 1024},
+    {"ZOOM", false, 1024, 4096, 4096},
+}};
+
+/// Capture one WorkReport per (task, rdg_selected) configuration by driving
+/// the app into the relevant scenarios.
+std::vector<model::MemoryRow> capture_rows(i32 size) {
+  std::vector<model::MemoryRow> rows;
+  const f64 scale = 1024.0 * 1024.0 / (static_cast<f64>(size) * size);
+
+  auto capture = [&](bool rdg_on, bool roi_mode, i32 frames, i32 want_node,
+                     bool rdg_selected) {
+    app::StentBoostConfig c = app::StentBoostConfig::make(size, size, 64, 9);
+    c.sequence.contrast_in_frame = rdg_on ? 0 : 100000;
+    c.force_full_frame = !roi_mode;
+    if (!rdg_on) {
+      c.rdg_off_after = 1;
+      c.dominant_low = ~0ull;
+      c.clutter_high = ~0ull;
+    }
+    app::StentBoostApp app(c);
+    // Take the *last* qualifying frame so steady-state buffers are captured
+    // (e.g. ENH after the integration restarted) and the RDG state matches
+    // the requested variant.
+    std::optional<img::WorkReport> captured;
+    for (i32 t = 0; t < frames; ++t) {
+      graph::FrameRecord r = app.process_frame(t);
+      const graph::TaskExecution* exec = r.find(want_node);
+      if (exec == nullptr || !exec->executed) continue;
+      bool rdg_ran = r.find(app::kRdgFull)->executed ||
+                     r.find(app::kRdgRoi)->executed;
+      if (rdg_ran != rdg_selected && (want_node == app::kMkxFull ||
+                                      want_node == app::kMkxRoi)) {
+        continue;
+      }
+      captured = exec->work;
+    }
+    if (captured.has_value()) {
+      rows.push_back(model::memory_row(std::string(app::node_name(want_node)),
+                                       rdg_selected, *captured, scale));
+    }
+  };
+
+  capture(true, false, 4, app::kRdgFull, false);
+  capture(true, true, 8, app::kRdgRoi, false);
+  capture(false, false, 6, app::kMkxFull, false);
+  capture(false, true, 8, app::kMkxRoi, false);
+  capture(true, false, 4, app::kMkxFull, true);
+  capture(true, true, 8, app::kMkxRoi, true);
+  capture(true, true, 10, app::kEnh, false);
+  capture(true, true, 10, app::kZoom, false);
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1 — task memory requirements (KB, at 1024x1024 / 2 B per pixel)",
+      "Albers et al., IPDPS 2009, Table 1 + Fig. 4 platform parameters");
+
+  plat::PlatformSpec spec = plat::PlatformSpec::paper_platform();
+  std::printf("Platform (Fig. 4): %d CPUs x %.0f MCycles/s, L1 %llu KB, "
+              "L2 %llu MB x %d, buses %g/%g/%g GB/s, DRAM %g-%g GB/s x %d\n\n",
+              spec.cpu_count, spec.cpu_mcycles_per_s,
+              static_cast<unsigned long long>(spec.l1_bytes / KiB),
+              static_cast<unsigned long long>(spec.l2_bytes / MiB),
+              spec.l2_slice_count(), spec.cache_bus_gbps, spec.memory_bus_gbps,
+              spec.io_bus_gbps, spec.dram_channel_low_gbps,
+              spec.dram_channel_high_gbps, spec.dram_channels);
+
+  std::vector<model::MemoryRow> rows = capture_rows(256);
+  std::printf("Measured from this implementation:\n%s\n",
+              model::format_memory_table(rows).c_str());
+
+  std::printf("Paper's Table 1 (for comparison):\n");
+  std::vector<model::MemoryRow> paper;
+  for (const PaperRow& p : kPaperTable1) {
+    model::MemoryRow r;
+    r.task = p.task;
+    r.rdg_selected = p.rdg_selected;
+    r.input_kb = p.input_kb;
+    r.intermediate_kb = p.intermediate_kb;
+    r.output_kb = p.output_kb;
+    paper.push_back(r);
+  }
+  std::printf("%s\n", model::format_memory_table(paper).c_str());
+
+  std::printf(
+      "Notes: buffer layouts differ from the paper's fixed-point reference\n"
+      "implementation (this library computes ridge/enhancement stages in\n"
+      "f32), so intermediate/output sizes differ by small integer factors;\n"
+      "the structure matches: full-frame inputs are 2048 KB, MKX input grows\n"
+      "by the ridge images when RDG is selected, ENH holds two full-frame\n"
+      "intermediates, and ZOOM's buffers are ROI/display sized.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Offline training workflow: record an execution trace to CSV, load it back
+// with the replay parser, train the Triple-C predictors from the file, and
+// verify the models predict a fresh run — the paper's profiling loop
+// ("the application can be profiled to gather statistical information...
+// used for on-line model training", §6) in its offline form.
+//
+// Usage: offline_training [trace.csv]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "app/stentboost.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+#include "tripleC/accuracy.hpp"
+#include "tripleC/graph_predictor.hpp"
+
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "stentboost_trace";
+
+  // 1. Record: run two sequences, one trace file each (frame numbers are
+  // the record key, so sequences must not share a file).
+  std::vector<std::string> paths;
+  for (u64 seed : {11ull, 12ull}) {
+    std::string path = prefix + "_" + std::to_string(seed) + ".csv";
+    std::printf("recording training trace to %s ...\n", path.c_str());
+    CsvWriter csv(path);
+    app::StentBoostConfig c = app::StentBoostConfig::make(256, 256, 60, seed);
+    app::StentBoostApp app(c);
+    std::vector<graph::FrameRecord> records = app.run(60);
+    trace::write_records_csv(csv, records, app::node_name);
+    paths.push_back(std::move(path));
+  }
+
+  // 2. Replay: parse each CSV back into one training sequence.
+  std::vector<std::vector<graph::FrameRecord>> seqs;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    trace::ParseResult parsed =
+        trace::read_records_csv(in, trace::stentboost_node_id);
+    std::printf("parsed %zu frames from %s (%zu malformed lines skipped)\n",
+                parsed.records.size(), path.c_str(), parsed.skipped_lines);
+    seqs.push_back(std::move(parsed.records));
+  }
+
+  // 3. Train from the file contents only.
+  model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  gp.train(seqs);
+  std::printf("trained predictors; e.g. ZOOM: %s\n",
+              gp.task_predictor(app::kZoom).summary().c_str());
+
+  // 4. Evaluate on a fresh sequence (different seed).
+  app::StentBoostConfig c = app::StentBoostConfig::make(256, 256, 60, 99);
+  app::StentBoostApp app(c);
+  std::vector<f64> pred;
+  std::vector<f64> meas;
+  for (i32 t = 0; t < 60; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    for (const graph::TaskExecution& exec : r.tasks) {
+      if (!exec.executed) continue;
+      pred.push_back(gp.predict_task(exec.node, r.roi_pixels));
+      meas.push_back(exec.simulated_ms);
+    }
+    gp.observe(r);
+  }
+  model::AccuracyReport acc = model::evaluate_accuracy(pred, meas);
+  std::printf("per-task prediction on a fresh sequence: %s\n",
+              model::to_string(acc).c_str());
+  std::printf("trace files kept at %s_*.csv\n", prefix.c_str());
+  return acc.mean_accuracy_pct > 70.0 ? 0 : 1;
+}

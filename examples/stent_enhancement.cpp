@@ -1,0 +1,119 @@
+// Stent enhancement end-to-end: run the full StentBoost pipeline over a
+// synthetic angioplasty sequence and write PGM snapshots of
+//   * a raw input frame,
+//   * the ridge-detection response,
+//   * the enhanced, zoomed output (motion-compensated temporal integration),
+// plus a before/after contrast-to-noise comparison of the stent markers —
+// the clinical point of the paper's application (Fig. 1).
+//
+// Usage: stent_enhancement [frames] [width] [output_dir]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "app/stentboost.hpp"
+#include "imaging/metrics.hpp"
+
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const i32 frames = argc > 1 ? std::atoi(argv[1]) : 80;
+  const i32 size = argc > 2 ? std::atoi(argv[2]) : 256;
+  const std::string dir = argc > 3 ? argv[3] : ".";
+
+  // Stent enhancement is clinically performed under plain fluoroscopy —
+  // contrast agent would hide the stent — so this demo uses a sequence
+  // without a bolus (see scenario_explorer/runtime_adaptation for the
+  // contrast-driven scenario dynamics).
+  app::StentBoostConfig config =
+      app::StentBoostConfig::make(size, size, frames, 2026);
+  config.sequence.contrast_in_frame = frames * 10;
+  config.sequence.contrast_out_frame = frames * 10 + 1;
+  config.sequence.marker_dropout_prob = 0.0;
+  app::StentBoostApp app(config);
+
+  std::printf("running %d frames at %dx%d...\n", frames, size, size);
+  i32 enhanced_frames = 0;
+  i32 warm = 0;  // consecutive integrations since the last restart
+  f64 last_cnr_enh = 0.0;
+  i32 last_cnr_frame = -1;
+  for (i32 t = 0; t < frames; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    if (!r.find(app::kZoom)->executed) {
+      warm = 0;
+      continue;
+    }
+    ++enhanced_frames;
+    ++warm;
+    // Track the enhanced-output marker CNR while the integration is warm
+    // (several frames after the last restart).
+    if (warm < 8 || !app.reference_couple().has_value()) continue;
+    // The enhanced output is stabilized in the reference frame: the markers
+    // sit at the *reference* couple positions inside the reference ROI.
+    const img::Couple& ref = *app.reference_couple();
+    Rect roi = app.reference_roi();
+    f64 sx = static_cast<f64>(config.zoom.output_width) / roi.w;
+    f64 sy = static_cast<f64>(config.zoom.output_height) / roi.h;
+    img::ImageF32 out_f = img::to_f32(app.last_output());
+    f64 cnr = img::marker_cnr(
+        out_f, Point2f{(ref.a.x - roi.x) * sx, (ref.a.y - roi.y) * sy},
+        Point2f{(ref.b.x - roi.x) * sx, (ref.b.y - roi.y) * sy},
+        config.sequence.marker_radius_px * sx);
+    if (cnr > 0.0) {
+      last_cnr_enh = cnr;
+      last_cnr_frame = t;
+    }
+  }
+  std::printf("enhanced output produced on %d/%d frames\n", enhanced_frames,
+              frames);
+
+  // Snapshots of the final frame.
+  const i32 last = frames - 1;
+  img::ImageU16 raw = app.sequence().render(last);
+  if (!img::write_pgm(raw, dir + "/stent_input.pgm")) {
+    std::fprintf(stderr, "cannot write %s/stent_input.pgm\n", dir.c_str());
+    return 1;
+  }
+  if (app.last_ridge() != nullptr) {
+    img::write_pgm(img::to_u16(app.last_ridge()->response),
+                   dir + "/stent_ridge.pgm");
+  }
+  if (!app.last_output().empty()) {
+    img::write_pgm(app.last_output(), dir + "/stent_enhanced.pgm");
+  }
+  std::printf("wrote %s/stent_input.pgm, stent_ridge.pgm, stent_enhanced.pgm\n",
+              dir.c_str());
+
+  // Quantify the enhancement: contrast-to-noise ratio of the markers in the
+  // raw frame vs. the (unzoomed) enhanced ROI.
+  img::FrameTruth truth = app.sequence().truth(last);
+  img::ImageF32 raw_f = img::to_f32(raw);
+  f64 cnr_raw = img::marker_cnr(raw_f, truth.marker_a, truth.marker_b,
+                                config.sequence.marker_radius_px);
+  std::printf("\nmarker contrast-to-noise ratio, raw frame:      %6.2f\n",
+              cnr_raw);
+  if (last_cnr_frame >= 0) {
+    std::printf("marker contrast-to-noise ratio, enhanced+zoom:  %6.2f "
+                "(frame %d, %.1fx better)\n",
+                last_cnr_enh, last_cnr_frame, last_cnr_enh / cnr_raw);
+  } else {
+    std::printf("(no warm enhanced frame produced; rerun with a different "
+                "seed)\n");
+  }
+
+  // Quantum-noise suppression: pixel noise in a flat corner of the display,
+  // raw vs enhanced (the temporal integration should reduce it strongly).
+  {
+    img::ImageF32 out_f = img::to_f32(app.last_output());
+    Rect corner{8, 8, 24, 24};
+    f64 sigma_raw = img::region_stddev(raw_f, corner);
+    f64 sigma_enh = img::region_stddev(out_f, corner);
+    if (sigma_enh > 1e-9) {
+      std::printf("flat-region pixel noise: raw %.0f -> enhanced %.0f "
+                  "(%.1fx lower)\n",
+                  sigma_raw, sigma_enh, sigma_raw / sigma_enh);
+    }
+  }
+  return 0;
+}

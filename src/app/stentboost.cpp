@@ -1,0 +1,456 @@
+#include "app/stentboost.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tc::app {
+
+namespace {
+constexpr std::array<std::string_view, kNodeCount> kNodeNames = {
+    "RDG_FULL", "RDG_ROI", "MKX_FULL", "MKX_ROI", "CPLS_SEL",
+    "REG",      "ROI_EST", "GW_EXT",   "ENH",     "ZOOM",
+};
+constexpr std::array<bool, kNodeCount> kDataParallel = {
+    true,  true,  true,  true,  false,
+    false, false, false, true,  true,
+};
+}  // namespace
+
+std::string_view node_name(i32 node) {
+  return kNodeNames[static_cast<usize>(node)];
+}
+
+bool node_data_parallel(i32 node) {
+  return kDataParallel[static_cast<usize>(node)];
+}
+
+StentBoostConfig StentBoostConfig::make(i32 width, i32 height, i32 frames,
+                                        u64 seed) {
+  StentBoostConfig c;
+  c.sequence.width = width;
+  c.sequence.height = height;
+  c.sequence.frames = frames;
+  c.sequence.seed = seed;
+  c.zoom.output_width = width;
+  c.zoom.output_height = height;
+
+  // Scale the scene geometry and the matched algorithm parameters with the
+  // rendering resolution (defaults are tuned for 512x512).
+  const f64 geom = static_cast<f64>(width) / 512.0;
+  c.sequence.marker_distance_px = 90.0 * geom;
+  c.sequence.marker_radius_px = std::max(2.5, 4.0 * geom);
+  c.sequence.motion.cardiac_amplitude_px = 18.0 * geom;
+  c.sequence.motion.breathing_amplitude_px = 10.0 * geom;
+  c.couples.prior_distance = c.sequence.marker_distance_px;
+  c.couples.distance_tolerance = std::max(6.0, 12.0 * geom);
+  // Reject couples built from weak (noise-level) candidates so tracking
+  // cannot coast on clutter when the markers are obscured.
+  c.couples.min_strength = 2.5 * static_cast<f64>(c.markers.detect_threshold);
+  c.registration.max_displacement = std::max(15.0, 40.0 * geom);
+  c.registration.motion_window = std::max(10, static_cast<i32>(24.0 * geom));
+  c.roi.min_side = std::max(48, static_cast<i32>(96.0 * geom));
+  // Marker detection grid: keep the decimated blob scale >= ~0.9 px so the
+  // DoG suppresses quantum noise adequately at small rendering sizes.
+  c.markers.decimation = width >= 256 ? 4 : 2;
+  c.markers.blob_sigma = std::max(
+      0.9, c.sequence.marker_radius_px / static_cast<f64>(c.markers.decimation));
+  c.markers.background_sigma = 2.5 * c.markers.blob_sigma;
+  // Quantum noise per pixel is resolution-independent while marker area
+  // shrinks with the render size, so the darkness threshold must grow as
+  // the decimated grid gets finer relative to the noise.
+  c.markers.detect_threshold = width >= 256 ? 800.0f : 1600.0f;
+  c.guidewire.search_radius = std::max(3, static_cast<i32>(6.0 * geom));
+  // Report simulated times as if the application ran at the paper's
+  // 1024x1024 format regardless of the rendering resolution.
+  f64 rendered = static_cast<f64>(width) * static_cast<f64>(height);
+  f64 paper = static_cast<f64>(c.paper_format.width) *
+              static_cast<f64>(c.paper_format.height);
+  c.cost.resolution_scale = paper / rendered;
+  // Dominant structures are curvilinear, so their pixel count scales with
+  // the image side, not its area (~1536 px at 1024^2).
+  c.dominant_low = static_cast<u64>(1.5 * width);
+  return c;
+}
+
+StentBoostApp::StentBoostApp(StentBoostConfig config, plat::ThreadPool* pool)
+    : config_(std::move(config)),
+      pool_(pool),
+      sequence_(config_.sequence),
+      cost_model_(config_.platform, config_.cost) {
+  interference_.reserve(kNodeCount);
+  for (i32 node = 0; node < kNodeCount; ++node) {
+    interference_.emplace_back(config_.cost, static_cast<u64>(node));
+  }
+  build_graph();
+}
+
+void StentBoostApp::build_graph() {
+  using graph::FlowGraph;
+
+  // Switches (bit positions must match the Switch enum).
+  i32 sw_rdg = graph_.add_switch("RDG", [this] { return rdg_active_; });
+  i32 sw_roi = graph_.add_switch("ROI", [this] { return roi_valid_; });
+  i32 sw_reg = graph_.add_switch("REG", [this] { return reg_success_; });
+  assert(sw_rdg == kSwRdg && sw_roi == kSwRoi && sw_reg == kSwReg);
+  (void)sw_rdg;
+  (void)sw_roi;
+  (void)sw_reg;
+
+  auto add = [this](i32 expected, std::string name, bool dp,
+                    graph::LambdaTask::Fn fn, FlowGraph::Guard guard) {
+    i32 id = graph_.add_task(
+        graph::make_task(std::move(name), dp, std::move(fn)),
+        std::move(guard));
+    assert(id == expected);
+    (void)id;
+    (void)expected;
+  };
+
+  add(kRdgFull, "RDG_FULL", true, [this] { return run_rdg(false); },
+      [](FlowGraph& g) {
+        return g.switch_value(kSwRdg) && !g.switch_value(kSwRoi);
+      });
+  add(kRdgRoi, "RDG_ROI", true, [this] { return run_rdg(true); },
+      [](FlowGraph& g) {
+        return g.switch_value(kSwRdg) && g.switch_value(kSwRoi);
+      });
+  add(kMkxFull, "MKX_FULL", true, [this] { return run_mkx(false); },
+      [](FlowGraph& g) { return !g.switch_value(kSwRoi); });
+  add(kMkxRoi, "MKX_ROI", true, [this] { return run_mkx(true); },
+      [](FlowGraph& g) { return g.switch_value(kSwRoi); });
+  add(kCplsSel, "CPLS_SEL", false, [this] { return run_cpls(); }, {});
+  add(kReg, "REG", false, [this] { return run_reg(); }, {});
+  add(kRoiEst, "ROI_EST", false, [this] { return run_roi_est(); }, {});
+  add(kGwExt, "GW_EXT", false, [this] { return run_gw(); }, {});
+  add(kEnh, "ENH", true, [this] { return run_enh(); },
+      [](FlowGraph& g) { return g.switch_value(kSwReg); });
+  add(kZoom, "ZOOM", true, [this] { return run_zoom(); },
+      [](FlowGraph& g) { return g.switch_value(kSwReg); });
+
+  // Edges: execution order plus the buffer flows of Fig. 2.  Byte counts
+  // reflect the producer's output at the current granularity.
+  const auto full_pixels = [this] {
+    return static_cast<u64>(config_.sequence.width) *
+           static_cast<u64>(config_.sequence.height);
+  };
+  const auto roi_px = [this] {
+    return roi_valid_ ? static_cast<u64>(roi_.area())
+                      : static_cast<u64>(config_.sequence.width) *
+                            static_cast<u64>(config_.sequence.height);
+  };
+
+  graph_.add_edge(kRdgFull, kMkxFull,
+                  [=] { return full_pixels() * 2 * sizeof(f32); });
+  graph_.add_edge(kRdgRoi, kMkxRoi, [=] { return roi_px() * 2 * sizeof(f32); });
+  graph_.add_edge(kMkxFull, kCplsSel,
+                  [] { return u64{96} * sizeof(img::MarkerCandidate); });
+  graph_.add_edge(kMkxRoi, kCplsSel,
+                  [] { return u64{96} * sizeof(img::MarkerCandidate); });
+  graph_.add_edge(kCplsSel, kReg, [] { return u64{sizeof(img::Couple)}; });
+  graph_.add_edge(kReg, kRoiEst,
+                  [] { return u64{sizeof(img::RegistrationResult)}; });
+  graph_.add_edge(kRoiEst, kGwExt, [] { return u64{sizeof(Rect)}; });
+  graph_.add_edge(kGwExt, kEnh,
+                  [] { return u64{64} * sizeof(Point2f); });
+  graph_.add_edge(kReg, kEnh,
+                  [=] { return full_pixels() * sizeof(u16); });
+  graph_.add_edge(kEnh, kZoom, [=] { return roi_px() * sizeof(f32); });
+}
+
+graph::FrameRecord StentBoostApp::process_frame(i32 t) {
+  return process_image(t, sequence_.render(t));
+}
+
+graph::FrameRecord StentBoostApp::process_image(i32 t,
+                                                const img::ImageU16& frame) {
+  frame_ = img::to_f32(frame);
+
+  // Reset the per-frame state.
+  ridge_.reset();
+  markers_ = img::MarkerResult{};
+  couple_.reset();
+  reg_ = img::RegistrationResult{};
+  reg_success_ = false;
+  for (auto& reports : stripe_reports_) reports.clear();
+
+  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
+  const Rect roi_for_frame = roi_valid_ ? roi_ : full;
+  roi_pixels_ = static_cast<f64>(roi_for_frame.area()) *
+                config_.cost.resolution_scale;
+
+  graph::FrameRecord record = graph_.run_frame(t);
+  record.roi_pixels = roi_pixels_;
+  assign_costs(record);
+  advance_switch_state();
+
+  prev_frame_ = frame_;
+  prev_couple_ = couple_;
+  return record;
+}
+
+std::vector<graph::FrameRecord> StentBoostApp::run(i32 n) {
+  std::vector<graph::FrameRecord> records;
+  records.reserve(static_cast<usize>(n));
+  for (i32 t = 0; t < n; ++t) records.push_back(process_frame(t));
+  return records;
+}
+
+void StentBoostApp::reset() {
+  frame_ = img::ImageF32();
+  prev_frame_ = img::ImageF32();
+  ridge_.reset();
+  markers_ = img::MarkerResult{};
+  couple_.reset();
+  prev_couple_.reset();
+  reg_ = img::RegistrationResult{};
+  accumulator_ = img::ImageF32();
+  ref_couple_.reset();
+  enhanced_roi_ = img::ImageF32();
+  output_ = img::ImageU16();
+  roi_pixels_ = 0.0;
+  for (auto& p : interference_) p.reset();
+  rdg_active_ = true;
+  quiet_frames_ = 0;
+  roi_valid_ = false;
+  roi_ = Rect{};
+  reg_success_ = false;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_rdg(bool roi_mode) {
+  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
+  const Rect r = roi_mode && roi_valid_ ? roi_ : full;
+  const i32 node = roi_mode ? kRdgRoi : kRdgFull;
+  const i32 stripes = plan_[static_cast<usize>(node)];
+
+  if (stripes <= 1) {
+    img::RidgeResult result = img::ridge_detect(frame_, r, config_.ridge);
+    img::WorkReport work = result.work;
+    ridge_ = std::move(result);
+    return work;
+  }
+
+  // Stripe-parallel execution: disjoint output row bands, bit-identical to
+  // the serial run.
+  img::RidgeResult result;
+  result.response = img::ImageF32(frame_.width(), frame_.height(), 0.0f);
+  result.blobness = img::ImageF32(frame_.width(), frame_.height(), 0.0f);
+  std::vector<img::WorkReport> reports(static_cast<usize>(stripes));
+  std::vector<u64> dominant(static_cast<usize>(stripes), 0);
+  auto run_band = [&](i32 band, IndexRange rows) {
+    IndexRange abs_rows{r.y + rows.lo, r.y + rows.hi};
+    img::ridge_detect_rows(frame_, r, config_.ridge, result.response,
+                           result.blobness, abs_rows,
+                           dominant[static_cast<usize>(band)],
+                           reports[static_cast<usize>(band)]);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_ranges(r.h, stripes, run_band);
+  } else {
+    for (i32 b = 0; b < stripes; ++b) {
+      run_band(b, plat::even_chunk(r.h, stripes, b));
+    }
+  }
+  img::WorkReport total;
+  for (usize b = 0; b < reports.size(); ++b) {
+    total += reports[b];
+    result.dominant_pixels += dominant[b];
+  }
+  total.data_parallel = true;
+  stripe_reports_[static_cast<usize>(node)] = std::move(reports);
+  result.work = total;
+  ridge_ = std::move(result);
+  return total;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_mkx(bool roi_mode) {
+  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
+  const Rect r = roi_mode && roi_valid_ ? roi_ : full;
+  const img::RidgeResult* ridge = ridge_.has_value() ? &*ridge_ : nullptr;
+  img::MarkerParams params = config_.markers;
+  if (qos_extra_decim_ > 1) {
+    // QoS degradation: coarser detection grid, matched blob scales.
+    params.decimation *= qos_extra_decim_;
+    params.blob_sigma =
+        std::max(0.7, params.blob_sigma / qos_extra_decim_);
+    params.background_sigma = 2.5 * params.blob_sigma;
+  }
+  markers_ = img::extract_markers(frame_, r, params, ridge);
+  return markers_.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_cpls() {
+  const img::Couple* prior =
+      prev_couple_.has_value() ? &*prev_couple_ : nullptr;
+  img::CoupleResult result =
+      img::select_couple(markers_.candidates, config_.couples, prior);
+  couple_ = result.best;
+  return result.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_reg() {
+  if (!couple_.has_value() || !prev_couple_.has_value() ||
+      prev_frame_.empty()) {
+    reg_success_ = false;
+    return std::nullopt;
+  }
+  reg_ = img::register_couple(*prev_couple_, *couple_, prev_frame_, frame_,
+                              config_.registration);
+  reg_success_ = reg_.success;
+  return reg_.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_roi_est() {
+  if (!couple_.has_value()) return std::nullopt;
+  img::RoiResult result = img::estimate_roi(*couple_, frame_.width(),
+                                            frame_.height(), config_.roi);
+  roi_ = result.roi;
+  if (config_.roi_side_override > 0) {
+    const i32 s = config_.roi_side_override;
+    const i32 cx = static_cast<i32>(
+        std::lround(0.5 * (couple_->a.x + couple_->b.x)));
+    const i32 cy = static_cast<i32>(
+        std::lround(0.5 * (couple_->a.y + couple_->b.y)));
+    roi_ = clamp_rect(Rect{cx - s / 2, cy - s / 2, s, s}, frame_.width(),
+                      frame_.height());
+  }
+  return result.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_gw() {
+  if (qos_skip_gw_) return std::nullopt;
+  if (!couple_.has_value() || !ridge_.has_value()) return std::nullopt;
+  img::GuideWireResult result =
+      img::extract_guidewire(*ridge_, *couple_, config_.guidewire);
+  gw_found_ = result.found;
+  gw_ran_ = true;
+  return result.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_enh() {
+  if (!reg_success_ || !couple_.has_value()) return std::nullopt;
+  if (accumulator_.empty() || !ref_couple_.has_value()) {
+    // Integration (re)starts: the current couple defines the reference.
+    ref_couple_ = couple_;
+  }
+  // Crop rectangle in reference coordinates: current ROI dimensions centred
+  // on the reference couple (the stent is stabilized there).
+  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
+  const Rect cur_roi = !roi_.empty() ? roi_ : full;
+  const i32 rcx = static_cast<i32>(
+      std::lround(0.5 * (ref_couple_->a.x + ref_couple_->b.x)));
+  const i32 rcy = static_cast<i32>(
+      std::lround(0.5 * (ref_couple_->a.y + ref_couple_->b.y)));
+  ref_roi_ = clamp_rect(
+      Rect{rcx - cur_roi.w / 2, rcy - cur_roi.h / 2, cur_roi.w, cur_roi.h},
+      frame_.width(), frame_.height());
+  img::EnhanceResult result = img::enhance(frame_, ref_roi_, accumulator_,
+                                           *couple_, *ref_couple_,
+                                           config_.enhance);
+  accumulator_ = std::move(result.accumulator);
+  enhanced_roi_ = std::move(result.enhanced_roi);
+  return result.work;
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_zoom() {
+  if (enhanced_roi_.empty()) return std::nullopt;
+  img::ZoomParams zoom_params = config_.zoom;
+  zoom_params.output_width =
+      std::max(16, zoom_params.output_width / qos_zoom_div_);
+  zoom_params.output_height =
+      std::max(16, zoom_params.output_height / qos_zoom_div_);
+  const i32 stripes = plan_[kZoom];
+  if (stripes <= 1) {
+    img::ZoomResult result = img::zoom(enhanced_roi_, zoom_params);
+    output_ = std::move(result.output);
+    return result.work;
+  }
+  output_ = img::ImageU16(zoom_params.output_width,
+                          zoom_params.output_height);
+  std::vector<img::WorkReport> reports(static_cast<usize>(stripes));
+  auto run_band = [&](i32 band, IndexRange rows) {
+    img::zoom_rows(enhanced_roi_, zoom_params, output_, rows,
+                   reports[static_cast<usize>(band)]);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_ranges(zoom_params.output_height, stripes, run_band);
+  } else {
+    for (i32 b = 0; b < stripes; ++b) {
+      run_band(b, plat::even_chunk(zoom_params.output_height, stripes, b));
+    }
+  }
+  img::WorkReport total;
+  for (const img::WorkReport& w : reports) total += w;
+  total.data_parallel = true;
+  stripe_reports_[kZoom] = std::move(reports);
+  return total;
+}
+
+void StentBoostApp::set_quality(i32 extra_mkx_decimation, bool skip_guidewire,
+                                i32 zoom_divisor) {
+  qos_extra_decim_ = std::max(1, extra_mkx_decimation);
+  qos_skip_gw_ = skip_guidewire;
+  qos_zoom_div_ = std::max(1, zoom_divisor);
+}
+
+void StentBoostApp::assign_costs(graph::FrameRecord& record) {
+  f64 latency = 0.0;
+  for (graph::TaskExecution& exec : record.tasks) {
+    if (!exec.executed) continue;
+    const usize node = static_cast<usize>(exec.node);
+    plat::TaskCost cost;
+    if (!stripe_reports_[node].empty()) {
+      cost = cost_model_.striped_cost(stripe_reports_[node]);
+    } else {
+      i32 stripes = node_data_parallel(exec.node) ? plan_[node] : 1;
+      cost = stripes > 1 ? cost_model_.striped_cost(exec.work, stripes)
+                         : cost_model_.serial_cost(exec.work);
+    }
+    // Platform interference (cache misses, task switching) — the paper's
+    // short-term fluctuation source.
+    f64 factor = interference_[node].next();
+    exec.simulated_ms = cost.total_ms * factor;
+    latency += exec.simulated_ms;
+  }
+  record.latency_ms = latency;
+}
+
+void StentBoostApp::advance_switch_state() {
+  // SW_RDG hysteresis.
+  if (ridge_.has_value()) {
+    if (ridge_->dominant_pixels < config_.dominant_low) {
+      ++quiet_frames_;
+    } else {
+      quiet_frames_ = 0;
+    }
+    if (quiet_frames_ >= config_.rdg_off_after) {
+      rdg_active_ = false;
+      quiet_frames_ = 0;
+    }
+  } else if (markers_.candidates.size() > config_.clutter_high) {
+    rdg_active_ = true;
+    quiet_frames_ = 0;
+  }
+
+  // SW_ROI: the ROI estimated this frame becomes next frame's granularity.
+  // A failed guide-wire check (when it ran) invalidates the couple.
+  bool roi_ok = couple_.has_value() && !roi_.empty();
+  if (gw_ran_ && !gw_found_) {
+    // The guide-wire check rejected the couple: drop the ROI and the
+    // tracking prior so the next frame re-acquires from scratch.
+    roi_ok = false;
+    couple_.reset();
+  }
+  roi_valid_ = roi_ok && !config_.force_full_frame;
+  gw_ran_ = false;
+  gw_found_ = false;
+
+  // SW_REG: a failed registration restarts the temporal integration.
+  if (!reg_success_) {
+    accumulator_ = img::ImageF32();
+    ref_couple_.reset();
+  }
+}
+
+}  // namespace tc::app

@@ -1,0 +1,231 @@
+// StentBoost — the paper's case-study application (Fig. 2): motion-
+// compensated enhancement of stents in X-ray fluoroscopy.
+//
+// The class wires the eight imaging stages into a graph::FlowGraph with the
+// paper's three data-dependent switches:
+//
+//   SW_RDG  "RDG detection"     — ridge detection needed?  Driven by a
+//            hysteresis state machine over the dominant-structure count of
+//            previous ridge runs and the marker-candidate clutter while
+//            ridge detection is off (contrast bolus in/out).
+//   SW_ROI  "ROI estimated"     — was an ROI estimated on a previous frame?
+//            Selects ROI-granularity variants (RDG_ROI/MKX_ROI) over the
+//            full-frame variants.
+//   SW_REG  "REG successful"    — did temporal registration succeed this
+//            frame?  Gates ENH and ZOOM.
+//
+// Eight scenarios (2^3) result.  Every frame yields a FrameRecord with
+// per-task WorkReports; simulated execution times are assigned by the
+// platform cost model according to the active partitioning plan.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/flowgraph.hpp"
+#include "imaging/pipeline.hpp"
+#include "imaging/synthetic.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace tc::app {
+
+/// Node ids of the StentBoost flow graph (granularity variants are distinct
+/// nodes, as in Table 1 / Table 2b of the paper).
+enum Node : i32 {
+  kRdgFull = 0,
+  kRdgRoi,
+  kMkxFull,
+  kMkxRoi,
+  kCplsSel,
+  kReg,
+  kRoiEst,
+  kGwExt,
+  kEnh,
+  kZoom,
+  kNodeCount,
+};
+
+[[nodiscard]] std::string_view node_name(i32 node);
+/// True for streaming tasks that support stripe (data) partitioning.
+[[nodiscard]] bool node_data_parallel(i32 node);
+
+/// Switch indices (bit positions in the scenario id).
+enum Switch : i32 {
+  kSwRdg = 0,
+  kSwRoi = 1,
+  kSwReg = 2,
+  kSwitchCount = 3,
+};
+
+struct StentBoostConfig {
+  img::SequenceParams sequence;
+  img::RidgeParams ridge;
+  img::MarkerParams markers;
+  img::CoupleParams couples;
+  img::RegistrationParams registration;
+  img::RoiParams roi;
+  img::GuideWireParams guidewire;
+  img::EnhanceParams enhance;
+  img::ZoomParams zoom;
+
+  /// SW_RDG hysteresis: ridge detection turns off after `rdg_off_after`
+  /// consecutive frames with fewer than `dominant_low` dominant pixels, and
+  /// turns back on as soon as marker extraction reports more than
+  /// `clutter_high` candidates.
+  u64 dominant_low = 1500;
+  i32 rdg_off_after = 3;
+  usize clutter_high = 20;
+
+  /// Lock the pipeline to full-frame granularity (never enter ROI mode);
+  /// used by experiments that study the full-frame tasks (Fig. 3).
+  bool force_full_frame = false;
+
+  /// When > 0, every estimated ROI is replaced by a square of this side
+  /// centred on the couple — used by the ROI-size sweep of Fig. 6.
+  i32 roi_side_override = 0;
+
+  plat::PlatformSpec platform = plat::PlatformSpec::paper_platform();
+  plat::CostParams cost;
+
+  /// The paper's canonical video format (used for reporting/scaling).
+  plat::VideoFormat paper_format;
+
+  /// Build a config whose synthetic sequence renders width×height but whose
+  /// cost model reports times as if at the paper's 1024×1024 format.
+  [[nodiscard]] static StentBoostConfig make(i32 width, i32 height, i32 frames,
+                                             u64 seed);
+};
+
+/// Per-node stripe plan for the coming frame (1 = serial).
+using StripePlan = std::array<i32, kNodeCount>;
+
+[[nodiscard]] constexpr StripePlan serial_plan() {
+  return StripePlan{1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+}
+
+class StentBoostApp {
+ public:
+  /// `pool` (optional) enables real host-parallel stripe execution; the
+  /// simulated timing is host-independent either way.
+  explicit StentBoostApp(StentBoostConfig config,
+                         plat::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const StentBoostConfig& config() const { return config_; }
+  [[nodiscard]] graph::FlowGraph& graph() { return graph_; }
+  [[nodiscard]] const plat::CostModel& cost_model() const { return cost_model_; }
+  [[nodiscard]] const img::AngioSequence& sequence() const { return sequence_; }
+
+  /// Set the partitioning plan used for the next process_frame call.
+  void set_stripe_plan(const StripePlan& plan) { plan_ = plan; }
+  [[nodiscard]] const StripePlan& stripe_plan() const { return plan_; }
+
+  /// Apply a runtime quality setting (QoS): extra marker-grid decimation,
+  /// guide-wire skip, and display-zoom divisor.  Takes effect from the next
+  /// frame; pass (1, false, 1) to restore full quality.
+  void set_quality(i32 extra_mkx_decimation, bool skip_guidewire,
+                   i32 zoom_divisor);
+  [[nodiscard]] i32 quality_extra_decimation() const { return qos_extra_decim_; }
+  [[nodiscard]] bool quality_skip_guidewire() const { return qos_skip_gw_; }
+  [[nodiscard]] i32 quality_zoom_divisor() const { return qos_zoom_div_; }
+
+  /// Process frame `t` of the synthetic sequence: render, run the flow
+  /// graph, assign simulated per-task times under the current stripe plan,
+  /// and compute the frame latency.
+  graph::FrameRecord process_frame(i32 t);
+
+  /// Process an externally supplied frame (e.g. for tests).
+  graph::FrameRecord process_image(i32 t, const img::ImageU16& frame);
+
+  /// Convenience: process frames [0, n) and return all records.
+  std::vector<graph::FrameRecord> run(i32 n);
+
+  /// Reset all inter-frame state (start of a new sequence).
+  void reset();
+
+  // --- state inspection (read-only, for tests/examples) -------------------
+  [[nodiscard]] bool rdg_active() const { return rdg_active_; }
+  [[nodiscard]] bool roi_valid() const { return roi_valid_; }
+  [[nodiscard]] bool last_reg_success() const { return reg_success_; }
+  [[nodiscard]] Rect current_roi() const { return roi_; }
+  [[nodiscard]] const std::optional<img::Couple>& last_couple() const {
+    return prev_couple_;
+  }
+  /// Couple defining the stent-aligned integration reference (empty when
+  /// the integration is cold).
+  [[nodiscard]] const std::optional<img::Couple>& reference_couple() const {
+    return ref_couple_;
+  }
+  /// Crop rectangle (reference coordinates) of the most recent enhanced ROI.
+  [[nodiscard]] Rect reference_roi() const { return ref_roi_; }
+  [[nodiscard]] const img::ImageU16& last_output() const { return output_; }
+  [[nodiscard]] const img::RidgeResult* last_ridge() const {
+    return ridge_.has_value() ? &*ridge_ : nullptr;
+  }
+  [[nodiscard]] usize last_candidate_count() const {
+    return markers_.candidates.size();
+  }
+
+  /// ROI granularity driver of the frame most recently processed (full
+  /// frame when no ROI was active).
+  [[nodiscard]] f64 roi_pixels_of_frame() const { return roi_pixels_; }
+
+ private:
+  void build_graph();
+  std::optional<img::WorkReport> run_rdg(bool roi_mode);
+  std::optional<img::WorkReport> run_mkx(bool roi_mode);
+  std::optional<img::WorkReport> run_cpls();
+  std::optional<img::WorkReport> run_reg();
+  std::optional<img::WorkReport> run_roi_est();
+  std::optional<img::WorkReport> run_gw();
+  std::optional<img::WorkReport> run_enh();
+  std::optional<img::WorkReport> run_zoom();
+  void assign_costs(graph::FrameRecord& record);
+  void advance_switch_state();
+
+  StentBoostConfig config_;
+  plat::ThreadPool* pool_;
+  img::AngioSequence sequence_;
+  plat::CostModel cost_model_;
+  graph::FlowGraph graph_;
+  StripePlan plan_ = serial_plan();
+  /// Per-node platform interference (cache misses / task switching).
+  std::vector<plat::InterferenceProcess> interference_;
+
+  // Per-frame working state.
+  img::ImageF32 frame_;
+  img::ImageF32 prev_frame_;
+  std::optional<img::RidgeResult> ridge_;
+  img::MarkerResult markers_;
+  std::optional<img::Couple> couple_;
+  std::optional<img::Couple> prev_couple_;
+  img::RegistrationResult reg_;
+  img::ImageF32 accumulator_;
+  /// Marker couple of the frame the integration reference is aligned to.
+  std::optional<img::Couple> ref_couple_;
+  Rect ref_roi_{};
+  img::ImageF32 enhanced_roi_;
+  img::ImageU16 output_;
+  f64 roi_pixels_ = 0.0;
+  /// Per-node per-stripe reports of the frame being processed (empty when
+  /// the node ran serially).
+  std::array<std::vector<img::WorkReport>, kNodeCount> stripe_reports_;
+
+  // QoS quality knobs.
+  i32 qos_extra_decim_ = 1;
+  bool qos_skip_gw_ = false;
+  i32 qos_zoom_div_ = 1;
+
+  // Inter-frame switch state.
+  bool rdg_active_ = true;
+  i32 quiet_frames_ = 0;
+  bool roi_valid_ = false;
+  Rect roi_{};
+  bool reg_success_ = false;
+  bool gw_ran_ = false;
+  bool gw_found_ = false;
+};
+
+}  // namespace tc::app

@@ -1,0 +1,87 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tc {
+
+std::string render_ascii_plot(std::span<const AsciiSeries> series,
+                              const AsciiPlotOptions& opt) {
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << '\n';
+
+  usize max_len = 0;
+  f64 lo = 0.0;
+  f64 hi = 0.0;
+  bool first = true;
+  for (const auto& s : series) {
+    max_len = std::max(max_len, s.values.size());
+    for (f64 v : s.values) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (max_len == 0) {
+    out << "(empty plot)\n";
+    return out.str();
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  const usize w = std::max<usize>(opt.width, 8);
+  const usize h = std::max<usize>(opt.height, 4);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    if (s.values.empty()) continue;
+    for (usize col = 0; col < w; ++col) {
+      // Nearest-sample mapping from canvas column to series index.
+      usize idx = s.values.size() == 1
+                      ? 0
+                      : static_cast<usize>(
+                            std::llround(static_cast<f64>(col) /
+                                         static_cast<f64>(w - 1) *
+                                         static_cast<f64>(s.values.size() - 1)));
+      f64 v = s.values[idx];
+      f64 norm = (v - lo) / (hi - lo);
+      auto row = static_cast<usize>(std::llround(norm * static_cast<f64>(h - 1)));
+      if (row >= h) row = h - 1;
+      canvas[h - 1 - row][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream top;
+  top << std::setprecision(4) << hi;
+  std::ostringstream bot;
+  bot << std::setprecision(4) << lo;
+  usize label_w = std::max(top.str().size(), bot.str().size());
+
+  for (usize r = 0; r < h; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = top.str();
+    if (r == h - 1) label = bot.str();
+    label.resize(label_w, ' ');
+    out << label << " |" << canvas[r] << '\n';
+  }
+  out << std::string(label_w, ' ') << " +" << std::string(w, '-') << '\n';
+  if (!opt.x_label.empty()) {
+    out << std::string(label_w + 2, ' ') << opt.x_label << '\n';
+  }
+  for (const auto& s : series) {
+    out << "  [" << s.glyph << "] " << s.name << '\n';
+  }
+  return out.str();
+}
+
+std::string render_ascii_plot(const AsciiSeries& s,
+                              const AsciiPlotOptions& opt) {
+  return render_ascii_plot(std::span<const AsciiSeries>(&s, 1), opt);
+}
+
+}  // namespace tc

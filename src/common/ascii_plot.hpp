@@ -1,0 +1,38 @@
+// Terminal plotting for benches/examples: renders one or more series as an
+// ASCII chart so the paper's figures can be eyeballed straight from the
+// bench output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc {
+
+struct AsciiSeries {
+  std::string name;
+  std::vector<f64> values;
+  char glyph = '*';
+};
+
+struct AsciiPlotOptions {
+  usize width = 96;
+  usize height = 20;
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+};
+
+/// Render all series onto one canvas (shared y-range), returning a printable
+/// multi-line string.  Series of different lengths share the x-axis of the
+/// longest series.
+[[nodiscard]] std::string render_ascii_plot(std::span<const AsciiSeries> series,
+                                            const AsciiPlotOptions& opt);
+
+/// Convenience wrapper for a single series.
+[[nodiscard]] std::string render_ascii_plot(const AsciiSeries& s,
+                                            const AsciiPlotOptions& opt);
+
+}  // namespace tc

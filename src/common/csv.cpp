@@ -1,0 +1,65 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace tc {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), file_mode_(true) {
+  if (!file_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::CsvWriter() = default;
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) cell(c);
+  end_row();
+}
+
+void CsvWriter::raw(std::string_view v) {
+  if (row_open_) {
+    buffer_ << ',';
+    if (file_mode_) file_ << ',';
+  }
+  buffer_ << v;
+  if (file_mode_) file_ << v;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view v) {
+  raw(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(f64 v) {
+  std::ostringstream os;
+  os << std::setprecision(10) << v;
+  raw(os.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(i64 v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(u64 v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(i32 v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  buffer_ << '\n';
+  if (file_mode_) file_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace tc

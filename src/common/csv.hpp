@@ -1,0 +1,52 @@
+// Minimal CSV emission for experiment traces.  Benches and examples write
+// their series through this so downstream plotting is uniform.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc {
+
+/// Row-oriented CSV writer.  Values are formatted with up to 6 significant
+/// decimals; strings are emitted verbatim (callers must not embed commas).
+class CsvWriter {
+ public:
+  /// Create/truncate `path`.  Throws std::runtime_error when the file cannot
+  /// be opened (benches treat that as a fatal configuration error).
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory writer (for tests); contents via str().
+  CsvWriter();
+
+  void header(const std::vector<std::string>& columns);
+
+  CsvWriter& cell(std::string_view v);
+  CsvWriter& cell(f64 v);
+  CsvWriter& cell(i64 v);
+  CsvWriter& cell(u64 v);
+  CsvWriter& cell(i32 v);
+  /// Finish the current row.
+  void end_row();
+
+  /// Contents accumulated so far (in-memory mode; also valid in file mode
+  /// as a mirror of what was written).
+  [[nodiscard]] std::string str() const { return buffer_.str(); }
+
+  [[nodiscard]] usize rows_written() const { return rows_; }
+
+ private:
+  void raw(std::string_view v);
+
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool file_mode_ = false;
+  bool row_open_ = false;
+  usize rows_ = 0;
+};
+
+}  // namespace tc

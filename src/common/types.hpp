@@ -1,0 +1,79 @@
+// Fundamental fixed-width type aliases and small POD helpers shared by all
+// Triple-C modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+using usize = std::size_t;
+
+/// Kilobytes/megabytes expressed in bytes; used by the memory model so that
+/// units are explicit at call sites.
+constexpr u64 KiB = 1024;
+constexpr u64 MiB = 1024 * KiB;
+constexpr u64 GiB = 1024 * MiB;
+
+/// A half-open integer interval [lo, hi).
+struct IndexRange {
+  i32 lo = 0;
+  i32 hi = 0;
+  [[nodiscard]] constexpr i32 length() const { return hi - lo; }
+  [[nodiscard]] constexpr bool empty() const { return hi <= lo; }
+  constexpr bool operator==(const IndexRange&) const = default;
+};
+
+/// Integer 2-D point (pixel coordinates: x = column, y = row).
+struct Point2i {
+  i32 x = 0;
+  i32 y = 0;
+  constexpr bool operator==(const Point2i&) const = default;
+};
+
+/// Floating-point 2-D point (sub-pixel coordinates).
+struct Point2f {
+  f64 x = 0.0;
+  f64 y = 0.0;
+  constexpr bool operator==(const Point2f&) const = default;
+};
+
+/// Axis-aligned rectangle in pixel coordinates, half-open in both axes:
+/// covers columns [x, x+w) and rows [y, y+h).
+struct Rect {
+  i32 x = 0;
+  i32 y = 0;
+  i32 w = 0;
+  i32 h = 0;
+  [[nodiscard]] constexpr i64 area() const {
+    return static_cast<i64>(w) * static_cast<i64>(h);
+  }
+  [[nodiscard]] constexpr bool empty() const { return w <= 0 || h <= 0; }
+  [[nodiscard]] constexpr bool contains(Point2i p) const {
+    return p.x >= x && p.x < x + w && p.y >= y && p.y < y + h;
+  }
+  constexpr bool operator==(const Rect&) const = default;
+};
+
+/// Clamp a rectangle to an image of the given dimensions.
+[[nodiscard]] constexpr Rect clamp_rect(Rect r, i32 width, i32 height) {
+  i32 x0 = r.x < 0 ? 0 : r.x;
+  i32 y0 = r.y < 0 ? 0 : r.y;
+  i32 x1 = r.x + r.w > width ? width : r.x + r.w;
+  i32 y1 = r.y + r.h > height ? height : r.y + r.h;
+  if (x1 < x0) x1 = x0;
+  if (y1 < y0) y1 = y0;
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+}  // namespace tc

@@ -1,0 +1,103 @@
+#include "graph/flowgraph.hpp"
+
+#include <stdexcept>
+
+namespace tc::graph {
+
+i32 FlowGraph::add_task(std::unique_ptr<Task> task, Guard guard) {
+  nodes_.push_back(Node{std::move(task), std::move(guard)});
+  return static_cast<i32>(nodes_.size()) - 1;
+}
+
+i32 FlowGraph::add_switch(std::string name, std::function<bool()> predicate) {
+  switches_.push_back(Switch{std::move(name), std::move(predicate)});
+  switch_cache_.emplace_back();
+  return static_cast<i32>(switches_.size()) - 1;
+}
+
+void FlowGraph::add_edge(i32 from, i32 to,
+                         std::function<u64()> bytes_per_frame) {
+  if (from < 0 || to < 0 || from >= static_cast<i32>(nodes_.size()) ||
+      to >= static_cast<i32>(nodes_.size())) {
+    throw std::out_of_range("FlowGraph::add_edge: node id out of range");
+  }
+  edges_.push_back(Edge{from, to, std::move(bytes_per_frame)});
+}
+
+std::vector<std::string> FlowGraph::switch_names() const {
+  std::vector<std::string> names;
+  names.reserve(switches_.size());
+  for (const Switch& s : switches_) names.push_back(s.name);
+  return names;
+}
+
+bool FlowGraph::switch_value(i32 sw) {
+  auto& cached = switch_cache_[static_cast<usize>(sw)];
+  if (!cached.has_value()) {
+    cached = switches_[static_cast<usize>(sw)].predicate();
+  }
+  return *cached;
+}
+
+std::vector<i32> FlowGraph::topological_order() const {
+  const usize n = nodes_.size();
+  std::vector<i32> indegree(n, 0);
+  std::vector<std::vector<i32>> adj(n);
+  for (const Edge& e : edges_) {
+    adj[static_cast<usize>(e.from)].push_back(e.to);
+    ++indegree[static_cast<usize>(e.to)];
+  }
+  std::vector<i32> order;
+  order.reserve(n);
+  // Stable Kahn: repeatedly take the lowest-id ready node so the order is
+  // deterministic and respects insertion order for independent tasks.
+  std::vector<bool> done(n, false);
+  for (usize emitted = 0; emitted < n; ++emitted) {
+    i32 pick = -1;
+    for (usize i = 0; i < n; ++i) {
+      if (!done[i] && indegree[i] == 0) {
+        pick = static_cast<i32>(i);
+        break;
+      }
+    }
+    if (pick < 0) throw std::logic_error("FlowGraph: cycle detected");
+    done[static_cast<usize>(pick)] = true;
+    order.push_back(pick);
+    for (i32 next : adj[static_cast<usize>(pick)]) {
+      --indegree[static_cast<usize>(next)];
+    }
+  }
+  return order;
+}
+
+FrameRecord FlowGraph::run_frame(i32 frame_index) {
+  FrameRecord record;
+  record.frame = frame_index;
+  for (auto& c : switch_cache_) c.reset();
+
+  const std::vector<i32> order = topological_order();
+  record.tasks.reserve(order.size());
+  for (i32 node_id : order) {
+    const Node& node = nodes_[static_cast<usize>(node_id)];
+    TaskExecution exec;
+    exec.node = node_id;
+    bool enabled = !node.guard || node.guard(*this);
+    if (enabled) {
+      std::optional<img::WorkReport> work = node.task->execute();
+      if (work.has_value()) {
+        exec.executed = true;
+        exec.work = *work;
+      }
+    }
+    record.tasks.push_back(std::move(exec));
+  }
+
+  // Complete the scenario id: evaluate any switch nobody queried.
+  record.scenario = 0;
+  for (usize s = 0; s < switches_.size(); ++s) {
+    if (switch_value(static_cast<i32>(s))) record.scenario |= (1u << s);
+  }
+  return record;
+}
+
+}  // namespace tc::graph

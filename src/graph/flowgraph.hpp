@@ -1,0 +1,91 @@
+// Flow graph of tasks with data-dependent switches (Fig. 2 of the paper).
+//
+// The graph is a DAG of Task nodes.  Edges declare producer→consumer buffer
+// flows (used by the bandwidth model to label the arrows of Fig. 2) and
+// define a topological execution order.  Switches are named boolean
+// predicates over application state; a switch is evaluated lazily — at the
+// moment the first task guard queries it — and cached for the rest of the
+// frame.  This matches the dataflow semantics of Fig. 2, where a switch
+// (e.g. "registration successful?") fires after its upstream tasks ran.
+// The vector of switch outcomes defines the frame's scenario id.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/record.hpp"
+#include "graph/task.hpp"
+
+namespace tc::graph {
+
+struct Edge {
+  i32 from = -1;
+  i32 to = -1;
+  /// Bytes transported per frame over this edge, queried at analysis time
+  /// (depends on the active granularity, so it is a callable).
+  std::function<u64()> bytes_per_frame;
+};
+
+class FlowGraph {
+ public:
+  /// Guard deciding whether a task runs this frame.  May query switch
+  /// values through the graph (lazy evaluation).
+  using Guard = std::function<bool(FlowGraph&)>;
+
+  /// Add a task; returns its node id.  A null guard means unconditional.
+  i32 add_task(std::unique_ptr<Task> task, Guard guard = {});
+
+  /// Declare a named switch with its predicate; returns switch id.
+  i32 add_switch(std::string name, std::function<bool()> predicate);
+
+  void add_edge(i32 from, i32 to, std::function<u64()> bytes_per_frame);
+
+  [[nodiscard]] usize task_count() const { return nodes_.size(); }
+  [[nodiscard]] usize switch_count() const { return switches_.size(); }
+  [[nodiscard]] usize edge_count() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] Task& task(i32 node) {
+    return *nodes_[static_cast<usize>(node)].task;
+  }
+  [[nodiscard]] const Task& task(i32 node) const {
+    return *nodes_[static_cast<usize>(node)].task;
+  }
+  [[nodiscard]] std::string_view switch_name(i32 sw) const {
+    return switches_[static_cast<usize>(sw)].name;
+  }
+  [[nodiscard]] std::vector<std::string> switch_names() const;
+
+  /// Value of a switch for the current frame: evaluated on first query,
+  /// cached until the frame ends.
+  [[nodiscard]] bool switch_value(i32 sw);
+
+  /// Topological order of the nodes.  Throws std::logic_error on a cycle.
+  [[nodiscard]] std::vector<i32> topological_order() const;
+
+  /// Execute one frame: run every task in topological order, consulting
+  /// guards (which lazily evaluate switches).  Tasks whose guard is off —
+  /// or whose execute() returns nullopt — are recorded as not executed.
+  /// Any switch nobody queried is evaluated at the end of the frame so the
+  /// scenario id is always complete.
+  [[nodiscard]] FrameRecord run_frame(i32 frame_index);
+
+ private:
+  struct Node {
+    std::unique_ptr<Task> task;
+    Guard guard;
+  };
+  struct Switch {
+    std::string name;
+    std::function<bool()> predicate;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Switch> switches_;
+  std::vector<Edge> edges_;
+  std::vector<std::optional<bool>> switch_cache_;
+};
+
+}  // namespace tc::graph

@@ -1,0 +1,43 @@
+// Per-frame execution records — the raw material the Triple-C models train
+// on and the runtime manager reacts to.
+#pragma once
+
+#include <vector>
+
+#include "imaging/work_report.hpp"
+
+namespace tc::graph {
+
+/// Identifier of a scenario: a bitmask over the flow graph's switch
+/// outcomes (the paper's three switches yield 2^3 = 8 scenarios).
+using ScenarioId = u32;
+
+struct TaskExecution {
+  i32 node = -1;
+  bool executed = false;
+  img::WorkReport work;
+  /// Simulated execution time on the modeled platform (filled by
+  /// plat::Machine after mapping).
+  f64 simulated_ms = 0.0;
+};
+
+struct FrameRecord {
+  i32 frame = -1;
+  ScenarioId scenario = 0;
+  std::vector<TaskExecution> tasks;
+  /// End-to-end frame latency under the mapping used (critical path over
+  /// the partitioned tasks plus communication).
+  f64 latency_ms = 0.0;
+  /// Processing granularity of the frame: ROI size in pixels (full-frame
+  /// pixels when no ROI was estimated).  Drives the linear growth model.
+  f64 roi_pixels = 0.0;
+
+  [[nodiscard]] const TaskExecution* find(i32 node) const {
+    for (const auto& t : tasks) {
+      if (t.node == node) return &t;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace tc::graph

@@ -1,0 +1,48 @@
+#include "graph/scenario.hpp"
+
+#include <sstream>
+
+namespace tc::graph {
+
+std::string scenario_label(ScenarioId id, std::span<const std::string> names) {
+  std::ostringstream os;
+  for (usize s = 0; s < names.size(); ++s) {
+    if (s != 0) os << ' ';
+    os << names[s] << '=' << (((id >> s) & 1u) != 0 ? '1' : '0');
+  }
+  return os.str();
+}
+
+u64 ScenarioHistogram::total() const {
+  u64 t = 0;
+  for (u64 c : counts) t += c;
+  return t;
+}
+
+f64 ScenarioHistogram::probability(ScenarioId id) const {
+  u64 t = total();
+  if (t == 0) return 0.0;
+  return static_cast<f64>(counts[id]) / static_cast<f64>(t);
+}
+
+f64 ScenarioTransitions::probability(ScenarioId from, ScenarioId to) const {
+  u64 row = 0;
+  for (usize j = 0; j < n_; ++j) row += counts_[from * n_ + j];
+  if (row == 0) return 1.0 / static_cast<f64>(n_);
+  return static_cast<f64>(counts_[from * n_ + to]) / static_cast<f64>(row);
+}
+
+ScenarioId ScenarioTransitions::most_likely_next(ScenarioId from) const {
+  ScenarioId best = from;  // default: scenarios persist
+  u64 best_count = 0;
+  for (usize j = 0; j < n_; ++j) {
+    u64 c = counts_[from * n_ + j];
+    if (c > best_count) {
+      best_count = c;
+      best = static_cast<ScenarioId>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace tc::graph

@@ -1,0 +1,59 @@
+// Scenario utilities.
+//
+// A scenario is one joint outcome of all flow-graph switches (paper §5.2:
+// three switches ⇒ eight scenarios).  Scenario ids are switch bitmasks.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/record.hpp"
+
+namespace tc::graph {
+
+[[nodiscard]] constexpr usize scenario_count(usize switch_count) {
+  return usize{1} << switch_count;
+}
+
+/// Human-readable label, e.g. "RDG=1 ROI=0 REG=1" for id 0b101.
+[[nodiscard]] std::string scenario_label(ScenarioId id,
+                                         std::span<const std::string> names);
+
+/// Occupancy statistics of scenarios over a run.
+struct ScenarioHistogram {
+  std::vector<u64> counts;  // indexed by ScenarioId
+
+  explicit ScenarioHistogram(usize switch_count)
+      : counts(scenario_count(switch_count), 0) {}
+
+  void add(ScenarioId id) { ++counts[id]; }
+  [[nodiscard]] u64 total() const;
+  /// Empirical probability of a scenario.
+  [[nodiscard]] f64 probability(ScenarioId id) const;
+};
+
+/// First-order scenario-transition statistics (the paper's "state tables"
+/// for data-dependent switch statements).
+class ScenarioTransitions {
+ public:
+  explicit ScenarioTransitions(usize switch_count)
+      : n_(scenario_count(switch_count)),
+        counts_(n_ * n_, 0) {}
+
+  void add(ScenarioId from, ScenarioId to) { ++counts_[from * n_ + to]; }
+
+  /// P(next = to | current = from); uniform when `from` was never seen.
+  [[nodiscard]] f64 probability(ScenarioId from, ScenarioId to) const;
+
+  /// Most likely successor scenario of `from`.
+  [[nodiscard]] ScenarioId most_likely_next(ScenarioId from) const;
+
+  [[nodiscard]] usize scenario_space() const { return n_; }
+
+ private:
+  usize n_;
+  std::vector<u64> counts_;
+};
+
+}  // namespace tc::graph

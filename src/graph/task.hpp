@@ -1,0 +1,67 @@
+// Task abstraction for groups of dynamic image-processing tasks.
+//
+// A Task wraps one pipeline stage.  Its execute() runs the stage for the
+// current frame against application state captured at construction and
+// returns the stage's WorkReport, or std::nullopt when the stage was
+// switched off for this frame (the "groups of tasks" dynamism of the paper).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "imaging/work_report.hpp"
+
+namespace tc::graph {
+
+class Task {
+ public:
+  virtual ~Task() = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+
+  /// True when the task streams over pixel rows and supports stripe
+  /// (data-parallel) partitioning.
+  [[nodiscard]] bool data_parallel() const { return data_parallel_; }
+
+  /// Run the stage for the current frame.  std::nullopt = switched off.
+  virtual std::optional<img::WorkReport> execute() = 0;
+
+ protected:
+  Task(std::string name, bool data_parallel)
+      : name_(std::move(name)), data_parallel_(data_parallel) {}
+
+ private:
+  std::string name_;
+  bool data_parallel_;
+};
+
+/// Adapter turning a callable into a Task.  The callable returns
+/// std::optional<WorkReport> (nullopt when the guard logic inside skipped
+/// the stage this frame).
+class LambdaTask final : public Task {
+ public:
+  using Fn = std::function<std::optional<img::WorkReport>()>;
+
+  LambdaTask(std::string name, bool data_parallel, Fn fn)
+      : Task(std::move(name), data_parallel), fn_(std::move(fn)) {}
+
+  std::optional<img::WorkReport> execute() override { return fn_(); }
+
+ private:
+  Fn fn_;
+};
+
+[[nodiscard]] inline std::unique_ptr<Task> make_task(std::string name,
+                                                     bool data_parallel,
+                                                     LambdaTask::Fn fn) {
+  return std::make_unique<LambdaTask>(std::move(name), data_parallel,
+                                      std::move(fn));
+}
+
+}  // namespace tc::graph

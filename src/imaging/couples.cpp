@@ -1,0 +1,67 @@
+// CPLS_SEL — couples selection.
+//
+// Scores every candidate pair against the a-priori known balloon-marker
+// separation; the O(n^2) pair scan makes the execution time of this stage
+// strongly data dependent (the paper models it with a Markov chain).
+
+#include <cmath>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+
+f64 Couple::distance() const {
+  f64 dx = b.x - a.x;
+  f64 dy = b.y - a.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+CoupleResult select_couple(const std::vector<MarkerCandidate>& candidates,
+                           const CoupleParams& params, const Couple* previous) {
+  CoupleResult result;
+  f64 best_score = 0.0;
+  f64 prev_cx = 0.0;
+  f64 prev_cy = 0.0;
+  if (previous != nullptr) {
+    prev_cx = 0.5 * (previous->a.x + previous->b.x);
+    prev_cy = 0.5 * (previous->a.y + previous->b.y);
+  }
+  for (usize i = 0; i < candidates.size(); ++i) {
+    for (usize j = i + 1; j < candidates.size(); ++j) {
+      ++result.pairs_considered;
+      f64 dx = candidates[j].position.x - candidates[i].position.x;
+      f64 dy = candidates[j].position.y - candidates[i].position.y;
+      f64 dist = std::sqrt(dx * dx + dy * dy);
+      f64 residual = std::fabs(dist - params.prior_distance);
+      if (residual > params.distance_tolerance) continue;
+      // Distance plausibility (1 at perfect match, 0 at the tolerance edge)
+      // weighted by the combined marker strength.
+      f64 plaus = 1.0 - residual / params.distance_tolerance;
+      f64 strength = static_cast<f64>(candidates[i].score) +
+                     static_cast<f64>(candidates[j].score);
+      if (strength < params.min_strength) continue;
+      f64 score = plaus * strength;
+      if (previous != nullptr) {
+        f64 mx = 0.5 * (candidates[i].position.x + candidates[j].position.x);
+        f64 my = 0.5 * (candidates[i].position.y + candidates[j].position.y);
+        f64 move2 = (mx - prev_cx) * (mx - prev_cx) +
+                    (my - prev_cy) * (my - prev_cy);
+        f64 s2 = params.tracking_sigma * params.tracking_sigma;
+        score *= std::exp(-0.5 * move2 / s2);
+      }
+      if (score > best_score) {
+        best_score = score;
+        result.best = Couple{candidates[i].position, candidates[j].position,
+                             score};
+      }
+    }
+  }
+  result.work.feature_ops = result.pairs_considered * 12;
+  result.work.items = result.pairs_considered;
+  result.work.input_bytes = candidates.size() * sizeof(MarkerCandidate);
+  result.work.output_bytes = sizeof(Couple);
+  result.work.data_parallel = false;  // feature-level: functional partitioning
+  return result;
+}
+
+}  // namespace tc::img

@@ -1,0 +1,52 @@
+#include "imaging/image.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace tc::img {
+
+ImageF32 to_f32(const ImageU16& in) {
+  ImageF32 out(in.width(), in.height());
+  const u16* src = in.data();
+  f32* dst = out.data();
+  for (usize i = 0; i < in.size(); ++i) dst[i] = static_cast<f32>(src[i]);
+  return out;
+}
+
+ImageU16 to_u16(const ImageF32& in) {
+  ImageU16 out(in.width(), in.height());
+  const f32* src = in.data();
+  u16* dst = out.data();
+  for (usize i = 0; i < in.size(); ++i) {
+    f32 v = std::clamp(src[i], 0.0f, 65535.0f);
+    dst[i] = static_cast<u16>(v + 0.5f);
+  }
+  return out;
+}
+
+bool write_pgm(const ImageU16& image, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  // Range-compress 16-bit data into 8 bit using the image's own min/max so
+  // the dump is viewable regardless of the synthetic dose level.
+  u16 lo = 65535;
+  u16 hi = 0;
+  for (usize i = 0; i < image.size(); ++i) {
+    lo = std::min(lo, image.data()[i]);
+    hi = std::max(hi, image.data()[i]);
+  }
+  f64 span = hi > lo ? static_cast<f64>(hi - lo) : 1.0;
+  std::vector<u8> row(static_cast<usize>(image.width()));
+  for (i32 y = 0; y < image.height(); ++y) {
+    for (i32 x = 0; x < image.width(); ++x) {
+      f64 norm = (static_cast<f64>(image.at(x, y)) - lo) / span;
+      row[static_cast<usize>(x)] = static_cast<u8>(norm * 255.0 + 0.5);
+    }
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace tc::img

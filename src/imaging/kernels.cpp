@@ -1,0 +1,294 @@
+#include "imaging/kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tc::img {
+namespace {
+
+/// Account for one separable-convolution pass over `pixels` pixels with a
+/// kernel of length `klen`.
+void account_conv(WorkReport* wr, u64 pixels, u64 klen) {
+  if (wr == nullptr) return;
+  wr->pixel_ops += pixels * klen * 2;  // one MAC per tap
+  wr->bytes_read += pixels * klen * sizeof(f32);
+  wr->bytes_written += pixels * sizeof(f32);
+}
+
+}  // namespace
+
+std::vector<f32> gaussian_kernel(f64 sigma) {
+  assert(sigma > 0.0);
+  i32 radius = static_cast<i32>(std::ceil(3.0 * sigma));
+  if (radius < 1) radius = 1;
+  std::vector<f32> k(static_cast<usize>(2 * radius + 1));
+  f64 sum = 0.0;
+  for (i32 i = -radius; i <= radius; ++i) {
+    f64 v = std::exp(-0.5 * (static_cast<f64>(i) / sigma) *
+                     (static_cast<f64>(i) / sigma));
+    k[static_cast<usize>(i + radius)] = static_cast<f32>(v);
+    sum += v;
+  }
+  for (f32& v : k) v = static_cast<f32>(v / sum);
+  return k;
+}
+
+void gaussian_blur_rect(const ImageF32& in, f64 sigma, ImageF32& out,
+                        IndexRange rows, IndexRange cols, WorkReport* wr) {
+  assert(out.width() == in.width() && out.height() == in.height());
+  const std::vector<f32> k = gaussian_kernel(sigma);
+  const i32 radius = static_cast<i32>(k.size() / 2);
+  const i32 w = in.width();
+  const i32 h = in.height();
+  const i32 y0 = std::clamp(rows.lo, 0, h);
+  const i32 y1 = std::clamp(rows.hi, 0, h);
+  const i32 x0 = std::clamp(cols.lo, 0, w);
+  const i32 x1 = std::clamp(cols.hi, 0, w);
+  if (y1 <= y0 || x1 <= x0) return;
+
+  // Horizontal pass over the halo-expanded row band [ty0, ty1), restricted
+  // to the requested columns (each output column only needs its own tmp
+  // column; the horizontal halo reads the input directly).
+  const i32 ty0 = std::max(0, y0 - radius);
+  const i32 ty1 = std::min(h, y1 + radius);
+  ImageF32 tmp(x1 - x0, ty1 - ty0);
+  for (i32 y = ty0; y < ty1; ++y) {
+    const f32* src = in.row(y);
+    f32* dst = tmp.row(y - ty0);
+    for (i32 x = x0; x < x1; ++x) {
+      f32 acc = 0.0f;
+      for (i32 t = -radius; t <= radius; ++t) {
+        i32 xi = std::clamp(x + t, 0, w - 1);
+        acc += src[xi] * k[static_cast<usize>(t + radius)];
+      }
+      dst[x - x0] = acc;
+    }
+  }
+  account_conv(wr, static_cast<u64>(x1 - x0) * static_cast<u64>(ty1 - ty0),
+               k.size());
+
+  // Vertical pass writing only the requested output rows/columns.
+  for (i32 y = y0; y < y1; ++y) {
+    f32* dst = out.row(y);
+    for (i32 x = x0; x < x1; ++x) {
+      f32 acc = 0.0f;
+      for (i32 t = -radius; t <= radius; ++t) {
+        i32 yi = std::clamp(y + t, ty0, ty1 - 1);
+        acc += tmp.at(x - x0, yi - ty0) * k[static_cast<usize>(t + radius)];
+      }
+      dst[x] = acc;
+    }
+  }
+  account_conv(wr, static_cast<u64>(x1 - x0) * static_cast<u64>(y1 - y0),
+               k.size());
+  if (wr != nullptr) {
+    wr->intermediate_bytes += tmp.bytes();
+  }
+}
+
+void gaussian_blur_rows(const ImageF32& in, f64 sigma, ImageF32& out,
+                        IndexRange rows, WorkReport* wr) {
+  gaussian_blur_rect(in, sigma, out, rows, IndexRange{0, in.width()}, wr);
+}
+
+ImageF32 gaussian_blur(const ImageF32& in, f64 sigma, WorkReport* wr) {
+  ImageF32 out(in.width(), in.height());
+  gaussian_blur_rows(in, sigma, out, IndexRange{0, in.height()}, wr);
+  return out;
+}
+
+HessianImages make_hessian_images(i32 width, i32 height) {
+  return HessianImages{ImageF32(width, height), ImageF32(width, height),
+                       ImageF32(width, height)};
+}
+
+void hessian_rect(const ImageF32& smooth, HessianImages& h, IndexRange rows,
+                  IndexRange cols, WorkReport* wr) {
+  const i32 w = smooth.width();
+  const i32 hh = smooth.height();
+  const i32 y0 = std::clamp(rows.lo, 0, hh);
+  const i32 y1 = std::clamp(rows.hi, 0, hh);
+  const i32 x0 = std::clamp(cols.lo, 0, w);
+  const i32 x1 = std::clamp(cols.hi, 0, w);
+  for (i32 y = y0; y < y1; ++y) {
+    for (i32 x = x0; x < x1; ++x) {
+      f32 c = smooth.at_clamped(x, y);
+      f32 xm = smooth.at_clamped(x - 1, y);
+      f32 xp = smooth.at_clamped(x + 1, y);
+      f32 ym = smooth.at_clamped(x, y - 1);
+      f32 yp = smooth.at_clamped(x, y + 1);
+      f32 pp = smooth.at_clamped(x + 1, y + 1);
+      f32 pm = smooth.at_clamped(x + 1, y - 1);
+      f32 mp = smooth.at_clamped(x - 1, y + 1);
+      f32 mm = smooth.at_clamped(x - 1, y - 1);
+      h.xx.at(x, y) = xp - 2.0f * c + xm;
+      h.yy.at(x, y) = yp - 2.0f * c + ym;
+      h.xy.at(x, y) = 0.25f * (pp - pm - mp + mm);
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = static_cast<u64>(x1 - x0) * static_cast<u64>(y1 - y0);
+    wr->pixel_ops += pixels * 14;
+    wr->bytes_read += pixels * 9 * sizeof(f32);
+    wr->bytes_written += pixels * 3 * sizeof(f32);
+  }
+}
+
+void hessian_rows(const ImageF32& smooth, HessianImages& h, IndexRange rows,
+                  WorkReport* wr) {
+  hessian_rect(smooth, h, rows, IndexRange{0, smooth.width()}, wr);
+}
+
+void ridgeness_rows(const HessianImages& h, ImageF32& out, IndexRange rows,
+                    WorkReport* wr) {
+  const i32 w = out.width();
+  const i32 hh = out.height();
+  const i32 y0 = std::clamp(rows.lo, 0, hh);
+  const i32 y1 = std::clamp(rows.hi, 0, hh);
+  for (i32 y = y0; y < y1; ++y) {
+    for (i32 x = 0; x < w; ++x) {
+      f32 xx = h.xx.at(x, y);
+      f32 yy = h.yy.at(x, y);
+      f32 xy = h.xy.at(x, y);
+      f32 tr = xx + yy;
+      f32 det_term = std::sqrt((xx - yy) * (xx - yy) + 4.0f * xy * xy);
+      f32 lambda_max = 0.5f * (tr + det_term);
+      out.at(x, y) = lambda_max > 0.0f ? lambda_max : 0.0f;
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = static_cast<u64>(w) * static_cast<u64>(y1 - y0);
+    wr->pixel_ops += pixels * 10;
+    wr->bytes_read += pixels * 3 * sizeof(f32);
+    wr->bytes_written += pixels * sizeof(f32);
+  }
+}
+
+ImageF32 temporal_difference(const ImageF32& a, const ImageF32& b,
+                             WorkReport* wr) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  ImageF32 out(a.width(), a.height());
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* po = out.data();
+  for (usize i = 0; i < a.size(); ++i) po[i] = std::fabs(pa[i] - pb[i]);
+  if (wr != nullptr) {
+    wr->pixel_ops += a.size() * 2;
+    wr->bytes_read += 2 * a.bytes();
+    wr->bytes_written += out.bytes();
+  }
+  return out;
+}
+
+f32 bilinear_sample(const ImageF32& in, f64 x, f64 y) {
+  i32 x0 = static_cast<i32>(std::floor(x));
+  i32 y0 = static_cast<i32>(std::floor(y));
+  f32 fx = static_cast<f32>(x - x0);
+  f32 fy = static_cast<f32>(y - y0);
+  f32 v00 = in.at_clamped(x0, y0);
+  f32 v10 = in.at_clamped(x0 + 1, y0);
+  f32 v01 = in.at_clamped(x0, y0 + 1);
+  f32 v11 = in.at_clamped(x0 + 1, y0 + 1);
+  f32 top = v00 * (1.0f - fx) + v10 * fx;
+  f32 bot = v01 * (1.0f - fx) + v11 * fx;
+  return top * (1.0f - fy) + bot * fy;
+}
+
+namespace {
+/// Catmull-Rom weight for |t| <= 2.
+f32 catmull_rom(f32 t) {
+  t = std::fabs(t);
+  if (t < 1.0f) return 1.5f * t * t * t - 2.5f * t * t + 1.0f;
+  if (t < 2.0f) return -0.5f * t * t * t + 2.5f * t * t - 4.0f * t + 2.0f;
+  return 0.0f;
+}
+}  // namespace
+
+f32 bicubic_sample(const ImageF32& in, f64 x, f64 y) {
+  i32 x0 = static_cast<i32>(std::floor(x));
+  i32 y0 = static_cast<i32>(std::floor(y));
+  f32 fx = static_cast<f32>(x - x0);
+  f32 fy = static_cast<f32>(y - y0);
+  f32 acc = 0.0f;
+  for (i32 j = -1; j <= 2; ++j) {
+    f32 wy = catmull_rom(static_cast<f32>(j) - fy);
+    if (wy == 0.0f) continue;
+    f32 row_acc = 0.0f;
+    for (i32 i = -1; i <= 2; ++i) {
+      f32 wx = catmull_rom(static_cast<f32>(i) - fx);
+      row_acc += wx * in.at_clamped(x0 + i, y0 + j);
+    }
+    acc += wy * row_acc;
+  }
+  return acc;
+}
+
+ImageF32 resample_bicubic(const ImageF32& in, i32 out_w, i32 out_h, Rect src,
+                          WorkReport* wr) {
+  assert(out_w > 0 && out_h > 0 && !src.empty());
+  ImageF32 out(out_w, out_h);
+  f64 sx = static_cast<f64>(src.w) / static_cast<f64>(out_w);
+  f64 sy = static_cast<f64>(src.h) / static_cast<f64>(out_h);
+  for (i32 y = 0; y < out_h; ++y) {
+    for (i32 x = 0; x < out_w; ++x) {
+      f64 srcx = src.x + (static_cast<f64>(x) + 0.5) * sx - 0.5;
+      f64 srcy = src.y + (static_cast<f64>(y) + 0.5) * sy - 0.5;
+      out.at(x, y) = bicubic_sample(in, srcx, srcy);
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = static_cast<u64>(out_w) * static_cast<u64>(out_h);
+    wr->pixel_ops += pixels * 40;  // 16 taps, ~2.5 ops each
+    wr->bytes_read += pixels * 16 * sizeof(f32);
+    wr->bytes_written += pixels * sizeof(f32);
+  }
+  return out;
+}
+
+ImageF32 warp_rigid(const ImageF32& in, f64 dx, f64 dy, f64 angle,
+                    Point2f center, WorkReport* wr) {
+  if (angle == 0.0) return translate_bilinear(in, dx, dy, wr);
+  ImageF32 out(in.width(), in.height());
+  const f64 ca = std::cos(-angle);
+  const f64 sa = std::sin(-angle);
+  // Inverse of "rotate about center, then translate by d":
+  // source = center + R(-angle) * (p - center - d).
+  for (i32 y = 0; y < in.height(); ++y) {
+    for (i32 x = 0; x < in.width(); ++x) {
+      f64 rx = static_cast<f64>(x) - center.x - dx;
+      f64 ry = static_cast<f64>(y) - center.y - dy;
+      f64 sx2 = center.x + ca * rx - sa * ry;
+      f64 sy2 = center.y + sa * rx + ca * ry;
+      out.at(x, y) = bilinear_sample(in, sx2, sy2);
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = in.size();
+    wr->pixel_ops += pixels * 22;  // rotation math on top of the gather
+    wr->bytes_read += pixels * 4 * sizeof(f32);
+    wr->bytes_written += pixels * sizeof(f32);
+  }
+  return out;
+}
+
+ImageF32 translate_bilinear(const ImageF32& in, f64 dx, f64 dy,
+                            WorkReport* wr) {
+  ImageF32 out(in.width(), in.height());
+  for (i32 y = 0; y < in.height(); ++y) {
+    for (i32 x = 0; x < in.width(); ++x) {
+      out.at(x, y) = bilinear_sample(in, static_cast<f64>(x) + dx,
+                                     static_cast<f64>(y) + dy);
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = in.size();
+    // Bilinear gather is memory-bound: account the 4-tap fetch + blend at an
+    // effective 18 ops/pixel.
+    wr->pixel_ops += pixels * 18;
+    wr->bytes_read += pixels * 4 * sizeof(f32);
+    wr->bytes_written += pixels * sizeof(f32);
+  }
+  return out;
+}
+
+}  // namespace tc::img

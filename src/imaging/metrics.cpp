@@ -1,0 +1,86 @@
+#include "imaging/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tc::img {
+
+f64 psnr(const ImageF32& a, const ImageF32& b, f64 peak) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  f64 mse = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    f64 d = static_cast<f64>(a.data()[i]) - static_cast<f64>(b.data()[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<f64>(a.size());
+  if (mse <= 0.0) return 200.0;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+f64 region_mean(const ImageF32& image, Rect region) {
+  Rect r = clamp_rect(region, image.width(), image.height());
+  if (r.empty()) return 0.0;
+  f64 acc = 0.0;
+  for (i32 y = r.y; y < r.y + r.h; ++y) {
+    for (i32 x = r.x; x < r.x + r.w; ++x) acc += image.at(x, y);
+  }
+  return acc / static_cast<f64>(r.area());
+}
+
+f64 region_stddev(const ImageF32& image, Rect region) {
+  Rect r = clamp_rect(region, image.width(), image.height());
+  if (r.area() < 2) return 0.0;
+  f64 m = region_mean(image, r);
+  f64 acc = 0.0;
+  for (i32 y = r.y; y < r.y + r.h; ++y) {
+    for (i32 x = r.x; x < r.x + r.w; ++x) {
+      f64 d = image.at(x, y) - m;
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / static_cast<f64>(r.area()));
+}
+
+f64 disk_cnr(const ImageF32& image, Point2f center, f64 radius) {
+  std::vector<f64> disk;
+  std::vector<f64> ring;
+  const i32 reach = static_cast<i32>(std::ceil(3.0 * radius)) + 2;
+  const i32 cx = static_cast<i32>(std::lround(center.x));
+  const i32 cy = static_cast<i32>(std::lround(center.y));
+  for (i32 oy = -reach; oy <= reach; ++oy) {
+    for (i32 ox = -reach; ox <= reach; ++ox) {
+      i32 x = cx + ox;
+      i32 y = cy + oy;
+      if (!image.in_bounds(x, y)) continue;
+      f64 d = std::hypot(x - center.x, y - center.y);
+      if (d <= radius * 0.8) {
+        disk.push_back(image.at(x, y));
+      } else if (d >= radius * 1.8 && d <= radius * 3.0) {
+        ring.push_back(image.at(x, y));
+      }
+    }
+  }
+  if (disk.empty() || ring.size() < 8) return 0.0;
+  f64 disk_mean = 0.0;
+  for (f64 v : disk) disk_mean += v;
+  disk_mean /= static_cast<f64>(disk.size());
+  f64 ring_mean = 0.0;
+  for (f64 v : ring) ring_mean += v;
+  ring_mean /= static_cast<f64>(ring.size());
+  f64 ring_var = 0.0;
+  for (f64 v : ring) ring_var += (v - ring_mean) * (v - ring_mean);
+  f64 ring_sd = std::sqrt(ring_var / static_cast<f64>(ring.size()));
+  if (ring_sd <= 1e-9) return 0.0;
+  return std::fabs(ring_mean - disk_mean) / ring_sd;
+}
+
+f64 marker_cnr(const ImageF32& image, Point2f marker_a, Point2f marker_b,
+               f64 radius) {
+  return 0.5 * (disk_cnr(image, marker_a, radius) +
+                disk_cnr(image, marker_b, radius));
+}
+
+}  // namespace tc::img

@@ -1,0 +1,32 @@
+// Image-quality metrics used to validate the enhancement pipeline: PSNR,
+// local contrast-to-noise ratio of the balloon markers, and a flat-region
+// noise estimate.  These quantify the clinical claim behind the paper's
+// Fig. 1 — motion-compensated temporal integration suppresses quantum noise
+// while keeping the stent sharp.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace tc::img {
+
+/// Peak signal-to-noise ratio (dB) between two same-sized images, with the
+/// given peak value (e.g. 65535 for u16-range data).  Returns +inf-like
+/// large value (200 dB) for identical images.
+[[nodiscard]] f64 psnr(const ImageF32& a, const ImageF32& b, f64 peak);
+
+/// Standard deviation of the pixels in `region` (noise estimate when the
+/// region is flat background).
+[[nodiscard]] f64 region_stddev(const ImageF32& image, Rect region);
+
+/// Mean of the pixels in `region`.
+[[nodiscard]] f64 region_mean(const ImageF32& image, Rect region);
+
+/// Contrast-to-noise ratio of a dark disk at `center` with radius `r`:
+/// |mean(background ring) - mean(disk)| / stddev(background ring).
+[[nodiscard]] f64 disk_cnr(const ImageF32& image, Point2f center, f64 radius);
+
+/// Mean CNR of the two balloon markers.
+[[nodiscard]] f64 marker_cnr(const ImageF32& image, Point2f marker_a,
+                             Point2f marker_b, f64 radius);
+
+}  // namespace tc::img

@@ -1,0 +1,133 @@
+// REG — temporal registration.
+//
+// Aligns the current marker couple with the previous one (translation +
+// rotation of the marker axis) and validates the match with a motion
+// criterion based on the temporal difference between succeeding frames
+// around the markers (paper §3).
+
+#include <cmath>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+/// Mean absolute temporal difference in a window centred on `p`.
+f64 motion_energy(const ImageF32& prev, const ImageF32& cur, Point2f p,
+                  i32 half, WorkReport& work) {
+  i32 cx = static_cast<i32>(std::lround(p.x));
+  i32 cy = static_cast<i32>(std::lround(p.y));
+  Rect window = clamp_rect(Rect{cx - half, cy - half, 2 * half + 1,
+                                2 * half + 1},
+                           cur.width(), cur.height());
+  if (window.empty()) return 0.0;
+  f64 acc = 0.0;
+  for (i32 y = window.y; y < window.y + window.h; ++y) {
+    for (i32 x = window.x; x < window.x + window.w; ++x) {
+      acc += std::fabs(static_cast<f64>(cur.at(x, y)) -
+                       static_cast<f64>(prev.at(x, y)));
+    }
+  }
+  u64 pixels = static_cast<u64>(window.area());
+  work.pixel_ops += pixels * 3;
+  work.bytes_read += pixels * 2 * sizeof(f32);
+  return acc / static_cast<f64>(window.area());
+}
+
+/// Match the two endpoints of `cur` to `prev` in the order that minimizes
+/// total displacement (the couple is unordered).
+void order_couple(const Couple& prev, Couple& cur) {
+  f64 direct = std::hypot(cur.a.x - prev.a.x, cur.a.y - prev.a.y) +
+               std::hypot(cur.b.x - prev.b.x, cur.b.y - prev.b.y);
+  f64 swapped = std::hypot(cur.b.x - prev.a.x, cur.b.y - prev.a.y) +
+                std::hypot(cur.a.x - prev.b.x, cur.a.y - prev.b.y);
+  if (swapped < direct) std::swap(cur.a, cur.b);
+}
+
+}  // namespace
+
+RegistrationResult register_couple(const Couple& previous,
+                                   const Couple& current,
+                                   const ImageF32& prev_frame,
+                                   const ImageF32& cur_frame,
+                                   const RegistrationParams& params) {
+  RegistrationResult result;
+  Couple cur = current;
+  order_couple(previous, cur);
+
+  f64 da = std::hypot(cur.a.x - previous.a.x, cur.a.y - previous.a.y);
+  f64 db = std::hypot(cur.b.x - previous.b.x, cur.b.y - previous.b.y);
+  f64 drift = std::fabs(cur.distance() - previous.distance());
+
+  // Translation = mean marker displacement; rotation = change of axis angle.
+  result.dx = 0.5 * ((cur.a.x - previous.a.x) + (cur.b.x - previous.b.x));
+  result.dy = 0.5 * ((cur.a.y - previous.a.y) + (cur.b.y - previous.b.y));
+
+  // Sub-pixel refinement: minimize the SAD between the previous frame and
+  // the shifted current frame over two small windows centred on the two
+  // markers (where the moving content dominates), searching +-1.5 px around
+  // the marker-based estimate in half-pixel steps.  This is the image-based
+  // part of the paper's registration stage (and its dominant, constant
+  // execution cost).
+  {
+    const i32 half = std::max(4, params.motion_window / 3);
+    f64 best_sad = -1.0;
+    f64 best_dx = result.dx;
+    f64 best_dy = result.dy;
+    for (i32 oy = -3; oy <= 3; ++oy) {
+      for (i32 ox = -3; ox <= 3; ++ox) {
+        f64 dx = result.dx + 0.5 * ox;
+        f64 dy = result.dy + 0.5 * oy;
+        f64 sad = 0.0;
+        for (const Point2f& m : {cur.a, cur.b}) {
+          for (i32 wy = -half; wy <= half; ++wy) {
+            for (i32 wx = -half; wx <= half; ++wx) {
+              f64 cx2 = m.x + wx;
+              f64 cy2 = m.y + wy;
+              f32 cur_v = bilinear_sample(cur_frame, cx2, cy2);
+              f32 prev_v = bilinear_sample(prev_frame, cx2 - dx, cy2 - dy);
+              sad += std::fabs(static_cast<f64>(cur_v) -
+                               static_cast<f64>(prev_v));
+            }
+          }
+        }
+        if (best_sad < 0.0 || sad < best_sad) {
+          best_sad = sad;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+    result.dx = best_dx;
+    result.dy = best_dy;
+    u64 window = static_cast<u64>(2 * half + 1) * static_cast<u64>(2 * half + 1);
+    u64 samples = 49ull * 2ull * window;
+    result.work.pixel_ops += samples * 22;  // two bilinear fetches + |diff|
+    result.work.bytes_read += samples * 8 * sizeof(f32);
+  }
+  f64 prev_angle =
+      std::atan2(previous.b.y - previous.a.y, previous.b.x - previous.a.x);
+  f64 cur_angle = std::atan2(cur.b.y - cur.a.y, cur.b.x - cur.a.x);
+  result.rotation = cur_angle - prev_angle;
+
+  // Motion criterion: the temporal difference around the markers must show
+  // activity consistent with a live moving stent (all-static or wildly
+  // jumping couples are rejected).
+  f64 energy_a = motion_energy(prev_frame, cur_frame, cur.a,
+                               params.motion_window, result.work);
+  f64 energy_b = motion_energy(prev_frame, cur_frame, cur.b,
+                               params.motion_window, result.work);
+  f64 energy = 0.5 * (energy_a + energy_b);
+
+  result.success = da <= params.max_displacement &&
+                   db <= params.max_displacement &&
+                   drift <= params.max_distance_drift &&
+                   energy >= static_cast<f64>(params.min_motion_energy);
+  result.work.feature_ops += 64;
+  result.work.input_bytes += 2 * sizeof(Couple);
+  result.work.output_bytes += sizeof(RegistrationResult);
+  result.work.data_parallel = false;
+  return result;
+}
+
+}  // namespace tc::img

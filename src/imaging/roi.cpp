@@ -1,0 +1,35 @@
+// ROI_EST — region-of-interest estimation around the detected marker couple.
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+
+RoiResult estimate_roi(const Couple& couple, i32 frame_width, i32 frame_height,
+                       const RoiParams& params) {
+  RoiResult result;
+  f64 cx = 0.5 * (couple.a.x + couple.b.x);
+  f64 cy = 0.5 * (couple.a.y + couple.b.y);
+  f64 extent_x = std::fabs(couple.b.x - couple.a.x);
+  f64 extent_y = std::fabs(couple.b.y - couple.a.y);
+  f64 margin = params.margin_factor * couple.distance();
+  i32 w = static_cast<i32>(std::ceil(extent_x + 2.0 * margin));
+  i32 h = static_cast<i32>(std::ceil(extent_y + 2.0 * margin));
+  w = std::max(w, params.min_side);
+  h = std::max(h, params.min_side);
+  // Even dimensions keep the 2-stripe split exact.
+  w += w % 2;
+  h += h % 2;
+  Rect roi{static_cast<i32>(std::lround(cx)) - w / 2,
+           static_cast<i32>(std::lround(cy)) - h / 2, w, h};
+  result.roi = clamp_rect(roi, frame_width, frame_height);
+  result.work.feature_ops = 24;
+  result.work.input_bytes = sizeof(Couple);
+  result.work.output_bytes = sizeof(Rect);
+  result.work.data_parallel = false;
+  return result;
+}
+
+}  // namespace tc::img

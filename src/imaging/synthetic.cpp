@@ -1,0 +1,220 @@
+#include "imaging/synthetic.hpp"
+
+#include <cmath>
+
+namespace tc::img {
+namespace {
+
+constexpr f64 kPi = 3.14159265358979323846;
+
+}  // namespace
+
+AngioSequence::AngioSequence(const SequenceParams& params) : params_(params) {
+  Pcg32 rng(params_.seed, /*stream=*/17);
+
+  // Build a static vessel tree: each vessel is a smooth random polyline that
+  // meanders across the field of view.
+  const f64 w = static_cast<f64>(params_.width);
+  const f64 h = static_cast<f64>(params_.height);
+  for (i32 v = 0; v < params_.vessel_count; ++v) {
+    Vessel vessel;
+    vessel.half_width = rng.uniform(1.5, 4.0);
+    f64 x = rng.uniform(0.1 * w, 0.9 * w);
+    f64 y = rng.uniform(0.0, 0.15 * h);
+    f64 heading = kPi / 2.0 + rng.uniform(-0.5, 0.5);
+    const i32 steps = 60;
+    const f64 step_len = h / static_cast<f64>(steps) * 1.2;
+    for (i32 s = 0; s < steps; ++s) {
+      vessel.points.push_back(Point2f{x, y});
+      heading += rng.uniform(-0.25, 0.25);
+      x += std::cos(heading) * step_len * 0.4;
+      y += std::sin(heading) * step_len;
+      if (y > 1.05 * h) break;
+    }
+    vessels_.push_back(std::move(vessel));
+  }
+
+  stent_angle_ = rng.uniform(0.0, kPi);
+
+  // Pre-draw per-frame dropout flags so truth() and render() agree and each
+  // frame stays independently renderable.
+  dropout_.resize(static_cast<usize>(params_.frames), false);
+  for (i32 t = 0; t < params_.frames; ++t) {
+    dropout_[static_cast<usize>(t)] =
+        rng.next_f64() < params_.marker_dropout_prob;
+  }
+}
+
+Point2f AngioSequence::stent_center(i32 t) const {
+  const f64 time_s = static_cast<f64>(t) / params_.fps;
+  const MotionModel& m = params_.motion;
+  const f64 cx = 0.5 * static_cast<f64>(params_.width);
+  const f64 cy = 0.45 * static_cast<f64>(params_.height);
+  f64 cardiac = std::sin(2.0 * kPi * m.heart_rate_hz * time_s);
+  f64 breath = std::sin(2.0 * kPi * m.breathing_rate_hz * time_s);
+  return Point2f{
+      cx + m.cardiac_amplitude_px * cardiac + m.drift_px_per_frame * t,
+      cy + m.breathing_amplitude_px * breath +
+          0.35 * m.cardiac_amplitude_px * std::sin(4.0 * kPi * m.heart_rate_hz * time_s)};
+}
+
+f64 AngioSequence::contrast_at(i32 t) const {
+  // Smooth bolus profile: raised-cosine ramp in over ~15 frames, plateau,
+  // exponential washout.
+  const f64 tin = static_cast<f64>(params_.contrast_in_frame);
+  const f64 tout = static_cast<f64>(params_.contrast_out_frame);
+  const f64 ramp = 15.0;
+  const f64 tf = static_cast<f64>(t);
+  if (tf < tin) return 0.0;
+  f64 level;
+  if (tf < tin + ramp) {
+    level = 0.5 * (1.0 - std::cos(kPi * (tf - tin) / ramp));
+  } else if (tf < tout) {
+    level = 1.0;
+  } else {
+    level = std::exp(-(tf - tout) / 25.0);
+  }
+  return level;
+}
+
+FrameTruth AngioSequence::truth(i32 t) const {
+  FrameTruth truth;
+  Point2f c = stent_center(t);
+  const f64 half = 0.5 * params_.marker_distance_px;
+  // The marker couple wobbles slightly around the base orientation with the
+  // cardiac phase (stent deforms with the vessel).
+  const f64 time_s = static_cast<f64>(t) / params_.fps;
+  f64 angle = stent_angle_ +
+              0.08 * std::sin(2.0 * kPi * params_.motion.heart_rate_hz * time_s);
+  truth.marker_a =
+      Point2f{c.x - half * std::cos(angle), c.y - half * std::sin(angle)};
+  truth.marker_b =
+      Point2f{c.x + half * std::cos(angle), c.y + half * std::sin(angle)};
+  truth.contrast_level = contrast_at(t);
+  truth.markers_visible =
+      t >= 0 && t < params_.frames ? !dropout_[static_cast<usize>(t)] : true;
+  if (t > 0) {
+    Point2f prev = stent_center(t - 1);
+    truth.motion_dx = c.x - prev.x;
+    truth.motion_dy = c.y - prev.y;
+  }
+  return truth;
+}
+
+void AngioSequence::stamp_line(ImageF32& opacity, Point2f a, Point2f b,
+                               f64 half_width, f64 depth) const {
+  // Walk the segment in sub-pixel steps and add a Gaussian cross profile.
+  f64 dx = b.x - a.x;
+  f64 dy = b.y - a.y;
+  f64 len = std::sqrt(dx * dx + dy * dy);
+  if (len < 1e-9) return;
+  const i32 steps = static_cast<i32>(len / 0.7) + 1;
+  const i32 reach = static_cast<i32>(std::ceil(3.0 * half_width));
+  for (i32 s = 0; s <= steps; ++s) {
+    f64 frac = static_cast<f64>(s) / static_cast<f64>(steps);
+    f64 px = a.x + frac * dx;
+    f64 py = a.y + frac * dy;
+    i32 cx = static_cast<i32>(std::lround(px));
+    i32 cy = static_cast<i32>(std::lround(py));
+    for (i32 oy = -reach; oy <= reach; ++oy) {
+      for (i32 ox = -reach; ox <= reach; ++ox) {
+        i32 x = cx + ox;
+        i32 y = cy + oy;
+        if (!opacity.in_bounds(x, y)) continue;
+        // Perpendicular distance from pixel to the segment direction.
+        f64 rx = static_cast<f64>(x) - px;
+        f64 ry = static_cast<f64>(y) - py;
+        f64 t_par = (rx * dx + ry * dy) / len;
+        f64 perp2 = rx * rx + ry * ry - t_par * t_par;
+        if (perp2 < 0.0) perp2 = 0.0;
+        f64 g = std::exp(-0.5 * perp2 / (half_width * half_width));
+        f32& o = opacity.at(x, y);
+        // max-blend avoids double-counting from overlapping stamps.
+        o = std::max(o, static_cast<f32>(depth * g));
+      }
+    }
+  }
+}
+
+void AngioSequence::stamp_disk(ImageF32& opacity, Point2f c, f64 radius,
+                               f64 depth) const {
+  const i32 reach = static_cast<i32>(std::ceil(radius + 2.0));
+  i32 cx = static_cast<i32>(std::lround(c.x));
+  i32 cy = static_cast<i32>(std::lround(c.y));
+  for (i32 oy = -reach; oy <= reach; ++oy) {
+    for (i32 ox = -reach; ox <= reach; ++ox) {
+      i32 x = cx + ox;
+      i32 y = cy + oy;
+      if (!opacity.in_bounds(x, y)) continue;
+      f64 rx = static_cast<f64>(x) - c.x;
+      f64 ry = static_cast<f64>(y) - c.y;
+      f64 d = std::sqrt(rx * rx + ry * ry);
+      // Soft-edged disk: full depth inside, smooth falloff over 1.5 px.
+      f64 edge = 1.0 / (1.0 + std::exp((d - radius) / 0.6));
+      f32& o = opacity.at(x, y);
+      o = std::max(o, static_cast<f32>(depth * edge));
+    }
+  }
+}
+
+ImageU16 AngioSequence::render(i32 t) const {
+  const i32 w = params_.width;
+  const i32 h = params_.height;
+  FrameTruth tr = truth(t);
+  Point2f center = stent_center(t);
+  f64 offset_x = center.x - 0.5 * w;
+  f64 offset_y = center.y - 0.45 * h;
+
+  // Radiographic opacity accumulator (0 = transparent).
+  ImageF32 opacity(w, h, 0.0f);
+
+  // Vessel tree, moving with the stent, visible only during the bolus.
+  f64 vessel_depth = contrast_at(t) * params_.vessel_contrast_peak;
+  if (vessel_depth > 1e-3) {
+    for (const Vessel& v : vessels_) {
+      for (usize i = 0; i + 1 < v.points.size(); ++i) {
+        Point2f a{v.points[i].x + offset_x, v.points[i].y + offset_y};
+        Point2f b{v.points[i + 1].x + offset_x, v.points[i + 1].y + offset_y};
+        stamp_line(opacity, a, b, v.half_width, vessel_depth);
+      }
+    }
+  }
+
+  // Guide wire joining the markers (always present while visible).
+  if (tr.markers_visible) {
+    stamp_line(opacity, tr.marker_a, tr.marker_b, 1.1, 0.22);
+    stamp_disk(opacity, tr.marker_a, params_.marker_radius_px,
+               params_.marker_depth);
+    stamp_disk(opacity, tr.marker_b, params_.marker_radius_px,
+               params_.marker_depth);
+  }
+
+  // Background anatomy: smooth vignette plus two low-frequency "rib" bands.
+  // Then X-ray transmission + quantum noise.
+  ImageU16 out(w, h);
+  Pcg32 noise(params_.seed ^ 0xABCDEF1234567890ULL, static_cast<u64>(t));
+  const f64 dose = params_.dose_photons;
+  for (i32 y = 0; y < h; ++y) {
+    f64 fy = static_cast<f64>(y) / h;
+    for (i32 x = 0; x < w; ++x) {
+      f64 fx = static_cast<f64>(x) / w;
+      f64 vignette = 1.0 - 0.35 * ((fx - 0.5) * (fx - 0.5) +
+                                   (fy - 0.5) * (fy - 0.5));
+      f64 ribs = 0.06 * std::sin(9.0 * fy * kPi + 1.3) +
+                 0.04 * std::sin(5.0 * fx * kPi);
+      f64 background = std::clamp(vignette + ribs, 0.05, 1.0);
+      f64 transmission =
+          background * (1.0 - static_cast<f64>(opacity.at(x, y)));
+      f64 lambda = dose * std::clamp(transmission, 0.01, 1.0);
+      // Gaussian approximation of Poisson quantum noise (lambda >> 1).
+      f64 photons = lambda + std::sqrt(lambda) * noise.normal();
+      if (photons < 0.0) photons = 0.0;
+      // Detector gain maps the dose range into 16-bit.
+      f64 value = photons * (40000.0 / dose);
+      out.at(x, y) = static_cast<u16>(std::clamp(value, 0.0, 65535.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace tc::img

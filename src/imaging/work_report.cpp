@@ -1,0 +1,18 @@
+#include "imaging/work_report.hpp"
+
+#include <sstream>
+
+namespace tc::img {
+
+std::string to_string(const WorkReport& w) {
+  std::ostringstream os;
+  os << "WorkReport{pixel_ops=" << w.pixel_ops
+     << ", feature_ops=" << w.feature_ops << ", bytes_read=" << w.bytes_read
+     << ", bytes_written=" << w.bytes_written << ", in=" << w.input_bytes
+     << "B, inter=" << w.intermediate_bytes << "B, out=" << w.output_bytes
+     << "B, items=" << w.items
+     << ", data_parallel=" << (w.data_parallel ? "yes" : "no") << "}";
+  return os.str();
+}
+
+}  // namespace tc::img

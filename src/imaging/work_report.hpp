@@ -1,0 +1,64 @@
+// Per-invocation work accounting emitted by every pipeline task.
+//
+// The platform cost model (src/platform) converts a WorkReport into simulated
+// execution time on the paper's Fig.-4 machine; the Triple-C memory and
+// bandwidth models (src/tripleC) consume the buffer-size fields (Table 1 of
+// the paper) and the byte-traffic fields.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tc::img {
+
+struct WorkReport {
+  /// Arithmetic operations executed on pixel arrays (multiply-accumulates,
+  /// comparisons, ...).  This is the dominant computation-time driver.
+  u64 pixel_ops = 0;
+
+  /// Operations on extracted feature data (candidate scoring, couple
+  /// matching, path following).  Cheaper per item but highly data-dependent.
+  u64 feature_ops = 0;
+
+  /// Bytes read from / written to image buffers during the invocation.
+  u64 bytes_read = 0;
+  u64 bytes_written = 0;
+
+  /// External buffer requirements of the invocation, as in Table 1:
+  /// input buffers consumed, intermediate working storage, output produced.
+  u64 input_bytes = 0;
+  u64 intermediate_bytes = 0;
+  u64 output_bytes = 0;
+
+  /// Number of feature-level work items processed (candidates, couples,
+  /// path steps).  Recorded for analysis and scenario diagnosis.
+  u64 items = 0;
+
+  /// True when the task streams over pixel rows and can be stripe-partitioned
+  /// (data parallel); false for feature-level tasks that need functional
+  /// partitioning (paper §6).
+  bool data_parallel = false;
+
+  /// Largest per-pixel working-set footprint in bytes — the quantity the
+  /// space-time buffer-occupation model compares against cache capacity.
+  [[nodiscard]] u64 footprint_bytes() const {
+    return input_bytes + intermediate_bytes + output_bytes;
+  }
+
+  WorkReport& operator+=(const WorkReport& o) {
+    pixel_ops += o.pixel_ops;
+    feature_ops += o.feature_ops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    input_bytes += o.input_bytes;
+    intermediate_bytes += o.intermediate_bytes;
+    output_bytes += o.output_bytes;
+    items += o.items;
+    return *this;
+  }
+};
+
+[[nodiscard]] std::string to_string(const WorkReport& w);
+
+}  // namespace tc::img

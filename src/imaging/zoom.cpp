@@ -1,0 +1,45 @@
+// ZOOM — interpolating zoom of the enhanced ROI to the display resolution.
+
+#include <cmath>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+
+void zoom_rows(const ImageF32& enhanced, const ZoomParams& params,
+               ImageU16& out, IndexRange rows, WorkReport& work) {
+  const i32 ow = params.output_width;
+  const i32 oh = params.output_height;
+  const i32 y0 = std::clamp(rows.lo, 0, oh);
+  const i32 y1 = std::clamp(rows.hi, 0, oh);
+  const f64 sx = static_cast<f64>(enhanced.width()) / static_cast<f64>(ow);
+  const f64 sy = static_cast<f64>(enhanced.height()) / static_cast<f64>(oh);
+  for (i32 y = y0; y < y1; ++y) {
+    for (i32 x = 0; x < ow; ++x) {
+      f64 srcx = (static_cast<f64>(x) + 0.5) * sx - 0.5;
+      f64 srcy = (static_cast<f64>(y) + 0.5) * sy - 0.5;
+      f32 v = bicubic_sample(enhanced, srcx, srcy);
+      out.at(x, y) = static_cast<u16>(std::clamp(v, 0.0f, 65535.0f) + 0.5f);
+    }
+  }
+  u64 pixels = static_cast<u64>(ow) * static_cast<u64>(y1 - y0);
+  work.pixel_ops += pixels * 40;
+  work.bytes_read += pixels * 16 * sizeof(f32);
+  work.bytes_written += pixels * sizeof(u16);
+  f64 frac = static_cast<f64>(y1 - y0) / static_cast<f64>(oh);
+  work.input_bytes += static_cast<u64>(static_cast<f64>(enhanced.bytes()) * frac);
+  work.intermediate_bytes +=
+      static_cast<u64>(static_cast<f64>(enhanced.bytes()) * frac);
+  work.output_bytes += pixels * sizeof(u16);
+}
+
+ZoomResult zoom(const ImageF32& enhanced, const ZoomParams& params) {
+  ZoomResult result;
+  result.output = ImageU16(params.output_width, params.output_height);
+  zoom_rows(enhanced, params, result.output,
+            IndexRange{0, params.output_height}, result.work);
+  result.work.data_parallel = true;
+  return result;
+}
+
+}  // namespace tc::img

@@ -1,0 +1,71 @@
+#include "platform/buffer_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tc::plat {
+
+void SpaceTimeBufferModel::add_buffer(BufferPhase phase) {
+  assert(phase.t_start >= 0.0 && phase.t_end <= 1.0 &&
+         phase.t_start < phase.t_end);
+  buffers_.push_back(std::move(phase));
+}
+
+OccupancyAnalysis SpaceTimeBufferModel::analyze(u64 capacity_bytes) const {
+  OccupancyAnalysis analysis;
+
+  // Collect phase boundaries as sample points.
+  std::vector<f64> times;
+  times.reserve(buffers_.size() * 2 + 2);
+  times.push_back(0.0);
+  times.push_back(1.0);
+  for (const BufferPhase& b : buffers_) {
+    times.push_back(b.t_start);
+    times.push_back(b.t_end);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  // Occupancy just after each boundary (piecewise constant between them).
+  for (usize i = 0; i + 1 < times.size(); ++i) {
+    f64 mid = 0.5 * (times[i] + times[i + 1]);
+    u64 occ = 0;
+    for (const BufferPhase& b : buffers_) {
+      if (b.t_start <= mid && mid < b.t_end) occ += b.bytes;
+    }
+    analysis.curve.push_back(OccupancySample{times[i], occ});
+    analysis.peak_bytes = std::max(analysis.peak_bytes, occ);
+  }
+  analysis.curve.push_back(
+      OccupancySample{1.0, analysis.curve.empty()
+                               ? 0
+                               : analysis.curve.back().bytes});
+
+  if (analysis.peak_bytes > capacity_bytes) {
+    analysis.overflow_bytes = analysis.peak_bytes - capacity_bytes;
+    // Attribute the overflow to the live buffers proportionally to size, at
+    // the worst point; each overflowing byte of a buffer reused k times is
+    // written out once and read back k times.
+    //
+    // Find the worst sample interval first.
+    f64 worst_mid = 0.0;
+    u64 worst_occ = 0;
+    for (usize i = 0; i + 1 < analysis.curve.size(); ++i) {
+      if (analysis.curve[i].bytes > worst_occ) {
+        worst_occ = analysis.curve[i].bytes;
+        worst_mid = 0.5 * (analysis.curve[i].t + analysis.curve[i + 1].t);
+      }
+    }
+    for (const BufferPhase& b : buffers_) {
+      if (!(b.t_start <= worst_mid && worst_mid < b.t_end)) continue;
+      f64 share = static_cast<f64>(b.bytes) / static_cast<f64>(worst_occ);
+      u64 overflow_share =
+          static_cast<u64>(share * static_cast<f64>(analysis.overflow_bytes));
+      analysis.eviction_traffic_bytes +=
+          overflow_share * static_cast<u64>(1 + std::max(b.reuse_count, 0));
+    }
+  }
+  return analysis;
+}
+
+}  // namespace tc::plat

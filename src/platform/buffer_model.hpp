@@ -1,0 +1,61 @@
+// Space-time buffer-occupation model (paper §5.2, Fig. 5).
+//
+// A streaming task scans its image buffers linearly; each internal buffer is
+// live over an interval of the (normalized) scan time.  Integrating the live
+// buffer sizes over time yields the cache occupancy curve; wherever the
+// curve exceeds the available cache capacity, the overflowing portion of the
+// re-accessed buffers must be swapped to external memory and back, which
+// costs extra communication bandwidth between the cache and external
+// storage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc::plat {
+
+struct BufferPhase {
+  std::string name;
+  /// Buffer size in bytes.
+  u64 bytes = 0;
+  /// Live interval in normalized task time, 0 ≤ t_start < t_end ≤ 1.
+  f64 t_start = 0.0;
+  f64 t_end = 1.0;
+  /// How many times the buffer contents are re-read after production.
+  /// Re-accessed bytes that overflowed the cache must be fetched again.
+  i32 reuse_count = 1;
+};
+
+struct OccupancySample {
+  f64 t = 0.0;
+  u64 bytes = 0;
+};
+
+struct OccupancyAnalysis {
+  /// Piecewise-constant occupancy curve sampled at every phase boundary.
+  std::vector<OccupancySample> curve;
+  u64 peak_bytes = 0;
+  /// Bytes that did not fit into the capacity at the worst point.
+  u64 overflow_bytes = 0;
+  /// Extra cache<->memory traffic caused by eviction: each overflowing,
+  /// re-accessed byte is written out once and read back reuse_count times.
+  u64 eviction_traffic_bytes = 0;
+};
+
+class SpaceTimeBufferModel {
+ public:
+  void add_buffer(BufferPhase phase);
+  [[nodiscard]] const std::vector<BufferPhase>& buffers() const {
+    return buffers_;
+  }
+
+  /// Analyze occupancy against a cache of `capacity_bytes`.
+  [[nodiscard]] OccupancyAnalysis analyze(u64 capacity_bytes) const;
+
+ private:
+  std::vector<BufferPhase> buffers_;
+};
+
+}  // namespace tc::plat

@@ -1,0 +1,80 @@
+#include "platform/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tc::plat {
+
+u64 CostModel::dram_traffic(const img::WorkReport& w) const {
+  f64 scale = params_.resolution_scale;
+  u64 compulsory = static_cast<u64>(
+      static_cast<f64>(w.input_bytes + w.output_bytes) * scale);
+  u64 footprint = static_cast<u64>(static_cast<f64>(w.footprint_bytes()) * scale);
+  u64 eviction = 0;
+  if (footprint > spec_.l2_bytes) {
+    // Overflowing re-accessed bytes are swapped out and back (paper §5.2).
+    eviction = 2 * (footprint - spec_.l2_bytes);
+  }
+  return compulsory + eviction;
+}
+
+f64 CostModel::compute_ms_of(const img::WorkReport& w) const {
+  f64 cycles = static_cast<f64>(w.pixel_ops) * params_.resolution_scale *
+                   params_.cycles_per_pixel_op +
+               static_cast<f64>(w.feature_ops) * params_.cycles_per_feature_op;
+  return cycles / cycles_per_ms();
+}
+
+f64 CostModel::memory_ms_of(u64 traffic_bytes, i32 active_cpus) const {
+  f64 contention = std::clamp(
+      params_.base_dram_contention +
+          params_.contention_per_cpu * static_cast<f64>(active_cpus - 1),
+      0.0, 1.0);
+  f64 gbps = spec_.dram_gbps(contention);
+  return static_cast<f64>(traffic_bytes) / (gbps * 1.0e9) * 1.0e3;
+}
+
+TaskCost CostModel::serial_cost(const img::WorkReport& w) const {
+  TaskCost cost;
+  cost.compute_ms = compute_ms_of(w);
+  cost.dram_traffic_bytes = dram_traffic(w);
+  cost.memory_ms = memory_ms_of(cost.dram_traffic_bytes, 1);
+  cost.total_ms = std::max(cost.compute_ms, cost.memory_ms) +
+                  params_.dispatch_ms;
+  return cost;
+}
+
+TaskCost CostModel::striped_cost(const img::WorkReport& w, i32 stripes) const {
+  if (stripes <= 1) return serial_cost(w);
+  stripes = std::min(stripes, spec_.cpu_count);
+  TaskCost cost;
+  cost.compute_ms = compute_ms_of(w) / static_cast<f64>(stripes) *
+                    params_.default_imbalance;
+  cost.dram_traffic_bytes = dram_traffic(w);
+  cost.memory_ms = memory_ms_of(cost.dram_traffic_bytes, stripes);
+  cost.total_ms = std::max(cost.compute_ms, cost.memory_ms) +
+                  params_.dispatch_ms + params_.stripe_sync_ms;
+  return cost;
+}
+
+TaskCost CostModel::striped_cost(
+    std::span<const img::WorkReport> stripe_reports) const {
+  if (stripe_reports.empty()) return TaskCost{};
+  if (stripe_reports.size() == 1) return serial_cost(stripe_reports[0]);
+  TaskCost cost;
+  img::WorkReport total;
+  f64 worst_compute = 0.0;
+  for (const img::WorkReport& w : stripe_reports) {
+    worst_compute = std::max(worst_compute, compute_ms_of(w));
+    total += w;
+  }
+  cost.compute_ms = worst_compute;
+  cost.dram_traffic_bytes = dram_traffic(total);
+  cost.memory_ms = memory_ms_of(cost.dram_traffic_bytes,
+                                static_cast<i32>(stripe_reports.size()));
+  cost.total_ms = std::max(cost.compute_ms, cost.memory_ms) +
+                  params_.dispatch_ms + params_.stripe_sync_ms;
+  return cost;
+}
+
+}  // namespace tc::plat

@@ -1,0 +1,132 @@
+// Deterministic execution-cost model.
+//
+// Converts a task's WorkReport (actual, content-dependent work metrics
+// collected while the real algorithms ran) into simulated execution time on
+// the Fig.-4 platform.  This plays the role of the paper's profiling
+// measurements: content-dependent, reproducible, host-independent.
+//
+// Cost structure per task invocation:
+//   compute_ms = (pixel_ops·scale·c_px + feature_ops·c_ft) / cycles_per_ms
+//   dram_traffic = compulsory (input+output) + eviction overflow vs. L2
+//   memory_ms  = dram_traffic / dram_bandwidth(contention)
+//   total_ms   = max(compute_ms, memory_ms) + dispatch overhead
+// (compute and memory streams overlap; a task is compute- or bandwidth-
+// bound, whichever is slower.)
+//
+// Stripe-parallel execution on k CPUs divides pixel work by k (with a
+// measured or assumed imbalance factor), adds one synchronization barrier,
+// and shares the DRAM bandwidth.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "imaging/work_report.hpp"
+#include "platform/spec.hpp"
+
+namespace tc::plat {
+
+struct CostParams {
+  /// Average cycles per pixel-array operation (calibrated so full-frame
+  /// ridge detection at the paper's 1024×1024 format lands in the 35-55 ms
+  /// band of Fig. 3).
+  f64 cycles_per_pixel_op = 1.1;
+  /// Cycles per feature-level operation (branchy scalar code).
+  f64 cycles_per_feature_op = 9.0;
+  /// Fixed per-task dispatch/control overhead.
+  f64 dispatch_ms = 0.12;
+  /// Barrier cost per stripe-parallel task invocation.
+  f64 stripe_sync_ms = 0.18;
+  /// Load-imbalance factor applied to an even work split when per-stripe
+  /// reports are not available (>= 1).
+  f64 default_imbalance = 1.07;
+  /// DRAM contention level in [0, 1] for a single running task.
+  f64 base_dram_contention = 0.45;
+  /// Extra contention per additional CPU hitting DRAM simultaneously.
+  f64 contention_per_cpu = 0.06;
+  /// Scales pixel-op counts to the paper's 1024×1024 format when the
+  /// experiment renders frames at a smaller size (work metrics per frame
+  /// are multiplied by this factor).  1.0 = no scaling.
+  f64 resolution_scale = 1.0;
+
+  /// Platform interference: the paper attributes the short-term execution-
+  /// time fluctuation to "cache misses or the overhead imposed by task
+  /// switching and control".  The simulator reproduces it as a per-task
+  /// AR(1) multiplicative jitter, total_ms *= (1 + x), with
+  /// x_k = phi * x_{k-1} + N(0, sigma) — deterministic per seed.
+  /// sigma = 0 disables interference.
+  f64 interference_sigma = 0.035;
+  f64 interference_phi = 0.55;
+  u64 interference_seed = 0x1F2E3D4C;
+};
+
+struct TaskCost {
+  f64 compute_ms = 0.0;
+  f64 memory_ms = 0.0;
+  f64 total_ms = 0.0;
+  u64 dram_traffic_bytes = 0;
+};
+
+/// Deterministic per-task AR(1) interference process (see
+/// CostParams::interference_sigma).  One instance per task node; next() is
+/// called once per invocation and returns the multiplicative time factor.
+class InterferenceProcess {
+ public:
+  InterferenceProcess(const CostParams& params, u64 stream)
+      : phi_(params.interference_phi),
+        sigma_(params.interference_sigma),
+        rng_(params.interference_seed, stream) {}
+
+  [[nodiscard]] f64 next() {
+    state_ = phi_ * state_ + rng_.normal(0.0, sigma_);
+    f64 factor = 1.0 + state_;
+    return factor < 0.2 ? 0.2 : factor;
+  }
+
+  void reset() { state_ = 0.0; }
+
+ private:
+  f64 phi_;
+  f64 sigma_;
+  Pcg32 rng_;
+  f64 state_ = 0.0;
+};
+
+class CostModel {
+ public:
+  CostModel(const PlatformSpec& spec, const CostParams& params)
+      : spec_(spec), params_(params) {}
+
+  [[nodiscard]] const PlatformSpec& spec() const { return spec_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  /// Simulated cycles available per millisecond on one CPU.
+  [[nodiscard]] f64 cycles_per_ms() const {
+    return spec_.cpu_mcycles_per_s * 1.0e6 / 1.0e3;
+  }
+
+  /// DRAM traffic of one invocation: compulsory input/output plus eviction
+  /// overflow when the task footprint exceeds one L2 slice.
+  [[nodiscard]] u64 dram_traffic(const img::WorkReport& w) const;
+
+  /// Cost of running the task serially on a single CPU.
+  [[nodiscard]] TaskCost serial_cost(const img::WorkReport& w) const;
+
+  /// Cost of running a data-parallel task split into `stripes` even stripes
+  /// (uses the default imbalance factor).
+  [[nodiscard]] TaskCost striped_cost(const img::WorkReport& w,
+                                      i32 stripes) const;
+
+  /// Cost computed from the actual per-stripe reports (exact imbalance).
+  [[nodiscard]] TaskCost striped_cost(
+      std::span<const img::WorkReport> stripe_reports) const;
+
+ private:
+  [[nodiscard]] f64 compute_ms_of(const img::WorkReport& w) const;
+  [[nodiscard]] f64 memory_ms_of(u64 traffic_bytes, i32 active_cpus) const;
+
+  PlatformSpec spec_;
+  CostParams params_;
+};
+
+}  // namespace tc::plat

@@ -1,0 +1,67 @@
+// Platform description — the generic architecture model of Fig. 4 of the
+// paper, instantiated by default with the parameters of the paper's
+// dual quad-core machine (Intel 5000-class "Blackford" system):
+//   8 CPUs × 2 327 MCycles/s, 8 × 32 KB L1, 4 × 4 MB L2 (one per core pair),
+//   cache bus 72 GB/s, memory bus 48 GB/s, I/O bus 29 GB/s,
+//   4 DRAM channels measured at 0.94–3.83 GB/s, 4 GB external memory.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tc::plat {
+
+struct PlatformSpec {
+  i32 cpu_count = 8;
+  /// Per-CPU clock in megacycles per second (Fig. 4: 2 327 MCycles/s).
+  f64 cpu_mcycles_per_s = 2327.0;
+
+  u64 l1_bytes = 32 * KiB;  // per CPU
+  u64 l2_bytes = 4 * MiB;   // per L2 slice
+  i32 cpus_per_l2 = 2;      // 8 CPUs share 4 L2 slices
+  u64 cache_line_bytes = 64;
+
+  /// Bus bandwidths in GB/s (Fig. 4b).
+  f64 cache_bus_gbps = 72.0;
+  f64 memory_bus_gbps = 48.0;
+  f64 io_bus_gbps = 29.0;
+
+  /// Per-DRAM-channel effective bandwidth range measured on the platform.
+  f64 dram_channel_low_gbps = 0.94;
+  f64 dram_channel_high_gbps = 3.83;
+  i32 dram_channels = 4;
+  u64 dram_bytes = 4 * GiB;
+
+  [[nodiscard]] i32 l2_slice_count() const { return cpu_count / cpus_per_l2; }
+
+  /// Aggregate DRAM bandwidth under a given contention level in [0, 1]
+  /// (0 = a single undisturbed stream at the high end of the measured range,
+  /// 1 = fully contended at the low end).
+  [[nodiscard]] f64 dram_gbps(f64 contention) const {
+    f64 per_channel = dram_channel_high_gbps +
+                      contention * (dram_channel_low_gbps -
+                                    dram_channel_high_gbps);
+    return per_channel * static_cast<f64>(dram_channels);
+  }
+
+  /// The paper's evaluation platform.
+  [[nodiscard]] static PlatformSpec paper_platform() { return PlatformSpec{}; }
+};
+
+/// Canonical application format of the paper: 1024×1024 pixels, 2 B/pixel,
+/// 30 Hz.
+struct VideoFormat {
+  i32 width = 1024;
+  i32 height = 1024;
+  i32 bytes_per_pixel = 2;
+  f64 fps = 30.0;
+
+  [[nodiscard]] u64 frame_bytes() const {
+    return static_cast<u64>(width) * static_cast<u64>(height) *
+           static_cast<u64>(bytes_per_pixel);
+  }
+  [[nodiscard]] f64 stream_mbytes_per_s() const {
+    return static_cast<f64>(frame_bytes()) * fps / 1.0e6;
+  }
+};
+
+}  // namespace tc::plat

@@ -1,0 +1,76 @@
+#include "platform/thread_pool.hpp"
+
+namespace tc::plat {
+
+IndexRange even_chunk(i32 count, i32 chunks, i32 chunk) {
+  if (chunks <= 0) return IndexRange{0, count};
+  i32 base = count / chunks;
+  i32 rem = count % chunks;
+  i32 lo = chunk * base + std::min(chunk, rem);
+  i32 size = base + (chunk < rem ? 1 : 0);
+  return IndexRange{lo, lo + size};
+}
+
+ThreadPool::ThreadPool(usize threads) {
+  if (threads == 0) {
+    threads = std::max<usize>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (usize i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ += jobs.size();
+    for (auto& j : jobs) queue_.push(std::move(j));
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_ranges(
+    i32 count, i32 chunks, const std::function<void(i32, IndexRange)>& fn) {
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(static_cast<usize>(chunks));
+  for (i32 c = 0; c < chunks; ++c) {
+    IndexRange range = even_chunk(count, chunks, c);
+    if (range.empty()) continue;
+    jobs.push_back([c, range, &fn] { fn(c, range); });
+  }
+  run_all(std::move(jobs));
+}
+
+}  // namespace tc::plat

@@ -1,0 +1,55 @@
+// Host thread pool for real (not simulated) stripe-parallel execution.
+//
+// Used by the executors to actually run data-parallel stripes concurrently
+// on the host machine; the simulated platform timing comes from CostModel,
+// so host core count never affects experiment results — only wall-clock.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc::plat {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(usize threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] usize thread_count() const { return workers_.size(); }
+
+  /// Run all jobs (possibly concurrently) and block until every one
+  /// finished.  Safe to call repeatedly; not reentrant from inside a job.
+  void run_all(std::vector<std::function<void()>> jobs);
+
+  /// Split [0, count) into `chunks` contiguous ranges and run
+  /// fn(chunk_index, range) for each in parallel.
+  void parallel_ranges(i32 count, i32 chunks,
+                       const std::function<void(i32, IndexRange)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  usize in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Compute the `chunk`-th of `chunks` contiguous ranges covering [0, count):
+/// sizes differ by at most one row.
+[[nodiscard]] IndexRange even_chunk(i32 count, i32 chunks, i32 chunk);
+
+}  // namespace tc::plat

@@ -1,0 +1,152 @@
+#include "runtime/manager.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace tc::rt {
+
+RuntimeManager::RuntimeManager(app::StentBoostApp& app,
+                               model::GraphPredictor& predictor,
+                               ManagerConfig config)
+    : app_(app), predictor_(predictor), config_(config) {
+  if (config_.latency_budget_ms > 0.0) {
+    budget_ms_ = config_.latency_budget_ms;
+    budget_set_ = true;
+  }
+}
+
+std::vector<NodeForecast> RuntimeManager::forecast(
+    bool assume_reg_success) const {
+  std::vector<NodeForecast> fc(app::kNodeCount);
+
+  // The RDG and ROI switches are known before the frame starts (they are
+  // inter-frame state); only the registration outcome is uncertain.  Budget
+  // planning assumes it succeeds (over-reserving is safe); the reported
+  // prediction takes the scenario state table's most likely next scenario.
+  const bool rdg = app_.rdg_active();
+  const bool roi = app_.roi_valid();
+  graph::ScenarioId likely = predictor_.predict_scenario();
+  const bool reg_likely =
+      assume_reg_success || ((likely >> app::kSwReg) & 1u) != 0;
+
+  const f64 full_px = static_cast<f64>(app_.config().sequence.width) *
+                      static_cast<f64>(app_.config().sequence.height) *
+                      app_.config().cost.resolution_scale;
+  const f64 roi_px =
+      roi ? static_cast<f64>(app_.current_roi().area()) *
+                app_.config().cost.resolution_scale
+          : full_px;
+
+  auto set = [&](i32 node, bool active, f64 size) {
+    fc[static_cast<usize>(node)].active = active;
+    fc[static_cast<usize>(node)].data_parallel = app::node_data_parallel(node);
+    if (active) {
+      fc[static_cast<usize>(node)].serial_ms =
+          predictor_.predict_task(node, size);
+    }
+  };
+
+  set(app::kRdgFull, rdg && !roi, full_px);
+  set(app::kRdgRoi, rdg && roi, roi_px);
+  set(app::kMkxFull, !roi, full_px);
+  set(app::kMkxRoi, roi, roi_px);
+  set(app::kCplsSel, true, 0.0);
+  set(app::kReg, true, 0.0);
+  set(app::kRoiEst, true, 0.0);
+  set(app::kGwExt, rdg, 0.0);
+  set(app::kEnh, reg_likely, roi_px);
+  set(app::kZoom, reg_likely, roi_px);
+  return fc;
+}
+
+ManagedFrame RuntimeManager::step(i32 t) {
+  ManagedFrame result;
+
+  if (!budget_set_) {
+    // Initialization phase: run serially and collect the average case.
+    app_.set_stripe_plan(app::serial_plan());
+    result.plan = app::serial_plan();
+    std::vector<NodeForecast> fc = forecast();
+    result.predicted_latency_ms =
+        estimate_latency(app_.config().cost, fc, result.plan);
+    result.record = app_.process_frame(t);
+    result.measured_latency_ms = result.record.latency_ms;
+    result.output_latency_ms = result.record.latency_ms;
+    warmup_latencies_.push_back(result.record.latency_ms);
+    if (static_cast<i32>(warmup_latencies_.size()) >= config_.warmup_frames) {
+      budget_ms_ = mean(warmup_latencies_) * config_.budget_headroom;
+      budget_set_ = true;
+    }
+  } else {
+    std::vector<NodeForecast> fc = forecast(/*assume_reg_success=*/true);
+    PlanChoice choice =
+        choose_plan(app_.config().cost, fc, budget_ms_,
+                    config_.max_stripes_per_task,
+                    app_.config().platform.cpu_count);
+    if (!choice.fits_budget && config_.enable_qos) {
+      QosDecision qos = choose_quality_and_plan(
+          app_.config().cost, fc, budget_ms_, config_.max_stripes_per_task,
+          app_.config().platform.cpu_count);
+      app_.set_quality(qos.level.extra_mkx_decimation,
+                       qos.level.skip_guidewire, qos.level.zoom_divisor);
+      applied_quality_ = qos.level;
+      result.quality_level = qos.level.level;
+      choice = qos.plan;
+    } else if (config_.enable_qos) {
+      // Budget fits at full quality: make sure any earlier degradation is
+      // lifted again.
+      app_.set_quality(1, false, 1);
+      applied_quality_ = QualityLevel{};
+    }
+    app_.set_stripe_plan(choice.plan);
+    result.plan = choice.plan;
+    // Report the scenario-aware prediction under the chosen plan (and the
+    // applied QoS level, if any).
+    std::vector<NodeForecast> likely_fc =
+        forecast(/*assume_reg_success=*/false);
+    if (applied_quality_.level > 0) {
+      likely_fc = degrade_forecast(likely_fc, applied_quality_);
+    }
+    result.predicted_latency_ms =
+        estimate_latency(app_.config().cost, likely_fc, choice.plan);
+    result.fits_budget = choice.fits_budget;
+    result.record = app_.process_frame(t);
+    result.measured_latency_ms = result.record.latency_ms;
+    // Output delay line: early frames wait for the budget instant.
+    result.output_latency_ms = std::max(result.measured_latency_ms, budget_ms_);
+  }
+
+  if (config_.online_observation) {
+    // The predictors model *serial, full-quality* execution: normalize the
+    // measurements back from the applied stripe plan and QoS level so the
+    // models stay unbiased under repartitioning.
+    graph::FrameRecord normalized = result.record;
+    for (graph::TaskExecution& exec : normalized.tasks) {
+      if (!exec.executed) continue;
+      if (app::node_data_parallel(exec.node)) {
+        i32 stripes = result.plan[static_cast<usize>(exec.node)];
+        exec.simulated_ms = serial_ms_from_striped(app_.config().cost,
+                                                   exec.simulated_ms, stripes);
+      }
+      if (applied_quality_.level > 0) {
+        if (exec.node == app::kMkxFull || exec.node == app::kMkxRoi) {
+          exec.simulated_ms /= applied_quality_.mkx_cost_factor();
+        } else if (exec.node == app::kZoom) {
+          exec.simulated_ms /= applied_quality_.zoom_cost_factor();
+        }
+      }
+    }
+    predictor_.observe(normalized);
+  }
+  return result;
+}
+
+std::vector<ManagedFrame> RuntimeManager::run(i32 n) {
+  std::vector<ManagedFrame> frames;
+  frames.reserve(static_cast<usize>(n));
+  for (i32 t = 0; t < n; ++t) frames.push_back(step(t));
+  return frames;
+}
+
+}  // namespace tc::rt

@@ -1,0 +1,97 @@
+#include "runtime/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tc::rt {
+
+f64 striped_ms_from_serial(const plat::CostParams& params, f64 serial_ms,
+                           i32 stripes) {
+  if (stripes <= 1) return serial_ms;
+  f64 divisible = std::max(0.0, serial_ms - params.dispatch_ms);
+  return divisible / static_cast<f64>(stripes) * params.default_imbalance +
+         params.dispatch_ms + params.stripe_sync_ms;
+}
+
+f64 serial_ms_from_striped(const plat::CostParams& params, f64 striped_ms,
+                           i32 stripes) {
+  if (stripes <= 1) return striped_ms;
+  f64 divisible = std::max(
+      0.0, striped_ms - params.dispatch_ms - params.stripe_sync_ms);
+  return divisible * static_cast<f64>(stripes) / params.default_imbalance +
+         params.dispatch_ms;
+}
+
+f64 estimate_latency(const plat::CostParams& params,
+                     std::span<const NodeForecast> forecast,
+                     const app::StripePlan& plan) {
+  f64 total = 0.0;
+  for (usize node = 0; node < forecast.size(); ++node) {
+    const NodeForecast& f = forecast[node];
+    if (!f.active) continue;
+    i32 stripes = f.data_parallel ? plan[node] : 1;
+    total += striped_ms_from_serial(params, f.serial_ms, stripes);
+  }
+  return total;
+}
+
+PlanChoice choose_plan(const plat::CostParams& params,
+                       std::span<const NodeForecast> forecast, f64 budget_ms,
+                       i32 max_stripes_per_task, i32 cpu_count) {
+  PlanChoice choice;
+  choice.plan = app::serial_plan();
+  choice.estimated_ms = estimate_latency(params, forecast, choice.plan);
+  choice.fits_budget = choice.estimated_ms <= budget_ms;
+  if (choice.fits_budget) return choice;
+
+  // Greedy widening: repeatedly double the stripes of the active
+  // data-parallel node with the largest current estimated time, as long as
+  // that actually helps, until the budget fits or nothing can widen.
+  for (;;) {
+    i32 worst = -1;
+    f64 worst_ms = 0.0;
+    i32 total_stripes = 0;
+    for (usize node = 0; node < forecast.size(); ++node) {
+      const NodeForecast& f = forecast[node];
+      if (!f.active || !f.data_parallel) continue;
+      total_stripes += choice.plan[node];
+      if (choice.plan[node] >= std::min(max_stripes_per_task, cpu_count)) {
+        continue;
+      }
+      f64 current = striped_ms_from_serial(params, f.serial_ms,
+                                           choice.plan[node]);
+      f64 widened = striped_ms_from_serial(params, f.serial_ms,
+                                           choice.plan[node] * 2);
+      if (widened >= current) continue;  // sync overhead dominates
+      if (current > worst_ms) {
+        worst_ms = current;
+        worst = static_cast<i32>(node);
+      }
+    }
+    (void)total_stripes;
+    if (worst < 0) break;
+    choice.plan[static_cast<usize>(worst)] *= 2;
+    choice.estimated_ms = estimate_latency(params, forecast, choice.plan);
+    if (choice.estimated_ms <= budget_ms) {
+      choice.fits_budget = true;
+      break;
+    }
+  }
+  return choice;
+}
+
+std::string plan_to_string(const app::StripePlan& plan) {
+  std::ostringstream os;
+  bool any = false;
+  for (usize node = 0; node < plan.size(); ++node) {
+    if (plan[node] > 1) {
+      if (any) os << ' ';
+      os << app::node_name(static_cast<i32>(node)) << "x" << plan[node];
+      any = true;
+    }
+  }
+  if (!any) os << "serial";
+  return os.str();
+}
+
+}  // namespace tc::rt

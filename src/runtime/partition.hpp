@@ -1,0 +1,62 @@
+// Partitioning strategies (paper §6).
+//
+// Streaming tasks (RDG, MKX, ENH, ZOOM) support data partitioning into row
+// stripes executed on multiple CPUs; feature-level tasks (CPLS_SEL, GW_EXT)
+// would be partitioned functionally — in this single-application setting
+// they stay serial and functional partitioning shows up as the ability to
+// run them while another CPU group works on streaming stripes of the next
+// frame (modeled through the latency estimator's overhead terms).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "app/stentboost.hpp"
+#include "platform/cost_model.hpp"
+
+namespace tc::rt {
+
+/// Predicted serial execution time per node plus its activity this frame.
+struct NodeForecast {
+  f64 serial_ms = 0.0;
+  bool active = false;
+  bool data_parallel = false;
+};
+
+/// Estimated latency of running a task with `stripes` stripes, derived from
+/// its *serial* time prediction and the platform cost parameters:
+/// the dispatch overhead is not divisible, compute divides by the stripe
+/// count with the default imbalance factor, and a barrier is added.
+[[nodiscard]] f64 striped_ms_from_serial(const plat::CostParams& params,
+                                         f64 serial_ms, i32 stripes);
+
+/// Inverse of striped_ms_from_serial: recover the serial-equivalent time
+/// from a measurement taken under `stripes`-way striping (used to keep the
+/// predictors, which model serial execution, unbiased under repartitioning).
+[[nodiscard]] f64 serial_ms_from_striped(const plat::CostParams& params,
+                                         f64 striped_ms, i32 stripes);
+
+/// Frame latency estimate for a plan: sum over active nodes of their
+/// (striped or serial) estimated time.
+[[nodiscard]] f64 estimate_latency(
+    const plat::CostParams& params,
+    std::span<const NodeForecast> forecast, const app::StripePlan& plan);
+
+/// Choose the cheapest plan (fewest total stripes) whose estimated latency
+/// fits the budget: stripes are added greedily to the currently most
+/// expensive data-parallel active node.  When even the widest plan misses
+/// the budget, the widest plan is returned.
+struct PlanChoice {
+  app::StripePlan plan;
+  f64 estimated_ms = 0.0;
+  bool fits_budget = false;
+};
+
+[[nodiscard]] PlanChoice choose_plan(const plat::CostParams& params,
+                                     std::span<const NodeForecast> forecast,
+                                     f64 budget_ms, i32 max_stripes_per_task,
+                                     i32 cpu_count);
+
+[[nodiscard]] std::string plan_to_string(const app::StripePlan& plan);
+
+}  // namespace tc::rt

@@ -1,0 +1,85 @@
+#include "runtime/pipeline_schedule.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tc::rt {
+
+PipelineAnalysis analyze_pipeline(const plat::CostParams& params,
+                                  std::span<const PipelineStage> stages,
+                                  std::span<const NodeForecast> forecast,
+                                  f64 handoff_ms) {
+  PipelineAnalysis analysis;
+  analysis.stage_ms.reserve(stages.size());
+  for (usize s = 0; s < stages.size(); ++s) {
+    const PipelineStage& stage = stages[s];
+    f64 time = 0.0;
+    for (i32 node : stage.nodes) {
+      const NodeForecast& f = forecast[static_cast<usize>(node)];
+      if (!f.active) continue;
+      i32 stripes = f.data_parallel ? stage.cpus : 1;
+      time += striped_ms_from_serial(params, f.serial_ms, stripes);
+    }
+    if (s + 1 < stages.size()) time += handoff_ms;
+    analysis.stage_ms.push_back(time);
+    analysis.latency_ms += time;
+    analysis.total_cpus += stage.cpus;
+    if (time > analysis.bottleneck_ms) {
+      analysis.bottleneck_ms = time;
+      analysis.bottleneck_stage = static_cast<i32>(s);
+    }
+  }
+  if (analysis.bottleneck_ms > 0.0) {
+    analysis.throughput_hz = 1000.0 / analysis.bottleneck_ms;
+  }
+  return analysis;
+}
+
+std::vector<PipelineStage> data_parallel_mapping(i32 stripes) {
+  PipelineStage stage;
+  stage.name = "all (data-parallel x" + std::to_string(stripes) + ")";
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    stage.nodes.push_back(node);
+  }
+  stage.cpus = stripes;
+  return {stage};
+}
+
+std::vector<PipelineStage> functional_mapping(i32 analysis_cpus,
+                                              i32 display_cpus) {
+  std::vector<PipelineStage> stages(3);
+  stages[0].name = "analysis (RDG+MKX)";
+  stages[0].nodes = {app::kRdgFull, app::kRdgRoi, app::kMkxFull,
+                     app::kMkxRoi};
+  stages[0].cpus = analysis_cpus;
+  stages[1].name = "features (CPLS/REG/ROI/GW)";
+  stages[1].nodes = {app::kCplsSel, app::kReg, app::kRoiEst, app::kGwExt};
+  stages[1].cpus = 1;
+  stages[2].name = "display (ENH+ZOOM)";
+  stages[2].nodes = {app::kEnh, app::kZoom};
+  stages[2].cpus = display_cpus;
+  return stages;
+}
+
+std::string format_pipeline_table(std::span<const PipelineStage> stages,
+                                  const PipelineAnalysis& analysis) {
+  std::ostringstream os;
+  for (usize s = 0; s < stages.size(); ++s) {
+    os << "  stage " << s << "  " << std::left << std::setw(34)
+       << stages[s].name << std::right << std::setw(3) << stages[s].cpus
+       << " cpu  " << std::fixed << std::setprecision(2) << std::setw(8)
+       << analysis.stage_ms[s] << " ms"
+       << (static_cast<i32>(s) == analysis.bottleneck_stage
+               ? "   <- bottleneck"
+               : "")
+       << '\n';
+  }
+  os << "  latency " << std::fixed << std::setprecision(2)
+     << analysis.latency_ms << " ms, throughput "
+     << analysis.throughput_hz << " frames/s on " << analysis.total_cpus
+     << " CPUs\n";
+  return os.str();
+}
+
+}  // namespace tc::rt

@@ -1,0 +1,67 @@
+// Function-parallel (pipelined) partitioning analysis (paper §6).
+//
+// Data partitioning splits a streaming task's rows over CPUs within one
+// frame; *functional* partitioning assigns groups of tasks to dedicated CPU
+// groups and overlaps successive frames in a pipeline: while stage 2
+// processes frame t, stage 1 already works on frame t+1.  The paper notes
+// that CPLS_SEL and GW_EXT (feature-level tasks) suit functional
+// partitioning and cites van der Tol et al. [17] for the comparison; this
+// module provides the analytical throughput/latency model for both and for
+// hybrid mappings, so the trade-off can be reproduced quantitatively
+// (bench_partitioning).
+//
+// Model, per frame:
+//   stage time   = Σ over its active nodes of the (possibly striped) task
+//                  time + one inter-stage handoff
+//   latency      = Σ stage times                       (a frame visits all)
+//   initiation   = max stage time                      (pipeline bottleneck)
+//   throughput   = 1000 / initiation interval [Hz]
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/partition.hpp"
+
+namespace tc::rt {
+
+struct PipelineStage {
+  std::string name;
+  std::vector<i32> nodes;
+  /// CPUs dedicated to this stage; data-parallel nodes stripe across them.
+  i32 cpus = 1;
+};
+
+struct PipelineAnalysis {
+  /// End-to-end latency of one frame.
+  f64 latency_ms = 0.0;
+  /// Initiation interval (bottleneck stage time).
+  f64 bottleneck_ms = 0.0;
+  i32 bottleneck_stage = -1;
+  /// Sustained throughput in frames/s.
+  f64 throughput_hz = 0.0;
+  std::vector<f64> stage_ms;
+  i32 total_cpus = 0;
+};
+
+/// Analyze one mapping against per-node serial-time forecasts.  Inactive
+/// nodes contribute nothing; `handoff_ms` is charged once per stage boundary
+/// (buffer transfer between CPU groups).
+[[nodiscard]] PipelineAnalysis analyze_pipeline(
+    const plat::CostParams& params, std::span<const PipelineStage> stages,
+    std::span<const NodeForecast> forecast, f64 handoff_ms = 0.25);
+
+/// Canonical mappings of the StentBoost graph:
+/// single stage, all nodes, data-parallel over `stripes` CPUs.
+[[nodiscard]] std::vector<PipelineStage> data_parallel_mapping(i32 stripes);
+
+/// Three functional stages: streaming analysis (RDG+MKX), feature processing
+/// (CPLS/REG/ROI_EST/GW), display (ENH+ZOOM); CPU counts per stage.
+[[nodiscard]] std::vector<PipelineStage> functional_mapping(i32 analysis_cpus,
+                                                            i32 display_cpus);
+
+[[nodiscard]] std::string format_pipeline_table(
+    std::span<const PipelineStage> stages, const PipelineAnalysis& analysis);
+
+}  // namespace tc::rt

@@ -1,0 +1,49 @@
+#include "runtime/qos.hpp"
+
+#include <array>
+
+namespace tc::rt {
+
+std::span<const QualityLevel> quality_ladder() {
+  static const std::array<QualityLevel, 4> kLadder = {{
+      {0, "full", 1, false, 1},
+      {1, "coarse-markers", 2, false, 1},
+      {2, "no-guidewire", 2, true, 1},
+      {3, "half-zoom", 2, true, 2},
+  }};
+  return kLadder;
+}
+
+std::vector<NodeForecast> degrade_forecast(
+    std::span<const NodeForecast> forecast, const QualityLevel& level) {
+  std::vector<NodeForecast> out(forecast.begin(), forecast.end());
+  auto scale = [&out](i32 node, f64 factor) {
+    out[static_cast<usize>(node)].serial_ms *= factor;
+  };
+  scale(app::kMkxFull, level.mkx_cost_factor());
+  scale(app::kMkxRoi, level.mkx_cost_factor());
+  scale(app::kZoom, level.zoom_cost_factor());
+  if (level.skip_guidewire) {
+    out[static_cast<usize>(app::kGwExt)].active = false;
+  }
+  return out;
+}
+
+QosDecision choose_quality_and_plan(const plat::CostParams& params,
+                                    std::span<const NodeForecast> forecast,
+                                    f64 budget_ms, i32 max_stripes_per_task,
+                                    i32 cpu_count) {
+  QosDecision decision;
+  for (const QualityLevel& level : quality_ladder()) {
+    std::vector<NodeForecast> degraded = degrade_forecast(forecast, level);
+    PlanChoice plan = choose_plan(params, degraded, budget_ms,
+                                  max_stripes_per_task, cpu_count);
+    decision.level = level;
+    decision.plan = plan;
+    if (plan.fits_budget) return decision;
+  }
+  // Nothing fits: stay at the lowest quality with its widest plan.
+  return decision;
+}
+
+}  // namespace tc::rt

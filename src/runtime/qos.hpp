@@ -1,0 +1,68 @@
+// Quality-of-Service control (paper §1: the model descriptions are used for
+// "resource planning, parallelization and possibly the corresponding QoS
+// control").
+//
+// When even the widest stripe plan cannot meet the latency budget, the QoS
+// controller degrades the application gracefully instead of letting the
+// latency blow up.  Quality levels trade accuracy/fidelity for time on the
+// tasks that tolerate it:
+//
+//   level 0  full quality
+//   level 1  coarser marker-detection grid (2x extra decimation)
+//   level 2  + skip the guide-wire stability check
+//   level 3  + display zoom at half resolution
+//
+// The controller is purely advisory: it scales the latency forecast by
+// analytically known factors and reports the level to apply; StentBoostApp
+// implements the knobs (set_quality).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "runtime/partition.hpp"
+
+namespace tc::rt {
+
+struct QualityLevel {
+  i32 level = 0;
+  std::string_view name = "full";
+  /// Extra decimation factor of the marker-detection grid (1 = none).
+  i32 extra_mkx_decimation = 1;
+  bool skip_guidewire = false;
+  /// Display-zoom output divisor (1 = full resolution).
+  i32 zoom_divisor = 1;
+
+  /// Analytical forecast scale factors for the affected nodes.
+  [[nodiscard]] f64 mkx_cost_factor() const {
+    f64 d = static_cast<f64>(extra_mkx_decimation);
+    return 1.0 / (d * d);
+  }
+  [[nodiscard]] f64 zoom_cost_factor() const {
+    f64 d = static_cast<f64>(zoom_divisor);
+    return 1.0 / (d * d);
+  }
+};
+
+/// The built-in quality ladder, best quality first.
+[[nodiscard]] std::span<const QualityLevel> quality_ladder();
+
+/// Scale a forecast for the given quality level (MKX/ZOOM cheaper, GW off).
+[[nodiscard]] std::vector<NodeForecast> degrade_forecast(
+    std::span<const NodeForecast> forecast, const QualityLevel& level);
+
+/// Decision of the QoS controller for one frame.
+struct QosDecision {
+  QualityLevel level;
+  PlanChoice plan;
+};
+
+/// Walk the quality ladder from full quality downwards, choosing the first
+/// level whose best plan fits the budget; falls back to the lowest level's
+/// widest plan when nothing fits.
+[[nodiscard]] QosDecision choose_quality_and_plan(
+    const plat::CostParams& params, std::span<const NodeForecast> forecast,
+    f64 budget_ms, i32 max_stripes_per_task, i32 cpu_count);
+
+}  // namespace tc::rt

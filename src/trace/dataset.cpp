@@ -1,0 +1,54 @@
+#include "trace/dataset.hpp"
+
+#include "common/rng.hpp"
+
+namespace tc::trace {
+
+app::StentBoostConfig dataset_sequence_config(const DatasetParams& params,
+                                              i32 index) {
+  app::StentBoostConfig config = app::StentBoostConfig::make(
+      params.width, params.height, params.frames_per_sequence,
+      params.seed + static_cast<u64>(index) * 7919);
+
+  // Deterministic per-sequence variation.
+  Pcg32 rng(params.seed ^ 0x5EEDBA5E, static_cast<u64>(index));
+  img::SequenceParams& seq = config.sequence;
+  seq.dose_photons = rng.uniform(650.0, 1200.0);
+  seq.motion.heart_rate_hz = rng.uniform(0.9, 1.6);
+  seq.motion.cardiac_amplitude_px *= rng.uniform(0.7, 1.3);
+  seq.motion.breathing_amplitude_px *= rng.uniform(0.6, 1.4);
+  seq.marker_dropout_prob = rng.uniform(0.0, 0.10);
+  seq.vessel_contrast_peak = rng.uniform(0.22, 0.38);
+
+  // Every sixth sequence disables ROI processing entirely (clinically:
+  // sequences where no stable ROI can be estimated), covering the
+  // full-frame scenarios so RDG_FULL/MKX_FULL get trained too.
+  if (index % 6 == 5) {
+    config.force_full_frame = true;
+  }
+
+  // Bolus timing: most sequences have contrast arriving somewhere inside
+  // the sequence; roughly one in five has no bolus at all (pure fluoroscopy
+  // → ridge detection permanently unnecessary).
+  if (index % 5 == 4) {
+    seq.contrast_in_frame = params.frames_per_sequence + 100;
+    seq.contrast_out_frame = params.frames_per_sequence + 200;
+  } else {
+    seq.contrast_in_frame = rng.uniform_int(3, params.frames_per_sequence / 2);
+    seq.contrast_out_frame = seq.contrast_in_frame +
+                             rng.uniform_int(10, params.frames_per_sequence);
+  }
+  return config;
+}
+
+RecordedDataset build_dataset(const DatasetParams& params) {
+  RecordedDataset dataset;
+  dataset.sequences.reserve(static_cast<usize>(params.sequences));
+  for (i32 s = 0; s < params.sequences; ++s) {
+    app::StentBoostApp app(dataset_sequence_config(params, s));
+    dataset.sequences.push_back(app.run(params.frames_per_sequence));
+  }
+  return dataset;
+}
+
+}  // namespace tc::trace

@@ -1,0 +1,44 @@
+// Training/evaluation dataset builder.
+//
+// The paper trains on 37 clinical sequences totalling 1 921 frames, chosen
+// so that "different scenarios exist to create the dynamics in algorithmic
+// adaptation and switching".  This builder reproduces that setup with 37
+// synthetic sequences (~52 frames each) whose bolus timing, dose, motion
+// and dropout rate vary per sequence, so the recorded dataset covers all
+// eight scenarios and both granularities.
+#pragma once
+
+#include <vector>
+
+#include "app/stentboost.hpp"
+#include "graph/record.hpp"
+
+namespace tc::trace {
+
+struct DatasetParams {
+  i32 sequences = 37;
+  i32 frames_per_sequence = 52;  // 37 * 52 = 1924 ≈ the paper's 1921
+  i32 width = 256;
+  i32 height = 256;
+  u64 seed = 2009;
+};
+
+struct RecordedDataset {
+  std::vector<std::vector<graph::FrameRecord>> sequences;
+
+  [[nodiscard]] usize total_frames() const {
+    usize n = 0;
+    for (const auto& s : sequences) n += s.size();
+    return n;
+  }
+};
+
+/// Per-sequence configuration variation (bolus timing, dose, motion,
+/// dropout, and occasionally no bolus at all).
+[[nodiscard]] app::StentBoostConfig dataset_sequence_config(
+    const DatasetParams& params, i32 index);
+
+/// Run the application serially over every sequence and record all frames.
+[[nodiscard]] RecordedDataset build_dataset(const DatasetParams& params);
+
+}  // namespace tc::trace

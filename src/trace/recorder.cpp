@@ -1,0 +1,42 @@
+#include "trace/recorder.hpp"
+
+namespace tc::trace {
+
+void write_records_csv(CsvWriter& csv,
+                       std::span<const graph::FrameRecord> records,
+                       std::string_view (*node_name)(i32)) {
+  csv.header({"frame", "scenario", "roi_pixels", "task", "executed",
+              "pixel_ops", "feature_ops", "input_bytes", "intermediate_bytes",
+              "output_bytes", "items", "simulated_ms"});
+  for (const graph::FrameRecord& r : records) {
+    for (const graph::TaskExecution& t : r.tasks) {
+      csv.cell(static_cast<i64>(r.frame))
+          .cell(static_cast<u64>(r.scenario))
+          .cell(r.roi_pixels)
+          .cell(node_name(t.node))
+          .cell(static_cast<i64>(t.executed ? 1 : 0))
+          .cell(t.work.pixel_ops)
+          .cell(t.work.feature_ops)
+          .cell(t.work.input_bytes)
+          .cell(t.work.intermediate_bytes)
+          .cell(t.work.output_bytes)
+          .cell(t.work.items)
+          .cell(t.simulated_ms);
+      csv.end_row();
+    }
+  }
+}
+
+void write_latency_csv(CsvWriter& csv,
+                       std::span<const graph::FrameRecord> records) {
+  csv.header({"frame", "scenario", "roi_pixels", "latency_ms"});
+  for (const graph::FrameRecord& r : records) {
+    csv.cell(static_cast<i64>(r.frame))
+        .cell(static_cast<u64>(r.scenario))
+        .cell(r.roi_pixels)
+        .cell(r.latency_ms);
+    csv.end_row();
+  }
+}
+
+}  // namespace tc::trace

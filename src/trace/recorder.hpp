@@ -1,0 +1,22 @@
+// Export of per-frame execution records to CSV for offline analysis.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/csv.hpp"
+#include "graph/record.hpp"
+
+namespace tc::trace {
+
+/// One row per (frame, task); includes scenario, ROI size, work metrics and
+/// the simulated time.
+void write_records_csv(CsvWriter& csv,
+                       std::span<const graph::FrameRecord> records,
+                       std::string_view (*node_name)(i32));
+
+/// One row per frame: scenario, ROI size, latency.
+void write_latency_csv(CsvWriter& csv,
+                       std::span<const graph::FrameRecord> records);
+
+}  // namespace tc::trace

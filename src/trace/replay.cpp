@@ -1,0 +1,98 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "app/stentboost.hpp"
+
+namespace tc::trace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  usize start = 0;
+  for (;;) {
+    usize comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      break;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+i32 stentboost_node_id(std::string_view name) {
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    if (app::node_name(node) == name) return node;
+  }
+  return -1;
+}
+
+ParseResult read_records_csv(std::istream& in,
+                             i32 (*node_id)(std::string_view)) {
+  ParseResult result;
+  std::map<i32, graph::FrameRecord> by_frame;
+
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;
+      if (line.rfind("frame,", 0) == 0) continue;  // header row
+    }
+    std::vector<std::string> cells = split_csv_line(line);
+    // Columns (write_records_csv): frame, scenario, roi_pixels, task,
+    // executed, pixel_ops, feature_ops, input_bytes, intermediate_bytes,
+    // output_bytes, items, simulated_ms.
+    if (cells.size() != 12) {
+      ++result.skipped_lines;
+      continue;
+    }
+    char* end = nullptr;
+    i32 frame = static_cast<i32>(std::strtol(cells[0].c_str(), &end, 10));
+    if (end == cells[0].c_str()) {
+      ++result.skipped_lines;
+      continue;
+    }
+    i32 node = node_id(cells[3]);
+    if (node < 0) {
+      ++result.skipped_lines;
+      continue;
+    }
+
+    graph::FrameRecord& record = by_frame[frame];
+    record.frame = frame;
+    record.scenario =
+        static_cast<graph::ScenarioId>(std::strtoul(cells[1].c_str(), nullptr, 10));
+    record.roi_pixels = std::strtod(cells[2].c_str(), nullptr);
+
+    graph::TaskExecution exec;
+    exec.node = node;
+    exec.executed = cells[4] == "1";
+    exec.work.pixel_ops = std::strtoull(cells[5].c_str(), nullptr, 10);
+    exec.work.feature_ops = std::strtoull(cells[6].c_str(), nullptr, 10);
+    exec.work.input_bytes = std::strtoull(cells[7].c_str(), nullptr, 10);
+    exec.work.intermediate_bytes =
+        std::strtoull(cells[8].c_str(), nullptr, 10);
+    exec.work.output_bytes = std::strtoull(cells[9].c_str(), nullptr, 10);
+    exec.work.items = std::strtoull(cells[10].c_str(), nullptr, 10);
+    exec.simulated_ms = std::strtod(cells[11].c_str(), nullptr);
+    record.tasks.push_back(std::move(exec));
+  }
+
+  result.records.reserve(by_frame.size());
+  for (auto& [frame, record] : by_frame) {
+    f64 latency = 0.0;
+    for (const graph::TaskExecution& exec : record.tasks) {
+      if (exec.executed) latency += exec.simulated_ms;
+    }
+    record.latency_ms = latency;
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace tc::trace

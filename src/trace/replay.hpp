@@ -1,0 +1,34 @@
+// Trace replay: parse per-frame execution records back from the CSV format
+// written by recorder.hpp, so models can be (re)trained from saved traces
+// without re-running the application — the offline half of the paper's
+// profiling workflow.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "graph/record.hpp"
+
+namespace tc::trace {
+
+struct ParseResult {
+  std::vector<graph::FrameRecord> records;
+  /// Lines that could not be parsed (0 = clean file).
+  usize skipped_lines = 0;
+};
+
+/// Parse the output of write_records_csv.  The `node_id` callback maps a
+/// task-name column back to a node id (return -1 to drop the row).
+/// Rows are grouped into FrameRecords by their frame column; frames must be
+/// contiguous per record but may be in any order in the file.
+[[nodiscard]] ParseResult read_records_csv(
+    std::istream& in, i32 (*node_id)(std::string_view));
+
+/// Split one CSV line (no quoting/escaping; mirrors CsvWriter's output).
+[[nodiscard]] std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Node-name mapper for the StentBoost graph.
+[[nodiscard]] i32 stentboost_node_id(std::string_view name);
+
+}  // namespace tc::trace

@@ -1,0 +1,50 @@
+#include "tripleC/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+AccuracyReport evaluate_accuracy(std::span<const f64> predicted,
+                                 std::span<const f64> measured) {
+  AccuracyReport r;
+  const usize n = std::min(predicted.size(), measured.size());
+  f64 acc_sum = 0.0;
+  f64 err_sum = 0.0;
+  usize over20 = 0;
+  usize over30 = 0;
+  for (usize i = 0; i < n; ++i) {
+    if (std::fabs(measured[i]) < 1e-9) continue;
+    f64 err_pct = std::fabs(predicted[i] - measured[i]) /
+                  std::fabs(measured[i]) * 100.0;
+    err_sum += err_pct;
+    acc_sum += std::max(0.0, 100.0 - err_pct);
+    r.max_error_pct = std::max(r.max_error_pct, err_pct);
+    if (err_pct > 20.0) ++over20;
+    if (err_pct > 30.0) ++over30;
+    ++r.samples;
+  }
+  if (r.samples > 0) {
+    r.mean_accuracy_pct = acc_sum / static_cast<f64>(r.samples);
+    r.mape_pct = err_sum / static_cast<f64>(r.samples);
+    r.excursions_over_20_pct =
+        static_cast<f64>(over20) / static_cast<f64>(r.samples);
+    r.excursions_over_30_pct =
+        static_cast<f64>(over30) / static_cast<f64>(r.samples);
+  }
+  return r;
+}
+
+std::string to_string(const AccuracyReport& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << "accuracy " << r.mean_accuracy_pct
+     << "% (MAPE " << r.mape_pct << "%, max error " << r.max_error_pct
+     << "%, >20% on " << std::setprecision(2)
+     << r.excursions_over_20_pct * 100.0 << "% of " << r.samples
+     << " samples)";
+  return os.str();
+}
+
+}  // namespace tc::model

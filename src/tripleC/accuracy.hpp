@@ -1,0 +1,35 @@
+// Prediction-accuracy metrics (paper §7: "an average prediction accuracy of
+// 97% is reached with sporadic excursions of the prediction error up to
+// 20-30%").
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tc::model {
+
+struct AccuracyReport {
+  /// Mean of per-sample accuracy 100 * (1 - |pred - meas| / meas), clamped
+  /// at 0 — the paper's headline metric.
+  f64 mean_accuracy_pct = 0.0;
+  /// Mean absolute percentage error.
+  f64 mape_pct = 0.0;
+  /// Largest single-sample error percentage.
+  f64 max_error_pct = 0.0;
+  /// Fraction of samples whose error exceeds 20 % ("sporadic excursions").
+  f64 excursions_over_20_pct = 0.0;
+  /// Fraction of samples whose error exceeds 30 %.
+  f64 excursions_over_30_pct = 0.0;
+  usize samples = 0;
+};
+
+/// Compare prediction and measurement series (same length; samples where
+/// the measurement is ~0 are skipped).
+[[nodiscard]] AccuracyReport evaluate_accuracy(std::span<const f64> predicted,
+                                               std::span<const f64> measured);
+
+[[nodiscard]] std::string to_string(const AccuracyReport& r);
+
+}  // namespace tc::model

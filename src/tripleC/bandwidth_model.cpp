@@ -1,0 +1,89 @@
+#include "tripleC/bandwidth_model.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+std::vector<EdgeBandwidth> intertask_bandwidth(const graph::FlowGraph& g,
+                                               f64 fps, f64 scale) {
+  std::vector<EdgeBandwidth> out;
+  out.reserve(g.edge_count());
+  for (const graph::Edge& e : g.edges()) {
+    EdgeBandwidth eb;
+    eb.from = std::string(g.task(e.from).name());
+    eb.to = std::string(g.task(e.to).name());
+    eb.bytes_per_frame =
+        static_cast<u64>(static_cast<f64>(e.bytes_per_frame()) * scale);
+    eb.mbytes_per_s = static_cast<f64>(eb.bytes_per_frame) * fps / 1.0e6;
+    out.push_back(std::move(eb));
+  }
+  return out;
+}
+
+std::string format_edge_table(std::span<const EdgeBandwidth> edges) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "From" << std::setw(14) << "To"
+     << std::right << std::setw(16) << "KB/frame" << std::setw(12) << "MB/s"
+     << '\n';
+  os << std::string(56, '-') << '\n';
+  for (const EdgeBandwidth& e : edges) {
+    os << std::left << std::setw(14) << e.from << std::setw(14) << e.to
+       << std::right << std::fixed << std::setprecision(0) << std::setw(16)
+       << static_cast<f64>(e.bytes_per_frame) / 1024.0 << std::setprecision(1)
+       << std::setw(12) << e.mbytes_per_s << '\n';
+  }
+  return os.str();
+}
+
+IntraTaskBandwidth analyze_intratask(std::string task,
+                                     const plat::SpaceTimeBufferModel& model,
+                                     u64 l2_bytes, f64 fps) {
+  IntraTaskBandwidth a;
+  a.task = std::move(task);
+  a.occupancy = model.analyze(l2_bytes);
+  a.eviction_mbytes_per_s =
+      static_cast<f64>(a.occupancy.eviction_traffic_bytes) * fps / 1.0e6;
+  return a;
+}
+
+std::string format_intratask(const IntraTaskBandwidth& a, u64 l2_bytes) {
+  std::ostringstream os;
+  os << "Task " << a.task << ": peak occupancy "
+     << static_cast<f64>(a.occupancy.peak_bytes) / 1024.0 << " KB vs L2 "
+     << static_cast<f64>(l2_bytes) / 1024.0 << " KB";
+  if (a.occupancy.overflow_bytes > 0) {
+    os << " -> overflow " << static_cast<f64>(a.occupancy.overflow_bytes) / 1024.0
+       << " KB, eviction traffic "
+       << static_cast<f64>(a.occupancy.eviction_traffic_bytes) / 1024.0
+       << " KB/frame (" << std::fixed << std::setprecision(1)
+       << a.eviction_mbytes_per_s << " MB/s)";
+  } else {
+    os << " -> fits, no eviction";
+  }
+  os << '\n';
+  os << "  occupancy curve (normalized task time -> KB):\n";
+  for (const plat::OccupancySample& s : a.occupancy.curve) {
+    os << "    t=" << std::fixed << std::setprecision(2) << s.t << "  "
+       << std::setprecision(0) << static_cast<f64>(s.bytes) / 1024.0 << " KB\n";
+  }
+  return os.str();
+}
+
+std::string format_scenario_table(std::span<const ScenarioBandwidth> rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "Scenario" << std::setw(24) << "Switches"
+     << std::right << std::setw(18) << "Inter-task MB/s" << std::setw(18)
+     << "Intra-task MB/s" << std::setw(14) << "Total MB/s" << '\n';
+  os << std::string(84, '-') << '\n';
+  for (const ScenarioBandwidth& r : rows) {
+    os << std::left << std::setw(10) << r.scenario << std::setw(24) << r.label
+       << std::right << std::fixed << std::setprecision(1) << std::setw(18)
+       << r.intertask_mbytes_per_s << std::setw(18)
+       << r.intratask_mbytes_per_s << std::setw(14) << r.total_mbytes_per_s()
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tc::model

@@ -1,0 +1,66 @@
+// Communication-bandwidth analysis (paper §5.2).
+//
+// Three bandwidth components are modeled:
+//   * inter-task bandwidth — producer buffer bytes per frame × frame rate,
+//     the numbers on the arrows of Fig. 2;
+//   * intra-task bandwidth — eviction traffic predicted by the space-time
+//     buffer-occupation model when a task's working set exceeds the L2
+//     capacity (Fig. 5);
+//   * per-scenario totals — bandwidth required by each of the 2^switches
+//     application scenarios.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/flowgraph.hpp"
+#include "platform/buffer_model.hpp"
+#include "platform/spec.hpp"
+
+namespace tc::model {
+
+struct EdgeBandwidth {
+  std::string from;
+  std::string to;
+  u64 bytes_per_frame = 0;
+  f64 mbytes_per_s = 0.0;
+};
+
+/// Evaluate every edge of the flow graph at the given frame rate.  `scale`
+/// multiplies byte counts (rendering-resolution → paper-format scaling).
+[[nodiscard]] std::vector<EdgeBandwidth> intertask_bandwidth(
+    const graph::FlowGraph& g, f64 fps, f64 scale = 1.0);
+
+[[nodiscard]] std::string format_edge_table(
+    std::span<const EdgeBandwidth> edges);
+
+struct IntraTaskBandwidth {
+  std::string task;
+  plat::OccupancyAnalysis occupancy;
+  /// Extra cache<->memory bandwidth caused by eviction, at the frame rate.
+  f64 eviction_mbytes_per_s = 0.0;
+};
+
+/// Analyze one task's internal buffers against an L2 slice.
+[[nodiscard]] IntraTaskBandwidth analyze_intratask(
+    std::string task, const plat::SpaceTimeBufferModel& model, u64 l2_bytes,
+    f64 fps);
+
+[[nodiscard]] std::string format_intratask(const IntraTaskBandwidth& a,
+                                           u64 l2_bytes);
+
+struct ScenarioBandwidth {
+  graph::ScenarioId scenario = 0;
+  std::string label;
+  f64 intertask_mbytes_per_s = 0.0;
+  f64 intratask_mbytes_per_s = 0.0;
+  [[nodiscard]] f64 total_mbytes_per_s() const {
+    return intertask_mbytes_per_s + intratask_mbytes_per_s;
+  }
+};
+
+[[nodiscard]] std::string format_scenario_table(
+    std::span<const ScenarioBandwidth> rows);
+
+}  // namespace tc::model

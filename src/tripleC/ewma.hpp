@@ -1,0 +1,52 @@
+// Exponentially Weighted Moving Average filter (Eq. 1 of the paper):
+//
+//     y(t_k) = (1 - alpha) * y(t_{k-1}) + alpha * x(t_k)
+//
+// Used to model the long-term, low-frequency component of a task's
+// computation time, around which the Markov chain models the short-term
+// fluctuations.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace tc::model {
+
+class EwmaFilter {
+ public:
+  explicit EwmaFilter(f64 alpha = 0.3) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  [[nodiscard]] f64 alpha() const { return alpha_; }
+
+  /// Feed a new sample; returns the updated filter output.
+  f64 update(f64 x) {
+    if (!primed_) {
+      y_ = x;
+      primed_ = true;
+    } else {
+      y_ = (1.0 - alpha_) * y_ + alpha_ * x;
+    }
+    return y_;
+  }
+
+  /// Current output (the long-term prediction for the next sample).
+  [[nodiscard]] f64 value() const { return y_; }
+
+  /// True once at least one sample has been absorbed.
+  [[nodiscard]] bool primed() const { return primed_; }
+
+  void reset() {
+    y_ = 0.0;
+    primed_ = false;
+  }
+
+ private:
+  f64 alpha_;
+  f64 y_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace tc::model

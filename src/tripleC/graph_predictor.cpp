@@ -1,0 +1,109 @@
+#include "tripleC/graph_predictor.hpp"
+
+namespace tc::model {
+
+GraphPredictor::GraphPredictor(usize task_count, usize switch_count)
+    : configs_(task_count),
+      tasks_(task_count),
+      scenario_transitions_(switch_count) {}
+
+void GraphPredictor::configure_task(i32 node, PredictorConfig config) {
+  configs_[static_cast<usize>(node)] = config;
+  tasks_[static_cast<usize>(node)].clear();
+}
+
+TaskPredictor& GraphPredictor::task_predictor(i32 node, u32 context) {
+  auto& per_node = tasks_[static_cast<usize>(node)];
+  auto it = per_node.find(context);
+  if (it == per_node.end()) {
+    it = per_node.emplace(context,
+                          TaskPredictor(configs_[static_cast<usize>(node)]))
+             .first;
+  }
+  return it->second;
+}
+
+const TaskPredictor& GraphPredictor::task_predictor(i32 node,
+                                                    u32 context) const {
+  return const_cast<GraphPredictor*>(this)->task_predictor(node, context);
+}
+
+void GraphPredictor::train(
+    std::span<const std::vector<graph::FrameRecord>> sequences) {
+  const usize n = configs_.size();
+  // Per (node, context): one TrainingSample sequence per recorded sequence.
+  std::vector<std::map<u32, std::vector<std::vector<TrainingSample>>>> samples(
+      n);
+  for (const auto& seq : sequences) {
+    for (usize node = 0; node < n; ++node) {
+      for (auto& [ctx, seqs] : samples[node]) seqs.emplace_back();
+    }
+    const graph::FrameRecord* prev = nullptr;
+    for (const graph::FrameRecord& record : seq) {
+      if (prev != nullptr) {
+        scenario_transitions_.add(prev->scenario, record.scenario);
+      }
+      for (const graph::TaskExecution& exec : record.tasks) {
+        if (!exec.executed) continue;
+        u32 ctx = context_of(prev, exec.node);
+        auto& ctx_seqs = samples[static_cast<usize>(exec.node)][ctx];
+        if (ctx_seqs.empty()) ctx_seqs.emplace_back();
+        ctx_seqs.back().push_back(
+            TrainingSample{exec.simulated_ms, record.roi_pixels});
+      }
+      prev = &record;
+    }
+  }
+  for (usize node = 0; node < n; ++node) {
+    for (auto& [ctx, seqs] : samples[node]) {
+      std::vector<std::vector<TrainingSample>> nonempty;
+      for (auto& s : seqs) {
+        if (!s.empty()) nonempty.push_back(std::move(s));
+      }
+      if (!nonempty.empty()) {
+        task_predictor(static_cast<i32>(node), ctx).train(nonempty);
+      }
+    }
+  }
+  last_record_.reset();
+}
+
+f64 GraphPredictor::predict_task(i32 node, f64 roi_pixels) const {
+  const graph::FrameRecord* prev =
+      last_record_.has_value() ? &*last_record_ : nullptr;
+  u32 ctx = context_of(prev, node);
+  const TaskPredictor& p = task_predictor(node, ctx);
+  if (p.trained()) return p.predict(roi_pixels);
+  // Fall back to the default-context predictor when this context was never
+  // seen in training.
+  return task_predictor(node, 0).predict(roi_pixels);
+}
+
+void GraphPredictor::observe(const graph::FrameRecord& record) {
+  const graph::FrameRecord* prev =
+      last_record_.has_value() ? &*last_record_ : nullptr;
+  if (prev != nullptr) {
+    scenario_transitions_.add(prev->scenario, record.scenario);
+  }
+  for (const graph::TaskExecution& exec : record.tasks) {
+    if (!exec.executed) continue;
+    u32 ctx = context_of(prev, exec.node);
+    task_predictor(exec.node, ctx).observe(exec.simulated_ms,
+                                           record.roi_pixels);
+  }
+  last_record_ = record;
+}
+
+graph::ScenarioId GraphPredictor::predict_scenario() const {
+  if (!last_record_.has_value()) return 0;
+  return scenario_transitions_.most_likely_next(last_record_->scenario);
+}
+
+void GraphPredictor::reset_online_state() {
+  for (auto& per_node : tasks_) {
+    for (auto& [ctx, p] : per_node) p.reset_online_state();
+  }
+  last_record_.reset();
+}
+
+}  // namespace tc::model

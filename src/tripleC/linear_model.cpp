@@ -1,0 +1,16 @@
+#include "tripleC/linear_model.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+std::string LinearGrowthModel::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << "y = " << fit_.slope
+     << " * x + " << std::setprecision(2) << fit_.intercept
+     << "  (R^2 = " << std::setprecision(3) << fit_.r2 << ")";
+  return os.str();
+}
+
+}  // namespace tc::model

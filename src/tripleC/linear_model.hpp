@@ -1,0 +1,48 @@
+// Linear growth model of computation time versus processing granularity
+// (paper Eq. 3: y(t_k) = 0.067 * t_k + 20.6 for the ridge task, with t_k the
+// ROI size).  Fitted by ordinary least squares from training samples.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace tc::model {
+
+class LinearGrowthModel {
+ public:
+  LinearGrowthModel() = default;
+
+  /// Fit time = slope * size + intercept.
+  void fit(std::span<const f64> sizes, std::span<const f64> times) {
+    fit_ = fit_line(sizes, times);
+    fitted_ = true;
+  }
+
+  /// Construct directly from coefficients (e.g. the paper's Eq. 3).
+  static LinearGrowthModel from_coefficients(f64 slope, f64 intercept) {
+    LinearGrowthModel m;
+    m.fit_.slope = slope;
+    m.fit_.intercept = intercept;
+    m.fit_.r2 = 1.0;
+    m.fitted_ = true;
+    return m;
+  }
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+  [[nodiscard]] f64 predict(f64 size) const {
+    return fit_.slope * size + fit_.intercept;
+  }
+  [[nodiscard]] f64 slope() const { return fit_.slope; }
+  [[nodiscard]] f64 intercept() const { return fit_.intercept; }
+  [[nodiscard]] f64 r2() const { return fit_.r2; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  LineFit fit_;
+  bool fitted_ = false;
+};
+
+}  // namespace tc::model

@@ -1,0 +1,146 @@
+#include "tripleC/markov.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+void MarkovChain::fit(std::span<const f64> series, f64 state_multiplier,
+                      usize max_states) {
+  quantizer_.fit(series, state_multiplier, max_states);
+  counts_.assign(states() * states(), 0);
+  mean_ = 0.0;
+  samples_ = 0;
+  accumulate(series);
+}
+
+void MarkovChain::fit_multi(std::span<const std::vector<f64>> sequences,
+                            f64 state_multiplier, usize max_states) {
+  std::vector<f64> all;
+  for (const auto& s : sequences) all.insert(all.end(), s.begin(), s.end());
+  quantizer_.fit(all, state_multiplier, max_states);
+  counts_.assign(states() * states(), 0);
+  mean_ = 0.0;
+  samples_ = 0;
+  for (const auto& s : sequences) accumulate(s);
+}
+
+void MarkovChain::accumulate(std::span<const f64> series) {
+  count_transitions(series);
+  for (f64 x : series) {
+    mean_ += (x - mean_) / static_cast<f64>(++samples_);
+  }
+}
+
+void MarkovChain::observe_transition(f64 from, f64 to) {
+  const usize n = states();
+  if (n == 0) return;
+  ++counts_[quantizer_.state_of(from) * n + quantizer_.state_of(to)];
+  mean_ += (to - mean_) / static_cast<f64>(++samples_);
+}
+
+void MarkovChain::count_transitions(std::span<const f64> series) {
+  const usize n = states();
+  if (n == 0) return;
+  for (usize k = 0; k + 1 < series.size(); ++k) {
+    usize i = quantizer_.state_of(series[k]);
+    usize j = quantizer_.state_of(series[k + 1]);
+    ++counts_[i * n + j];
+  }
+}
+
+f64 MarkovChain::transition(usize i, usize j) const {
+  const usize n = states();
+  u64 row_total = 0;
+  for (usize k = 0; k < n; ++k) row_total += counts_[i * n + k];
+  if (row_total == 0) return 1.0 / static_cast<f64>(n);
+  return static_cast<f64>(counts_[i * n + j]) / static_cast<f64>(row_total);
+}
+
+std::vector<f64> MarkovChain::row(usize i) const {
+  std::vector<f64> r(states());
+  for (usize j = 0; j < states(); ++j) r[j] = transition(i, j);
+  return r;
+}
+
+f64 MarkovChain::predict_next(f64 current_value) const {
+  if (!fitted()) return current_value;
+  if (states() == 1) return quantizer_.representative(0);
+  usize i = quantizer_.state_of(current_value);
+  f64 expectation = 0.0;
+  for (usize j = 0; j < states(); ++j) {
+    expectation += transition(i, j) * quantizer_.representative(j);
+  }
+  return expectation;
+}
+
+usize MarkovChain::most_likely_next_state(f64 current_value) const {
+  usize i = quantizer_.state_of(current_value);
+  usize best = i;
+  f64 best_p = -1.0;
+  for (usize j = 0; j < states(); ++j) {
+    f64 p = transition(i, j);
+    if (p > best_p) {
+      best_p = p;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::vector<f64> MarkovChain::stationary_distribution(usize iterations) const {
+  const usize n = states();
+  std::vector<f64> pi(n, n > 0 ? 1.0 / static_cast<f64>(n) : 0.0);
+  std::vector<f64> next(n, 0.0);
+  for (usize it = 0; it < iterations; ++it) {
+    for (usize j = 0; j < n; ++j) next[j] = 0.0;
+    for (usize i = 0; i < n; ++i) {
+      for (usize j = 0; j < n; ++j) {
+        next[j] += pi[i] * transition(i, j);
+      }
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+std::vector<f64> MarkovChain::sample_path(usize length, Pcg32& rng) const {
+  std::vector<f64> path;
+  if (!fitted() || length == 0) return path;
+  path.reserve(length);
+  usize state = 0;
+  for (usize k = 0; k < length; ++k) {
+    path.push_back(quantizer_.representative(state));
+    f64 u = rng.next_f64();
+    f64 acc = 0.0;
+    usize next_state = states() - 1;
+    for (usize j = 0; j < states(); ++j) {
+      acc += transition(state, j);
+      if (u < acc) {
+        next_state = j;
+        break;
+      }
+    }
+    state = next_state;
+  }
+  return path;
+}
+
+std::string MarkovChain::format_matrix(i32 precision) const {
+  std::ostringstream os;
+  const usize n = states();
+  os << "      ";
+  for (usize j = 0; j < n; ++j) os << " s" << std::setw(2) << std::left << j;
+  os << '\n';
+  for (usize i = 0; i < n; ++i) {
+    os << 's' << std::setw(3) << std::left << i << "  ";
+    for (usize j = 0; j < n; ++j) {
+      os << std::fixed << std::setprecision(precision) << transition(i, j)
+         << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tc::model

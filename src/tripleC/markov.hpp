@@ -1,0 +1,81 @@
+// First-order finite-state Markov chain over quantized computation-time
+// states (paper §4, Table 2a).
+//
+// Transition probabilities are estimated from training state sequences as
+//     P_ij = n_ij / sum_k n_ik                                   (Eq. 2)
+// Prediction returns the conditional expectation of the next value given the
+// current state (sum_j P_ij * representative_j), which minimizes the mean
+// squared prediction error among state-based predictors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tripleC/quantizer.hpp"
+
+namespace tc::model {
+
+class MarkovChain {
+ public:
+  MarkovChain() = default;
+
+  /// Fit the quantizer and transition matrix from a value series.
+  void fit(std::span<const f64> series, f64 state_multiplier = 2.0,
+           usize max_states = 64);
+
+  /// Continue training with another independent series (e.g. the next video
+  /// sequence of the training set) without refitting the quantizer.
+  void accumulate(std::span<const f64> series);
+
+  /// Fit the quantizer on the union of all sequences, then count transitions
+  /// per sequence (no transition is counted across sequence boundaries).
+  void fit_multi(std::span<const std::vector<f64>> sequences,
+                 f64 state_multiplier = 2.0, usize max_states = 64);
+
+  /// Online adaptation (the paper's profiling feedback / "on-line model
+  /// training"): count one observed transition into the existing state
+  /// space.  The quantizer is not refitted — values outside the trained
+  /// range clamp to the edge states.
+  void observe_transition(f64 from, f64 to);
+
+  [[nodiscard]] bool fitted() const { return quantizer_.fitted(); }
+  [[nodiscard]] usize states() const { return quantizer_.states(); }
+  [[nodiscard]] const AdaptiveQuantizer& quantizer() const { return quantizer_; }
+
+  /// P(next = j | current = i); rows with no observations are uniform.
+  [[nodiscard]] f64 transition(usize i, usize j) const;
+
+  /// Full row i of the transition matrix.
+  [[nodiscard]] std::vector<f64> row(usize i) const;
+
+  /// Conditional expectation of the next value given the current value.
+  [[nodiscard]] f64 predict_next(f64 current_value) const;
+
+  /// Most likely next state given the current value.
+  [[nodiscard]] usize most_likely_next_state(f64 current_value) const;
+
+  /// Stationary distribution (power iteration on the transition matrix).
+  [[nodiscard]] std::vector<f64> stationary_distribution(
+      usize iterations = 200) const;
+
+  /// Unconditional mean of the training data (fallback prediction).
+  [[nodiscard]] f64 unconditional_mean() const { return mean_; }
+
+  /// Sample a synthetic state path (for property tests / workload replay).
+  [[nodiscard]] std::vector<f64> sample_path(usize length, Pcg32& rng) const;
+
+  /// Render the transition matrix like Table 2(a) of the paper.
+  [[nodiscard]] std::string format_matrix(i32 precision = 2) const;
+
+ private:
+  void count_transitions(std::span<const f64> series);
+
+  AdaptiveQuantizer quantizer_;
+  std::vector<u64> counts_;  // states x states, row-major
+  f64 mean_ = 0.0;
+  u64 samples_ = 0;
+};
+
+}  // namespace tc::model

@@ -1,0 +1,35 @@
+#include "tripleC/memory_model.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+MemoryRow memory_row(std::string task, bool rdg_selected,
+                     const img::WorkReport& work, f64 scale) {
+  MemoryRow row;
+  row.task = std::move(task);
+  row.rdg_selected = rdg_selected;
+  row.input_kb = static_cast<f64>(work.input_bytes) * scale / 1024.0;
+  row.intermediate_kb =
+      static_cast<f64>(work.intermediate_bytes) * scale / 1024.0;
+  row.output_kb = static_cast<f64>(work.output_bytes) * scale / 1024.0;
+  return row;
+}
+
+std::string format_memory_table(std::span<const MemoryRow> rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "Task" << std::setw(12) << "RDG select"
+     << std::right << std::setw(12) << "Input (KB)" << std::setw(18)
+     << "Intermediate (KB)" << std::setw(13) << "Output (KB)" << '\n';
+  os << std::string(69, '-') << '\n';
+  for (const MemoryRow& r : rows) {
+    os << std::left << std::setw(14) << r.task << std::setw(12)
+       << (r.rdg_selected ? "x" : "-") << std::right << std::fixed
+       << std::setprecision(0) << std::setw(12) << r.input_kb << std::setw(18)
+       << r.intermediate_kb << std::setw(13) << r.output_kb << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tc::model

@@ -1,0 +1,41 @@
+// Task memory-requirement analysis (paper §5.1, Table 1).
+//
+// The paper derives per-task input/intermediate/output buffer requirements
+// "from a reference software implementation"; here the reference
+// implementation is src/imaging itself — rows are built from the WorkReports
+// the tasks emit, optionally scaled from the experiment's rendering
+// resolution to the paper's 1024×1024 format.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "imaging/work_report.hpp"
+
+namespace tc::model {
+
+struct MemoryRow {
+  std::string task;
+  /// "RDG select" column of Table 1: whether ridge detection preceded the
+  /// task (changes the input buffers of MKX).
+  bool rdg_selected = false;
+  f64 input_kb = 0.0;
+  f64 intermediate_kb = 0.0;
+  f64 output_kb = 0.0;
+
+  [[nodiscard]] f64 total_kb() const {
+    return input_kb + intermediate_kb + output_kb;
+  }
+};
+
+/// Build a row from a task's WorkReport.  `scale` multiplies buffer sizes
+/// (use (paper pixels)/(rendered pixels) to report at the paper's format).
+[[nodiscard]] MemoryRow memory_row(std::string task, bool rdg_selected,
+                                   const img::WorkReport& work,
+                                   f64 scale = 1.0);
+
+/// Render rows in the layout of Table 1.
+[[nodiscard]] std::string format_memory_table(std::span<const MemoryRow> rows);
+
+}  // namespace tc::model

@@ -1,0 +1,179 @@
+#include "tripleC/predictor.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tc::model {
+
+std::string_view to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::Constant:
+      return "constant";
+    case PredictorKind::Ewma:
+      return "EWMA";
+    case PredictorKind::EwmaMarkov:
+      return "EWMA + Markov";
+    case PredictorKind::LinearMarkov:
+      return "linear + Markov";
+  }
+  return "?";
+}
+
+TaskPredictor::TaskPredictor(PredictorConfig config)
+    : config_(config), ewma_(config.ewma_alpha) {}
+
+void TaskPredictor::train(std::span<const TrainingSample> sequence) {
+  std::vector<std::vector<TrainingSample>> one;
+  one.emplace_back(sequence.begin(), sequence.end());
+  train(one);
+}
+
+void TaskPredictor::train(
+    std::span<const std::vector<TrainingSample>> sequences) {
+  // Global mean (Constant baseline and cold-start fallback).
+  f64 sum = 0.0;
+  u64 n = 0;
+  for (const auto& seq : sequences) {
+    for (const TrainingSample& s : seq) {
+      sum += s.measured_ms;
+      ++n;
+    }
+  }
+  mean_ = n > 0 ? sum / static_cast<f64>(n) : 0.0;
+
+  if (config_.kind == PredictorKind::LinearMarkov) {
+    std::vector<f64> sizes;
+    std::vector<f64> times;
+    for (const auto& seq : sequences) {
+      for (const TrainingSample& s : seq) {
+        sizes.push_back(s.size);
+        times.push_back(s.measured_ms);
+      }
+    }
+    linear_.fit(sizes, times);
+  }
+
+  if (config_.kind == PredictorKind::EwmaMarkov ||
+      config_.kind == PredictorKind::LinearMarkov) {
+    // Residuals against the long-term baseline, computed exactly the way the
+    // online observe() computes them.
+    std::vector<std::vector<f64>> residual_sequences;
+    residual_sequences.reserve(sequences.size());
+    for (const auto& seq : sequences) {
+      EwmaFilter ewma(config_.ewma_alpha);
+      std::vector<f64> residuals;
+      residuals.reserve(seq.size());
+      for (const TrainingSample& s : seq) {
+        f64 base;
+        if (config_.kind == PredictorKind::LinearMarkov) {
+          base = linear_.predict(s.size);
+        } else {
+          base = ewma.primed() ? ewma.value() : s.measured_ms;
+        }
+        residuals.push_back(s.measured_ms - base);
+        ewma.update(s.measured_ms);
+      }
+      residual_sequences.push_back(std::move(residuals));
+    }
+    residual_markov_.fit_multi(residual_sequences, config_.state_multiplier,
+                               config_.max_states);
+  }
+
+  trained_ = true;
+  reset_online_state();
+}
+
+f64 TaskPredictor::baseline(f64 size) const {
+  switch (config_.kind) {
+    case PredictorKind::Constant:
+      return mean_;
+    case PredictorKind::Ewma:
+    case PredictorKind::EwmaMarkov:
+      return ewma_.primed() ? ewma_.value() : mean_;
+    case PredictorKind::LinearMarkov:
+      return linear_.fitted() ? linear_.predict(size) : mean_;
+  }
+  return mean_;
+}
+
+f64 TaskPredictor::predict(f64 size) const {
+  f64 base = baseline(size);
+  if ((config_.kind == PredictorKind::EwmaMarkov ||
+       config_.kind == PredictorKind::LinearMarkov) &&
+      residual_markov_.fitted() && has_residual_) {
+    base += residual_markov_.predict_next(last_residual_);
+  }
+  return base;
+}
+
+void TaskPredictor::observe(f64 measured_ms, f64 size) {
+  switch (config_.kind) {
+    case PredictorKind::Constant:
+      break;
+    case PredictorKind::Ewma:
+      ewma_.update(measured_ms);
+      break;
+    case PredictorKind::EwmaMarkov: {
+      f64 base = ewma_.primed() ? ewma_.value() : measured_ms;
+      f64 residual = measured_ms - base;
+      if (config_.online_adaptation && residual_markov_.fitted() &&
+          has_residual_) {
+        residual_markov_.observe_transition(last_residual_, residual);
+      }
+      last_residual_ = residual;
+      has_residual_ = true;
+      ewma_.update(measured_ms);
+      break;
+    }
+    case PredictorKind::LinearMarkov: {
+      f64 base = linear_.fitted() ? linear_.predict(size) : mean_;
+      f64 residual = measured_ms - base;
+      if (config_.online_adaptation && residual_markov_.fitted() &&
+          has_residual_) {
+        residual_markov_.observe_transition(last_residual_, residual);
+      }
+      last_residual_ = residual;
+      has_residual_ = true;
+      ewma_.update(measured_ms);
+      break;
+    }
+  }
+}
+
+void TaskPredictor::reset_online_state() {
+  ewma_.reset();
+  last_residual_ = 0.0;
+  has_residual_ = false;
+}
+
+const MarkovChain* TaskPredictor::markov() const {
+  if (config_.kind == PredictorKind::EwmaMarkov ||
+      config_.kind == PredictorKind::LinearMarkov) {
+    return &residual_markov_;
+  }
+  return nullptr;
+}
+
+std::string TaskPredictor::summary() const {
+  std::ostringstream os;
+  os << to_string(config_.kind);
+  switch (config_.kind) {
+    case PredictorKind::Constant:
+      os << " " << std::fixed << std::setprecision(2) << mean_ << " ms";
+      break;
+    case PredictorKind::Ewma:
+      os << " (alpha=" << config_.ewma_alpha << ")";
+      break;
+    case PredictorKind::EwmaMarkov:
+      os << " (alpha=" << config_.ewma_alpha << ", "
+         << residual_markov_.states() << " states)";
+      break;
+    case PredictorKind::LinearMarkov:
+      os << " (" << linear_.to_string() << ", " << residual_markov_.states()
+         << " states)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace tc::model

@@ -1,0 +1,102 @@
+// Per-task computation-time predictors (paper §4, summarized in Table 2b):
+//
+//   Constant     — fixed mean time (MKX_EXT, REG, ROI_EST, ENH, ZOOM)
+//   Ewma         — Eq. 1 long-term filter only (ablation variant)
+//   EwmaMarkov   — Eq. 1 long-term filter + Markov chain on the short-term
+//                  residual (RDG_FULL, CPLS_SEL, GW_EXT)
+//   LinearMarkov — Eq. 3 linear growth over granularity (ROI size) + Markov
+//                  chain on the residual (RDG_ROI)
+//
+// A predictor is trained offline on one or more recorded sequences and then
+// used online: predict() before the frame executes, observe() with the
+// measured value afterwards (which advances the EWMA/Markov state and
+// supports the paper's online profiling feedback).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tripleC/ewma.hpp"
+#include "tripleC/linear_model.hpp"
+#include "tripleC/markov.hpp"
+
+namespace tc::model {
+
+enum class PredictorKind { Constant, Ewma, EwmaMarkov, LinearMarkov };
+
+[[nodiscard]] std::string_view to_string(PredictorKind kind);
+
+struct TrainingSample {
+  /// Measured execution time of the task for one frame (ms).
+  f64 measured_ms = 0.0;
+  /// Granularity driver — ROI size in pixels for granularity-dependent
+  /// tasks, 0 otherwise.
+  f64 size = 0.0;
+};
+
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::EwmaMarkov;
+  /// EWMA smoothing factor (Eq. 1).
+  f64 ewma_alpha = 0.25;
+  /// Markov state-count multiplier over the base M = C_max/sigma (the paper
+  /// uses ~2M states).
+  f64 state_multiplier = 2.0;
+  usize max_states = 64;
+  /// Online adaptation (the paper's profiling feedback): when true, each
+  /// observe() also counts the residual transition into the Markov chain,
+  /// so the transition statistics keep tracking the workload after the
+  /// offline training ("on-line model training", paper Section 6).
+  bool online_adaptation = false;
+};
+
+class TaskPredictor {
+ public:
+  explicit TaskPredictor(PredictorConfig config = {});
+
+  /// Train on one or more recorded sequences (sequence boundaries matter:
+  /// no transition is counted across them).
+  void train(std::span<const std::vector<TrainingSample>> sequences);
+
+  /// Convenience: train on a single sequence.
+  void train(std::span<const TrainingSample> sequence);
+
+  /// Predict the execution time of the next frame, given its granularity
+  /// driver (ignored by kinds that do not use it).
+  [[nodiscard]] f64 predict(f64 size = 0.0) const;
+
+  /// Absorb the measured value of the frame just executed (advances the
+  /// EWMA state and the Markov residual state).
+  void observe(f64 measured_ms, f64 size = 0.0);
+
+  /// Reset the online state (EWMA/residual) without losing the trained
+  /// model — used when the flow graph switches away and back to a scenario.
+  void reset_online_state();
+
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] f64 trained_mean() const { return mean_; }
+  /// Markov component (nullptr for Constant/Ewma kinds).
+  [[nodiscard]] const MarkovChain* markov() const;
+  /// Linear component (meaningful for LinearMarkov only).
+  [[nodiscard]] const LinearGrowthModel& linear() const { return linear_; }
+
+  /// One-line model summary, Table 2(b) style.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] f64 baseline(f64 size) const;
+
+  PredictorConfig config_;
+  bool trained_ = false;
+  f64 mean_ = 0.0;
+  LinearGrowthModel linear_;
+  MarkovChain residual_markov_;
+  // Online state.
+  EwmaFilter ewma_;
+  f64 last_residual_ = 0.0;
+  bool has_residual_ = false;
+};
+
+}  // namespace tc::model

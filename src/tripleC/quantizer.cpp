@@ -1,0 +1,92 @@
+#include "tripleC/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace tc::model {
+
+void AdaptiveQuantizer::fit(std::span<const f64> samples, f64 state_multiplier,
+                            usize max_states) {
+  boundaries_.clear();
+  representatives_.clear();
+  states_ = 0;
+  base_states_ = 0;
+  if (samples.empty()) return;
+
+  std::vector<f64> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const f64 c_max = sorted.back();
+  const f64 sigma = stddev(samples);
+  if (sigma <= 1e-12 || sorted.front() == sorted.back()) {
+    // Constant series: a single state.
+    states_ = 1;
+    base_states_ = 1;
+    representatives_.push_back(sorted.front());
+    return;
+  }
+
+  base_states_ = static_cast<usize>(std::max(1.0, std::round(c_max / sigma)));
+  usize n_states = static_cast<usize>(std::max(
+      2.0, std::round(static_cast<f64>(base_states_) * state_multiplier)));
+  n_states = std::min({n_states, max_states, sorted.size()});
+  if (n_states < 2) n_states = 2;
+
+  // Equal-frequency boundaries: state i covers samples
+  // [i*n/states, (i+1)*n/states).  Duplicate boundaries (heavy ties) are
+  // merged, possibly reducing the state count.
+  std::vector<f64> bounds;
+  for (usize i = 1; i < n_states; ++i) {
+    usize idx = i * sorted.size() / n_states;
+    f64 b = sorted[idx];
+    // Skip duplicates (heavy ties) and boundaries at the maximum (they
+    // would create an empty final state).
+    if ((bounds.empty() || b > bounds.back()) && b < sorted.back()) {
+      bounds.push_back(b);
+    }
+  }
+  states_ = bounds.size() + 1;
+  boundaries_ = std::move(bounds);
+
+  // Representatives: mean of training samples falling in each state.
+  std::vector<f64> sum(states_, 0.0);
+  std::vector<u64> count(states_, 0);
+  for (f64 x : samples) {
+    usize s = state_of(x);
+    sum[s] += x;
+    ++count[s];
+  }
+  representatives_.resize(states_);
+  for (usize s = 0; s < states_; ++s) {
+    if (count[s] > 0) {
+      representatives_[s] = sum[s] / static_cast<f64>(count[s]);
+    } else {
+      // Empty state (possible after boundary merging): interpolate from the
+      // surrounding boundaries.
+      f64 lo = s == 0 ? sorted.front() : boundaries_[s - 1];
+      f64 hi = s == states_ - 1 ? sorted.back() : boundaries_[s];
+      representatives_[s] = 0.5 * (lo + hi);
+    }
+  }
+}
+
+usize AdaptiveQuantizer::state_of(f64 x) const {
+  // boundaries_ are upper-inclusive split points: state i covers
+  // (boundaries_[i-1], boundaries_[i]]; values beyond the last boundary go
+  // to the final state.
+  usize lo = 0;
+  usize hi = boundaries_.size();
+  while (lo < hi) {
+    usize mid = (lo + hi) / 2;
+    if (x <= boundaries_[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace tc::model

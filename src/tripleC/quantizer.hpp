@@ -1,0 +1,58 @@
+// Adaptive quantization of computation-time samples into Markov states
+// (paper §4):
+//
+//   * the base state count is M = C_max / sigma_C;
+//   * the paper found ~2M states necessary for sufficient accuracy
+//     (the multiplier is configurable, and an ablation bench sweeps it);
+//   * interval boundaries are chosen adaptively so each interval contains
+//     on average the same number of training samples (equal-frequency
+//     quantization);
+//   * each state's representative value is the mean of its training samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc::model {
+
+class AdaptiveQuantizer {
+ public:
+  AdaptiveQuantizer() = default;
+
+  /// Build from training samples.  `state_multiplier` scales the base
+  /// M = C_max/sigma state count (2.0 reproduces the paper's choice);
+  /// the final count is clamped to [2, max_states].
+  void fit(std::span<const f64> samples, f64 state_multiplier = 2.0,
+           usize max_states = 64);
+
+  [[nodiscard]] bool fitted() const { return !boundaries_.empty() || states_ == 1; }
+  [[nodiscard]] usize states() const { return states_; }
+
+  /// Base state count M = C_max / sigma_C computed at fit time (before the
+  /// multiplier), for reporting.
+  [[nodiscard]] usize base_states() const { return base_states_; }
+
+  /// Map a value to its state index in [0, states()).
+  [[nodiscard]] usize state_of(f64 x) const;
+
+  /// Representative (mean of training samples) of a state.
+  [[nodiscard]] f64 representative(usize state) const {
+    return representatives_[state];
+  }
+
+  /// Interval upper boundaries (states() - 1 entries; state i covers
+  /// (boundary[i-1], boundary[i]]).
+  [[nodiscard]] const std::vector<f64>& boundaries() const {
+    return boundaries_;
+  }
+
+ private:
+  usize states_ = 0;
+  usize base_states_ = 0;
+  std::vector<f64> boundaries_;
+  std::vector<f64> representatives_;
+};
+
+}  // namespace tc::model

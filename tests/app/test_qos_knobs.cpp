@@ -1,0 +1,109 @@
+// Application-level QoS quality knobs: they must actually change what the
+// pipeline computes (work, outputs), not just the forecast.
+
+#include <gtest/gtest.h>
+
+#include "app/stentboost.hpp"
+
+namespace tc::app {
+namespace {
+
+StentBoostConfig cfg(u64 seed = 3) {
+  StentBoostConfig c = StentBoostConfig::make(128, 128, 60, seed);
+  c.sequence.contrast_in_frame = 10000;  // quiet fluoro: stable registration
+  c.sequence.marker_dropout_prob = 0.0;
+  return c;
+}
+
+TEST(QosKnobs, DefaultsAreFullQuality) {
+  StentBoostApp app(cfg());
+  EXPECT_EQ(app.quality_extra_decimation(), 1);
+  EXPECT_FALSE(app.quality_skip_guidewire());
+  EXPECT_EQ(app.quality_zoom_divisor(), 1);
+}
+
+TEST(QosKnobs, ZoomDivisorShrinksOutput) {
+  StentBoostApp app(cfg());
+  app.set_quality(1, false, 2);
+  (void)app.run(6);
+  ASSERT_FALSE(app.last_output().empty());
+  EXPECT_EQ(app.last_output().width(), cfg().zoom.output_width / 2);
+  EXPECT_EQ(app.last_output().height(), cfg().zoom.output_height / 2);
+}
+
+TEST(QosKnobs, ZoomDivisorReducesZoomWork) {
+  StentBoostApp full_app(cfg());
+  StentBoostApp half_app(cfg());
+  half_app.set_quality(1, false, 2);
+  u64 full_ops = 0;
+  u64 half_ops = 0;
+  for (i32 t = 0; t < 8; ++t) {
+    graph::FrameRecord a = full_app.process_frame(t);
+    graph::FrameRecord b = half_app.process_frame(t);
+    if (a.find(kZoom)->executed) full_ops += a.find(kZoom)->work.pixel_ops;
+    if (b.find(kZoom)->executed) half_ops += b.find(kZoom)->work.pixel_ops;
+  }
+  ASSERT_GT(full_ops, 0u);
+  // Quarter of the pixels -> roughly quarter of the work.
+  EXPECT_NEAR(static_cast<f64>(half_ops), static_cast<f64>(full_ops) / 4.0,
+              static_cast<f64>(full_ops) * 0.1);
+}
+
+TEST(QosKnobs, SkipGuidewireDisablesNode) {
+  StentBoostApp app(cfg());
+  app.set_quality(1, true, 1);
+  auto records = app.run(10);
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.find(kGwExt)->executed) << "frame " << r.frame;
+  }
+}
+
+TEST(QosKnobs, ExtraDecimationReducesMkxWork) {
+  StentBoostConfig c = cfg();
+  c.force_full_frame = true;
+  StentBoostApp full_app(c);
+  StentBoostApp coarse_app(c);
+  coarse_app.set_quality(2, false, 1);
+  graph::FrameRecord a = full_app.process_frame(0);
+  graph::FrameRecord b = coarse_app.process_frame(0);
+  ASSERT_TRUE(a.find(kMkxFull)->executed);
+  ASSERT_TRUE(b.find(kMkxFull)->executed);
+  EXPECT_LT(b.find(kMkxFull)->work.pixel_ops,
+            a.find(kMkxFull)->work.pixel_ops);
+}
+
+TEST(QosKnobs, PipelineStillTracksAtDegradedQuality) {
+  // Even at the lowest quality level the pipeline keeps finding the couple
+  // and producing output (degraded, not broken).
+  StentBoostApp app(cfg(8));
+  app.set_quality(2, true, 2);
+  auto records = app.run(30);
+  i32 outputs = 0;
+  for (const auto& r : records) {
+    if (r.find(kZoom)->executed) ++outputs;
+  }
+  EXPECT_GT(outputs, 20);
+}
+
+TEST(QosKnobs, RestoringQualityRestoresOutputSize) {
+  StentBoostApp app(cfg());
+  app.set_quality(1, false, 2);
+  (void)app.run(6);
+  EXPECT_EQ(app.last_output().width(), cfg().zoom.output_width / 2);
+  app.set_quality(1, false, 1);
+  (void)app.run(6);
+  EXPECT_EQ(app.last_output().width(), cfg().zoom.output_width);
+}
+
+TEST(QosKnobs, InvalidValuesClamped) {
+  StentBoostApp app(cfg());
+  app.set_quality(0, false, 0);
+  EXPECT_EQ(app.quality_extra_decimation(), 1);
+  EXPECT_EQ(app.quality_zoom_divisor(), 1);
+  app.set_quality(-3, false, -2);
+  EXPECT_EQ(app.quality_extra_decimation(), 1);
+  EXPECT_EQ(app.quality_zoom_divisor(), 1);
+}
+
+}  // namespace
+}  // namespace tc::app

@@ -1,0 +1,115 @@
+// Integration-level checks of the scenario dynamics the Triple-C models
+// feed on: scenario coverage, load correlation structure, and the work
+// drivers' data dependence.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "app/stentboost.hpp"
+#include "common/stats.hpp"
+#include "trace/dataset.hpp"
+
+namespace tc::app {
+namespace {
+
+TEST(ScenarioDynamics, DatasetCoversManyScenarios) {
+  trace::DatasetParams p;
+  p.sequences = 8;
+  p.frames_per_sequence = 40;
+  p.width = 128;
+  p.height = 128;
+  trace::RecordedDataset d = trace::build_dataset(p);
+  std::set<graph::ScenarioId> seen;
+  for (const auto& seq : d.sequences) {
+    for (const auto& rec : seq) seen.insert(rec.scenario);
+  }
+  // At least 5 of the 8 scenarios occur in a small dataset.
+  EXPECT_GE(seen.size(), 5u);
+}
+
+TEST(ScenarioDynamics, RdgTimeSeriesHasLongTermCorrelation) {
+  StentBoostConfig c = StentBoostConfig::make(128, 128, 150, 3);
+  c.force_full_frame = true;
+  c.sequence.contrast_in_frame = 1000;  // stationary scene
+  c.rdg_off_after = 1000000;            // keep RDG on throughout
+  StentBoostApp app(c);
+  std::vector<f64> rdg_ms;
+  for (i32 t = 0; t < 150; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    const graph::TaskExecution* rdg = r.find(kRdgFull);
+    if (rdg->executed) rdg_ms.push_back(rdg->simulated_ms);
+  }
+  ASSERT_GT(rdg_ms.size(), 100u);
+  // The series varies (data-dependent)...
+  EXPECT_GT(stddev(rdg_ms), 0.0);
+}
+
+TEST(ScenarioDynamics, CplsWorkScalesWithCandidateClutter) {
+  // During the bolus, more candidates → quadratically more couple pairs.
+  // Ridge detection is held off so the vessel clutter reaches CPLS.
+  StentBoostConfig c = StentBoostConfig::make(128, 128, 100, 4);
+  c.sequence.contrast_in_frame = 30;
+  c.sequence.contrast_out_frame = 90;
+  c.force_full_frame = true;
+  c.dominant_low = ~0ull;  // RDG switches off immediately...
+  c.rdg_off_after = 1;
+  c.clutter_high = ~0ull;  // ...and never re-engages
+  StentBoostApp app(c);
+  u64 quiet_pairs = 0;
+  u64 bolus_pairs = 0;
+  for (i32 t = 0; t < 80; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    const graph::TaskExecution* cpls = r.find(kCplsSel);
+    if (!cpls->executed) continue;
+    if (t >= 5 && t < 25) quiet_pairs += cpls->work.items;
+    if (t >= 50 && t < 70) bolus_pairs += cpls->work.items;
+  }
+  EXPECT_GT(bolus_pairs, 2 * quiet_pairs);
+}
+
+TEST(ScenarioDynamics, RoiSizeVariesWithCoupleGeometry) {
+  trace::DatasetParams p;
+  p.sequences = 4;
+  p.frames_per_sequence = 40;
+  p.width = 128;
+  p.height = 128;
+  trace::RecordedDataset d = trace::build_dataset(p);
+  std::set<i64> roi_sizes;
+  for (const auto& seq : d.sequences) {
+    for (const auto& rec : seq) {
+      roi_sizes.insert(static_cast<i64>(rec.roi_pixels));
+    }
+  }
+  EXPECT_GE(roi_sizes.size(), 3u);
+}
+
+TEST(ScenarioDynamics, LatencyVariesAcrossScenarios) {
+  StentBoostConfig c = StentBoostConfig::make(128, 128, 120, 5);
+  c.sequence.contrast_in_frame = 30;
+  c.sequence.contrast_out_frame = 80;
+  StentBoostApp app(c);
+  std::vector<f64> latencies;
+  for (i32 t = 0; t < 100; ++t) {
+    latencies.push_back(app.process_frame(t).latency_ms);
+  }
+  // The straightforward mapping shows substantial latency variation
+  // (the motivation for Fig. 7 of the paper).
+  EXPECT_GT(max_of(latencies), 1.5 * min_of(latencies));
+}
+
+TEST(ScenarioDynamics, MarkerDropoutCausesRegistrationFailure) {
+  StentBoostConfig c = StentBoostConfig::make(128, 128, 100, 6);
+  c.sequence.marker_dropout_prob = 0.5;  // heavy dropout
+  c.sequence.contrast_in_frame = 1000;
+  StentBoostApp app(c);
+  i32 reg_fail = 0;
+  for (i32 t = 0; t < 50; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    if (((r.scenario >> kSwReg) & 1u) == 0) ++reg_fail;
+  }
+  EXPECT_GT(reg_fail, 10);
+}
+
+}  // namespace
+}  // namespace tc::app

@@ -1,0 +1,125 @@
+// End-to-end tracking accuracy against the synthetic ground truth: the
+// pipeline's couple must localize the true balloon markers across doses,
+// motion amplitudes and bolus phases (the functional core the resource
+// models sit on).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "app/stentboost.hpp"
+
+namespace tc::app {
+namespace {
+
+struct TrackingStats {
+  i32 frames = 0;
+  i32 tracked = 0;        // frames with a couple
+  i32 accurate = 0;       // couple within tolerance of the truth
+  f64 worst_err = 0.0;    // among accurate+tracked frames
+};
+
+f64 couple_error(const img::Couple& couple, const img::FrameTruth& truth) {
+  f64 direct =
+      std::hypot(couple.a.x - truth.marker_a.x, couple.a.y - truth.marker_a.y) +
+      std::hypot(couple.b.x - truth.marker_b.x, couple.b.y - truth.marker_b.y);
+  f64 swapped =
+      std::hypot(couple.a.x - truth.marker_b.x, couple.a.y - truth.marker_b.y) +
+      std::hypot(couple.b.x - truth.marker_a.x, couple.b.y - truth.marker_a.y);
+  return 0.5 * std::min(direct, swapped);
+}
+
+TrackingStats run_tracking(StentBoostConfig config, i32 frames,
+                           f64 tolerance_px) {
+  StentBoostApp app(config);
+  img::AngioSequence seq(config.sequence);
+  TrackingStats stats;
+  for (i32 t = 0; t < frames; ++t) {
+    (void)app.process_frame(t);
+    img::FrameTruth truth = seq.truth(t);
+    if (!truth.markers_visible) continue;
+    ++stats.frames;
+    if (!app.last_couple().has_value()) continue;
+    ++stats.tracked;
+    f64 err = couple_error(*app.last_couple(), truth);
+    if (err <= tolerance_px) {
+      ++stats.accurate;
+      stats.worst_err = std::max(stats.worst_err, err);
+    }
+  }
+  return stats;
+}
+
+TEST(TrackingAccuracy, QuietFluoroscopyIsNearPerfect) {
+  StentBoostConfig c = StentBoostConfig::make(256, 256, 80, 21);
+  c.sequence.contrast_in_frame = 100000;
+  c.sequence.marker_dropout_prob = 0.0;
+  TrackingStats s = run_tracking(c, 80, 2.0);
+  EXPECT_EQ(s.frames, 80);
+  EXPECT_GE(s.tracked, 78);
+  EXPECT_GE(s.accurate, s.tracked * 9 / 10);
+  EXPECT_LT(s.worst_err, 2.0);
+}
+
+class DoseSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(DoseSweep, TrackingSurvivesDoseRange) {
+  StentBoostConfig c = StentBoostConfig::make(256, 256, 60, 22);
+  c.sequence.contrast_in_frame = 100000;
+  c.sequence.marker_dropout_prob = 0.0;
+  c.sequence.dose_photons = GetParam();
+  TrackingStats s = run_tracking(c, 60, 3.0);
+  EXPECT_GE(s.accurate, s.frames * 3 / 4) << "dose " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Doses, DoseSweep,
+                         ::testing::Values(700.0, 900.0, 1200.0));
+
+class MotionSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(MotionSweep, TrackingSurvivesCardiacAmplitude) {
+  StentBoostConfig c = StentBoostConfig::make(256, 256, 60, 23);
+  c.sequence.contrast_in_frame = 100000;
+  c.sequence.marker_dropout_prob = 0.0;
+  c.sequence.motion.cardiac_amplitude_px = GetParam();
+  TrackingStats s = run_tracking(c, 60, 3.0);
+  EXPECT_GE(s.accurate, s.frames * 3 / 4) << "amplitude " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, MotionSweep,
+                         ::testing::Values(4.0, 9.0, 14.0));
+
+TEST(TrackingAccuracy, RecoversAfterDropoutBurst) {
+  StentBoostConfig c = StentBoostConfig::make(256, 256, 80, 24);
+  c.sequence.contrast_in_frame = 100000;
+  c.sequence.marker_dropout_prob = 0.25;  // heavy dropout
+  TrackingStats s = run_tracking(c, 80, 3.0);
+  // Visible frames are mostly re-acquired despite frequent interruptions.
+  EXPECT_GE(s.accurate, s.frames / 2);
+}
+
+TEST(TrackingAccuracy, BolusDegradesButGuidewireCatchesErrors) {
+  // During the bolus the couple may lock onto vessel structures; the
+  // guide-wire check must keep the *accepted registrations* honest: count
+  // frames where REG succeeded with a badly wrong couple.
+  StentBoostConfig c = StentBoostConfig::make(256, 256, 100, 25);
+  c.sequence.contrast_in_frame = 20;
+  c.sequence.contrast_out_frame = 90;
+  c.sequence.marker_dropout_prob = 0.0;
+  StentBoostApp app(c);
+  img::AngioSequence seq(c.sequence);
+  i32 bad_accepted = 0;
+  i32 accepted = 0;
+  for (i32 t = 0; t < 100; ++t) {
+    graph::FrameRecord r = app.process_frame(t);
+    bool reg = ((r.scenario >> kSwReg) & 1u) != 0;
+    if (!reg || !app.last_couple().has_value()) continue;
+    ++accepted;
+    if (couple_error(*app.last_couple(), seq.truth(t)) > 10.0) ++bad_accepted;
+  }
+  ASSERT_GT(accepted, 20);
+  EXPECT_LT(static_cast<f64>(bad_accepted) / accepted, 0.25);
+}
+
+}  // namespace
+}  // namespace tc::app

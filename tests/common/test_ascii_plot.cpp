@@ -1,0 +1,60 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc {
+namespace {
+
+TEST(AsciiPlot, EmptySeries) {
+  AsciiSeries s{"empty", {}, '*'};
+  std::string out = render_ascii_plot(s, AsciiPlotOptions{});
+  EXPECT_NE(out.find("(empty plot)"), std::string::npos);
+}
+
+TEST(AsciiPlot, ContainsTitleAndLegend) {
+  AsciiSeries s{"latency", {1.0, 2.0, 3.0}, 'o'};
+  AsciiPlotOptions opt;
+  opt.title = "My Title";
+  std::string out = render_ascii_plot(s, opt);
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+  EXPECT_NE(out.find("[o] latency"), std::string::npos);
+}
+
+TEST(AsciiPlot, GlyphAppearsInCanvas) {
+  AsciiSeries s{"x", {0.0, 1.0, 0.0, 1.0}, '#'};
+  std::string out = render_ascii_plot(s, AsciiPlotOptions{});
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, TwoSeriesShareCanvas) {
+  std::vector<AsciiSeries> series{
+      {"a", {0.0, 10.0, 0.0}, 'a'},
+      {"b", {5.0, 5.0, 5.0}, 'b'},
+  };
+  std::string out = render_ascii_plot(series, AsciiPlotOptions{});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotCrash) {
+  AsciiSeries s{"flat", std::vector<f64>(20, 7.0), '*'};
+  std::string out = render_ascii_plot(s, AsciiPlotOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlot, RespectsDimensions) {
+  AsciiSeries s{"x", {1.0, 2.0}, '*'};
+  AsciiPlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  std::string out = render_ascii_plot(s, opt);
+  // Count canvas lines: height rows plus the axis line.
+  usize lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_GE(lines, 11u);
+}
+
+}  // namespace
+}  // namespace tc

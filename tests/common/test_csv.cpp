@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tc {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv;
+  csv.header({"a", "b", "c"});
+  csv.cell(static_cast<i64>(1)).cell(2.5).cell("x");
+  csv.end_row();
+  EXPECT_EQ(csv.str(), "a,b,c\n1,2.5,x\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, IntegerTypes) {
+  CsvWriter csv;
+  csv.cell(static_cast<i32>(-7)).cell(static_cast<u64>(18446744073709551615ULL));
+  csv.end_row();
+  EXPECT_EQ(csv.str(), "-7,18446744073709551615\n");
+}
+
+TEST(Csv, EmptyRow) {
+  CsvWriter csv;
+  csv.end_row();
+  EXPECT_EQ(csv.str(), "\n");
+}
+
+TEST(Csv, FileModeWritesToDisk) {
+  const std::string path = testing::TempDir() + "tc_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"x"});
+    csv.cell(3.14159).end_row();
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "x\n3.14159\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FileModeFailureThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, DoubleFormattingPrecision) {
+  CsvWriter csv;
+  csv.cell(0.0001).end_row();
+  EXPECT_EQ(csv.str(), "0.0001\n");
+}
+
+}  // namespace
+}  // namespace tc

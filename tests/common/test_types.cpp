@@ -1,0 +1,56 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc {
+namespace {
+
+TEST(Rect, AreaAndEmpty) {
+  EXPECT_EQ((Rect{0, 0, 4, 5}.area()), 20);
+  EXPECT_TRUE((Rect{0, 0, 0, 5}.empty()));
+  EXPECT_TRUE((Rect{0, 0, 4, -1}.empty()));
+  EXPECT_FALSE((Rect{1, 1, 1, 1}.empty()));
+}
+
+TEST(Rect, Contains) {
+  Rect r{10, 20, 5, 5};
+  EXPECT_TRUE(r.contains(Point2i{10, 20}));
+  EXPECT_TRUE(r.contains(Point2i{14, 24}));
+  EXPECT_FALSE(r.contains(Point2i{15, 20}));  // half-open
+  EXPECT_FALSE(r.contains(Point2i{9, 20}));
+}
+
+TEST(ClampRect, InsideUnchanged) {
+  Rect r = clamp_rect(Rect{2, 3, 4, 5}, 100, 100);
+  EXPECT_EQ(r, (Rect{2, 3, 4, 5}));
+}
+
+TEST(ClampRect, NegativeOriginClamped) {
+  Rect r = clamp_rect(Rect{-5, -5, 20, 20}, 100, 100);
+  EXPECT_EQ(r, (Rect{0, 0, 15, 15}));
+}
+
+TEST(ClampRect, OverhangClamped) {
+  Rect r = clamp_rect(Rect{90, 95, 20, 20}, 100, 100);
+  EXPECT_EQ(r, (Rect{90, 95, 10, 5}));
+}
+
+TEST(ClampRect, FullyOutsideBecomesEmpty) {
+  Rect r = clamp_rect(Rect{200, 200, 10, 10}, 100, 100);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(IndexRange, LengthAndEmpty) {
+  EXPECT_EQ((IndexRange{2, 7}.length()), 5);
+  EXPECT_TRUE((IndexRange{3, 3}.empty()));
+  EXPECT_TRUE((IndexRange{5, 2}.empty()));
+}
+
+TEST(Units, KibMib) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,176 @@
+#include "graph/flowgraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::graph {
+namespace {
+
+std::unique_ptr<Task> counting_task(std::string name, i32* counter,
+                                    u64 ops = 10) {
+  return make_task(std::move(name), false, [counter, ops] {
+    ++*counter;
+    img::WorkReport w;
+    w.pixel_ops = ops;
+    return w;
+  });
+}
+
+TEST(FlowGraph, RunsTasksInTopologicalOrder) {
+  FlowGraph g;
+  std::vector<std::string> order;
+  auto tracked = [&order](std::string name) {
+    return make_task(name, false, [&order, name] {
+      order.push_back(name);
+      return img::WorkReport{};
+    });
+  };
+  i32 c = g.add_task(tracked("C"));
+  i32 a = g.add_task(tracked("A"));
+  i32 b = g.add_task(tracked("B"));
+  g.add_edge(a, b, [] { return u64{0}; });
+  g.add_edge(b, c, [] { return u64{0}; });
+  (void)g.run_frame(0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "A");
+  EXPECT_EQ(order[1], "B");
+  EXPECT_EQ(order[2], "C");
+}
+
+TEST(FlowGraph, CycleDetection) {
+  FlowGraph g;
+  i32 counter = 0;
+  i32 a = g.add_task(counting_task("A", &counter));
+  i32 b = g.add_task(counting_task("B", &counter));
+  g.add_edge(a, b, [] { return u64{0}; });
+  g.add_edge(b, a, [] { return u64{0}; });
+  EXPECT_THROW((void)g.topological_order(), std::logic_error);
+}
+
+TEST(FlowGraph, EdgeOutOfRangeThrows) {
+  FlowGraph g;
+  i32 counter = 0;
+  i32 a = g.add_task(counting_task("A", &counter));
+  EXPECT_THROW(g.add_edge(a, 5, [] { return u64{0}; }), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, a, [] { return u64{0}; }), std::out_of_range);
+}
+
+TEST(FlowGraph, GuardSkipsTask) {
+  FlowGraph g;
+  bool enabled = false;
+  i32 counter = 0;
+  (void)g.add_task(counting_task("A", &counter),
+                   [&enabled](FlowGraph&) { return enabled; });
+  FrameRecord r0 = g.run_frame(0);
+  EXPECT_EQ(counter, 0);
+  EXPECT_FALSE(r0.tasks[0].executed);
+  enabled = true;
+  FrameRecord r1 = g.run_frame(1);
+  EXPECT_EQ(counter, 1);
+  EXPECT_TRUE(r1.tasks[0].executed);
+}
+
+TEST(FlowGraph, TaskReturningNulloptRecordedAsSkipped) {
+  FlowGraph g;
+  (void)g.add_task(make_task("skip", false,
+                             [] { return std::optional<img::WorkReport>{}; }));
+  FrameRecord r = g.run_frame(0);
+  EXPECT_FALSE(r.tasks[0].executed);
+}
+
+TEST(FlowGraph, ScenarioIdFromSwitches) {
+  FlowGraph g;
+  bool s0 = true;
+  bool s1 = false;
+  bool s2 = true;
+  (void)g.add_switch("S0", [&] { return s0; });
+  (void)g.add_switch("S1", [&] { return s1; });
+  (void)g.add_switch("S2", [&] { return s2; });
+  FrameRecord r = g.run_frame(0);
+  EXPECT_EQ(r.scenario, 0b101u);
+  s1 = true;
+  s2 = false;
+  EXPECT_EQ(g.run_frame(1).scenario, 0b011u);
+}
+
+TEST(FlowGraph, SwitchEvaluatedLazilyAndCachedPerFrame) {
+  FlowGraph g;
+  i32 evaluations = 0;
+  bool value = false;
+  i32 sw = g.add_switch("S", [&] {
+    ++evaluations;
+    return value;
+  });
+  i32 counter = 0;
+  // Task A runs first and flips `value`; task B's guard reads the switch.
+  i32 a = g.add_task(make_task("A", false, [&] {
+    value = true;
+    return img::WorkReport{};
+  }));
+  i32 b = g.add_task(counting_task("B", &counter),
+                     [sw](FlowGraph& fg) { return fg.switch_value(sw); });
+  g.add_edge(a, b, [] { return u64{0}; });
+
+  FrameRecord r = g.run_frame(0);
+  // The guard evaluated the switch after A ran → true; B executed.
+  EXPECT_EQ(counter, 1);
+  EXPECT_EQ(r.scenario, 1u);
+  EXPECT_EQ(evaluations, 1);  // cached for the scenario id
+}
+
+TEST(FlowGraph, UnqueriedSwitchStillInScenario) {
+  FlowGraph g;
+  (void)g.add_switch("S", [] { return true; });
+  FrameRecord r = g.run_frame(0);
+  EXPECT_EQ(r.scenario, 1u);
+}
+
+TEST(FlowGraph, WorkReportStoredInRecord) {
+  FlowGraph g;
+  i32 counter = 0;
+  (void)g.add_task(counting_task("A", &counter, 1234));
+  FrameRecord r = g.run_frame(0);
+  ASSERT_TRUE(r.tasks[0].executed);
+  EXPECT_EQ(r.tasks[0].work.pixel_ops, 1234u);
+}
+
+TEST(FlowGraph, EdgeBytesCallable) {
+  FlowGraph g;
+  i32 counter = 0;
+  i32 a = g.add_task(counting_task("A", &counter));
+  i32 b = g.add_task(counting_task("B", &counter));
+  u64 bytes = 100;
+  g.add_edge(a, b, [&bytes] { return bytes; });
+  EXPECT_EQ(g.edges()[0].bytes_per_frame(), 100u);
+  bytes = 200;
+  EXPECT_EQ(g.edges()[0].bytes_per_frame(), 200u);
+}
+
+TEST(FlowGraph, FrameRecordFindLocatesTask) {
+  FlowGraph g;
+  i32 counter = 0;
+  i32 a = g.add_task(counting_task("A", &counter));
+  FrameRecord r = g.run_frame(3);
+  EXPECT_EQ(r.frame, 3);
+  ASSERT_NE(r.find(a), nullptr);
+  EXPECT_EQ(r.find(a)->node, a);
+  EXPECT_EQ(r.find(99), nullptr);
+}
+
+TEST(FlowGraph, IndependentTasksKeepInsertionOrder) {
+  FlowGraph g;
+  std::vector<std::string> order;
+  auto tracked = [&order](std::string name) {
+    return make_task(name, false, [&order, name] {
+      order.push_back(name);
+      return img::WorkReport{};
+    });
+  };
+  (void)g.add_task(tracked("X"));
+  (void)g.add_task(tracked("Y"));
+  (void)g.run_frame(0);
+  EXPECT_EQ(order[0], "X");
+  EXPECT_EQ(order[1], "Y");
+}
+
+}  // namespace
+}  // namespace tc::graph

@@ -1,0 +1,77 @@
+#include "graph/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::graph {
+namespace {
+
+TEST(Scenario, CountIsPowerOfTwo) {
+  EXPECT_EQ(scenario_count(0), 1u);
+  EXPECT_EQ(scenario_count(3), 8u);
+  EXPECT_EQ(scenario_count(5), 32u);
+}
+
+TEST(Scenario, LabelFormat) {
+  std::vector<std::string> names{"RDG", "ROI", "REG"};
+  EXPECT_EQ(scenario_label(0b101, names), "RDG=1 ROI=0 REG=1");
+  EXPECT_EQ(scenario_label(0, names), "RDG=0 ROI=0 REG=0");
+}
+
+TEST(ScenarioHistogram, CountsAndProbabilities) {
+  ScenarioHistogram h(3);
+  h.add(0);
+  h.add(0);
+  h.add(5);
+  h.add(7);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.probability(5), 0.25);
+  EXPECT_DOUBLE_EQ(h.probability(3), 0.0);
+}
+
+TEST(ScenarioHistogram, EmptyProbabilityIsZero) {
+  ScenarioHistogram h(2);
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.0);
+}
+
+TEST(ScenarioTransitions, ProbabilitiesNormalizePerRow) {
+  ScenarioTransitions t(2);
+  t.add(0, 1);
+  t.add(0, 1);
+  t.add(0, 2);
+  f64 sum = 0.0;
+  for (ScenarioId j = 0; j < 4; ++j) sum += t.probability(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(t.probability(0, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScenarioTransitions, UnseenRowIsUniform) {
+  ScenarioTransitions t(2);
+  for (ScenarioId j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(t.probability(3, j), 0.25);
+  }
+}
+
+TEST(ScenarioTransitions, MostLikelyNext) {
+  ScenarioTransitions t(2);
+  t.add(1, 3);
+  t.add(1, 3);
+  t.add(1, 0);
+  EXPECT_EQ(t.most_likely_next(1), 3u);
+}
+
+TEST(ScenarioTransitions, MostLikelyNextOfUnseenIsSelf) {
+  ScenarioTransitions t(3);
+  EXPECT_EQ(t.most_likely_next(5), 5u);
+}
+
+TEST(ScenarioTransitions, PersistenceDominates) {
+  // Scenarios that persist (heavy diagonal) predict themselves.
+  ScenarioTransitions t(3);
+  for (i32 i = 0; i < 10; ++i) t.add(2, 2);
+  t.add(2, 6);
+  EXPECT_EQ(t.most_likely_next(2), 2u);
+}
+
+}  // namespace
+}  // namespace tc::graph

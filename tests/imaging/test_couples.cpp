@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+MarkerCandidate cand(f64 x, f64 y, f32 score) {
+  return MarkerCandidate{Point2f{x, y}, score};
+}
+
+CoupleParams params(f64 prior = 50.0, f64 tol = 10.0) {
+  CoupleParams p;
+  p.prior_distance = prior;
+  p.distance_tolerance = tol;
+  return p;
+}
+
+TEST(Couples, EmptyCandidatesYieldNothing) {
+  CoupleResult r = select_couple({}, params());
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.pairs_considered, 0u);
+}
+
+TEST(Couples, SingleCandidateYieldsNothing) {
+  CoupleResult r = select_couple({cand(0, 0, 100)}, params());
+  EXPECT_FALSE(r.best.has_value());
+}
+
+TEST(Couples, SelectsPairAtPriorDistance) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 100), cand(50, 0, 100),  // exactly at the prior
+      cand(0, 30, 100),                   // wrong distance to everything
+  };
+  CoupleResult r = select_couple(cands, params());
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->distance(), 50.0, 1e-9);
+}
+
+TEST(Couples, RejectsAllPairsOutsideTolerance) {
+  std::vector<MarkerCandidate> cands{cand(0, 0, 100), cand(80, 0, 100)};
+  CoupleResult r = select_couple(cands, params(50.0, 10.0));
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.pairs_considered, 1u);
+}
+
+TEST(Couples, PrefersStrongerPairAtEqualPlausibility) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 50), cand(50, 0, 50),      // weak pair
+      cand(0, 100, 500), cand(50, 100, 500)  // strong pair
+  };
+  CoupleResult r = select_couple(cands, params());
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->a.y, 100.0, 1e-9);
+}
+
+TEST(Couples, PrefersBetterDistanceMatchAtEqualStrength) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 100), cand(58, 0, 100),     // 8 px off the prior
+      cand(0, 100, 100), cand(51, 100, 100)  // 1 px off the prior
+  };
+  CoupleResult r = select_couple(cands, params());
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->a.y, 100.0, 1e-9);
+}
+
+TEST(Couples, PairCountIsQuadratic) {
+  std::vector<MarkerCandidate> cands;
+  for (i32 i = 0; i < 20; ++i) {
+    cands.push_back(cand(static_cast<f64>(i * 7), 0.0, 10.0f));
+  }
+  CoupleResult r = select_couple(cands, params());
+  EXPECT_EQ(r.pairs_considered, 190u);  // C(20, 2)
+  EXPECT_EQ(r.work.feature_ops, 190u * 12u);
+}
+
+TEST(Couples, TrackingPriorBreaksTieTowardsPreviousLocation) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 100), cand(50, 0, 100),      // far from previous
+      cand(0, 200, 100), cand(50, 200, 100),  // near previous
+  };
+  Couple previous{Point2f{0, 198}, Point2f{50, 198}, 1.0};
+  CoupleResult with = select_couple(cands, params(), &previous);
+  ASSERT_TRUE(with.best.has_value());
+  EXPECT_NEAR(with.best->a.y, 200.0, 1e-9);
+}
+
+TEST(Couples, TrackingPriorOverridesStrongerDistantPair) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 500), cand(50, 0, 500),      // stronger but 150 px away
+      cand(0, 150, 100), cand(50, 150, 100),  // weaker but where we were
+  };
+  Couple previous{Point2f{0, 150}, Point2f{50, 150}, 1.0};
+  CoupleResult r = select_couple(cands, params(), &previous);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->a.y, 150.0, 1e-9);
+}
+
+TEST(Couples, NoPriorPicksGlobalBest) {
+  std::vector<MarkerCandidate> cands{
+      cand(0, 0, 500), cand(50, 0, 500),
+      cand(0, 150, 100), cand(50, 150, 100),
+  };
+  CoupleResult r = select_couple(cands, params(), nullptr);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->a.y, 0.0, 1e-9);
+}
+
+TEST(Couples, DistanceHelper) {
+  Couple c{Point2f{0, 0}, Point2f{3, 4}, 0.0};
+  EXPECT_DOUBLE_EQ(c.distance(), 5.0);
+}
+
+TEST(Couples, WorkReportFeatureLevel) {
+  std::vector<MarkerCandidate> cands{cand(0, 0, 1), cand(50, 0, 1)};
+  CoupleResult r = select_couple(cands, params());
+  EXPECT_FALSE(r.work.data_parallel);
+  EXPECT_EQ(r.work.items, r.pairs_considered);
+}
+
+}  // namespace
+}  // namespace tc::img

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+ImageF32 frame_with_spot(i32 size, Point2f spot, u64 seed, f32 noise) {
+  ImageF32 im(size, size, 5000.0f);
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, noise));
+  }
+  for (i32 y = 0; y < size; ++y) {
+    for (i32 x = 0; x < size; ++x) {
+      f64 d2 = (x - spot.x) * (x - spot.x) + (y - spot.y) * (y - spot.y);
+      im.at(x, y) -= static_cast<f32>(2000.0 * std::exp(-d2 / 8.0));
+    }
+  }
+  return im;
+}
+
+TEST(Enhance, FirstFrameAdoptsInput) {
+  ImageF32 frame = frame_with_spot(64, {32, 32}, 1, 50.0f);
+  EnhanceResult r = enhance(frame, Rect{16, 16, 32, 32}, ImageF32(), 0.0, 0.0,
+                            EnhanceParams{});
+  EXPECT_EQ(r.accumulator, frame);
+  EXPECT_EQ(r.enhanced_roi.width(), 32);
+  EXPECT_EQ(r.enhanced_roi.height(), 32);
+  EXPECT_FLOAT_EQ(r.enhanced_roi.at(0, 0), frame.at(16, 16));
+}
+
+TEST(Enhance, BlendsTowardsCurrentFrame) {
+  ImageF32 acc(32, 32, 100.0f);
+  ImageF32 cur(32, 32, 200.0f);
+  EnhanceParams p;
+  p.integration_gain = 0.25f;
+  EnhanceResult r = enhance(cur, Rect{0, 0, 32, 32}, acc, 0.0, 0.0, p);
+  // (1 - g) * 100 + g * 200 = 125.
+  EXPECT_NEAR(r.accumulator.at(16, 16), 125.0f, 1e-3f);
+}
+
+TEST(Enhance, NoiseIsReducedByIntegration) {
+  // Integrate 20 registered frames of a static scene: the noise in the
+  // accumulator must drop well below the single-frame noise.
+  EnhanceParams p;
+  p.integration_gain = 0.2f;
+  ImageF32 acc;
+  for (i32 t = 0; t < 20; ++t) {
+    ImageF32 frame = frame_with_spot(64, {32, 32}, 100 + t, 200.0f);
+    EnhanceResult r = enhance(frame, Rect{8, 8, 48, 48}, acc, 0.0, 0.0, p);
+    acc = std::move(r.accumulator);
+  }
+  // Compare pixel noise in a flat region (no spot) against one raw frame.
+  auto flat_stddev = [](const ImageF32& im) {
+    std::vector<f64> xs;
+    for (i32 y = 2; y < 12; ++y) {
+      for (i32 x = 50; x < 62; ++x) xs.push_back(im.at(x, y));
+    }
+    return stddev(xs);
+  };
+  ImageF32 raw = frame_with_spot(64, {32, 32}, 999, 200.0f);
+  EXPECT_LT(flat_stddev(acc), 0.6 * flat_stddev(raw));
+}
+
+TEST(Enhance, MotionCompensationKeepsSpotSharp) {
+  // The spot moves 2 px right per frame; with correct cumulative
+  // displacement the accumulator keeps a deep spot at the *reference*
+  // (initial) location — the stabilized view.
+  EnhanceParams p;
+  p.integration_gain = 0.3f;
+  ImageF32 acc;
+  for (i32 t = 0; t < 10; ++t) {
+    f64 x = 20.0 + 2.0 * t;
+    ImageF32 frame = frame_with_spot(64, {x, 32.0}, 200 + t, 100.0f);
+    EnhanceResult r =
+        enhance(frame, Rect{0, 0, 64, 64}, acc, 2.0 * t, 0.0, p);
+    acc = std::move(r.accumulator);
+  }
+  // Spot depth at the stabilized reference location vs. a trailing spot.
+  f32 at_spot = acc.at(20, 32);
+  f32 off_spot = acc.at(32, 32);
+  EXPECT_LT(at_spot, off_spot - 1000.0f);
+}
+
+TEST(Enhance, WithoutCompensationSpotSmears) {
+  EnhanceParams p;
+  p.integration_gain = 0.3f;
+  ImageF32 acc_comp;
+  ImageF32 acc_naive;
+  for (i32 t = 0; t < 10; ++t) {
+    f64 x = 20.0 + 2.0 * t;
+    ImageF32 frame = frame_with_spot(64, {x, 32.0}, 300 + t, 50.0f);
+    acc_comp =
+        enhance(frame, Rect{0, 0, 64, 64}, acc_comp, 2.0 * t, 0.0, p)
+            .accumulator;
+    acc_naive = enhance(frame, Rect{0, 0, 64, 64}, acc_naive, 0.0, 0.0, p)
+                    .accumulator;
+  }
+  // The compensated accumulator has a deeper (darker) spot at the
+  // reference location than anything the smeared one retains there.
+  EXPECT_LT(acc_comp.at(20, 32), acc_naive.at(20, 32) - 300.0f);
+}
+
+TEST(Enhance, CoupleBasedRotationCompensation) {
+  // A spot rotating about the couple centre stays sharp at the reference
+  // location when the couple rotation is compensated.
+  EnhanceParams p;
+  p.integration_gain = 0.3f;
+  ImageF32 acc;
+  const Point2f c{32.0, 32.0};
+  const f64 arm = 12.0;
+  Couple ref{Point2f{c.x - arm, c.y}, Point2f{c.x + arm, c.y}, 1.0};
+  for (i32 t = 0; t < 8; ++t) {
+    f64 phi = 0.05 * t;
+    auto rot = [&](f64 offx) {
+      return Point2f{c.x + offx * std::cos(phi), c.y + offx * std::sin(phi)};
+    };
+    Couple cur{rot(-arm), rot(arm), 1.0};
+    // The spot rides on marker b.
+    ImageF32 frame = frame_with_spot(64, cur.b, 400 + t, 30.0f);
+    acc = enhance(frame, Rect{0, 0, 64, 64}, acc, cur, ref, p).accumulator;
+  }
+  // Sharp spot at the reference marker-b location.
+  f32 at_ref = acc.at(static_cast<i32>(c.x + arm), static_cast<i32>(c.y));
+  f32 nearby = acc.at(static_cast<i32>(c.x + arm), static_cast<i32>(c.y) - 8);
+  EXPECT_LT(at_ref, nearby - 800.0f);
+}
+
+TEST(Enhance, AccumulatorSizeMismatchRestarts) {
+  ImageF32 small(16, 16, 1.0f);
+  ImageF32 frame(32, 32, 7.0f);
+  EnhanceResult r = enhance(frame, Rect{0, 0, 16, 16}, small, 0.0, 0.0,
+                            EnhanceParams{});
+  EXPECT_EQ(r.accumulator, frame);
+}
+
+TEST(Enhance, WorkIsFullFrameConstant) {
+  // ENH cost does not depend on the ROI size (matches the paper's constant
+  // 24 ms model for this task).
+  ImageF32 acc(64, 64, 1.0f);
+  ImageF32 frame(64, 64, 2.0f);
+  EnhanceResult small =
+      enhance(frame, Rect{0, 0, 16, 16}, acc, 1.0, 0.0, EnhanceParams{});
+  EnhanceResult large =
+      enhance(frame, Rect{0, 0, 64, 64}, acc, 1.0, 0.0, EnhanceParams{});
+  EXPECT_EQ(small.work.pixel_ops, large.work.pixel_ops);
+}
+
+}  // namespace
+}  // namespace tc::img

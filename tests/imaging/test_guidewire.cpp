@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+/// Frame with a dark curved wire between two endpoints: the wire follows a
+/// parabolic bulge of height `bulge` perpendicular to the chord.
+ImageF32 wire_image(i32 size, Point2f a, Point2f b, f64 bulge, f32 depth,
+                    u64 seed = 1, f32 noise = 30.0f) {
+  ImageF32 im(size, size, 10000.0f);
+  f64 dx = b.x - a.x;
+  f64 dy = b.y - a.y;
+  f64 len = std::hypot(dx, dy);
+  f64 nx = -dy / len;
+  f64 ny = dx / len;
+  const i32 steps = static_cast<i32>(len * 3.0);
+  for (i32 s = 0; s <= steps; ++s) {
+    f64 t = static_cast<f64>(s) / steps;
+    f64 off = bulge * 4.0 * t * (1.0 - t);  // parabola, max at mid-chord
+    f64 px = a.x + t * dx + off * nx;
+    f64 py = a.y + t * dy + off * ny;
+    for (i32 oy = -2; oy <= 2; ++oy) {
+      for (i32 ox = -2; ox <= 2; ++ox) {
+        i32 x = static_cast<i32>(px) + ox;
+        i32 y = static_cast<i32>(py) + oy;
+        if (!im.in_bounds(x, y)) continue;
+        f64 d2 = (x - px) * (x - px) + (y - py) * (y - py);
+        f32 v = static_cast<f32>(depth * std::exp(-d2 / 1.5));
+        im.at(x, y) = std::min(im.at(x, y), 10000.0f - v);
+      }
+    }
+  }
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, noise));
+  }
+  return im;
+}
+
+GuideWireParams gw_params() {
+  GuideWireParams p;
+  p.min_ridgeness = 50.0f;
+  return p;
+}
+
+TEST(GuideWire, FindsStraightWire) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  ImageF32 im = wire_image(128, a, b, 0.0, 4000.0f);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  Couple couple{a, b, 1.0};
+  GuideWireResult r = extract_guidewire(ridge, couple, gw_params());
+  EXPECT_TRUE(r.found);
+  EXPECT_GT(r.mean_ridgeness, 50.0);
+  EXPECT_EQ(r.path.size(), static_cast<usize>(gw_params().path_samples));
+}
+
+TEST(GuideWire, FollowsCurvedWire) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  const f64 bulge = 4.0;
+  ImageF32 im = wire_image(128, a, b, bulge, 4000.0f);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  Couple couple{a, b, 1.0};
+  GuideWireResult r = extract_guidewire(ridge, couple, gw_params());
+  ASSERT_TRUE(r.found);
+  // The mid-path sample should have moved towards the bulge (+y: the
+  // normal of the a->b chord points in the +y direction).
+  Point2f mid = r.path[r.path.size() / 2];
+  EXPECT_GT(mid.y, 65.0);
+  EXPECT_LT(mid.y, 64.0 + 2.5 * bulge);
+}
+
+TEST(GuideWire, RejectsNoWire) {
+  ImageF32 im(128, 128, 10000.0f);
+  Pcg32 rng(2);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, 30.0));
+  }
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  Couple couple{Point2f{30, 64}, Point2f{98, 64}, 1.0};
+  GuideWireResult r = extract_guidewire(ridge, couple, gw_params());
+  EXPECT_FALSE(r.found);
+}
+
+TEST(GuideWire, DegenerateCoupleReturnsNotFound) {
+  ImageF32 im(64, 64, 100.0f);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  Couple couple{Point2f{32, 32}, Point2f{32, 32}, 1.0};
+  GuideWireResult r = extract_guidewire(ridge, couple, gw_params());
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(GuideWire, IterationsAreDataDependent) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  ImageF32 straight = wire_image(128, a, b, 0.0, 4000.0f, 3);
+  ImageF32 curved = wire_image(128, a, b, 5.0, 4000.0f, 3);
+  RidgeResult rs = ridge_detect(straight, straight.full_rect(), RidgeParams{});
+  RidgeResult rc = ridge_detect(curved, curved.full_rect(), RidgeParams{});
+  Couple couple{a, b, 1.0};
+  GuideWireResult gs = extract_guidewire(rs, couple, gw_params());
+  GuideWireResult gc = extract_guidewire(rc, couple, gw_params());
+  // The curved wire needs at least as many refinement sweeps.
+  EXPECT_GE(gc.iterations, gs.iterations);
+  EXPECT_GT(gc.work.feature_ops, 0u);
+}
+
+TEST(GuideWire, IterationCapRespected) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  ImageF32 im = wire_image(128, a, b, 6.0, 4000.0f, 4, 200.0f);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  GuideWireParams p = gw_params();
+  p.max_iterations = 3;
+  GuideWireResult r = extract_guidewire(ridge, {a, b, 1.0}, p);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(GuideWire, ThinWireHasLowOffPathRatio) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  ImageF32 im = wire_image(128, a, b, 0.0, 4000.0f, 6);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  GuideWireResult r = extract_guidewire(ridge, {a, b, 1.0}, gw_params());
+  EXPECT_TRUE(r.found);
+  EXPECT_LT(r.off_path_ratio, 0.5);
+}
+
+TEST(GuideWire, WideVesselRejectedByWidthCheck) {
+  // A vessel-like dark line (Gaussian cross profile, half-width 3.5 px)
+  // joining the endpoints is a strong ridge, but the response has *not*
+  // dropped off 2.5 px to the side — the wire-width check must reject it.
+  ImageF32 im(128, 128, 10000.0f);
+  for (i32 x = 10; x <= 118; ++x) {
+    for (i32 y = 50; y <= 78; ++y) {
+      f64 d = static_cast<f64>(y) - 64.0;
+      im.at(x, y) -= static_cast<f32>(
+          4000.0 * std::exp(-0.5 * d * d / (3.5 * 3.5)));
+    }
+  }
+  Pcg32 rng(7);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, 30.0));
+  }
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  Couple couple{Point2f{30, 64}, Point2f{98, 64}, 1.0};
+  GuideWireResult r = extract_guidewire(ridge, couple, gw_params());
+  EXPECT_GT(r.off_path_ratio, 0.45);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(GuideWire, PathEndpointsAreTheMarkers) {
+  Point2f a{30, 64};
+  Point2f b{98, 64};
+  ImageF32 im = wire_image(128, a, b, 2.0, 4000.0f);
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), RidgeParams{});
+  GuideWireResult r = extract_guidewire(ridge, {a, b, 1.0}, gw_params());
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_NEAR(r.path.front().x, a.x, 1e-9);
+  EXPECT_NEAR(r.path.front().y, a.y, 1e-9);
+  EXPECT_NEAR(r.path.back().x, b.x, 1e-9);
+  EXPECT_NEAR(r.path.back().y, b.y, 1e-9);
+}
+
+}  // namespace
+}  // namespace tc::img

@@ -1,0 +1,115 @@
+#include "imaging/image.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace tc::img {
+namespace {
+
+TEST(Image, DefaultIsEmpty) {
+  ImageF32 im;
+  EXPECT_TRUE(im.empty());
+  EXPECT_EQ(im.width(), 0);
+  EXPECT_EQ(im.height(), 0);
+  EXPECT_EQ(im.bytes(), 0u);
+}
+
+TEST(Image, ConstructionWithFill) {
+  ImageU16 im(4, 3, 7);
+  EXPECT_EQ(im.size(), 12u);
+  EXPECT_EQ(im.bytes(), 24u);
+  for (i32 y = 0; y < 3; ++y) {
+    for (i32 x = 0; x < 4; ++x) EXPECT_EQ(im.at(x, y), 7);
+  }
+}
+
+TEST(Image, RowMajorLayout) {
+  ImageF32 im(3, 2);
+  im.at(2, 1) = 5.0f;
+  EXPECT_EQ(im.data()[1 * 3 + 2], 5.0f);
+  EXPECT_EQ(im.row(1)[2], 5.0f);
+}
+
+TEST(Image, ClampedAccess) {
+  ImageF32 im(2, 2);
+  im.at(0, 0) = 1.0f;
+  im.at(1, 1) = 4.0f;
+  EXPECT_EQ(im.at_clamped(-5, -5), 1.0f);
+  EXPECT_EQ(im.at_clamped(10, 10), 4.0f);
+}
+
+TEST(Image, CropCopiesSubRect) {
+  ImageF32 im(5, 5);
+  for (i32 y = 0; y < 5; ++y) {
+    for (i32 x = 0; x < 5; ++x) im.at(x, y) = static_cast<f32>(y * 5 + x);
+  }
+  ImageF32 c = im.crop(Rect{1, 2, 3, 2});
+  ASSERT_EQ(c.width(), 3);
+  ASSERT_EQ(c.height(), 2);
+  EXPECT_EQ(c.at(0, 0), im.at(1, 2));
+  EXPECT_EQ(c.at(2, 1), im.at(3, 3));
+}
+
+TEST(Image, CropClampsToBounds) {
+  ImageF32 im(4, 4, 1.0f);
+  ImageF32 c = im.crop(Rect{2, 2, 10, 10});
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.height(), 2);
+}
+
+TEST(Image, EqualityOperator) {
+  ImageU16 a(2, 2, 3);
+  ImageU16 b(2, 2, 3);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Image, ConversionRoundTrip) {
+  ImageU16 a(3, 3);
+  for (usize i = 0; i < a.size(); ++i) a.data()[i] = static_cast<u16>(i * 100);
+  ImageF32 f = to_f32(a);
+  ImageU16 b = to_u16(f);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Image, ToU16Clamps) {
+  ImageF32 f(1, 1);
+  f.at(0, 0) = 1.0e6f;
+  EXPECT_EQ(to_u16(f).at(0, 0), 65535);
+  f.at(0, 0) = -5.0f;
+  EXPECT_EQ(to_u16(f).at(0, 0), 0);
+}
+
+TEST(Image, WritePgmProducesValidHeader) {
+  ImageU16 im(8, 4);
+  for (usize i = 0; i < im.size(); ++i) im.data()[i] = static_cast<u16>(i);
+  const std::string path = testing::TempDir() + "tc_img_test.pgm";
+  ASSERT_TRUE(write_pgm(im, path));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  i32 w = 0;
+  i32 h = 0;
+  i32 maxval = 0;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+TEST(Image, WritePgmFailsOnBadPath) {
+  ImageU16 im(2, 2);
+  EXPECT_FALSE(write_pgm(im, "/nonexistent-dir-xyz/out.pgm"));
+}
+
+TEST(Image, FullRect) {
+  ImageF32 im(6, 9);
+  EXPECT_EQ(im.full_rect(), (Rect{0, 0, 6, 9}));
+}
+
+}  // namespace
+}  // namespace tc::img

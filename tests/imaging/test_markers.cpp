@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+/// Bright background with dark disks stamped at the given positions.
+ImageF32 blob_image(i32 size, std::vector<Point2f> blobs, f32 depth,
+                    f64 radius, u64 noise_seed = 0, f32 noise_sigma = 0.0f) {
+  ImageF32 im(size, size, 20000.0f);
+  for (const Point2f& b : blobs) {
+    for (i32 y = 0; y < size; ++y) {
+      for (i32 x = 0; x < size; ++x) {
+        f64 d = std::hypot(x - b.x, y - b.y);
+        f64 edge = 1.0 / (1.0 + std::exp((d - radius) / 0.6));
+        im.at(x, y) -= static_cast<f32>(depth * edge);
+      }
+    }
+  }
+  if (noise_sigma > 0.0f) {
+    Pcg32 rng(noise_seed);
+    for (usize i = 0; i < im.size(); ++i) {
+      im.data()[i] += static_cast<f32>(rng.normal(0.0, noise_sigma));
+    }
+  }
+  return im;
+}
+
+MarkerParams test_params() {
+  MarkerParams p;
+  p.decimation = 4;
+  p.blob_sigma = 0.9;
+  p.background_sigma = 2.2;
+  p.detect_threshold = 800.0f;
+  return p;
+}
+
+TEST(Markers, FindsTwoCleanBlobs) {
+  ImageF32 im = blob_image(128, {{40.0, 40.0}, {88.0, 80.0}}, 9000.0f, 4.0);
+  MarkerResult r = extract_markers(im, im.full_rect(), test_params(), nullptr);
+  ASSERT_GE(r.candidates.size(), 2u);
+  // The two strongest candidates are at the blobs, sub-pixel accurate.
+  f64 d0 = std::min(std::hypot(r.candidates[0].position.x - 40.0,
+                               r.candidates[0].position.y - 40.0),
+                    std::hypot(r.candidates[0].position.x - 88.0,
+                               r.candidates[0].position.y - 80.0));
+  f64 d1 = std::min(std::hypot(r.candidates[1].position.x - 40.0,
+                               r.candidates[1].position.y - 40.0),
+                    std::hypot(r.candidates[1].position.x - 88.0,
+                               r.candidates[1].position.y - 80.0));
+  EXPECT_LT(d0, 1.5);
+  EXPECT_LT(d1, 1.5);
+}
+
+TEST(Markers, EmptyImageYieldsNoCandidates) {
+  ImageF32 im(128, 128, 20000.0f);
+  MarkerResult r = extract_markers(im, im.full_rect(), test_params(), nullptr);
+  EXPECT_TRUE(r.candidates.empty());
+}
+
+TEST(Markers, ThresholdFiltersWeakBlobs) {
+  ImageF32 im = blob_image(128, {{64.0, 64.0}}, 2000.0f, 4.0);
+  MarkerParams lo = test_params();
+  lo.detect_threshold = 300.0f;
+  MarkerParams hi = test_params();
+  hi.detect_threshold = 100000.0f;
+  EXPECT_FALSE(extract_markers(im, im.full_rect(), lo, nullptr)
+                   .candidates.empty());
+  EXPECT_TRUE(extract_markers(im, im.full_rect(), hi, nullptr)
+                  .candidates.empty());
+}
+
+TEST(Markers, CandidatesSortedByScore) {
+  ImageF32 im = blob_image(128, {{30.0, 30.0}, {90.0, 90.0}}, 9000.0f, 4.0,
+                           42, 300.0f);
+  MarkerResult r = extract_markers(im, im.full_rect(), test_params(), nullptr);
+  for (usize i = 1; i < r.candidates.size(); ++i) {
+    EXPECT_GE(r.candidates[i - 1].score, r.candidates[i].score);
+  }
+}
+
+TEST(Markers, MaxCandidatesCapRespected) {
+  // Heavy noise produces many detections; the cap must hold.
+  ImageF32 im = blob_image(128, {}, 0.0f, 1.0, 7, 3000.0f);
+  MarkerParams p = test_params();
+  p.detect_threshold = 100.0f;
+  p.max_candidates = 10;
+  MarkerResult r = extract_markers(im, im.full_rect(), p, nullptr);
+  EXPECT_LE(r.candidates.size(), 10u);
+}
+
+TEST(Markers, RoiRestrictsSearch) {
+  ImageF32 im = blob_image(128, {{30.0, 30.0}, {90.0, 90.0}}, 9000.0f, 4.0);
+  MarkerResult r =
+      extract_markers(im, Rect{64, 64, 64, 64}, test_params(), nullptr);
+  ASSERT_FALSE(r.candidates.empty());
+  for (const MarkerCandidate& c : r.candidates) {
+    EXPECT_GE(c.position.x, 58.0);  // refine window may move slightly
+    EXPECT_GE(c.position.y, 58.0);
+  }
+}
+
+TEST(Markers, RidgeSuppressionRemovesLineCandidates) {
+  // A dark line plus one blob; with ridge info the line candidates are
+  // penalized away while the blob survives.
+  ImageF32 im = blob_image(128, {{40.0, 64.0}}, 9000.0f, 4.0);
+  for (i32 y = 0; y < 128; ++y) {
+    for (i32 x = 84; x <= 88; ++x) im.at(x, y) -= 7000.0f;
+  }
+  RidgeParams rp;
+  RidgeResult ridge = ridge_detect(im, im.full_rect(), rp);
+  MarkerParams p = test_params();
+  MarkerResult with = extract_markers(im, im.full_rect(), p, &ridge);
+  MarkerResult without = extract_markers(im, im.full_rect(), p, nullptr);
+  EXPECT_LT(with.candidates.size(), without.candidates.size());
+  // The blob remains the top candidate with ridge suppression.
+  ASSERT_FALSE(with.candidates.empty());
+  EXPECT_NEAR(with.candidates[0].position.x, 40.0, 2.0);
+}
+
+TEST(Markers, WorkScalesWithRoiArea) {
+  ImageF32 im = blob_image(128, {{64.0, 64.0}}, 9000.0f, 4.0);
+  MarkerResult full =
+      extract_markers(im, im.full_rect(), test_params(), nullptr);
+  MarkerResult quarter =
+      extract_markers(im, Rect{32, 32, 64, 64}, test_params(), nullptr);
+  EXPECT_LT(quarter.work.pixel_ops, full.work.pixel_ops);
+  EXPECT_LT(quarter.work.input_bytes, full.work.input_bytes);
+}
+
+TEST(Markers, SubRectUnionMatchesFullForAlignedSplit) {
+  // Splitting the ROI at a cell-aligned row produces the same candidate set
+  // (NMS cells are anchored to the absolute grid).
+  ImageF32 im = blob_image(128, {{40.0, 30.0}, {80.0, 100.0}}, 9000.0f, 4.0,
+                           11, 200.0f);
+  MarkerParams p = test_params();
+  MarkerResult full = extract_markers(im, im.full_rect(), p, nullptr);
+
+  const i32 d = p.decimation;
+  const i32 cell_px = p.nms_cell * d;  // full-res pixels per NMS cell
+  const i32 split = (128 / 2 / cell_px) * cell_px;
+  MarkerResult top = extract_markers(im, Rect{0, 0, 128, split}, p, nullptr);
+  MarkerResult bottom =
+      extract_markers(im, Rect{0, split, 128, 128 - split}, p, nullptr);
+  EXPECT_EQ(full.candidates.size(),
+            top.candidates.size() + bottom.candidates.size());
+}
+
+TEST(Markers, RefinementAchievesSubpixelAccuracy) {
+  for (f64 frac : {0.0, 0.25, 0.5}) {
+    ImageF32 im = blob_image(128, {{64.0 + frac, 64.0}}, 9000.0f, 4.0);
+    MarkerResult r =
+        extract_markers(im, im.full_rect(), test_params(), nullptr);
+    ASSERT_FALSE(r.candidates.empty());
+    EXPECT_NEAR(r.candidates[0].position.x, 64.0 + frac, 0.5) << frac;
+    EXPECT_NEAR(r.candidates[0].position.y, 64.0, 0.5) << frac;
+  }
+}
+
+}  // namespace
+}  // namespace tc::img

@@ -1,0 +1,106 @@
+#include "imaging/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tc::img {
+namespace {
+
+ImageF32 noisy(i32 size, f32 base, f32 sigma, u64 seed) {
+  ImageF32 im(size, size, base);
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, sigma));
+  }
+  return im;
+}
+
+TEST(Metrics, PsnrIdenticalImagesIsLarge) {
+  ImageF32 a = noisy(32, 1000.0f, 50.0f, 1);
+  EXPECT_DOUBLE_EQ(psnr(a, a, 65535.0), 200.0);
+}
+
+TEST(Metrics, PsnrKnownMse) {
+  ImageF32 a(16, 16, 0.0f);
+  ImageF32 b(16, 16, 655.35f);  // MSE = (peak/100)^2 -> PSNR = 40 dB
+  EXPECT_NEAR(psnr(a, b, 65535.0), 40.0, 1e-6);
+}
+
+TEST(Metrics, PsnrDimensionMismatchIsZero) {
+  ImageF32 a(16, 16);
+  ImageF32 b(8, 8);
+  EXPECT_DOUBLE_EQ(psnr(a, b, 65535.0), 0.0);
+}
+
+TEST(Metrics, PsnrOrdersNoiseLevels) {
+  ImageF32 clean(32, 32, 1000.0f);
+  ImageF32 slightly = noisy(32, 1000.0f, 10.0f, 2);
+  ImageF32 very = noisy(32, 1000.0f, 100.0f, 3);
+  EXPECT_GT(psnr(clean, slightly, 65535.0), psnr(clean, very, 65535.0));
+}
+
+TEST(Metrics, RegionMeanAndStddev) {
+  ImageF32 im(16, 16, 5.0f);
+  for (i32 x = 0; x < 16; ++x) im.at(x, 0) = 100.0f;  // outside the region
+  Rect region{0, 4, 16, 8};
+  EXPECT_DOUBLE_EQ(region_mean(im, region), 5.0);
+  EXPECT_DOUBLE_EQ(region_stddev(im, region), 0.0);
+}
+
+TEST(Metrics, RegionStddevOfNoise) {
+  ImageF32 im = noisy(64, 1000.0f, 50.0f, 4);
+  EXPECT_NEAR(region_stddev(im, Rect{0, 0, 64, 64}), 50.0, 5.0);
+}
+
+TEST(Metrics, DiskCnrDetectsContrast) {
+  // Dark disk of depth 500 on noise sigma 50: CNR ≈ 10.
+  ImageF32 im = noisy(64, 1000.0f, 50.0f, 5);
+  for (i32 y = 0; y < 64; ++y) {
+    for (i32 x = 0; x < 64; ++x) {
+      f64 d = std::hypot(x - 32.0, y - 32.0);
+      if (d <= 4.0) im.at(x, y) -= 500.0f;
+    }
+  }
+  f64 cnr = disk_cnr(im, Point2f{32, 32}, 4.0);
+  EXPECT_GT(cnr, 6.0);
+  EXPECT_LT(cnr, 14.0);
+}
+
+TEST(Metrics, DiskCnrZeroOnFlatNoise) {
+  ImageF32 im = noisy(64, 1000.0f, 50.0f, 6);
+  f64 cnr = disk_cnr(im, Point2f{32, 32}, 4.0);
+  EXPECT_LT(cnr, 2.0);
+}
+
+TEST(Metrics, CnrImprovesWithLowerNoise) {
+  auto make = [](f32 sigma, u64 seed) {
+    ImageF32 im = noisy(64, 1000.0f, sigma, seed);
+    for (i32 y = 0; y < 64; ++y) {
+      for (i32 x = 0; x < 64; ++x) {
+        f64 d = std::hypot(x - 32.0, y - 32.0);
+        if (d <= 4.0) im.at(x, y) -= 500.0f;
+      }
+    }
+    return im;
+  };
+  EXPECT_GT(disk_cnr(make(20.0f, 7), Point2f{32, 32}, 4.0),
+            2.0 * disk_cnr(make(80.0f, 8), Point2f{32, 32}, 4.0));
+}
+
+TEST(Metrics, MarkerCnrAveragesTwoDisks) {
+  ImageF32 im = noisy(96, 1000.0f, 50.0f, 9);
+  for (Point2f c : {Point2f{30.0, 48.0}, Point2f{66.0, 48.0}}) {
+    for (i32 y = 0; y < 96; ++y) {
+      for (i32 x = 0; x < 96; ++x) {
+        f64 d = std::hypot(x - c.x, y - c.y);
+        if (d <= 4.0) im.at(x, y) -= 500.0f;
+      }
+    }
+  }
+  f64 cnr = marker_cnr(im, Point2f{30, 48}, Point2f{66, 48}, 4.0);
+  EXPECT_GT(cnr, 5.0);
+}
+
+}  // namespace
+}  // namespace tc::img

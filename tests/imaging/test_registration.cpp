@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+ImageF32 noisy_frame(i32 size, u64 seed, f32 sigma = 50.0f) {
+  ImageF32 im(size, size, 10000.0f);
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] += static_cast<f32>(rng.normal(0.0, sigma));
+  }
+  return im;
+}
+
+RegistrationParams reg_params() {
+  RegistrationParams p;
+  p.max_displacement = 20.0;
+  p.max_distance_drift = 5.0;
+  p.motion_window = 8;
+  p.min_motion_energy = 1.0f;
+  return p;
+}
+
+TEST(Registration, RecoversPureTranslation) {
+  // The current frame is the previous frame shifted by (3, 4) plus fresh
+  // noise; the image-based SAD refinement must stay on the true shift.
+  ImageF32 f0 = gaussian_blur(noisy_frame(96, 1, 400.0f), 1.5);
+  ImageF32 f1 = translate_bilinear(f0, -3.0, -4.0);
+  Pcg32 extra(99);
+  for (usize i = 0; i < f1.size(); ++i) {
+    f1.data()[i] += static_cast<f32>(extra.normal(0.0, 20.0));
+  }
+  Couple prev{Point2f{30, 40}, Point2f{60, 40}, 1.0};
+  Couple cur{Point2f{33, 44}, Point2f{63, 44}, 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_TRUE(r.success);
+  EXPECT_NEAR(r.dx, 3.0, 0.6);
+  EXPECT_NEAR(r.dy, 4.0, 0.6);
+  EXPECT_NEAR(r.rotation, 0.0, 1e-9);
+}
+
+TEST(Registration, RecoversRotation) {
+  ImageF32 f0 = noisy_frame(96, 3);
+  ImageF32 f1 = noisy_frame(96, 4);
+  Couple prev{Point2f{30, 48}, Point2f{60, 48}, 1.0};
+  // Rotate the couple by 0.1 rad around its centre.
+  f64 angle = 0.1;
+  f64 cx = 45.0;
+  f64 cy = 48.0;
+  auto rot = [&](Point2f p) {
+    f64 rx = p.x - cx;
+    f64 ry = p.y - cy;
+    return Point2f{cx + rx * std::cos(angle) - ry * std::sin(angle),
+                   cy + rx * std::sin(angle) + ry * std::cos(angle)};
+  };
+  Couple cur{rot(prev.a), rot(prev.b), 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_TRUE(r.success);
+  EXPECT_NEAR(r.rotation, 0.1, 1e-6);
+  // The SAD refinement searches +-1.5 px around the marker-based estimate;
+  // on uncorrelated noise it may wander within that range.
+  EXPECT_NEAR(r.dx, 0.0, 1.6);
+}
+
+TEST(Registration, HandlesSwappedEndpoints) {
+  ImageF32 f0 = gaussian_blur(noisy_frame(96, 5, 400.0f), 1.5);
+  ImageF32 f1 = translate_bilinear(f0, -1.0, -2.0);
+  Pcg32 extra(98);
+  for (usize i = 0; i < f1.size(); ++i) {
+    f1.data()[i] += static_cast<f32>(extra.normal(0.0, 20.0));
+  }
+  Couple prev{Point2f{30, 40}, Point2f{60, 40}, 1.0};
+  // Same couple, endpoints listed in the opposite order, shifted by (1, 2).
+  Couple cur{Point2f{61, 42}, Point2f{31, 42}, 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_TRUE(r.success);
+  EXPECT_NEAR(r.dx, 1.0, 0.6);
+  EXPECT_NEAR(r.dy, 2.0, 0.6);
+}
+
+TEST(Registration, RejectsExcessiveDisplacement) {
+  ImageF32 f0 = noisy_frame(96, 7);
+  ImageF32 f1 = noisy_frame(96, 8);
+  Couple prev{Point2f{10, 10}, Point2f{40, 10}, 1.0};
+  Couple cur{Point2f{50, 60}, Point2f{80, 60}, 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Registration, RejectsDistanceDrift) {
+  ImageF32 f0 = noisy_frame(96, 9);
+  ImageF32 f1 = noisy_frame(96, 10);
+  Couple prev{Point2f{30, 40}, Point2f{60, 40}, 1.0};
+  Couple cur{Point2f{30, 40}, Point2f{70, 40}, 1.0};  // grew by 10 px
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Registration, RejectsStaticScene) {
+  // Identical frames have zero temporal difference: the motion criterion
+  // must flag the couple as not-live (e.g. a burned-in artifact).
+  ImageF32 f0 = noisy_frame(96, 11);
+  Couple prev{Point2f{30, 40}, Point2f{60, 40}, 1.0};
+  Couple cur{Point2f{31, 40}, Point2f{61, 40}, 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f0, reg_params());
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Registration, WorkScalesWithMotionWindow) {
+  ImageF32 f0 = noisy_frame(96, 12);
+  ImageF32 f1 = noisy_frame(96, 13);
+  Couple prev{Point2f{48, 48}, Point2f{68, 48}, 1.0};
+  Couple cur{Point2f{49, 48}, Point2f{69, 48}, 1.0};
+  RegistrationParams small = reg_params();
+  small.motion_window = 4;
+  RegistrationParams big = reg_params();
+  big.motion_window = 16;
+  RegistrationResult rs = register_couple(prev, cur, f0, f1, small);
+  RegistrationResult rb = register_couple(prev, cur, f0, f1, big);
+  // Both the motion-energy window and the SAD refinement patches grow with
+  // the configured window (the refinement patch scales with window/3).
+  EXPECT_GT(rb.work.pixel_ops, rs.work.pixel_ops * 5 / 4);
+}
+
+TEST(Registration, MarkersNearBorderStillWork) {
+  ImageF32 f0 = noisy_frame(96, 14);
+  ImageF32 f1 = noisy_frame(96, 15);
+  Couple prev{Point2f{2, 2}, Point2f{2, 32}, 1.0};
+  Couple cur{Point2f{3, 3}, Point2f{3, 33}, 1.0};
+  RegistrationResult r = register_couple(prev, cur, f0, f1, reg_params());
+  EXPECT_TRUE(r.success);
+}
+
+}  // namespace
+}  // namespace tc::img

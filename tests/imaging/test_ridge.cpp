@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+/// Bright background with a dark vertical line of the given depth.
+ImageF32 line_image(i32 size, f32 depth, i32 line_x, u64 noise_seed = 0,
+                    f32 noise_sigma = 0.0f) {
+  ImageF32 im(size, size, 1000.0f);
+  for (i32 y = 0; y < size; ++y) {
+    im.at(line_x, y) -= depth;
+    im.at(line_x - 1, y) -= depth * 0.6f;
+    im.at(line_x + 1, y) -= depth * 0.6f;
+  }
+  if (noise_sigma > 0.0f) {
+    Pcg32 rng(noise_seed);
+    for (usize i = 0; i < im.size(); ++i) {
+      im.data()[i] += static_cast<f32>(rng.normal(0.0, noise_sigma));
+    }
+  }
+  return im;
+}
+
+TEST(Ridge, RespondsOnDarkLine) {
+  ImageF32 im = line_image(64, 500.0f, 32);
+  RidgeParams params;
+  RidgeResult r = ridge_detect(im, im.full_rect(), params);
+  EXPECT_GT(r.response.at(32, 32), r.response.at(10, 32) + 10.0f);
+}
+
+TEST(Ridge, LineHasLowBlobness) {
+  ImageF32 im = line_image(64, 500.0f, 32);
+  RidgeParams params;
+  RidgeResult r = ridge_detect(im, im.full_rect(), params);
+  // On an elongated structure lambda_min ≈ 0 while lambda_max is large.
+  EXPECT_LT(r.blobness.at(32, 32), 0.3f * r.response.at(32, 32));
+}
+
+TEST(Ridge, DarkDiskHasHighBlobness) {
+  ImageF32 im(64, 64, 1000.0f);
+  for (i32 y = 28; y <= 36; ++y) {
+    for (i32 x = 28; x <= 36; ++x) {
+      f64 d = std::hypot(x - 32.0, y - 32.0);
+      if (d <= 4.0) im.at(x, y) -= 500.0f;
+    }
+  }
+  RidgeParams params;
+  RidgeResult r = ridge_detect(im, im.full_rect(), params);
+  // At a blob both eigenvalues are positive and similar.
+  EXPECT_GT(r.blobness.at(32, 32), 0.5f * r.response.at(32, 32));
+}
+
+TEST(Ridge, DominantPixelCountTracksThreshold) {
+  ImageF32 im = line_image(64, 800.0f, 32);
+  RidgeParams lo;
+  lo.dominant_threshold = 10.0f;
+  RidgeParams hi;
+  hi.dominant_threshold = 1.0e6f;
+  EXPECT_GT(ridge_detect(im, im.full_rect(), lo).dominant_pixels, 0u);
+  EXPECT_EQ(ridge_detect(im, im.full_rect(), hi).dominant_pixels, 0u);
+}
+
+TEST(Ridge, RoiRestrictsComputation) {
+  ImageF32 im = line_image(64, 500.0f, 48);
+  RidgeParams params;
+  // ROI excludes the line: no response inside, zero outside the ROI.
+  RidgeResult r = ridge_detect(im, Rect{0, 0, 32, 64}, params);
+  EXPECT_FLOAT_EQ(r.response.at(48, 32), 0.0f);
+  RidgeResult full = ridge_detect(im, im.full_rect(), params);
+  EXPECT_GT(full.response.at(48, 32), 10.0f);
+}
+
+TEST(Ridge, RoiWorkIsSmallerThanFullWork) {
+  ImageF32 im = line_image(96, 400.0f, 48, 1, 20.0f);
+  RidgeParams params;
+  RidgeResult full = ridge_detect(im, im.full_rect(), params);
+  RidgeResult roi = ridge_detect(im, Rect{24, 24, 48, 48}, params);
+  EXPECT_LT(roi.work.pixel_ops, full.work.pixel_ops / 2);
+  EXPECT_LT(roi.work.input_bytes, full.work.input_bytes);
+}
+
+TEST(Ridge, StripedRunEqualsSerialRun) {
+  ImageF32 im = line_image(64, 500.0f, 20, 3, 30.0f);
+  RidgeParams params;
+  RidgeResult serial = ridge_detect(im, im.full_rect(), params);
+
+  for (i32 stripes : {2, 3, 4}) {
+    ImageF32 response(64, 64, 0.0f);
+    ImageF32 blobness(64, 64, 0.0f);
+    u64 dominant = 0;
+    WorkReport work;
+    i32 y = 0;
+    for (i32 s = 0; s < stripes; ++s) {
+      i32 hi = (s == stripes - 1) ? 64 : y + 64 / stripes;
+      ridge_detect_rows(im, im.full_rect(), params, response, blobness,
+                        IndexRange{y, hi}, dominant, work);
+      y = hi;
+    }
+    EXPECT_EQ(response, serial.response) << stripes;
+    EXPECT_EQ(blobness, serial.blobness) << stripes;
+    EXPECT_EQ(dominant, serial.dominant_pixels) << stripes;
+  }
+}
+
+TEST(Ridge, StripedRoiRunEqualsSerialRoiRun) {
+  ImageF32 im = line_image(80, 450.0f, 40, 5, 25.0f);
+  RidgeParams params;
+  Rect roi{16, 8, 48, 60};
+  RidgeResult serial = ridge_detect(im, roi, params);
+
+  ImageF32 response(80, 80, 0.0f);
+  ImageF32 blobness(80, 80, 0.0f);
+  u64 dominant = 0;
+  WorkReport work;
+  // Split the ROI rows [8, 68) into 3 stripes.
+  for (IndexRange rows : {IndexRange{8, 28}, IndexRange{28, 48},
+                          IndexRange{48, 68}}) {
+    ridge_detect_rows(im, roi, params, response, blobness, rows, dominant,
+                      work);
+  }
+  EXPECT_EQ(response, serial.response);
+  EXPECT_EQ(dominant, serial.dominant_pixels);
+}
+
+TEST(Ridge, WorkReportIsDataParallel) {
+  ImageF32 im = line_image(32, 300.0f, 16);
+  RidgeResult r = ridge_detect(im, im.full_rect(), RidgeParams{});
+  EXPECT_TRUE(r.work.data_parallel);
+  EXPECT_GT(r.work.input_bytes, 0u);
+  EXPECT_GT(r.work.intermediate_bytes, 0u);
+  EXPECT_GT(r.work.output_bytes, 0u);
+}
+
+TEST(Ridge, EmptyRoiProducesNoWork) {
+  ImageF32 im = line_image(32, 300.0f, 16);
+  RidgeResult r = ridge_detect(im, Rect{100, 100, 10, 10}, RidgeParams{});
+  EXPECT_EQ(r.work.pixel_ops, 0u);
+  EXPECT_EQ(r.dominant_pixels, 0u);
+}
+
+}  // namespace
+}  // namespace tc::img

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "imaging/pipeline.hpp"
+
+namespace tc::img {
+namespace {
+
+TEST(RoiEst, CentredOnCouple) {
+  Couple c{Point2f{100, 100}, Point2f{150, 100}, 1.0};
+  RoiParams p;
+  RoiResult r = estimate_roi(c, 512, 512, p);
+  EXPECT_FALSE(r.roi.empty());
+  // The couple centre (125, 100) lies inside the ROI.
+  EXPECT_TRUE(r.roi.contains(Point2i{125, 100}));
+  EXPECT_TRUE(r.roi.contains(Point2i{100, 100}));
+  EXPECT_TRUE(r.roi.contains(Point2i{150, 100}));
+}
+
+TEST(RoiEst, RespectsMinSide) {
+  Couple c{Point2f{100, 100}, Point2f{102, 100}, 1.0};  // tiny couple
+  RoiParams p;
+  p.min_side = 96;
+  RoiResult r = estimate_roi(c, 512, 512, p);
+  EXPECT_GE(r.roi.w, 96);
+  EXPECT_GE(r.roi.h, 96);
+}
+
+TEST(RoiEst, MarginScalesWithDistance) {
+  RoiParams p;
+  p.min_side = 8;
+  Couple small{Point2f{200, 200}, Point2f{240, 200}, 1.0};
+  Couple large{Point2f{200, 200}, Point2f{320, 200}, 1.0};
+  Rect rs = estimate_roi(small, 512, 512, p).roi;
+  Rect rl = estimate_roi(large, 512, 512, p).roi;
+  EXPECT_GT(rl.w, rs.w);
+  EXPECT_GT(rl.h, rs.h);
+}
+
+TEST(RoiEst, ClampedToFrame) {
+  Couple c{Point2f{5, 5}, Point2f{55, 5}, 1.0};
+  RoiResult r = estimate_roi(c, 256, 256, RoiParams{});
+  EXPECT_GE(r.roi.x, 0);
+  EXPECT_GE(r.roi.y, 0);
+  EXPECT_LE(r.roi.x + r.roi.w, 256);
+  EXPECT_LE(r.roi.y + r.roi.h, 256);
+}
+
+TEST(RoiEst, DimensionsAreEven) {
+  // Even sides keep the 2-stripe split exact.
+  for (f64 d : {41.0, 52.0, 63.5, 77.25}) {
+    Couple c{Point2f{200, 200}, Point2f{200 + d, 200}, 1.0};
+    RoiParams p;
+    p.min_side = 9;
+    Rect r = estimate_roi(c, 512, 512, p).roi;
+    // Only guaranteed when not clamped by the frame border.
+    EXPECT_EQ(r.w % 2, 0) << d;
+    EXPECT_EQ(r.h % 2, 0) << d;
+  }
+}
+
+TEST(RoiEst, DiagonalCoupleCovered) {
+  Couple c{Point2f{100, 100}, Point2f{160, 180}, 1.0};
+  RoiResult r = estimate_roi(c, 512, 512, RoiParams{});
+  EXPECT_TRUE(r.roi.contains(Point2i{100, 100}));
+  EXPECT_TRUE(r.roi.contains(Point2i{160, 180}));
+}
+
+TEST(RoiEst, WorkIsFeatureLevel) {
+  Couple c{Point2f{100, 100}, Point2f{150, 100}, 1.0};
+  RoiResult r = estimate_roi(c, 512, 512, RoiParams{});
+  EXPECT_FALSE(r.work.data_parallel);
+  EXPECT_GT(r.work.feature_ops, 0u);
+  EXPECT_EQ(r.work.pixel_ops, 0u);
+}
+
+}  // namespace
+}  // namespace tc::img

@@ -1,0 +1,198 @@
+#include "imaging/synthetic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tc::img {
+namespace {
+
+SequenceParams small_params(u64 seed = 1) {
+  SequenceParams p;
+  p.width = 128;
+  p.height = 128;
+  p.frames = 60;
+  p.seed = seed;
+  p.marker_distance_px = 24.0;
+  p.marker_radius_px = 2.5;
+  p.motion.cardiac_amplitude_px = 5.0;
+  p.motion.breathing_amplitude_px = 3.0;
+  p.contrast_in_frame = 20;
+  p.contrast_out_frame = 45;
+  return p;
+}
+
+TEST(Synthetic, RenderIsDeterministicPerSeedAndFrame) {
+  AngioSequence a(small_params(5));
+  AngioSequence b(small_params(5));
+  EXPECT_EQ(a.render(7), b.render(7));
+  EXPECT_EQ(a.render(30), b.render(30));
+}
+
+TEST(Synthetic, FramesAreIndependentlyRenderable) {
+  // Rendering frame 10 directly equals rendering after frames 0..9.
+  AngioSequence a(small_params(6));
+  ImageU16 direct = a.render(10);
+  for (i32 t = 0; t < 10; ++t) (void)a.render(t);
+  EXPECT_EQ(a.render(10), direct);
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentFrames) {
+  AngioSequence a(small_params(1));
+  AngioSequence b(small_params(2));
+  EXPECT_FALSE(a.render(0) == b.render(0));
+}
+
+TEST(Synthetic, DifferentFramesDiffer) {
+  AngioSequence a(small_params(3));
+  EXPECT_FALSE(a.render(0) == a.render(1));
+}
+
+TEST(Synthetic, TruthMarkerDistanceMatchesPrior) {
+  SequenceParams p = small_params(4);
+  AngioSequence seq(p);
+  for (i32 t = 0; t < p.frames; t += 5) {
+    FrameTruth tr = seq.truth(t);
+    f64 d = std::hypot(tr.marker_b.x - tr.marker_a.x,
+                       tr.marker_b.y - tr.marker_a.y);
+    EXPECT_NEAR(d, p.marker_distance_px, 1e-9);
+  }
+}
+
+TEST(Synthetic, ContrastProfileRampsAndWashesOut) {
+  SequenceParams p = small_params(7);
+  AngioSequence seq(p);
+  EXPECT_DOUBLE_EQ(seq.truth(0).contrast_level, 0.0);
+  EXPECT_DOUBLE_EQ(seq.truth(p.contrast_in_frame - 1).contrast_level, 0.0);
+  EXPECT_NEAR(seq.truth(p.contrast_in_frame + 15).contrast_level, 1.0, 1e-9);
+  EXPECT_LT(seq.truth(p.contrast_out_frame + 10).contrast_level, 0.7);
+  EXPECT_GT(seq.truth(p.contrast_in_frame + 15).contrast_level,
+            seq.truth(p.contrast_out_frame + 14).contrast_level);
+}
+
+TEST(Synthetic, MotionIsPeriodicAndBounded) {
+  SequenceParams p = small_params(8);
+  p.motion.drift_px_per_frame = 0.0;
+  AngioSequence seq(p);
+  f64 max_step = 0.0;
+  for (i32 t = 1; t < p.frames; ++t) {
+    FrameTruth tr = seq.truth(t);
+    max_step = std::max(max_step, std::hypot(tr.motion_dx, tr.motion_dy));
+  }
+  EXPECT_GT(max_step, 0.1);  // the stent does move
+  // Frame-to-frame displacement is bounded by the motion amplitudes.
+  EXPECT_LT(max_step, 2.0 * (p.motion.cardiac_amplitude_px +
+                             p.motion.breathing_amplitude_px));
+}
+
+TEST(Synthetic, DropoutFlagsRespectProbability) {
+  SequenceParams p = small_params(9);
+  p.frames = 2000;
+  p.marker_dropout_prob = 0.1;
+  AngioSequence seq(p);
+  i32 hidden = 0;
+  for (i32 t = 0; t < p.frames; ++t) {
+    if (!seq.truth(t).markers_visible) ++hidden;
+  }
+  EXPECT_NEAR(static_cast<f64>(hidden) / p.frames, 0.1, 0.03);
+}
+
+TEST(Synthetic, ZeroDropoutMeansAlwaysVisible) {
+  SequenceParams p = small_params(10);
+  p.marker_dropout_prob = 0.0;
+  AngioSequence seq(p);
+  for (i32 t = 0; t < p.frames; ++t) {
+    EXPECT_TRUE(seq.truth(t).markers_visible);
+  }
+}
+
+TEST(Synthetic, MarkersAreDarkerThanSurroundings) {
+  SequenceParams p = small_params(11);
+  AngioSequence seq(p);
+  ImageU16 frame = seq.render(5);
+  FrameTruth tr = seq.truth(5);
+  auto sample_mean = [&](f64 cx, f64 cy, i32 r) {
+    f64 acc = 0.0;
+    i32 n = 0;
+    for (i32 dy = -r; dy <= r; ++dy) {
+      for (i32 dx = -r; dx <= r; ++dx) {
+        i32 x = static_cast<i32>(cx) + dx;
+        i32 y = static_cast<i32>(cy) + dy;
+        if (frame.in_bounds(x, y)) {
+          acc += frame.at(x, y);
+          ++n;
+        }
+      }
+    }
+    return acc / n;
+  };
+  f64 marker = sample_mean(tr.marker_a.x, tr.marker_a.y, 1);
+  f64 nearby = sample_mean(tr.marker_a.x + 20, tr.marker_a.y + 20, 3);
+  EXPECT_LT(marker, nearby * 0.8);
+}
+
+TEST(Synthetic, ContrastIncreasesVesselOpacityInImage) {
+  // The pre-bolus and plateau frames should differ much more than two
+  // adjacent pre-bolus frames (vessels appearing).
+  SequenceParams p = small_params(12);
+  p.motion.cardiac_amplitude_px = 0.0;
+  p.motion.breathing_amplitude_px = 0.0;
+  p.motion.drift_px_per_frame = 0.0;
+  AngioSequence seq(p);
+  auto diff = [&](i32 t0, i32 t1) {
+    ImageU16 a = seq.render(t0);
+    ImageU16 b = seq.render(t1);
+    f64 acc = 0.0;
+    for (usize i = 0; i < a.size(); ++i) {
+      acc += std::fabs(static_cast<f64>(a.data()[i]) -
+                       static_cast<f64>(b.data()[i]));
+    }
+    return acc / static_cast<f64>(a.size());
+  };
+  f64 noise_only = diff(2, 3);
+  f64 bolus = diff(2, 40);
+  EXPECT_GT(bolus, noise_only * 1.15);
+}
+
+TEST(Synthetic, DoseControlsNoise) {
+  SequenceParams lo = small_params(13);
+  lo.dose_photons = 200.0;
+  SequenceParams hi = small_params(13);
+  hi.dose_photons = 5000.0;
+  AngioSequence a(lo);
+  AngioSequence b(hi);
+  // Estimate noise as the mean |frame(t) - frame(t+1)| with motion frozen.
+  auto noise = [](AngioSequence& s) {
+    ImageU16 f0 = s.render(0);
+    ImageU16 f1 = s.render(1);
+    f64 acc = 0.0;
+    for (usize i = 0; i < f0.size(); ++i) {
+      acc += std::fabs(static_cast<f64>(f0.data()[i]) -
+                       static_cast<f64>(f1.data()[i]));
+    }
+    return acc / static_cast<f64>(f0.size());
+  };
+  EXPECT_GT(noise(a), 2.0 * noise(b));
+}
+
+class TruthConsistency : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TruthConsistency, MotionDeltaMatchesMarkerDelta) {
+  SequenceParams p = small_params(GetParam());
+  AngioSequence seq(p);
+  for (i32 t = 1; t < 20; ++t) {
+    FrameTruth cur = seq.truth(t);
+    FrameTruth prev = seq.truth(t - 1);
+    f64 center_dx = 0.5 * (cur.marker_a.x + cur.marker_b.x) -
+                    0.5 * (prev.marker_a.x + prev.marker_b.x);
+    // motion_dx tracks the stent centre shift; the marker centre also
+    // includes the couple's slow rotation, so allow a small tolerance.
+    EXPECT_NEAR(center_dx, cur.motion_dx, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruthConsistency,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace tc::img

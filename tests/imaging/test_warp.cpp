@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "imaging/kernels.hpp"
+
+namespace tc::img {
+namespace {
+
+ImageF32 smooth_random(i32 size, u64 seed) {
+  ImageF32 im(size, size);
+  Pcg32 rng(seed);
+  for (usize i = 0; i < im.size(); ++i) {
+    im.data()[i] = static_cast<f32>(rng.uniform(0.0, 1000.0));
+  }
+  return gaussian_blur(im, 2.0);
+}
+
+TEST(WarpRigid, ZeroAngleEqualsTranslate) {
+  ImageF32 im = smooth_random(32, 1);
+  ImageF32 a = warp_rigid(im, 1.5, -2.5, 0.0, Point2f{16, 16});
+  ImageF32 b = translate_bilinear(im, 1.5, -2.5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WarpRigid, IdentityTransform) {
+  ImageF32 im = smooth_random(32, 2);
+  ImageF32 out = warp_rigid(im, 0.0, 0.0, 0.0, Point2f{16, 16});
+  EXPECT_EQ(out, im);
+}
+
+TEST(WarpRigid, PureRotationMovesOffCentrePoint) {
+  // A bright dot at (24, 16) rotated by 90 degrees about (16, 16) should
+  // appear at (16, 24).
+  ImageF32 im(32, 32, 0.0f);
+  im.at(24, 16) = 1000.0f;
+  ImageF32 out = warp_rigid(im, 0.0, 0.0, 3.14159265358979 / 2.0,
+                            Point2f{16, 16});
+  EXPECT_GT(out.at(16, 24), 800.0f);
+  EXPECT_LT(out.at(24, 16), 200.0f);
+}
+
+TEST(WarpRigid, CentreIsFixedPointOfRotation) {
+  ImageF32 im = smooth_random(48, 3);
+  ImageF32 out = warp_rigid(im, 0.0, 0.0, 0.3, Point2f{24, 24});
+  EXPECT_NEAR(out.at(24, 24), im.at(24, 24), 6.0f);
+}
+
+TEST(WarpRigid, RotationRoundTripApproximatesIdentity) {
+  ImageF32 im = smooth_random(64, 4);
+  ImageF32 fwd = warp_rigid(im, 0.0, 0.0, 0.2, Point2f{32, 32});
+  ImageF32 back = warp_rigid(fwd, 0.0, 0.0, -0.2, Point2f{32, 32});
+  for (i32 y = 20; y < 44; ++y) {
+    for (i32 x = 20; x < 44; ++x) {
+      EXPECT_NEAR(back.at(x, y), im.at(x, y), 25.0f) << x << "," << y;
+    }
+  }
+}
+
+TEST(WarpRigid, WorkReportAccounted) {
+  ImageF32 im = smooth_random(32, 5);
+  WorkReport wr;
+  (void)warp_rigid(im, 1.0, 1.0, 0.1, Point2f{16, 16}, &wr);
+  EXPECT_EQ(wr.pixel_ops, im.size() * 22);
+  EXPECT_GT(wr.bytes_read, 0u);
+}
+
+TEST(WarpRigid, TranslationPlusRotationComposition) {
+  // A dot at the centre translated by (5, 0): rotation about the centre
+  // does not affect it, translation does.
+  ImageF32 im(32, 32, 0.0f);
+  im.at(16, 16) = 1000.0f;
+  ImageF32 out = warp_rigid(im, 5.0, 0.0, 0.4, Point2f{16, 16});
+  EXPECT_GT(out.at(21, 16), 800.0f);
+}
+
+}  // namespace
+}  // namespace tc::img

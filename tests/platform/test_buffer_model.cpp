@@ -1,0 +1,109 @@
+#include "platform/buffer_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::plat {
+namespace {
+
+TEST(BufferModel, EmptyModelHasZeroOccupancy) {
+  SpaceTimeBufferModel m;
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.peak_bytes, 0u);
+  EXPECT_EQ(a.overflow_bytes, 0u);
+  EXPECT_EQ(a.eviction_traffic_bytes, 0u);
+}
+
+TEST(BufferModel, SingleBufferPeak) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"buf", 1 * MiB, 0.0, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.peak_bytes, 1 * MiB);
+  EXPECT_EQ(a.overflow_bytes, 0u);
+}
+
+TEST(BufferModel, OverlappingBuffersSum) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", 1 * MiB, 0.0, 0.6, 1});
+  m.add_buffer({"b", 2 * MiB, 0.4, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(16 * MiB);
+  EXPECT_EQ(a.peak_bytes, 3 * MiB);  // overlap in [0.4, 0.6)
+}
+
+TEST(BufferModel, DisjointBuffersDoNotSum) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", 1 * MiB, 0.0, 0.5, 1});
+  m.add_buffer({"b", 2 * MiB, 0.5, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(16 * MiB);
+  EXPECT_EQ(a.peak_bytes, 2 * MiB);
+}
+
+TEST(BufferModel, OverflowComputedAgainstCapacity) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"big", 6 * MiB, 0.0, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.overflow_bytes, 2 * MiB);
+  // One reuse: write out once + read back once = 2x overflow.
+  EXPECT_EQ(a.eviction_traffic_bytes, 4 * MiB);
+}
+
+TEST(BufferModel, ReuseCountScalesEvictionTraffic) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"big", 6 * MiB, 0.0, 1.0, 3});
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.overflow_bytes, 2 * MiB);
+  // write out once + read back 3 times = 4x overflow.
+  EXPECT_EQ(a.eviction_traffic_bytes, 8 * MiB);
+}
+
+TEST(BufferModel, EvictionAttributedProportionally) {
+  // Two live buffers at the worst point: eviction split by size share.
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", 3 * MiB, 0.0, 1.0, 1});
+  m.add_buffer({"b", 3 * MiB, 0.0, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.overflow_bytes, 2 * MiB);
+  EXPECT_EQ(a.eviction_traffic_bytes, 4 * MiB);  // 2x overflow, both reuse=1
+}
+
+TEST(BufferModel, CurveIsPiecewiseConstantAtBoundaries) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", 10, 0.0, 0.5, 1});
+  m.add_buffer({"b", 20, 0.25, 0.75, 1});
+  OccupancyAnalysis a = m.analyze(1000);
+  // Expected curve: [0,.25)=10, [.25,.5)=30, [.5,.75)=20, [.75,1)=0.
+  ASSERT_GE(a.curve.size(), 4u);
+  EXPECT_EQ(a.curve[0].bytes, 10u);
+  EXPECT_EQ(a.curve[1].bytes, 30u);
+  EXPECT_EQ(a.curve[2].bytes, 20u);
+  EXPECT_EQ(a.curve[3].bytes, 0u);
+  EXPECT_EQ(a.peak_bytes, 30u);
+}
+
+TEST(BufferModel, FitsExactlyAtCapacity) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", 4 * MiB, 0.0, 1.0, 1});
+  OccupancyAnalysis a = m.analyze(4 * MiB);
+  EXPECT_EQ(a.overflow_bytes, 0u);
+  EXPECT_EQ(a.eviction_traffic_bytes, 0u);
+}
+
+// Property: eviction traffic is monotonically non-increasing in capacity.
+class CapacityMonotone : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CapacityMonotone, MoreCacheNeverMoreTraffic) {
+  SpaceTimeBufferModel m;
+  m.add_buffer({"a", GetParam() * MiB, 0.0, 0.7, 2});
+  m.add_buffer({"b", 3 * MiB, 0.3, 1.0, 1});
+  u64 prev = ~0ull;
+  for (u64 cap = 1; cap <= 16; ++cap) {
+    OccupancyAnalysis a = m.analyze(cap * MiB);
+    EXPECT_LE(a.eviction_traffic_bytes, prev) << "cap=" << cap;
+    prev = a.eviction_traffic_bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CapacityMonotone,
+                         ::testing::Values(1, 2, 4, 7, 12));
+
+}  // namespace
+}  // namespace tc::plat

@@ -1,0 +1,168 @@
+#include "platform/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::plat {
+namespace {
+
+CostModel model() {
+  return CostModel(PlatformSpec::paper_platform(), CostParams{});
+}
+
+img::WorkReport compute_heavy(u64 mops = 50) {
+  img::WorkReport w;
+  w.pixel_ops = mops * 1000000;
+  // Keep buffers small enough that the footprint fits the L2 slice even
+  // after a 4x resolution scaling (no eviction nonlinearity).
+  w.input_bytes = 256 * KiB;
+  w.output_bytes = 256 * KiB;
+  w.data_parallel = true;
+  return w;
+}
+
+TEST(CostModel, ComputeTimeMatchesClock) {
+  CostModel cm = model();
+  img::WorkReport w;
+  w.pixel_ops = static_cast<u64>(cm.cycles_per_ms() /
+                                 cm.params().cycles_per_pixel_op);
+  TaskCost c = cm.serial_cost(w);
+  EXPECT_NEAR(c.compute_ms, 1.0, 1e-6);
+}
+
+TEST(CostModel, FeatureOpsAreMoreExpensive) {
+  CostModel cm = model();
+  img::WorkReport px;
+  px.pixel_ops = 1000000;
+  img::WorkReport ft;
+  ft.feature_ops = 1000000;
+  EXPECT_GT(cm.serial_cost(ft).compute_ms, cm.serial_cost(px).compute_ms);
+}
+
+TEST(CostModel, DispatchOverheadAlwaysPresent) {
+  CostModel cm = model();
+  TaskCost c = cm.serial_cost(img::WorkReport{});
+  EXPECT_NEAR(c.total_ms, cm.params().dispatch_ms, 1e-12);
+}
+
+TEST(CostModel, DramTrafficCompulsoryOnly) {
+  CostModel cm = model();
+  img::WorkReport w;
+  w.input_bytes = 2 * MiB;
+  w.output_bytes = 1 * MiB;
+  // Footprint = 3 MiB < 4 MiB L2 → no eviction.
+  EXPECT_EQ(cm.dram_traffic(w), 3 * MiB);
+}
+
+TEST(CostModel, DramTrafficIncludesEviction) {
+  CostModel cm = model();
+  img::WorkReport w;
+  w.input_bytes = 2 * MiB;
+  w.intermediate_bytes = 6 * MiB;
+  w.output_bytes = 2 * MiB;
+  // Footprint 10 MiB vs 4 MiB L2 → 6 MiB overflow → 12 MiB extra traffic.
+  EXPECT_EQ(cm.dram_traffic(w), 4 * MiB + 12 * MiB);
+}
+
+TEST(CostModel, ResolutionScaleScalesWorkAndTraffic) {
+  CostParams p;
+  p.resolution_scale = 4.0;
+  CostModel cm(PlatformSpec::paper_platform(), p);
+  CostModel base = model();
+  img::WorkReport w = compute_heavy();
+  EXPECT_NEAR(cm.serial_cost(w).compute_ms,
+              4.0 * base.serial_cost(w).compute_ms, 1e-9);
+  EXPECT_EQ(cm.dram_traffic(w), 4 * base.dram_traffic(w));
+}
+
+TEST(CostModel, StripingReducesComputeBoundTaskTime) {
+  CostModel cm = model();
+  img::WorkReport w = compute_heavy(100);
+  TaskCost serial = cm.serial_cost(w);
+  TaskCost two = cm.striped_cost(w, 2);
+  TaskCost four = cm.striped_cost(w, 4);
+  EXPECT_LT(two.total_ms, serial.total_ms);
+  EXPECT_LT(four.total_ms, two.total_ms);
+  // Speed-up is sub-linear (imbalance + sync overhead).
+  EXPECT_GT(two.total_ms, serial.total_ms / 2.0);
+}
+
+TEST(CostModel, StripeCountClampedToCpuCount) {
+  CostModel cm = model();
+  img::WorkReport w = compute_heavy(100);
+  TaskCost eight = cm.striped_cost(w, 8);
+  TaskCost sixteen = cm.striped_cost(w, 16);
+  EXPECT_NEAR(eight.total_ms, sixteen.total_ms, 1e-9);
+}
+
+TEST(CostModel, OneStripeEqualsSerial) {
+  CostModel cm = model();
+  img::WorkReport w = compute_heavy();
+  EXPECT_NEAR(cm.striped_cost(w, 1).total_ms, cm.serial_cost(w).total_ms,
+              1e-12);
+}
+
+TEST(CostModel, StripedCostFromReportsUsesWorstStripe) {
+  CostModel cm = model();
+  img::WorkReport a;
+  a.pixel_ops = 10 * 1000000;
+  img::WorkReport b;
+  b.pixel_ops = 30 * 1000000;  // imbalanced split
+  std::vector<img::WorkReport> reports{a, b};
+  TaskCost c = cm.striped_cost(reports);
+  // Worst stripe dominates: equals the compute time of b.
+  EXPECT_NEAR(c.compute_ms, cm.serial_cost(b).compute_ms, 1e-9);
+}
+
+TEST(CostModel, StripedCostFromSingleReportIsSerial) {
+  CostModel cm = model();
+  img::WorkReport w = compute_heavy();
+  std::vector<img::WorkReport> reports{w};
+  EXPECT_NEAR(cm.striped_cost(reports).total_ms, cm.serial_cost(w).total_ms,
+              1e-12);
+}
+
+TEST(CostModel, MemoryBoundTaskLimitedByDram) {
+  CostModel cm = model();
+  img::WorkReport w;
+  w.input_bytes = 512 * MiB;  // enormous traffic, no compute
+  TaskCost c = cm.serial_cost(w);
+  EXPECT_GT(c.memory_ms, c.compute_ms);
+  EXPECT_NEAR(c.total_ms, c.memory_ms + cm.params().dispatch_ms, 1e-9);
+}
+
+TEST(CostModel, ContentionGrowsWithActiveCpus) {
+  CostModel cm = model();
+  img::WorkReport w;
+  w.input_bytes = 512 * MiB;
+  TaskCost serial = cm.serial_cost(w);
+  TaskCost striped = cm.striped_cost(w, 8);
+  // Same traffic, more contention → memory time can only grow.
+  EXPECT_GE(striped.memory_ms, serial.memory_ms);
+}
+
+TEST(PlatformSpec, PaperParameters) {
+  PlatformSpec s = PlatformSpec::paper_platform();
+  EXPECT_EQ(s.cpu_count, 8);
+  EXPECT_NEAR(s.cpu_mcycles_per_s, 2327.0, 1e-9);
+  EXPECT_EQ(s.l1_bytes, 32 * KiB);
+  EXPECT_EQ(s.l2_bytes, 4 * MiB);
+  EXPECT_EQ(s.l2_slice_count(), 4);
+  EXPECT_EQ(s.dram_bytes, 4 * GiB);
+}
+
+TEST(PlatformSpec, DramBandwidthRange) {
+  PlatformSpec s = PlatformSpec::paper_platform();
+  EXPECT_NEAR(s.dram_gbps(0.0), 3.83 * 4, 1e-9);
+  EXPECT_NEAR(s.dram_gbps(1.0), 0.94 * 4, 1e-9);
+  EXPECT_GT(s.dram_gbps(0.3), s.dram_gbps(0.7));
+}
+
+TEST(VideoFormat, PaperStreamRate) {
+  VideoFormat v;
+  EXPECT_EQ(v.frame_bytes(), 2u * 1024 * 1024);
+  // 1024x1024 x 2 B x 30 Hz ≈ 62.9 MB/s.
+  EXPECT_NEAR(v.stream_mbytes_per_s(), 62.9, 0.1);
+}
+
+}  // namespace
+}  // namespace tc::plat

@@ -1,0 +1,130 @@
+#include "platform/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace tc::plat {
+namespace {
+
+TEST(EvenChunk, CoversRangeWithoutOverlap) {
+  for (i32 count : {1, 7, 48, 100}) {
+    for (i32 chunks : {1, 2, 3, 5, 8}) {
+      i32 covered = 0;
+      i32 expected_lo = 0;
+      for (i32 c = 0; c < chunks; ++c) {
+        IndexRange r = even_chunk(count, chunks, c);
+        EXPECT_EQ(r.lo, expected_lo);
+        covered += r.length();
+        expected_lo = r.hi;
+      }
+      EXPECT_EQ(covered, count) << count << "/" << chunks;
+    }
+  }
+}
+
+TEST(EvenChunk, SizesDifferByAtMostOne) {
+  for (i32 c = 0; c < 7; ++c) {
+    IndexRange r = even_chunk(47, 7, c);
+    EXPECT_GE(r.length(), 6);
+    EXPECT_LE(r.length(), 7);
+  }
+}
+
+TEST(EvenChunk, MoreChunksThanItems) {
+  i32 nonempty = 0;
+  for (i32 c = 0; c < 8; ++c) {
+    if (!even_chunk(3, 8, c).empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 3);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<i32> counter{0};
+  std::vector<std::function<void()>> jobs;
+  for (i32 i = 0; i < 100; ++i) {
+    jobs.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_all(std::move(jobs));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RunAllBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<i32> done{0};
+  std::vector<std::function<void()>> jobs;
+  for (i32 i = 0; i < 10; ++i) {
+    jobs.push_back([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.run_all(std::move(jobs));
+  EXPECT_EQ(done.load(), 10);  // visible immediately after return
+}
+
+TEST(ThreadPool, EmptyJobListIsNoop) {
+  ThreadPool pool(2);
+  pool.run_all({});  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<i32> counter{0};
+  for (i32 batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> jobs;
+    for (i32 i = 0; i < 20; ++i) {
+      jobs.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run_all(std::move(jobs));
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelRangesCoverEverything) {
+  ThreadPool pool(4);
+  std::vector<i32> hits(97, 0);
+  std::mutex m;
+  pool.parallel_ranges(97, 5, [&](i32 chunk, IndexRange r) {
+    (void)chunk;
+    std::lock_guard<std::mutex> lock(m);
+    for (i32 i = r.lo; i < r.hi; ++i) ++hits[static_cast<usize>(i)];
+  });
+  for (i32 h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelRangesPassesChunkIndex) {
+  ThreadPool pool(2);
+  std::vector<i32> seen(4, -1);
+  std::mutex m;
+  pool.parallel_ranges(40, 4, [&](i32 chunk, IndexRange r) {
+    std::lock_guard<std::mutex> lock(m);
+    seen[static_cast<usize>(chunk)] = r.lo;
+  });
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_EQ(seen[1], 10);
+  EXPECT_EQ(seen[2], 20);
+  EXPECT_EQ(seen[3], 30);
+}
+
+TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::atomic<i64> sum{0};
+  pool.parallel_ranges(1000, 8, [&](i32, IndexRange r) {
+    i64 local = 0;
+    for (i32 i = r.lo; i < r.hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+}  // namespace
+}  // namespace tc::plat

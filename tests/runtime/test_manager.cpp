@@ -1,0 +1,170 @@
+#include "runtime/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "trace/dataset.hpp"
+
+namespace tc::rt {
+namespace {
+
+/// Small, fast configuration for manager tests.
+app::StentBoostConfig test_config(u64 seed = 77) {
+  app::StentBoostConfig c = app::StentBoostConfig::make(128, 128, 120, seed);
+  c.sequence.contrast_in_frame = 25;
+  c.sequence.contrast_out_frame = 80;
+  return c;
+}
+
+model::GraphPredictor trained_predictor(const app::StentBoostConfig& base) {
+  // Train on two short sequences with different seeds.
+  std::vector<std::vector<graph::FrameRecord>> seqs;
+  for (u64 s : {101ull, 202ull}) {
+    app::StentBoostConfig c = base;
+    c.sequence.seed = s;
+    app::StentBoostApp app(c);
+    seqs.push_back(app.run(60));
+  }
+  model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  gp.configure_task(app::kRdgRoi,
+                    model::PredictorConfig{
+                        model::PredictorKind::LinearMarkov, 0.25, 2.0, 64});
+  for (i32 node : {app::kMkxFull, app::kMkxRoi, app::kReg, app::kRoiEst,
+                   app::kEnh, app::kZoom}) {
+    gp.configure_task(node, model::PredictorConfig{
+                                model::PredictorKind::Constant, 0.25, 2.0, 64});
+  }
+  gp.train(seqs);
+  return gp;
+}
+
+TEST(Manager, BudgetInitializedAfterWarmup) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.warmup_frames = 5;
+  RuntimeManager mgr(app, gp, mc);
+  EXPECT_FALSE(mgr.budget_initialized());
+  for (i32 t = 0; t < 5; ++t) (void)mgr.step(t);
+  EXPECT_TRUE(mgr.budget_initialized());
+  EXPECT_GT(mgr.latency_budget_ms(), 0.0);
+}
+
+TEST(Manager, ExplicitBudgetSkipsWarmup) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.latency_budget_ms = 45.0;
+  RuntimeManager mgr(app, gp, mc);
+  EXPECT_TRUE(mgr.budget_initialized());
+  EXPECT_DOUBLE_EQ(mgr.latency_budget_ms(), 45.0);
+}
+
+TEST(Manager, ReducesJitterVersusStraightforwardMapping) {
+  app::StentBoostConfig c = test_config();
+  // Straightforward: serial plan every frame.
+  app::StentBoostApp serial_app(c);
+  std::vector<f64> serial_lat;
+  for (i32 t = 0; t < 100; ++t) {
+    serial_lat.push_back(serial_app.process_frame(t).latency_ms);
+  }
+
+  app::StentBoostApp managed_app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.warmup_frames = 8;
+  RuntimeManager mgr(managed_app, gp, mc);
+  std::vector<f64> managed_lat;
+  for (i32 t = 0; t < 100; ++t) {
+    ManagedFrame f = mgr.step(t);
+    if (t >= 8) managed_lat.push_back(f.output_latency_ms);
+  }
+
+  // Jitter (stddev) of the delivered output must drop substantially (the
+  // paper reports ~70%).
+  EXPECT_LT(stddev(managed_lat), 0.5 * stddev(serial_lat));
+}
+
+TEST(Manager, PredictionsTrackMeasurements) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.warmup_frames = 5;
+  RuntimeManager mgr(app, gp, mc);
+  std::vector<f64> pred;
+  std::vector<f64> meas;
+  for (i32 t = 0; t < 100; ++t) {
+    ManagedFrame f = mgr.step(t);
+    if (t >= 5) {
+      pred.push_back(f.predicted_latency_ms);
+      meas.push_back(f.measured_latency_ms);
+    }
+  }
+  model::AccuracyReport acc = model::evaluate_accuracy(pred, meas);
+  // The forecast conservatively includes ENH+ZOOM, so accuracy is bounded
+  // below by the scenario mix; it must still be clearly informative.
+  EXPECT_GT(acc.mean_accuracy_pct, 60.0);
+}
+
+TEST(Manager, StripePlansOnlyWhenBudgetRequires) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.latency_budget_ms = 1000.0;  // huge budget: never parallelize
+  RuntimeManager mgr(app, gp, mc);
+  for (i32 t = 0; t < 20; ++t) {
+    ManagedFrame f = mgr.step(t);
+    EXPECT_EQ(f.plan, app::serial_plan()) << "frame " << t;
+  }
+}
+
+TEST(Manager, TightBudgetForcesParallelization) {
+  app::StentBoostConfig c = test_config();
+  c.force_full_frame = true;  // keep the expensive full-frame tasks active
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.latency_budget_ms = 30.0;  // below the serial full-frame latency
+  RuntimeManager mgr(app, gp, mc);
+  bool any_striped = false;
+  for (i32 t = 0; t < 20; ++t) {
+    ManagedFrame f = mgr.step(t);
+    if (f.plan != app::serial_plan()) any_striped = true;
+  }
+  EXPECT_TRUE(any_striped);
+}
+
+TEST(Manager, RunReturnsAllFrames) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  RuntimeManager mgr(app, gp, ManagerConfig{});
+  auto frames = mgr.run(30);
+  EXPECT_EQ(frames.size(), 30u);
+  for (usize i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].record.frame, static_cast<i32>(i));
+  }
+}
+
+TEST(Manager, ForecastMarksActiveNodes) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  RuntimeManager mgr(app, gp, ManagerConfig{});
+  auto fc = mgr.forecast();
+  ASSERT_EQ(fc.size(), static_cast<usize>(app::kNodeCount));
+  // Before any frame: RDG active, no ROI → full-frame variants active.
+  EXPECT_TRUE(fc[app::kRdgFull].active);
+  EXPECT_FALSE(fc[app::kRdgRoi].active);
+  EXPECT_TRUE(fc[app::kMkxFull].active);
+  EXPECT_FALSE(fc[app::kMkxRoi].active);
+  EXPECT_TRUE(fc[app::kCplsSel].active);
+  EXPECT_FALSE(fc[app::kCplsSel].data_parallel);
+}
+
+}  // namespace
+}  // namespace tc::rt

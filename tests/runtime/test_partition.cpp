@@ -1,0 +1,133 @@
+#include "runtime/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::rt {
+namespace {
+
+plat::CostParams params() { return plat::CostParams{}; }
+
+std::vector<NodeForecast> forecast_of(std::vector<f64> serial_ms,
+                                      std::vector<bool> dp) {
+  std::vector<NodeForecast> fc(app::kNodeCount);
+  for (usize i = 0; i < serial_ms.size() && i < fc.size(); ++i) {
+    fc[i].serial_ms = serial_ms[i];
+    fc[i].active = serial_ms[i] > 0.0;
+    fc[i].data_parallel = i < dp.size() ? dp[i] : false;
+  }
+  return fc;
+}
+
+TEST(Partition, StripedMsFromSerialOneStripeIsIdentity) {
+  EXPECT_DOUBLE_EQ(striped_ms_from_serial(params(), 40.0, 1), 40.0);
+}
+
+TEST(Partition, StripedMsHalvesComputePlusOverhead) {
+  plat::CostParams p = params();
+  f64 two = striped_ms_from_serial(p, 40.0, 2);
+  f64 expected = (40.0 - p.dispatch_ms) / 2.0 * p.default_imbalance +
+                 p.dispatch_ms + p.stripe_sync_ms;
+  EXPECT_DOUBLE_EQ(two, expected);
+  EXPECT_LT(two, 40.0);
+  EXPECT_GT(two, 20.0);  // overhead makes it sub-linear
+}
+
+TEST(Partition, StripingTinyTaskDoesNotHelp) {
+  plat::CostParams p = params();
+  f64 serial = 0.3;
+  EXPECT_GT(striped_ms_from_serial(p, serial, 4), serial * 0.9);
+}
+
+TEST(Partition, EstimateLatencySumsActiveNodes) {
+  auto fc = forecast_of({40.0, 0.0, 10.0}, {true, true, true});
+  f64 lat = estimate_latency(params(), fc, app::serial_plan());
+  EXPECT_DOUBLE_EQ(lat, 50.0);
+}
+
+TEST(Partition, EstimateLatencyIgnoresPlanForNonDataParallel) {
+  auto fc = forecast_of({40.0}, {false});
+  app::StripePlan plan = app::serial_plan();
+  plan[0] = 4;
+  EXPECT_DOUBLE_EQ(estimate_latency(params(), fc, plan), 40.0);
+}
+
+TEST(Partition, ChoosePlanStaysSerialWhenBudgetFits) {
+  auto fc = forecast_of({30.0, 20.0}, {true, true});
+  PlanChoice c = choose_plan(params(), fc, 60.0, 4, 8);
+  EXPECT_TRUE(c.fits_budget);
+  EXPECT_EQ(c.plan, app::serial_plan());
+}
+
+TEST(Partition, ChoosePlanWidensMostExpensiveNode) {
+  auto fc = forecast_of({40.0, 10.0}, {true, true});
+  PlanChoice c = choose_plan(params(), fc, 35.0, 4, 8);
+  EXPECT_TRUE(c.fits_budget);
+  EXPECT_GT(c.plan[0], 1);
+  EXPECT_EQ(c.plan[1], 1);  // the cheap node stays serial
+  EXPECT_LE(c.estimated_ms, 35.0);
+}
+
+TEST(Partition, ChoosePlanUsesMinimalParallelism) {
+  auto fc = forecast_of({40.0}, {true});
+  // Budget reachable with 2 stripes; plan must not jump to 4.
+  plat::CostParams p = params();
+  f64 two = striped_ms_from_serial(p, 40.0, 2);
+  PlanChoice c = choose_plan(p, fc, two + 1.0, 8, 8);
+  EXPECT_TRUE(c.fits_budget);
+  EXPECT_EQ(c.plan[0], 2);
+}
+
+TEST(Partition, ChoosePlanReturnsWidestWhenBudgetUnreachable) {
+  auto fc = forecast_of({100.0, 100.0}, {true, true});
+  PlanChoice c = choose_plan(params(), fc, 1.0, 4, 8);
+  EXPECT_FALSE(c.fits_budget);
+  EXPECT_EQ(c.plan[0], 4);
+  EXPECT_EQ(c.plan[1], 4);
+}
+
+TEST(Partition, ChoosePlanRespectsCpuCount) {
+  auto fc = forecast_of({100.0}, {true});
+  PlanChoice c = choose_plan(params(), fc, 1.0, 16, 2);
+  EXPECT_LE(c.plan[0], 2);
+}
+
+TEST(Partition, ChoosePlanNeverWidensInactiveNodes) {
+  auto fc = forecast_of({0.0, 100.0}, {true, true});
+  PlanChoice c = choose_plan(params(), fc, 10.0, 4, 8);
+  EXPECT_EQ(c.plan[0], 1);
+}
+
+TEST(Partition, PlanToStringSerial) {
+  EXPECT_EQ(plan_to_string(app::serial_plan()), "serial");
+}
+
+TEST(Partition, PlanToStringNamesStripedNodes) {
+  app::StripePlan plan = app::serial_plan();
+  plan[app::kRdgFull] = 2;
+  plan[app::kZoom] = 4;
+  std::string s = plan_to_string(plan);
+  EXPECT_NE(s.find("RDG_FULLx2"), std::string::npos);
+  EXPECT_NE(s.find("ZOOMx4"), std::string::npos);
+}
+
+// Monotonicity property: more budget never produces a wider plan.
+class BudgetMonotone : public ::testing::TestWithParam<f64> {};
+
+TEST_P(BudgetMonotone, WideningDecreasesWithBudget) {
+  auto fc = forecast_of({45.0, 20.0, 12.0}, {true, true, true});
+  PlanChoice tight = choose_plan(params(), fc, GetParam(), 4, 8);
+  PlanChoice loose = choose_plan(params(), fc, GetParam() + 20.0, 4, 8);
+  i32 tight_total = 0;
+  i32 loose_total = 0;
+  for (usize i = 0; i < tight.plan.size(); ++i) {
+    tight_total += tight.plan[i];
+    loose_total += loose.plan[i];
+  }
+  EXPECT_LE(loose_total, tight_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotone,
+                         ::testing::Values(20.0, 30.0, 40.0, 55.0, 70.0));
+
+}  // namespace
+}  // namespace tc::rt

@@ -1,0 +1,123 @@
+#include "runtime/pipeline_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::rt {
+namespace {
+
+std::vector<NodeForecast> forecast_full_frame() {
+  std::vector<NodeForecast> fc(app::kNodeCount);
+  auto set = [&fc](i32 node, f64 ms) {
+    fc[static_cast<usize>(node)].serial_ms = ms;
+    fc[static_cast<usize>(node)].active = true;
+    fc[static_cast<usize>(node)].data_parallel = app::node_data_parallel(node);
+  };
+  set(app::kRdgFull, 45.0);
+  set(app::kMkxFull, 3.0);
+  set(app::kCplsSel, 1.0);
+  set(app::kReg, 2.0);
+  set(app::kRoiEst, 0.2);
+  set(app::kGwExt, 2.0);
+  set(app::kEnh, 10.0);
+  set(app::kZoom, 20.0);
+  return fc;
+}
+
+TEST(PipelineSchedule, SerialSingleStageMatchesSum) {
+  auto fc = forecast_full_frame();
+  auto stages = data_parallel_mapping(1);
+  PipelineAnalysis a = analyze_pipeline(plat::CostParams{}, stages, fc, 0.0);
+  EXPECT_NEAR(a.latency_ms, 45 + 3 + 1 + 2 + 0.2 + 2 + 10 + 20, 1e-9);
+  EXPECT_EQ(a.bottleneck_stage, 0);
+  EXPECT_NEAR(a.throughput_hz, 1000.0 / a.latency_ms, 1e-9);
+  EXPECT_EQ(a.total_cpus, 1);
+}
+
+TEST(PipelineSchedule, DataParallelReducesLatencyAndRaisesThroughput) {
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  PipelineAnalysis serial =
+      analyze_pipeline(params, data_parallel_mapping(1), fc);
+  PipelineAnalysis wide =
+      analyze_pipeline(params, data_parallel_mapping(4), fc);
+  EXPECT_LT(wide.latency_ms, 0.5 * serial.latency_ms);
+  EXPECT_GT(wide.throughput_hz, 1.9 * serial.throughput_hz);
+}
+
+TEST(PipelineSchedule, FunctionalMappingPipelinesThroughput) {
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  auto stages = functional_mapping(1, 1);
+  PipelineAnalysis a = analyze_pipeline(params, stages, fc);
+  // Latency is the sum of all stages (plus handoffs) — comparable to serial.
+  PipelineAnalysis serial =
+      analyze_pipeline(params, data_parallel_mapping(1), fc, 0.0);
+  EXPECT_GT(a.latency_ms, serial.latency_ms);  // handoffs add latency
+  // Throughput is set by the bottleneck stage (analysis: 48 ms), much
+  // better than 1/latency.
+  EXPECT_GT(a.throughput_hz, 1000.0 / a.latency_ms * 1.5);
+  EXPECT_EQ(a.bottleneck_stage, 0);
+}
+
+TEST(PipelineSchedule, WideningBottleneckStageHelps) {
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  PipelineAnalysis narrow =
+      analyze_pipeline(params, functional_mapping(1, 1), fc);
+  PipelineAnalysis wide =
+      analyze_pipeline(params, functional_mapping(4, 1), fc);
+  // Throughput improves until the next stage becomes the bottleneck.
+  EXPECT_GT(wide.throughput_hz, 1.5 * narrow.throughput_hz);
+}
+
+TEST(PipelineSchedule, FeatureStageDoesNotStripe) {
+  // CPLS/REG/... are not data-parallel: giving the feature stage more CPUs
+  // must not reduce its time.
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  auto stages = functional_mapping(1, 1);
+  stages[1].cpus = 4;
+  PipelineAnalysis more = analyze_pipeline(params, stages, fc);
+  auto base_stages = functional_mapping(1, 1);
+  PipelineAnalysis base = analyze_pipeline(params, base_stages, fc);
+  EXPECT_NEAR(more.stage_ms[1], base.stage_ms[1], 1e-9);
+}
+
+TEST(PipelineSchedule, InactiveNodesContributeNothing) {
+  auto fc = forecast_full_frame();
+  fc[app::kRdgFull].active = false;
+  plat::CostParams params;
+  PipelineAnalysis a =
+      analyze_pipeline(params, data_parallel_mapping(1), fc, 0.0);
+  EXPECT_NEAR(a.latency_ms, 3 + 1 + 2 + 0.2 + 2 + 10 + 20, 1e-9);
+}
+
+TEST(PipelineSchedule, HandoffChargedPerBoundary) {
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  PipelineAnalysis without =
+      analyze_pipeline(params, functional_mapping(1, 1), fc, 0.0);
+  PipelineAnalysis with =
+      analyze_pipeline(params, functional_mapping(1, 1), fc, 1.0);
+  // Three stages -> two boundaries.
+  EXPECT_NEAR(with.latency_ms, without.latency_ms + 2.0, 1e-9);
+}
+
+TEST(PipelineSchedule, FormatMentionsBottleneck) {
+  auto fc = forecast_full_frame();
+  auto stages = functional_mapping(1, 1);
+  PipelineAnalysis a = analyze_pipeline(plat::CostParams{}, stages, fc);
+  std::string s = format_pipeline_table(stages, a);
+  EXPECT_NE(s.find("bottleneck"), std::string::npos);
+  EXPECT_NE(s.find("throughput"), std::string::npos);
+}
+
+TEST(PipelineSchedule, TotalCpusSummed) {
+  auto fc = forecast_full_frame();
+  PipelineAnalysis a = analyze_pipeline(plat::CostParams{},
+                                        functional_mapping(4, 2), fc);
+  EXPECT_EQ(a.total_cpus, 7);
+}
+
+}  // namespace
+}  // namespace tc::rt

@@ -1,0 +1,88 @@
+#include "trace/dataset.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tc::trace {
+namespace {
+
+DatasetParams tiny_params() {
+  DatasetParams p;
+  p.sequences = 6;
+  p.frames_per_sequence = 30;
+  p.width = 128;
+  p.height = 128;
+  p.seed = 42;
+  return p;
+}
+
+TEST(Dataset, ConfigVariationIsDeterministic) {
+  DatasetParams p = tiny_params();
+  app::StentBoostConfig a = dataset_sequence_config(p, 3);
+  app::StentBoostConfig b = dataset_sequence_config(p, 3);
+  EXPECT_EQ(a.sequence.seed, b.sequence.seed);
+  EXPECT_EQ(a.sequence.dose_photons, b.sequence.dose_photons);
+  EXPECT_EQ(a.sequence.contrast_in_frame, b.sequence.contrast_in_frame);
+}
+
+TEST(Dataset, ConfigsVaryAcrossSequences) {
+  DatasetParams p = tiny_params();
+  std::set<u64> seeds;
+  std::set<f64> doses;
+  for (i32 i = 0; i < p.sequences; ++i) {
+    app::StentBoostConfig c = dataset_sequence_config(p, i);
+    seeds.insert(c.sequence.seed);
+    doses.insert(c.sequence.dose_photons);
+  }
+  EXPECT_EQ(seeds.size(), static_cast<usize>(p.sequences));
+  EXPECT_EQ(doses.size(), static_cast<usize>(p.sequences));
+}
+
+TEST(Dataset, EveryFifthSequenceHasNoBolus) {
+  DatasetParams p = tiny_params();
+  app::StentBoostConfig c = dataset_sequence_config(p, 4);
+  EXPECT_GT(c.sequence.contrast_in_frame, p.frames_per_sequence);
+}
+
+TEST(Dataset, BuildProducesRequestedShape) {
+  DatasetParams p = tiny_params();
+  p.sequences = 3;
+  p.frames_per_sequence = 12;
+  RecordedDataset d = build_dataset(p);
+  ASSERT_EQ(d.sequences.size(), 3u);
+  for (const auto& seq : d.sequences) {
+    EXPECT_EQ(seq.size(), 12u);
+  }
+  EXPECT_EQ(d.total_frames(), 36u);
+}
+
+TEST(Dataset, RecordsCarryExecutedTasksAndLatency) {
+  DatasetParams p = tiny_params();
+  p.sequences = 1;
+  p.frames_per_sequence = 10;
+  RecordedDataset d = build_dataset(p);
+  bool any_executed = false;
+  for (const auto& rec : d.sequences[0]) {
+    EXPECT_GT(rec.latency_ms, 0.0);
+    EXPECT_GT(rec.roi_pixels, 0.0);
+    for (const auto& t : rec.tasks) {
+      if (t.executed) {
+        any_executed = true;
+        EXPECT_GT(t.simulated_ms, 0.0);
+      }
+    }
+  }
+  EXPECT_TRUE(any_executed);
+}
+
+TEST(Dataset, DefaultShapeMatchesPaperScale) {
+  DatasetParams p;
+  EXPECT_EQ(p.sequences, 37);
+  // 37 x 52 = 1924 ≈ the paper's 1 921 training frames.
+  EXPECT_NEAR(static_cast<f64>(p.sequences * p.frames_per_sequence), 1921.0,
+              5.0);
+}
+
+}  // namespace
+}  // namespace tc::trace

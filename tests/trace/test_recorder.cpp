@@ -1,0 +1,74 @@
+#include "trace/recorder.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tc::trace {
+namespace {
+
+std::string_view fake_node_name(i32 node) {
+  static const char* names[] = {"ALPHA", "BETA"};
+  return names[node];
+}
+
+std::vector<graph::FrameRecord> two_frames() {
+  std::vector<graph::FrameRecord> records;
+  for (i32 f = 0; f < 2; ++f) {
+    graph::FrameRecord r;
+    r.frame = f;
+    r.scenario = static_cast<graph::ScenarioId>(f);
+    r.roi_pixels = 1000.0 * (f + 1);
+    r.latency_ms = 40.0 + f;
+    graph::TaskExecution t0;
+    t0.node = 0;
+    t0.executed = true;
+    t0.work.pixel_ops = 111;
+    t0.simulated_ms = 10.0;
+    r.tasks.push_back(t0);
+    graph::TaskExecution t1;
+    t1.node = 1;
+    t1.executed = false;
+    r.tasks.push_back(t1);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+TEST(Recorder, RecordsCsvHasRowPerTask) {
+  CsvWriter csv;
+  auto records = two_frames();
+  write_records_csv(csv, records, fake_node_name);
+  // 1 header + 2 frames x 2 tasks.
+  EXPECT_EQ(csv.rows_written(), 5u);
+  std::string s = csv.str();
+  EXPECT_NE(s.find("ALPHA"), std::string::npos);
+  EXPECT_NE(s.find("BETA"), std::string::npos);
+  EXPECT_NE(s.find("111"), std::string::npos);
+}
+
+TEST(Recorder, LatencyCsvHasRowPerFrame) {
+  CsvWriter csv;
+  auto records = two_frames();
+  write_latency_csv(csv, records);
+  EXPECT_EQ(csv.rows_written(), 3u);
+  std::string s = csv.str();
+  EXPECT_NE(s.find("latency_ms"), std::string::npos);
+  EXPECT_NE(s.find("41"), std::string::npos);
+}
+
+TEST(Recorder, ExecutedFlagEncoded) {
+  CsvWriter csv;
+  auto records = two_frames();
+  write_records_csv(csv, records, fake_node_name);
+  std::istringstream is(csv.str());
+  std::string line;
+  std::getline(is, line);  // header
+  std::getline(is, line);  // frame 0, ALPHA
+  EXPECT_NE(line.find(",ALPHA,1,"), std::string::npos);
+  std::getline(is, line);  // frame 0, BETA
+  EXPECT_NE(line.find(",BETA,0,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc::trace

@@ -1,0 +1,101 @@
+#include "trace/replay.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "app/stentboost.hpp"
+#include "trace/recorder.hpp"
+#include "tripleC/graph_predictor.hpp"
+
+namespace tc::trace {
+namespace {
+
+TEST(Replay, SplitCsvLine) {
+  auto cells = split_csv_line("a,b,,d");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "");
+  EXPECT_EQ(cells[3], "d");
+  EXPECT_EQ(split_csv_line("x").size(), 1u);
+}
+
+TEST(Replay, StentboostNodeIds) {
+  EXPECT_EQ(stentboost_node_id("RDG_FULL"), app::kRdgFull);
+  EXPECT_EQ(stentboost_node_id("ZOOM"), app::kZoom);
+  EXPECT_EQ(stentboost_node_id("NOPE"), -1);
+}
+
+TEST(Replay, RoundTripThroughRecorder) {
+  // Run a short real sequence, write it to CSV, parse it back, and compare.
+  app::StentBoostConfig c = app::StentBoostConfig::make(128, 128, 20, 9);
+  app::StentBoostApp app(c);
+  std::vector<graph::FrameRecord> original = app.run(20);
+
+  CsvWriter csv;
+  write_records_csv(csv, original, app::node_name);
+  std::istringstream in(csv.str());
+  ParseResult parsed = read_records_csv(in, stentboost_node_id);
+
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+  ASSERT_EQ(parsed.records.size(), original.size());
+  for (usize i = 0; i < original.size(); ++i) {
+    const graph::FrameRecord& a = original[i];
+    const graph::FrameRecord& b = parsed.records[i];
+    EXPECT_EQ(a.frame, b.frame);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_NEAR(a.roi_pixels, b.roi_pixels, 1e-3);
+    EXPECT_NEAR(a.latency_ms, b.latency_ms, 1e-4);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (usize t = 0; t < a.tasks.size(); ++t) {
+      EXPECT_EQ(a.tasks[t].node, b.tasks[t].node);
+      EXPECT_EQ(a.tasks[t].executed, b.tasks[t].executed);
+      EXPECT_EQ(a.tasks[t].work.pixel_ops, b.tasks[t].work.pixel_ops);
+      EXPECT_NEAR(a.tasks[t].simulated_ms, b.tasks[t].simulated_ms, 1e-6);
+    }
+  }
+}
+
+TEST(Replay, ParsedTraceTrainsPredictor) {
+  app::StentBoostConfig c = app::StentBoostConfig::make(128, 128, 40, 10);
+  app::StentBoostApp app(c);
+  std::vector<graph::FrameRecord> original = app.run(40);
+
+  CsvWriter csv;
+  write_records_csv(csv, original, app::node_name);
+  std::istringstream in(csv.str());
+  ParseResult parsed = read_records_csv(in, stentboost_node_id);
+
+  std::vector<std::vector<graph::FrameRecord>> seqs{parsed.records};
+  tc::model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  gp.train(seqs);
+  // Predictors for tasks that executed must be trained and sane.
+  EXPECT_TRUE(gp.task_predictor(app::kCplsSel).trained());
+  EXPECT_GT(gp.predict_task(app::kCplsSel), 0.0);
+}
+
+TEST(Replay, MalformedLinesSkipped) {
+  std::istringstream in(
+      "frame,scenario,roi_pixels,task,executed,pixel_ops,feature_ops,"
+      "input_bytes,intermediate_bytes,output_bytes,items,simulated_ms\n"
+      "0,1,1000,RDG_FULL,1,10,0,1,2,3,0,5.5\n"
+      "not,a,valid,line\n"
+      "1,1,1000,UNKNOWN_TASK,1,10,0,1,2,3,0,5.5\n"
+      "1,1,1000,ZOOM,1,10,0,1,2,3,0,2.5\n");
+  ParseResult parsed = read_records_csv(in, stentboost_node_id);
+  EXPECT_EQ(parsed.skipped_lines, 2u);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0].frame, 0);
+  EXPECT_EQ(parsed.records[0].tasks.size(), 1u);
+  EXPECT_NEAR(parsed.records[1].latency_ms, 2.5, 1e-9);
+}
+
+TEST(Replay, EmptyStream) {
+  std::istringstream in("");
+  ParseResult parsed = read_records_csv(in, stentboost_node_id);
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+}
+
+}  // namespace
+}  // namespace tc::trace

@@ -1,0 +1,76 @@
+#include "tripleC/accuracy.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tc::model {
+namespace {
+
+TEST(Accuracy, PerfectPredictionIsHundredPercent) {
+  std::vector<f64> m{10.0, 20.0, 30.0};
+  AccuracyReport r = evaluate_accuracy(m, m);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.mape_pct, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_error_pct, 0.0);
+  EXPECT_EQ(r.samples, 3u);
+}
+
+TEST(Accuracy, KnownError) {
+  std::vector<f64> pred{11.0};
+  std::vector<f64> meas{10.0};
+  AccuracyReport r = evaluate_accuracy(pred, meas);
+  EXPECT_NEAR(r.mean_accuracy_pct, 90.0, 1e-9);
+  EXPECT_NEAR(r.mape_pct, 10.0, 1e-9);
+  EXPECT_NEAR(r.max_error_pct, 10.0, 1e-9);
+}
+
+TEST(Accuracy, ExcursionCounting) {
+  std::vector<f64> pred{10.0, 12.5, 14.0, 10.0};
+  std::vector<f64> meas{10.0, 10.0, 10.0, 10.0};
+  // Errors: 0%, 25%, 40%, 0%.
+  AccuracyReport r = evaluate_accuracy(pred, meas);
+  EXPECT_NEAR(r.excursions_over_20_pct, 0.5, 1e-9);
+  EXPECT_NEAR(r.excursions_over_30_pct, 0.25, 1e-9);
+  EXPECT_NEAR(r.max_error_pct, 40.0, 1e-9);
+}
+
+TEST(Accuracy, NearZeroMeasurementsSkipped) {
+  std::vector<f64> pred{5.0, 11.0};
+  std::vector<f64> meas{0.0, 10.0};
+  AccuracyReport r = evaluate_accuracy(pred, meas);
+  EXPECT_EQ(r.samples, 1u);
+  EXPECT_NEAR(r.mape_pct, 10.0, 1e-9);
+}
+
+TEST(Accuracy, AccuracyClampedAtZero) {
+  // A 300% error must not produce negative accuracy.
+  std::vector<f64> pred{40.0};
+  std::vector<f64> meas{10.0};
+  AccuracyReport r = evaluate_accuracy(pred, meas);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy_pct, 0.0);
+  EXPECT_NEAR(r.mape_pct, 300.0, 1e-9);
+}
+
+TEST(Accuracy, MismatchedLengthsUseShorter) {
+  std::vector<f64> pred{10.0, 20.0, 30.0};
+  std::vector<f64> meas{10.0, 20.0};
+  AccuracyReport r = evaluate_accuracy(pred, meas);
+  EXPECT_EQ(r.samples, 2u);
+}
+
+TEST(Accuracy, EmptyInput) {
+  AccuracyReport r = evaluate_accuracy({}, {});
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy_pct, 0.0);
+}
+
+TEST(Accuracy, ToStringContainsHeadlineNumbers) {
+  std::vector<f64> pred{11.0};
+  std::vector<f64> meas{10.0};
+  std::string s = to_string(evaluate_accuracy(pred, meas));
+  EXPECT_NE(s.find("90.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,94 @@
+#include "tripleC/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/task.hpp"
+
+namespace tc::model {
+namespace {
+
+graph::FlowGraph two_task_graph(u64 edge_bytes) {
+  graph::FlowGraph g;
+  i32 a = g.add_task(graph::make_task("A", true, [] {
+    return img::WorkReport{};
+  }));
+  i32 b = g.add_task(graph::make_task("B", true, [] {
+    return img::WorkReport{};
+  }));
+  g.add_edge(a, b, [edge_bytes] { return edge_bytes; });
+  return g;
+}
+
+TEST(BandwidthModel, IntertaskBandwidthFromEdges) {
+  graph::FlowGraph g = two_task_graph(2 * 1024 * 1024);
+  auto edges = intertask_bandwidth(g, 30.0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "A");
+  EXPECT_EQ(edges[0].to, "B");
+  EXPECT_EQ(edges[0].bytes_per_frame, 2u * 1024 * 1024);
+  // 2 MiB x 30 Hz ≈ 62.9 MB/s.
+  EXPECT_NEAR(edges[0].mbytes_per_s, 62.9, 0.1);
+}
+
+TEST(BandwidthModel, ScaleAppliesToBytes) {
+  graph::FlowGraph g = two_task_graph(1024);
+  auto edges = intertask_bandwidth(g, 30.0, 4.0);
+  EXPECT_EQ(edges[0].bytes_per_frame, 4096u);
+}
+
+TEST(BandwidthModel, EdgeTableFormatting) {
+  graph::FlowGraph g = two_task_graph(1024 * 1024);
+  auto edges = intertask_bandwidth(g, 30.0);
+  std::string s = format_edge_table(edges);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("MB/s"), std::string::npos);
+}
+
+TEST(BandwidthModel, IntrataskNoEvictionWhenFits) {
+  plat::SpaceTimeBufferModel m;
+  m.add_buffer({"buf", 1 * MiB, 0.0, 1.0, 1});
+  IntraTaskBandwidth a = analyze_intratask("T", m, 4 * MiB, 30.0);
+  EXPECT_EQ(a.occupancy.overflow_bytes, 0u);
+  EXPECT_DOUBLE_EQ(a.eviction_mbytes_per_s, 0.0);
+}
+
+TEST(BandwidthModel, IntrataskEvictionBandwidthAtFrameRate) {
+  plat::SpaceTimeBufferModel m;
+  m.add_buffer({"buf", 6 * MiB, 0.0, 1.0, 1});
+  IntraTaskBandwidth a = analyze_intratask("T", m, 4 * MiB, 30.0);
+  // 2 MiB overflow → 4 MiB eviction traffic per frame → ×30 Hz.
+  EXPECT_NEAR(a.eviction_mbytes_per_s,
+              4.0 * 1024 * 1024 * 30.0 / 1.0e6, 0.01);
+}
+
+TEST(BandwidthModel, IntrataskFormatMentionsOverflow) {
+  plat::SpaceTimeBufferModel m;
+  m.add_buffer({"buf", 6 * MiB, 0.0, 1.0, 1});
+  IntraTaskBandwidth a = analyze_intratask("RDG", m, 4 * MiB, 30.0);
+  std::string s = format_intratask(a, 4 * MiB);
+  EXPECT_NE(s.find("overflow"), std::string::npos);
+  EXPECT_NE(s.find("RDG"), std::string::npos);
+}
+
+TEST(BandwidthModel, ScenarioTableFormatting) {
+  std::vector<ScenarioBandwidth> rows;
+  ScenarioBandwidth r;
+  r.scenario = 5;
+  r.label = "RDG=1 ROI=0 REG=1";
+  r.intertask_mbytes_per_s = 100.0;
+  r.intratask_mbytes_per_s = 50.0;
+  rows.push_back(r);
+  std::string s = format_scenario_table(rows);
+  EXPECT_NE(s.find("RDG=1"), std::string::npos);
+  EXPECT_NE(s.find("150.0"), std::string::npos);
+}
+
+TEST(BandwidthModel, ScenarioTotalIsSum) {
+  ScenarioBandwidth r;
+  r.intertask_mbytes_per_s = 10.0;
+  r.intratask_mbytes_per_s = 5.0;
+  EXPECT_DOUBLE_EQ(r.total_mbytes_per_s(), 15.0);
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,136 @@
+// Scenario-conditioned (context) predictors of GraphPredictor: one
+// TaskPredictor per (node, context) where the context derives from the
+// previous frame's record.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tripleC/graph_predictor.hpp"
+
+namespace tc::model {
+namespace {
+
+/// Node 0 runs every frame; its cost regime depends on the previous frame's
+/// switch bit 0 (like ENH's restart-vs-steady split): 2 ms after a "failed"
+/// frame, 10 ms otherwise.
+std::vector<graph::FrameRecord> bimodal_sequence(usize n, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<graph::FrameRecord> records;
+  bool prev_ok = false;
+  for (usize k = 0; k < n; ++k) {
+    graph::FrameRecord rec;
+    rec.frame = static_cast<i32>(k);
+    bool ok = rng.next_f64() < 0.8;
+    rec.scenario = ok ? 1u : 0u;
+    graph::TaskExecution t;
+    t.node = 0;
+    t.executed = true;
+    t.simulated_ms = (prev_ok ? 10.0 : 2.0) + rng.normal(0.0, 0.2);
+    rec.tasks.push_back(t);
+    records.push_back(std::move(rec));
+    prev_ok = ok;
+  }
+  return records;
+}
+
+u32 context_fn(const graph::FrameRecord* prev, i32 node) {
+  if (node != 0) return 0;
+  return (prev != nullptr && (prev->scenario & 1u) != 0) ? 1u : 0u;
+}
+
+TEST(ContextPredictor, SeparatesRegimes) {
+  GraphPredictor gp(1, 1);
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  gp.configure_task(0, c);
+  gp.set_context_fn(context_fn);
+  std::vector<std::vector<graph::FrameRecord>> seqs{bimodal_sequence(500, 1)};
+  gp.train(seqs);
+  EXPECT_NEAR(gp.task_predictor(0, 0).trained_mean(), 2.0, 0.3);
+  EXPECT_NEAR(gp.task_predictor(0, 1).trained_mean(), 10.0, 0.3);
+}
+
+TEST(ContextPredictor, PredictionFollowsContext) {
+  GraphPredictor gp(1, 1);
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  gp.configure_task(0, c);
+  gp.set_context_fn(context_fn);
+  std::vector<std::vector<graph::FrameRecord>> seqs{bimodal_sequence(500, 2)};
+  gp.train(seqs);
+
+  graph::FrameRecord ok;
+  ok.scenario = 1u;
+  gp.observe(ok);
+  EXPECT_NEAR(gp.predict_task(0), 10.0, 0.5);
+
+  graph::FrameRecord fail;
+  fail.scenario = 0u;
+  gp.observe(fail);
+  EXPECT_NEAR(gp.predict_task(0), 2.0, 0.5);
+}
+
+TEST(ContextPredictor, ContextBeatsUnconditioned) {
+  auto train = bimodal_sequence(1000, 3);
+  auto test = bimodal_sequence(300, 4);
+  std::vector<std::vector<graph::FrameRecord>> seqs{train};
+
+  auto replay_mae = [&test](GraphPredictor& gp) {
+    gp.reset_online_state();
+    f64 err = 0.0;
+    for (const auto& rec : test) {
+      err += std::fabs(gp.predict_task(0) - rec.tasks[0].simulated_ms);
+      gp.observe(rec);
+    }
+    return err / static_cast<f64>(test.size());
+  };
+
+  GraphPredictor with(1, 1);
+  with.set_context_fn(context_fn);
+  with.train(seqs);
+  GraphPredictor without(1, 1);
+  without.train(seqs);
+  EXPECT_LT(replay_mae(with), 0.5 * replay_mae(without));
+}
+
+TEST(ContextPredictor, UnseenContextFallsBackToDefault) {
+  GraphPredictor gp(1, 1);
+  gp.set_context_fn([](const graph::FrameRecord* prev, i32) -> u32 {
+    return prev == nullptr ? 0u : 7u;  // context 7 never seen in training
+  });
+  // Training data: all frames get context 0 (first) or 7 (rest).
+  std::vector<graph::FrameRecord> seq;
+  for (i32 k = 0; k < 50; ++k) {
+    graph::FrameRecord rec;
+    rec.frame = k;
+    graph::TaskExecution t;
+    t.node = 0;
+    t.executed = true;
+    t.simulated_ms = 5.0;
+    rec.tasks.push_back(t);
+    seq.push_back(rec);
+  }
+  std::vector<std::vector<graph::FrameRecord>> seqs{seq};
+  gp.train(seqs);
+  // After an observation, the context becomes 7 — trained; prediction sane.
+  graph::FrameRecord rec;
+  rec.scenario = 0;
+  gp.observe(rec);
+  EXPECT_NEAR(gp.predict_task(0), 5.0, 0.5);
+}
+
+TEST(ContextPredictor, ResetOnlineStateClearsLastRecord) {
+  GraphPredictor gp(1, 1);
+  gp.set_context_fn(context_fn);
+  std::vector<std::vector<graph::FrameRecord>> seqs{bimodal_sequence(200, 5)};
+  gp.train(seqs);
+  graph::FrameRecord ok;
+  ok.scenario = 1u;
+  gp.observe(ok);
+  gp.reset_online_state();
+  // With no last record the context is 0 (restart regime).
+  EXPECT_NEAR(gp.predict_task(0), 2.0, 0.6);
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,87 @@
+#include "tripleC/ewma.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tc::model {
+namespace {
+
+TEST(Ewma, PrimesWithFirstSample) {
+  EwmaFilter f(0.3);
+  EXPECT_FALSE(f.primed());
+  f.update(10.0);
+  EXPECT_TRUE(f.primed());
+  EXPECT_DOUBLE_EQ(f.value(), 10.0);
+}
+
+TEST(Ewma, MatchesPaperEquation) {
+  // y(t_k) = (1 - alpha) y(t_{k-1}) + alpha x(t_k)  (Eq. 1)
+  EwmaFilter f(0.25);
+  f.update(8.0);
+  f.update(12.0);
+  EXPECT_DOUBLE_EQ(f.value(), 0.75 * 8.0 + 0.25 * 12.0);
+  f.update(4.0);
+  EXPECT_DOUBLE_EQ(f.value(), 0.75 * 9.0 + 0.25 * 4.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  EwmaFilter f(0.2);
+  for (i32 i = 0; i < 200; ++i) f.update(42.0);
+  EXPECT_NEAR(f.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, AlphaOneTracksInputExactly) {
+  EwmaFilter f(1.0);
+  f.update(5.0);
+  f.update(9.0);
+  EXPECT_DOUBLE_EQ(f.value(), 9.0);
+}
+
+TEST(Ewma, SmallerAlphaSmoothsMore) {
+  EwmaFilter fast(0.8);
+  EwmaFilter slow(0.1);
+  // Step from 0 to 10.
+  fast.update(0.0);
+  slow.update(0.0);
+  fast.update(10.0);
+  slow.update(10.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, TracksSlowRampWithLag) {
+  EwmaFilter f(0.3);
+  f64 x = 0.0;
+  for (i32 i = 0; i < 100; ++i) {
+    x = static_cast<f64>(i);
+    f.update(x);
+  }
+  EXPECT_LT(f.value(), x);           // lags behind
+  EXPECT_GT(f.value(), x - 5.0);     // but not by much
+}
+
+TEST(Ewma, ResetClearsState) {
+  EwmaFilter f(0.5);
+  f.update(10.0);
+  f.reset();
+  EXPECT_FALSE(f.primed());
+  f.update(2.0);
+  EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Ewma, UpdateReturnsNewValue) {
+  EwmaFilter f(0.5);
+  EXPECT_DOUBLE_EQ(f.update(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.update(8.0), 6.0);
+}
+
+TEST(Ewma, StepResponseTimeConstant) {
+  // After n updates at value 1 from 0, y = 1 - (1-alpha)^n.
+  EwmaFilter f(0.25);
+  f.update(0.0);
+  for (i32 i = 0; i < 10; ++i) f.update(1.0);
+  EXPECT_NEAR(f.value(), 1.0 - std::pow(0.75, 10), 1e-12);
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,63 @@
+#include "tripleC/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tc::model {
+namespace {
+
+TEST(LinearModel, FitsExactLine) {
+  std::vector<f64> xs;
+  std::vector<f64> ys;
+  for (i32 i = 0; i < 100; ++i) {
+    xs.push_back(static_cast<f64>(i * 1000));
+    ys.push_back(0.067 * xs.back() + 20.6);
+  }
+  LinearGrowthModel m;
+  m.fit(xs, ys);
+  EXPECT_TRUE(m.fitted());
+  EXPECT_NEAR(m.slope(), 0.067, 1e-12);
+  EXPECT_NEAR(m.intercept(), 20.6, 1e-6);
+  EXPECT_NEAR(m.predict(150000.0), 0.067 * 150000.0 + 20.6, 1e-6);
+}
+
+TEST(LinearModel, FromCoefficientsMatchesPaperEq3) {
+  // Eq. 3 of the paper: y = 0.067 * t + 20.6.
+  LinearGrowthModel m = LinearGrowthModel::from_coefficients(0.067, 20.6);
+  EXPECT_TRUE(m.fitted());
+  EXPECT_DOUBLE_EQ(m.predict(0.0), 20.6);
+  EXPECT_DOUBLE_EQ(m.predict(100.0), 27.3);
+}
+
+TEST(LinearModel, DefaultIsNotFitted) {
+  LinearGrowthModel m;
+  EXPECT_FALSE(m.fitted());
+  EXPECT_DOUBLE_EQ(m.predict(10.0), 0.0);
+}
+
+TEST(LinearModel, NoisyFitRecoversTrend) {
+  Pcg32 rng(1);
+  std::vector<f64> xs;
+  std::vector<f64> ys;
+  for (i32 i = 0; i < 5000; ++i) {
+    f64 x = rng.uniform(0.0, 300000.0);
+    xs.push_back(x);
+    ys.push_back(0.0001 * x + 15.0 + rng.normal(0.0, 2.0));
+  }
+  LinearGrowthModel m;
+  m.fit(xs, ys);
+  EXPECT_NEAR(m.slope(), 0.0001, 1e-5);
+  EXPECT_NEAR(m.intercept(), 15.0, 0.5);
+  EXPECT_GT(m.r2(), 0.5);
+}
+
+TEST(LinearModel, ToStringContainsCoefficients) {
+  LinearGrowthModel m = LinearGrowthModel::from_coefficients(2.0, 3.0);
+  std::string s = m.to_string();
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+  EXPECT_NE(s.find("3.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc::model

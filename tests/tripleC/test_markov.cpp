@@ -1,0 +1,210 @@
+#include "tripleC/markov.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace tc::model {
+namespace {
+
+/// Deterministic two-value alternation 1, 9, 1, 9, ...
+std::vector<f64> alternating(usize n) {
+  std::vector<f64> xs;
+  for (usize i = 0; i < n; ++i) xs.push_back(i % 2 == 0 ? 1.0 : 9.0);
+  return xs;
+}
+
+std::vector<f64> ar1(usize n, f64 phi, f64 sigma, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<f64> xs{50.0};
+  for (usize i = 1; i < n; ++i) {
+    xs.push_back(50.0 + phi * (xs.back() - 50.0) + rng.normal(0.0, sigma));
+  }
+  return xs;
+}
+
+TEST(Markov, TransitionRowsSumToOne) {
+  MarkovChain m;
+  m.fit(ar1(5000, 0.7, 3.0, 1));
+  for (usize i = 0; i < m.states(); ++i) {
+    f64 sum = 0.0;
+    for (usize j = 0; j < m.states(); ++j) sum += m.transition(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(Markov, AlternatingSeriesLearnsDeterministicTransitions) {
+  MarkovChain m;
+  m.fit(alternating(1000));
+  ASSERT_EQ(m.states(), 2u);
+  usize s_low = m.quantizer().state_of(1.0);
+  usize s_high = m.quantizer().state_of(9.0);
+  EXPECT_NEAR(m.transition(s_low, s_high), 1.0, 1e-9);
+  EXPECT_NEAR(m.transition(s_high, s_low), 1.0, 1e-9);
+  EXPECT_NEAR(m.predict_next(1.0), 9.0, 1e-6);
+  EXPECT_NEAR(m.predict_next(9.0), 1.0, 1e-6);
+}
+
+TEST(Markov, PredictionBeatsMeanOnAr1) {
+  std::vector<f64> train = ar1(20000, 0.85, 4.0, 2);
+  std::vector<f64> test = ar1(4000, 0.85, 4.0, 3);
+  MarkovChain m;
+  m.fit(train);
+  f64 err_markov = 0.0;
+  f64 err_mean = 0.0;
+  for (usize k = 0; k + 1 < test.size(); ++k) {
+    err_markov += std::fabs(m.predict_next(test[k]) - test[k + 1]);
+    err_mean += std::fabs(m.unconditional_mean() - test[k + 1]);
+  }
+  EXPECT_LT(err_markov, 0.8 * err_mean);
+}
+
+TEST(Markov, UnconditionalMeanMatchesData) {
+  std::vector<f64> xs = ar1(10000, 0.5, 2.0, 4);
+  MarkovChain m;
+  m.fit(xs);
+  EXPECT_NEAR(m.unconditional_mean(), mean(xs), 1e-9);
+}
+
+TEST(Markov, StationaryDistributionSumsToOne) {
+  MarkovChain m;
+  m.fit(ar1(10000, 0.6, 3.0, 5));
+  std::vector<f64> pi = m.stationary_distribution();
+  f64 sum = 0.0;
+  for (f64 p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Markov, StationaryDistributionMatchesEmpiricalOccupancy) {
+  std::vector<f64> xs = ar1(50000, 0.7, 3.0, 6);
+  MarkovChain m;
+  m.fit(xs);
+  std::vector<f64> pi = m.stationary_distribution();
+  std::vector<f64> occupancy(m.states(), 0.0);
+  for (f64 x : xs) occupancy[m.quantizer().state_of(x)] += 1.0;
+  for (f64& o : occupancy) o /= static_cast<f64>(xs.size());
+  for (usize s = 0; s < m.states(); ++s) {
+    EXPECT_NEAR(pi[s], occupancy[s], 0.03) << "state " << s;
+  }
+}
+
+TEST(Markov, MostLikelyNextStateOfAlternation) {
+  MarkovChain m;
+  m.fit(alternating(500));
+  usize s_low = m.quantizer().state_of(1.0);
+  usize s_high = m.quantizer().state_of(9.0);
+  EXPECT_EQ(m.most_likely_next_state(1.0), s_high);
+  EXPECT_EQ(m.most_likely_next_state(9.0), s_low);
+}
+
+TEST(Markov, SamplePathStaysInTrainedRange) {
+  std::vector<f64> xs = ar1(10000, 0.8, 3.0, 7);
+  MarkovChain m;
+  m.fit(xs);
+  Pcg32 rng(99);
+  std::vector<f64> path = m.sample_path(2000, rng);
+  ASSERT_EQ(path.size(), 2000u);
+  f64 lo = min_of(xs);
+  f64 hi = max_of(xs);
+  for (f64 v : path) {
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Markov, SamplePathReproducesAutocorrelation) {
+  std::vector<f64> xs = ar1(50000, 0.85, 3.0, 8);
+  MarkovChain m;
+  m.fit(xs);
+  Pcg32 rng(100);
+  std::vector<f64> path = m.sample_path(50000, rng);
+  // First-lag autocorrelation of the generated path matches the data.
+  EXPECT_NEAR(autocorrelation(path, 1), autocorrelation(xs, 1), 0.1);
+}
+
+TEST(Markov, FitMultiDoesNotCountCrossSequenceTransitions) {
+  // One sequence alternating 1/2, another alternating 8/9: with fit_multi
+  // there must be no transition from any low state to any high state.
+  std::vector<std::vector<f64>> seqs;
+  std::vector<f64> low;
+  std::vector<f64> high;
+  for (i32 i = 0; i < 60; ++i) {
+    low.push_back(i % 2 == 0 ? 1.0 : 2.0);
+    high.push_back(i % 2 == 0 ? 8.0 : 9.0);
+  }
+  seqs.push_back(low);
+  seqs.push_back(high);
+  MarkovChain m;
+  m.fit_multi(seqs, 2.0, 8);
+  for (f64 lo : {1.0, 2.0}) {
+    for (f64 hi : {8.0, 9.0}) {
+      usize s_lo = m.quantizer().state_of(lo);
+      usize s_hi = m.quantizer().state_of(hi);
+      ASSERT_NE(s_lo, s_hi);
+      EXPECT_NEAR(m.transition(s_lo, s_hi), 0.0, 1e-9)
+          << lo << " -> " << hi;
+    }
+  }
+}
+
+TEST(Markov, AccumulateAddsStatistics) {
+  std::vector<f64> xs = alternating(100);
+  MarkovChain m;
+  m.fit(xs);
+  usize s_low = m.quantizer().state_of(1.0);
+  // Accumulate a constant-low sequence: the low state now sometimes stays.
+  std::vector<f64> stay(100, 1.0);
+  m.accumulate(stay);
+  EXPECT_GT(m.transition(s_low, s_low), 0.3);
+}
+
+TEST(Markov, FormatMatrixContainsStates) {
+  MarkovChain m;
+  m.fit(alternating(100));
+  std::string s = m.format_matrix();
+  EXPECT_NE(s.find("s0"), std::string::npos);
+  EXPECT_NE(s.find("s1"), std::string::npos);
+}
+
+TEST(Markov, UnfittedPredictReturnsInput) {
+  MarkovChain m;
+  EXPECT_DOUBLE_EQ(m.predict_next(13.0), 13.0);
+}
+
+TEST(Markov, SingleStatePredictsConstant) {
+  std::vector<f64> xs(100, 4.0);
+  MarkovChain m;
+  m.fit(xs);
+  EXPECT_EQ(m.states(), 1u);
+  EXPECT_DOUBLE_EQ(m.predict_next(999.0), 4.0);
+}
+
+// Sweep: prediction quality grows with state multiplier (the paper's "2M
+// states for sufficient accuracy" observation).
+class StateMultiplier : public ::testing::TestWithParam<f64> {};
+
+TEST_P(StateMultiplier, MoreStatesNeverMuchWorse) {
+  std::vector<f64> train = ar1(30000, 0.85, 4.0, 9);
+  std::vector<f64> test = ar1(5000, 0.85, 4.0, 10);
+  MarkovChain base;
+  base.fit(train, 0.5, 64);
+  MarkovChain m;
+  m.fit(train, GetParam(), 64);
+  auto mae = [&test](const MarkovChain& chain) {
+    f64 err = 0.0;
+    for (usize k = 0; k + 1 < test.size(); ++k) {
+      err += std::fabs(chain.predict_next(test[k]) - test[k + 1]);
+    }
+    return err / static_cast<f64>(test.size() - 1);
+  };
+  EXPECT_LT(mae(m), mae(base) * 1.05) << "multiplier " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, StateMultiplier,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace tc::model

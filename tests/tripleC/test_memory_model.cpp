@@ -1,0 +1,50 @@
+#include "tripleC/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tc::model {
+namespace {
+
+TEST(MemoryModel, RowFromWorkReport) {
+  img::WorkReport w;
+  w.input_bytes = 2048 * 1024;
+  w.intermediate_bytes = 7168 * 1024;
+  w.output_bytes = 5120 * 1024;
+  MemoryRow row = memory_row("RDG_FULL", false, w);
+  EXPECT_EQ(row.task, "RDG_FULL");
+  EXPECT_DOUBLE_EQ(row.input_kb, 2048.0);
+  EXPECT_DOUBLE_EQ(row.intermediate_kb, 7168.0);
+  EXPECT_DOUBLE_EQ(row.output_kb, 5120.0);
+  EXPECT_DOUBLE_EQ(row.total_kb(), 2048.0 + 7168.0 + 5120.0);
+}
+
+TEST(MemoryModel, ScaleConvertsResolution) {
+  img::WorkReport w;
+  w.input_bytes = 1024;
+  MemoryRow row = memory_row("T", false, w, 16.0);
+  EXPECT_DOUBLE_EQ(row.input_kb, 16.0);
+}
+
+TEST(MemoryModel, TableContainsAllRows) {
+  img::WorkReport w;
+  w.input_bytes = 1024 * 1024;
+  std::vector<MemoryRow> rows{
+      memory_row("RDG_FULL", false, w),
+      memory_row("MKX_FULL", true, w),
+  };
+  std::string table = format_memory_table(rows);
+  EXPECT_NE(table.find("RDG_FULL"), std::string::npos);
+  EXPECT_NE(table.find("MKX_FULL"), std::string::npos);
+  EXPECT_NE(table.find("Input (KB)"), std::string::npos);
+  // RDG-select marks.
+  EXPECT_NE(table.find('x'), std::string::npos);
+}
+
+TEST(MemoryModel, RdgSelectedFlagStored) {
+  img::WorkReport w;
+  EXPECT_TRUE(memory_row("A", true, w).rdg_selected);
+  EXPECT_FALSE(memory_row("A", false, w).rdg_selected);
+}
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,130 @@
+// Online model adaptation — the paper's profiling feedback ("The
+// information can be used for on-line model training", §6).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tripleC/predictor.hpp"
+
+namespace tc::model {
+namespace {
+
+/// AR(1) residual process around a fixed level, with configurable
+/// autocorrelation sign: phi > 0 gives persistence, phi < 0 alternation.
+std::vector<TrainingSample> ar1_samples(usize n, f64 phi, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<TrainingSample> xs;
+  f64 r = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    r = phi * r + rng.normal(0.0, 1.0);
+    xs.push_back({40.0 + r, 0.0});
+  }
+  return xs;
+}
+
+f64 replay_mae(TaskPredictor& p, std::span<const TrainingSample> test) {
+  f64 err = 0.0;
+  for (const TrainingSample& s : test) {
+    err += std::fabs(p.predict(s.size) - s.measured_ms);
+    p.observe(s.measured_ms, s.size);
+  }
+  return err / static_cast<f64>(test.size());
+}
+
+TEST(OnlineAdaptation, TransitionCountingUpdatesChain) {
+  MarkovChain m;
+  std::vector<f64> alt;
+  for (i32 i = 0; i < 200; ++i) alt.push_back(i % 2 == 0 ? 1.0 : 9.0);
+  m.fit(alt);
+  usize s_low = m.quantizer().state_of(1.0);
+  // Feed persistent-low transitions online: P(low|low) rises from ~0.
+  f64 before = m.transition(s_low, s_low);
+  for (i32 i = 0; i < 400; ++i) m.observe_transition(1.0, 1.0);
+  EXPECT_GT(m.transition(s_low, s_low), before + 0.4);
+}
+
+TEST(OnlineAdaptation, ObserveTransitionOnUnfittedChainIsNoop) {
+  MarkovChain m;
+  m.observe_transition(1.0, 2.0);  // must not crash
+  EXPECT_FALSE(m.fitted());
+}
+
+TEST(OnlineAdaptation, AdaptsToChangedDynamics) {
+  // Train on persistent residuals (phi = +0.8), then run on alternating
+  // residuals (phi = -0.8).  The adaptive predictor re-learns the
+  // transition structure and ends up more accurate than the frozen one.
+  auto train = ar1_samples(4000, 0.8, 1);
+  auto drifted = ar1_samples(6000, -0.8, 2);
+
+  PredictorConfig frozen_cfg;
+  frozen_cfg.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor frozen(frozen_cfg);
+  frozen.train(train);
+
+  PredictorConfig adaptive_cfg = frozen_cfg;
+  adaptive_cfg.online_adaptation = true;
+  TaskPredictor adaptive(adaptive_cfg);
+  adaptive.train(train);
+
+  // Warm both on the first part of the drifted workload...
+  std::span<const TrainingSample> warm(drifted.data(), 4000);
+  (void)replay_mae(frozen, warm);
+  (void)replay_mae(adaptive, warm);
+  // ...then compare on the tail.
+  std::span<const TrainingSample> tail(drifted.data() + 4000, 2000);
+  f64 mae_frozen = replay_mae(frozen, tail);
+  f64 mae_adaptive = replay_mae(adaptive, tail);
+  EXPECT_LT(mae_adaptive, 0.95 * mae_frozen);
+}
+
+TEST(OnlineAdaptation, NoDriftMeansNoHarm) {
+  // On a stationary workload the adaptive predictor performs on par with
+  // the frozen one (extra counts only sharpen the same statistics).
+  auto train = ar1_samples(4000, 0.7, 3);
+  auto test = ar1_samples(2000, 0.7, 4);
+
+  PredictorConfig cfg;
+  cfg.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor frozen(cfg);
+  frozen.train(train);
+  cfg.online_adaptation = true;
+  TaskPredictor adaptive(cfg);
+  adaptive.train(train);
+
+  f64 mae_frozen = replay_mae(frozen, test);
+  f64 mae_adaptive = replay_mae(adaptive, test);
+  EXPECT_LT(mae_adaptive, 1.05 * mae_frozen);
+}
+
+TEST(OnlineAdaptation, WorksForLinearMarkov) {
+  Pcg32 rng(5);
+  auto make = [&rng](f64 phi, usize n) {
+    std::vector<TrainingSample> xs;
+    f64 r = 0.0;
+    for (usize i = 0; i < n; ++i) {
+      f64 size = rng.uniform(1000.0, 100000.0);
+      r = phi * r + rng.normal(0.0, 1.0);
+      xs.push_back({0.0001 * size + 10.0 + r, size});
+    }
+    return xs;
+  };
+  PredictorConfig cfg;
+  cfg.kind = PredictorKind::LinearMarkov;
+  cfg.online_adaptation = true;
+  TaskPredictor p(cfg);
+  p.train(make(0.8, 2000));
+  auto drift = make(-0.8, 4000);
+  (void)replay_mae(p, drift);
+  // The chain kept counting: its sample base grew far beyond training.
+  ASSERT_NE(p.markov(), nullptr);
+  usize low_state = p.markov()->quantizer().state_of(-1.0);
+  usize high_state = p.markov()->quantizer().state_of(1.0);
+  // With alternating dynamics, low -> high transitions dominate now.
+  EXPECT_GT(p.markov()->transition(low_state, high_state),
+            p.markov()->transition(low_state, low_state));
+}
+
+}  // namespace
+}  // namespace tc::model

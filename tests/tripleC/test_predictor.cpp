@@ -1,0 +1,233 @@
+#include "tripleC/predictor.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tc::model {
+namespace {
+
+std::vector<TrainingSample> constant_series(usize n, f64 value) {
+  std::vector<TrainingSample> xs;
+  for (usize i = 0; i < n; ++i) xs.push_back({value, 0.0});
+  return xs;
+}
+
+/// Long-term sinusoidal drift plus AR(1) short-term fluctuation — the
+/// structure the paper decomposes with EWMA + Markov.
+std::vector<TrainingSample> drift_plus_ar1(usize n, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<TrainingSample> xs;
+  f64 r = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    f64 slow = 45.0 + 8.0 * std::sin(static_cast<f64>(i) / 120.0);
+    r = 0.7 * r + rng.normal(0.0, 1.5);
+    xs.push_back({slow + r, 0.0});
+  }
+  return xs;
+}
+
+/// Linear in size plus AR(1) residual (the RDG_ROI structure, Eq. 3).
+std::vector<TrainingSample> linear_plus_ar1(usize n, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<TrainingSample> xs;
+  f64 r = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    f64 size = rng.uniform(20000.0, 300000.0);
+    r = 0.6 * r + rng.normal(0.0, 1.0);
+    xs.push_back({0.00007 * size + 20.0 + r, size});
+  }
+  return xs;
+}
+
+f64 replay_mae(TaskPredictor& p, std::span<const TrainingSample> test) {
+  f64 err = 0.0;
+  for (const TrainingSample& s : test) {
+    err += std::fabs(p.predict(s.size) - s.measured_ms);
+    p.observe(s.measured_ms, s.size);
+  }
+  return err / static_cast<f64>(test.size());
+}
+
+TEST(Predictor, ConstantKindPredictsTrainedMean) {
+  PredictorConfig cfg;
+  cfg.kind = PredictorKind::Constant;
+  TaskPredictor p(cfg);
+  p.train(constant_series(100, 24.0));
+  EXPECT_TRUE(p.trained());
+  EXPECT_DOUBLE_EQ(p.predict(), 24.0);
+  p.observe(100.0);  // constant predictor ignores observations
+  EXPECT_DOUBLE_EQ(p.predict(), 24.0);
+}
+
+TEST(Predictor, EwmaKindTracksLevelShifts) {
+  PredictorConfig cfg;
+  cfg.kind = PredictorKind::Ewma;
+  cfg.ewma_alpha = 0.5;
+  TaskPredictor p(cfg);
+  p.train(constant_series(50, 10.0));
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);  // mean before any observation
+  p.observe(20.0);
+  p.observe(20.0);
+  p.observe(20.0);
+  EXPECT_GT(p.predict(), 16.0);
+}
+
+TEST(Predictor, EwmaMarkovBeatsConstantOnStructuredLoad) {
+  auto train = drift_plus_ar1(4000, 1);
+  auto test = drift_plus_ar1(1000, 2);
+
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor p_em(em);
+  p_em.train(train);
+
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  TaskPredictor p_c(c);
+  p_c.train(train);
+
+  f64 mae_em = replay_mae(p_em, test);
+  f64 mae_c = replay_mae(p_c, test);
+  EXPECT_LT(mae_em, 0.6 * mae_c);
+}
+
+TEST(Predictor, EwmaMarkovBeatsEwmaOnlyOnAr1Residual) {
+  auto train = drift_plus_ar1(6000, 3);
+  auto test = drift_plus_ar1(1500, 4);
+
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor p_em(em);
+  p_em.train(train);
+
+  PredictorConfig e;
+  e.kind = PredictorKind::Ewma;
+  e.ewma_alpha = em.ewma_alpha;
+  TaskPredictor p_e(e);
+  p_e.train(train);
+
+  EXPECT_LT(replay_mae(p_em, test), replay_mae(p_e, test));
+}
+
+TEST(Predictor, LinearMarkovRecoversGrowthLaw) {
+  auto train = linear_plus_ar1(5000, 5);
+  PredictorConfig lm;
+  lm.kind = PredictorKind::LinearMarkov;
+  TaskPredictor p(lm);
+  p.train(train);
+  EXPECT_NEAR(p.linear().slope(), 0.00007, 1e-5);
+  EXPECT_NEAR(p.linear().intercept(), 20.0, 1.0);
+}
+
+TEST(Predictor, LinearMarkovBeatsConstantAcrossSizes) {
+  auto train = linear_plus_ar1(5000, 6);
+  auto test = linear_plus_ar1(1000, 7);
+
+  PredictorConfig lm;
+  lm.kind = PredictorKind::LinearMarkov;
+  TaskPredictor p_lm(lm);
+  p_lm.train(train);
+
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  TaskPredictor p_c(c);
+  p_c.train(train);
+
+  EXPECT_LT(replay_mae(p_lm, test), 0.4 * replay_mae(p_c, test));
+}
+
+TEST(Predictor, UntrainedPredictsZero) {
+  TaskPredictor p;
+  EXPECT_FALSE(p.trained());
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Predictor, ResetOnlineStateKeepsModel) {
+  auto train = drift_plus_ar1(2000, 8);
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor p(em);
+  p.train(train);
+  p.observe(60.0);
+  p.observe(60.0);
+  f64 before = p.predict();
+  p.reset_online_state();
+  // After the reset the prediction falls back to the trained mean.
+  EXPECT_NE(p.predict(), before);
+  EXPECT_NEAR(p.predict(), p.trained_mean(), 1e-9);
+  EXPECT_TRUE(p.trained());
+}
+
+TEST(Predictor, MarkovAccessorsMatchKind) {
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  EXPECT_EQ(TaskPredictor(c).markov(), nullptr);
+  PredictorConfig e;
+  e.kind = PredictorKind::Ewma;
+  EXPECT_EQ(TaskPredictor(e).markov(), nullptr);
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor p(em);
+  p.train(drift_plus_ar1(500, 9));
+  EXPECT_NE(p.markov(), nullptr);
+  EXPECT_GT(p.markov()->states(), 1u);
+}
+
+TEST(Predictor, MultiSequenceTrainingHandlesBoundaries) {
+  std::vector<std::vector<TrainingSample>> seqs;
+  seqs.push_back(constant_series(50, 10.0));
+  seqs.push_back(constant_series(50, 30.0));
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  TaskPredictor p(em);
+  p.train(seqs);
+  EXPECT_NEAR(p.trained_mean(), 20.0, 1e-9);
+}
+
+TEST(Predictor, SummaryMentionsKind) {
+  PredictorConfig c;
+  c.kind = PredictorKind::Constant;
+  TaskPredictor p(c);
+  p.train(constant_series(10, 12.5));
+  EXPECT_NE(p.summary().find("12.5"), std::string::npos);
+
+  PredictorConfig lm;
+  lm.kind = PredictorKind::LinearMarkov;
+  TaskPredictor q(lm);
+  q.train(linear_plus_ar1(500, 10));
+  EXPECT_NE(q.summary().find("linear + Markov"), std::string::npos);
+}
+
+TEST(Predictor, ToStringOfKinds) {
+  EXPECT_EQ(to_string(PredictorKind::Constant), "constant");
+  EXPECT_EQ(to_string(PredictorKind::Ewma), "EWMA");
+  EXPECT_EQ(to_string(PredictorKind::EwmaMarkov), "EWMA + Markov");
+  EXPECT_EQ(to_string(PredictorKind::LinearMarkov), "linear + Markov");
+}
+
+// Accuracy sweep over EWMA alpha: there is an interior optimum; extreme
+// alphas are not catastrophically worse (sanity of the composition).
+class AlphaSweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(AlphaSweep, ReasonableAccuracyForAllAlphas) {
+  auto train = drift_plus_ar1(4000, 11);
+  auto test = drift_plus_ar1(1000, 12);
+  PredictorConfig em;
+  em.kind = PredictorKind::EwmaMarkov;
+  em.ewma_alpha = GetParam();
+  TaskPredictor p(em);
+  p.train(train);
+  f64 mae = replay_mae(p, test);
+  // The signal std is ~6; any trained predictor must do much better.
+  EXPECT_LT(mae, 3.0) << "alpha " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace tc::model

@@ -1,0 +1,159 @@
+#include "tripleC/quantizer.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tc::model {
+namespace {
+
+std::vector<f64> normal_samples(usize n, f64 mean, f64 sigma, u64 seed) {
+  Pcg32 rng(seed);
+  std::vector<f64> xs;
+  xs.reserve(n);
+  for (usize i = 0; i < n; ++i) xs.push_back(rng.normal(mean, sigma));
+  return xs;
+}
+
+TEST(Quantizer, EmptyInputNotFitted) {
+  AdaptiveQuantizer q;
+  q.fit({});
+  EXPECT_FALSE(q.fitted());
+  EXPECT_EQ(q.states(), 0u);
+}
+
+TEST(Quantizer, ConstantSeriesHasSingleState) {
+  std::vector<f64> xs(100, 7.0);
+  AdaptiveQuantizer q;
+  q.fit(xs);
+  EXPECT_EQ(q.states(), 1u);
+  EXPECT_DOUBLE_EQ(q.representative(0), 7.0);
+  EXPECT_EQ(q.state_of(7.0), 0u);
+  EXPECT_EQ(q.state_of(100.0), 0u);
+}
+
+TEST(Quantizer, BaseStateCountFollowsPaperRule) {
+  // M = C_max / sigma_C.
+  std::vector<f64> xs = normal_samples(20000, 50.0, 5.0, 1);
+  AdaptiveQuantizer q;
+  q.fit(xs, 1.0, 1000);
+  f64 c_max = max_of(xs);
+  f64 sigma = stddev(xs);
+  EXPECT_NEAR(static_cast<f64>(q.base_states()), c_max / sigma, 1.0);
+}
+
+TEST(Quantizer, MultiplierDoublesStates) {
+  std::vector<f64> xs = normal_samples(20000, 50.0, 5.0, 2);
+  AdaptiveQuantizer q1;
+  q1.fit(xs, 1.0, 1000);
+  AdaptiveQuantizer q2;
+  q2.fit(xs, 2.0, 1000);
+  EXPECT_NEAR(static_cast<f64>(q2.states()),
+              2.0 * static_cast<f64>(q1.states()), 2.0);
+}
+
+TEST(Quantizer, MaxStatesClamps) {
+  std::vector<f64> xs = normal_samples(20000, 50.0, 2.0, 3);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 10);
+  EXPECT_LE(q.states(), 10u);
+}
+
+TEST(Quantizer, EqualFrequencyIntervals) {
+  // Each state should hold roughly the same number of training samples.
+  std::vector<f64> xs = normal_samples(50000, 100.0, 10.0, 4);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 16);
+  std::vector<u64> counts(q.states(), 0);
+  for (f64 x : xs) ++counts[q.state_of(x)];
+  u64 expect = xs.size() / q.states();
+  for (usize s = 0; s < q.states(); ++s) {
+    EXPECT_NEAR(static_cast<f64>(counts[s]), static_cast<f64>(expect),
+                static_cast<f64>(expect) * 0.25)
+        << "state " << s;
+  }
+}
+
+TEST(Quantizer, StateOfIsMonotone) {
+  std::vector<f64> xs = normal_samples(10000, 0.0, 1.0, 5);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 12);
+  usize prev = 0;
+  for (f64 x = -5.0; x <= 5.0; x += 0.1) {
+    usize s = q.state_of(x);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(q.state_of(-100.0), 0u);
+  EXPECT_EQ(q.state_of(100.0), q.states() - 1);
+}
+
+TEST(Quantizer, RepresentativesAreMonotoneAndInsideRange) {
+  std::vector<f64> xs = normal_samples(10000, 20.0, 4.0, 6);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 12);
+  f64 lo = min_of(xs);
+  f64 hi = max_of(xs);
+  f64 prev = lo - 1.0;
+  for (usize s = 0; s < q.states(); ++s) {
+    f64 rep = q.representative(s);
+    EXPECT_GT(rep, prev);
+    EXPECT_GE(rep, lo);
+    EXPECT_LE(rep, hi);
+    prev = rep;
+  }
+}
+
+TEST(Quantizer, RepresentativeIsStateMean) {
+  std::vector<f64> xs = normal_samples(30000, 0.0, 1.0, 7);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 8);
+  std::vector<f64> sum(q.states(), 0.0);
+  std::vector<u64> count(q.states(), 0);
+  for (f64 x : xs) {
+    usize s = q.state_of(x);
+    sum[s] += x;
+    ++count[s];
+  }
+  for (usize s = 0; s < q.states(); ++s) {
+    if (count[s] == 0) continue;
+    EXPECT_NEAR(q.representative(s), sum[s] / static_cast<f64>(count[s]),
+                1e-9);
+  }
+}
+
+TEST(Quantizer, HeavyTiesMergeBoundaries) {
+  // 90% of mass at a single value: equal-frequency boundaries collide and
+  // must be merged without crashing.
+  std::vector<f64> xs(900, 5.0);
+  for (i32 i = 0; i < 100; ++i) xs.push_back(5.0 + i * 0.1);
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 16);
+  EXPECT_GE(q.states(), 2u);
+  EXPECT_LE(q.states(), 16u);
+  // All calls still map to valid states.
+  for (f64 x : xs) EXPECT_LT(q.state_of(x), q.states());
+}
+
+class QuantizerRoundTrip : public ::testing::TestWithParam<usize> {};
+
+TEST_P(QuantizerRoundTrip, QuantizationErrorBoundedByStateWidth) {
+  std::vector<f64> xs = normal_samples(20000, 50.0, 8.0, GetParam());
+  AdaptiveQuantizer q;
+  q.fit(xs, 2.0, 32);
+  // The representative of a sample's state is within the sample range and
+  // the average quantization error shrinks with more states.
+  f64 err = 0.0;
+  for (f64 x : xs) err += std::abs(q.representative(q.state_of(x)) - x);
+  err /= static_cast<f64>(xs.size());
+  EXPECT_LT(err, stddev(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizerRoundTrip,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace tc::model
