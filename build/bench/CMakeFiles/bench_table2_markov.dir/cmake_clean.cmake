@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_markov.dir/bench_table2_markov.cpp.o"
+  "CMakeFiles/bench_table2_markov.dir/bench_table2_markov.cpp.o.d"
+  "bench_table2_markov"
+  "bench_table2_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

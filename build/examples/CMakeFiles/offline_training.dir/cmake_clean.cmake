@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_training.dir/offline_training.cpp.o"
+  "CMakeFiles/offline_training.dir/offline_training.cpp.o.d"
+  "offline_training"
+  "offline_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_adaptation.dir/runtime_adaptation.cpp.o"
+  "CMakeFiles/runtime_adaptation.dir/runtime_adaptation.cpp.o.d"
+  "runtime_adaptation"
+  "runtime_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_explorer.dir/scenario_explorer.cpp.o"
+  "CMakeFiles/scenario_explorer.dir/scenario_explorer.cpp.o.d"
+  "scenario_explorer"
+  "scenario_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

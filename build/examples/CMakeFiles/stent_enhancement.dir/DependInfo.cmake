@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stent_enhancement.cpp" "examples/CMakeFiles/stent_enhancement.dir/stent_enhancement.cpp.o" "gcc" "examples/CMakeFiles/stent_enhancement.dir/stent_enhancement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/tc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tripleC/CMakeFiles/tc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

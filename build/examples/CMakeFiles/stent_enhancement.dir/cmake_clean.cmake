@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stent_enhancement.dir/stent_enhancement.cpp.o"
+  "CMakeFiles/stent_enhancement.dir/stent_enhancement.cpp.o.d"
+  "stent_enhancement"
+  "stent_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stent_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_app.dir/stentboost.cpp.o"
+  "CMakeFiles/tc_app.dir/stentboost.cpp.o.d"
+  "libtc_app.a"
+  "libtc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/tc_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/tc_common.dir/csv.cpp.o"
+  "CMakeFiles/tc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/tc_common.dir/stats.cpp.o"
+  "CMakeFiles/tc_common.dir/stats.cpp.o.d"
+  "libtc_common.a"
+  "libtc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_graph.dir/flowgraph.cpp.o"
+  "CMakeFiles/tc_graph.dir/flowgraph.cpp.o.d"
+  "CMakeFiles/tc_graph.dir/scenario.cpp.o"
+  "CMakeFiles/tc_graph.dir/scenario.cpp.o.d"
+  "libtc_graph.a"
+  "libtc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/couples.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/couples.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/couples.cpp.o.d"
+  "/root/repo/src/imaging/enhance.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/enhance.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/enhance.cpp.o.d"
+  "/root/repo/src/imaging/guidewire.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/guidewire.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/guidewire.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/image.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/image.cpp.o.d"
+  "/root/repo/src/imaging/kernels.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/kernels.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/kernels.cpp.o.d"
+  "/root/repo/src/imaging/markers.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/markers.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/markers.cpp.o.d"
+  "/root/repo/src/imaging/metrics.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/metrics.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/metrics.cpp.o.d"
+  "/root/repo/src/imaging/registration.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/registration.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/registration.cpp.o.d"
+  "/root/repo/src/imaging/ridge.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/ridge.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/ridge.cpp.o.d"
+  "/root/repo/src/imaging/roi.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/roi.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/roi.cpp.o.d"
+  "/root/repo/src/imaging/synthetic.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/synthetic.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/synthetic.cpp.o.d"
+  "/root/repo/src/imaging/work_report.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/work_report.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/work_report.cpp.o.d"
+  "/root/repo/src/imaging/zoom.cpp" "src/imaging/CMakeFiles/tc_imaging.dir/zoom.cpp.o" "gcc" "src/imaging/CMakeFiles/tc_imaging.dir/zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

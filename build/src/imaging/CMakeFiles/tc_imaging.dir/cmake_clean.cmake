@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_imaging.dir/couples.cpp.o"
+  "CMakeFiles/tc_imaging.dir/couples.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/enhance.cpp.o"
+  "CMakeFiles/tc_imaging.dir/enhance.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/guidewire.cpp.o"
+  "CMakeFiles/tc_imaging.dir/guidewire.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/image.cpp.o"
+  "CMakeFiles/tc_imaging.dir/image.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/kernels.cpp.o"
+  "CMakeFiles/tc_imaging.dir/kernels.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/markers.cpp.o"
+  "CMakeFiles/tc_imaging.dir/markers.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/metrics.cpp.o"
+  "CMakeFiles/tc_imaging.dir/metrics.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/registration.cpp.o"
+  "CMakeFiles/tc_imaging.dir/registration.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/ridge.cpp.o"
+  "CMakeFiles/tc_imaging.dir/ridge.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/roi.cpp.o"
+  "CMakeFiles/tc_imaging.dir/roi.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/synthetic.cpp.o"
+  "CMakeFiles/tc_imaging.dir/synthetic.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/work_report.cpp.o"
+  "CMakeFiles/tc_imaging.dir/work_report.cpp.o.d"
+  "CMakeFiles/tc_imaging.dir/zoom.cpp.o"
+  "CMakeFiles/tc_imaging.dir/zoom.cpp.o.d"
+  "libtc_imaging.a"
+  "libtc_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/buffer_model.cpp" "src/platform/CMakeFiles/tc_platform.dir/buffer_model.cpp.o" "gcc" "src/platform/CMakeFiles/tc_platform.dir/buffer_model.cpp.o.d"
+  "/root/repo/src/platform/cache_sim.cpp" "src/platform/CMakeFiles/tc_platform.dir/cache_sim.cpp.o" "gcc" "src/platform/CMakeFiles/tc_platform.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/platform/cost_model.cpp" "src/platform/CMakeFiles/tc_platform.dir/cost_model.cpp.o" "gcc" "src/platform/CMakeFiles/tc_platform.dir/cost_model.cpp.o.d"
+  "/root/repo/src/platform/thread_pool.cpp" "src/platform/CMakeFiles/tc_platform.dir/thread_pool.cpp.o" "gcc" "src/platform/CMakeFiles/tc_platform.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_platform.dir/buffer_model.cpp.o"
+  "CMakeFiles/tc_platform.dir/buffer_model.cpp.o.d"
+  "CMakeFiles/tc_platform.dir/cache_sim.cpp.o"
+  "CMakeFiles/tc_platform.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/tc_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/tc_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tc_platform.dir/thread_pool.cpp.o"
+  "CMakeFiles/tc_platform.dir/thread_pool.cpp.o.d"
+  "libtc_platform.a"
+  "libtc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

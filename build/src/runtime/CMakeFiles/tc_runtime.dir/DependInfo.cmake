@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/manager.cpp" "src/runtime/CMakeFiles/tc_runtime.dir/manager.cpp.o" "gcc" "src/runtime/CMakeFiles/tc_runtime.dir/manager.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/runtime/CMakeFiles/tc_runtime.dir/partition.cpp.o" "gcc" "src/runtime/CMakeFiles/tc_runtime.dir/partition.cpp.o.d"
+  "/root/repo/src/runtime/pipeline_schedule.cpp" "src/runtime/CMakeFiles/tc_runtime.dir/pipeline_schedule.cpp.o" "gcc" "src/runtime/CMakeFiles/tc_runtime.dir/pipeline_schedule.cpp.o.d"
+  "/root/repo/src/runtime/qos.cpp" "src/runtime/CMakeFiles/tc_runtime.dir/qos.cpp.o" "gcc" "src/runtime/CMakeFiles/tc_runtime.dir/qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/tc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tripleC/CMakeFiles/tc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_runtime.dir/manager.cpp.o"
+  "CMakeFiles/tc_runtime.dir/manager.cpp.o.d"
+  "CMakeFiles/tc_runtime.dir/partition.cpp.o"
+  "CMakeFiles/tc_runtime.dir/partition.cpp.o.d"
+  "CMakeFiles/tc_runtime.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/tc_runtime.dir/pipeline_schedule.cpp.o.d"
+  "CMakeFiles/tc_runtime.dir/qos.cpp.o"
+  "CMakeFiles/tc_runtime.dir/qos.cpp.o.d"
+  "libtc_runtime.a"
+  "libtc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

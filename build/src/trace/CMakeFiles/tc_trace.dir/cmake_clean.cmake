@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_trace.dir/dataset.cpp.o"
+  "CMakeFiles/tc_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/tc_trace.dir/recorder.cpp.o"
+  "CMakeFiles/tc_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/tc_trace.dir/replay.cpp.o"
+  "CMakeFiles/tc_trace.dir/replay.cpp.o.d"
+  "libtc_trace.a"
+  "libtc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

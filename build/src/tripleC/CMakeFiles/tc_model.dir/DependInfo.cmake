@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tripleC/accuracy.cpp" "src/tripleC/CMakeFiles/tc_model.dir/accuracy.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/accuracy.cpp.o.d"
+  "/root/repo/src/tripleC/bandwidth_model.cpp" "src/tripleC/CMakeFiles/tc_model.dir/bandwidth_model.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/tripleC/graph_predictor.cpp" "src/tripleC/CMakeFiles/tc_model.dir/graph_predictor.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/graph_predictor.cpp.o.d"
+  "/root/repo/src/tripleC/linear_model.cpp" "src/tripleC/CMakeFiles/tc_model.dir/linear_model.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/linear_model.cpp.o.d"
+  "/root/repo/src/tripleC/markov.cpp" "src/tripleC/CMakeFiles/tc_model.dir/markov.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/markov.cpp.o.d"
+  "/root/repo/src/tripleC/memory_model.cpp" "src/tripleC/CMakeFiles/tc_model.dir/memory_model.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/memory_model.cpp.o.d"
+  "/root/repo/src/tripleC/predictor.cpp" "src/tripleC/CMakeFiles/tc_model.dir/predictor.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/predictor.cpp.o.d"
+  "/root/repo/src/tripleC/quantizer.cpp" "src/tripleC/CMakeFiles/tc_model.dir/quantizer.cpp.o" "gcc" "src/tripleC/CMakeFiles/tc_model.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

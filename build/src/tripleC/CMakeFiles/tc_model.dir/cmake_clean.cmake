@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_model.dir/accuracy.cpp.o"
+  "CMakeFiles/tc_model.dir/accuracy.cpp.o.d"
+  "CMakeFiles/tc_model.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/tc_model.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/tc_model.dir/graph_predictor.cpp.o"
+  "CMakeFiles/tc_model.dir/graph_predictor.cpp.o.d"
+  "CMakeFiles/tc_model.dir/linear_model.cpp.o"
+  "CMakeFiles/tc_model.dir/linear_model.cpp.o.d"
+  "CMakeFiles/tc_model.dir/markov.cpp.o"
+  "CMakeFiles/tc_model.dir/markov.cpp.o.d"
+  "CMakeFiles/tc_model.dir/memory_model.cpp.o"
+  "CMakeFiles/tc_model.dir/memory_model.cpp.o.d"
+  "CMakeFiles/tc_model.dir/predictor.cpp.o"
+  "CMakeFiles/tc_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/tc_model.dir/quantizer.cpp.o"
+  "CMakeFiles/tc_model.dir/quantizer.cpp.o.d"
+  "libtc_model.a"
+  "libtc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app.dir/app/test_parallel_equivalence.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_parallel_equivalence.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_qos_knobs.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_qos_knobs.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_scenario_dynamics.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_scenario_dynamics.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_stentboost.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_stentboost.cpp.o.d"
+  "CMakeFiles/test_app.dir/app/test_tracking_accuracy.cpp.o"
+  "CMakeFiles/test_app.dir/app/test_tracking_accuracy.cpp.o.d"
+  "test_app"
+  "test_app.pdb"
+  "test_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imaging/test_couples.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_couples.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_couples.cpp.o.d"
+  "/root/repo/tests/imaging/test_enhance.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_enhance.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_enhance.cpp.o.d"
+  "/root/repo/tests/imaging/test_guidewire.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_guidewire.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_guidewire.cpp.o.d"
+  "/root/repo/tests/imaging/test_image.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_image.cpp.o.d"
+  "/root/repo/tests/imaging/test_kernels.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_kernels.cpp.o.d"
+  "/root/repo/tests/imaging/test_markers.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_markers.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_markers.cpp.o.d"
+  "/root/repo/tests/imaging/test_metrics.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_metrics.cpp.o.d"
+  "/root/repo/tests/imaging/test_registration.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_registration.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_registration.cpp.o.d"
+  "/root/repo/tests/imaging/test_ridge.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_ridge.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_ridge.cpp.o.d"
+  "/root/repo/tests/imaging/test_roi.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_roi.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_roi.cpp.o.d"
+  "/root/repo/tests/imaging/test_synthetic.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_synthetic.cpp.o.d"
+  "/root/repo/tests/imaging/test_warp.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_warp.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_warp.cpp.o.d"
+  "/root/repo/tests/imaging/test_zoom.cpp" "tests/CMakeFiles/test_imaging.dir/imaging/test_zoom.cpp.o" "gcc" "tests/CMakeFiles/test_imaging.dir/imaging/test_zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

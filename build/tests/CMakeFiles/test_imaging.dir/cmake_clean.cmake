@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imaging.dir/imaging/test_couples.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_couples.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_enhance.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_enhance.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_guidewire.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_guidewire.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_image.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_image.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_kernels.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_kernels.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_markers.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_markers.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_metrics.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_metrics.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_registration.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_registration.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_ridge.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_ridge.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_roi.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_roi.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_synthetic.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_warp.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_warp.cpp.o.d"
+  "CMakeFiles/test_imaging.dir/imaging/test_zoom.cpp.o"
+  "CMakeFiles/test_imaging.dir/imaging/test_zoom.cpp.o.d"
+  "test_imaging"
+  "test_imaging.pdb"
+  "test_imaging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

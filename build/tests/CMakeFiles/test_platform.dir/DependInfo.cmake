@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/test_buffer_model.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_buffer_model.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_buffer_model.cpp.o.d"
+  "/root/repo/tests/platform/test_cache_sim.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/platform/test_cost_model.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_cost_model.cpp.o.d"
+  "/root/repo/tests/platform/test_thread_pool.cpp" "tests/CMakeFiles/test_platform.dir/platform/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/platform/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/tc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_buffer_model.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_buffer_model.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_cache_sim.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_cost_model.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_thread_pool.cpp.o"
+  "CMakeFiles/test_platform.dir/platform/test_thread_pool.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

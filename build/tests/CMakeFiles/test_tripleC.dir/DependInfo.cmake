@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tripleC/test_accuracy.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_accuracy.cpp.o.d"
+  "/root/repo/tests/tripleC/test_bandwidth_model.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_bandwidth_model.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_bandwidth_model.cpp.o.d"
+  "/root/repo/tests/tripleC/test_context_predictor.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_context_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_context_predictor.cpp.o.d"
+  "/root/repo/tests/tripleC/test_ewma.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_ewma.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_ewma.cpp.o.d"
+  "/root/repo/tests/tripleC/test_graph_predictor.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_graph_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_graph_predictor.cpp.o.d"
+  "/root/repo/tests/tripleC/test_linear_model.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_linear_model.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_linear_model.cpp.o.d"
+  "/root/repo/tests/tripleC/test_markov.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_markov.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_markov.cpp.o.d"
+  "/root/repo/tests/tripleC/test_memory_model.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_memory_model.cpp.o.d"
+  "/root/repo/tests/tripleC/test_online_adaptation.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_online_adaptation.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_online_adaptation.cpp.o.d"
+  "/root/repo/tests/tripleC/test_predictor.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_predictor.cpp.o.d"
+  "/root/repo/tests/tripleC/test_quantizer.cpp" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/test_tripleC.dir/tripleC/test_quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tripleC/CMakeFiles/tc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/tc_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

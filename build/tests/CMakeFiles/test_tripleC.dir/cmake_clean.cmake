@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tripleC.dir/tripleC/test_accuracy.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_bandwidth_model.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_bandwidth_model.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_context_predictor.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_context_predictor.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_ewma.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_ewma.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_graph_predictor.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_graph_predictor.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_linear_model.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_linear_model.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_markov.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_markov.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_memory_model.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_memory_model.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_online_adaptation.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_online_adaptation.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_predictor.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_predictor.cpp.o.d"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_quantizer.cpp.o"
+  "CMakeFiles/test_tripleC.dir/tripleC/test_quantizer.cpp.o.d"
+  "test_tripleC"
+  "test_tripleC.pdb"
+  "test_tripleC[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tripleC.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
