@@ -52,16 +52,20 @@ int main() {
   tp.height = 256;
   std::printf("training on %d sequences x %d frames...\n\n", tp.sequences,
               tp.frames_per_sequence);
-  trace::RecordedDataset dataset = trace::build_dataset(tp);
   model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
-  bench::configure_paper_kinds(gp);
-  gp.train(dataset.sequences);
+  {
+    bench::ScopedWallReport wall("offline training");
+    trace::RecordedDataset dataset = trace::build_dataset(tp);
+    bench::configure_paper_kinds(gp);
+    gp.train(dataset.sequences);
+  }
 
   const i32 frames = 200;
 
   // ---- straightforward mapping (always serial) ---------------------------
   std::vector<f64> straightforward;
   {
+    bench::ScopedWallReport wall("straightforward run");
     app::StentBoostApp serial_app(test_sequence_config());
     for (i32 t = 0; t < frames; ++t) {
       straightforward.push_back(serial_app.process_frame(t).latency_ms);

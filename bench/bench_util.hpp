@@ -6,9 +6,27 @@
 #include <string>
 
 #include "app/stentboost.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tripleC/graph_predictor.hpp"
 
 namespace tc::bench {
+
+/// Prints "[wall] <label>: X ms" when the scope ends.  Benches time their
+/// sections through this (obs::ScopedTimer underneath) instead of
+/// hand-rolling std::chrono arithmetic.
+class ScopedWallReport {
+ public:
+  explicit ScopedWallReport(const char* label) : label_(label) {}
+  ~ScopedWallReport() {
+    std::printf("[wall] %s: %.1f ms\n", label_, timer_.elapsed_ms());
+  }
+  ScopedWallReport(const ScopedWallReport&) = delete;
+  ScopedWallReport& operator=(const ScopedWallReport&) = delete;
+
+ private:
+  const char* label_;
+  obs::ScopedTimer timer_;
+};
 
 /// Configure a GraphPredictor with the paper's Table 2(b) model kinds:
 /// EWMA+Markov for the data-dependent tasks (RDG_FULL, CPLS_SEL, GW_EXT),

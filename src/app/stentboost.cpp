@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace tc::app {
 
 namespace {
@@ -83,6 +85,9 @@ StentBoostApp::StentBoostApp(StentBoostConfig config, plat::ThreadPool* pool)
   for (i32 node = 0; node < kNodeCount; ++node) {
     interference_.emplace_back(config_.cost, static_cast<u64>(node));
   }
+  // Task-labeled metrics and spans report the graph's node names.
+  obs::global().set_node_namer(
+      [](i32 node) { return std::string(node_name(node)); });
   build_graph();
 }
 
@@ -165,6 +170,10 @@ graph::FrameRecord StentBoostApp::process_frame(i32 t) {
 
 graph::FrameRecord StentBoostApp::process_image(i32 t,
                                                 const img::ImageU16& frame) {
+  obs::ScopedSpan host_span = obs::host_span("app_process_frame", "app");
+  host_span.arg("frame", std::to_string(t));
+  obs::ScopedTimer wall;
+
   frame_ = img::to_f32(frame);
 
   // Reset the per-frame state.
@@ -187,6 +196,17 @@ graph::FrameRecord StentBoostApp::process_image(i32 t,
 
   prev_frame_ = frame_;
   prev_couple_ = couple_;
+
+  if (obs::enabled()) {
+    obs::MetricsRegistry& m = obs::global().metrics;
+    m.counter("tripleC_scenario_frames_total", "Frames per active scenario",
+              "scenario=\"" + std::to_string(record.scenario) + "\"")
+        .add();
+    m.histogram("tripleC_host_frame_wall_ms",
+                "Host wall-clock time per processed frame",
+                obs::latency_buckets_ms())
+        .record(wall.elapsed_ms());
+  }
   return record;
 }
 
@@ -412,6 +432,15 @@ void StentBoostApp::assign_costs(graph::FrameRecord& record) {
     f64 factor = interference_[node].next();
     exec.simulated_ms = cost.total_ms * factor;
     latency += exec.simulated_ms;
+    if (obs::enabled()) {
+      obs::global()
+          .metrics
+          .histogram("tripleC_task_simulated_ms",
+                     "Simulated execution time per task",
+                     obs::latency_buckets_ms(),
+                     "task=\"" + std::string(node_name(exec.node)) + "\"")
+          .record(exec.simulated_ms);
+    }
   }
   record.latency_ms = latency;
 }

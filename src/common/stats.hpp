@@ -13,7 +13,7 @@ namespace tc {
 /// Arithmetic mean; 0 for an empty span.
 [[nodiscard]] f64 mean(std::span<const f64> xs);
 
-/// Population variance (divides by N); 0 for fewer than one element.
+/// Population variance (divides by N); 0 for fewer than two elements.
 [[nodiscard]] f64 variance(std::span<const f64> xs);
 
 /// Population standard deviation.

@@ -1,0 +1,196 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/csv.hpp"
+
+namespace tc::obs {
+
+namespace {
+
+std::string fmt(f64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::Counter:
+      return "counter";
+    case MetricType::Gauge:
+      return "gauge";
+    case MetricType::Histogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string braced(std::string_view labels) {
+  if (labels.empty()) return "";
+  return "{" + std::string(labels) + "}";
+}
+
+std::string with_extra_label(std::string_view labels, std::string_view extra) {
+  std::string inner(labels);
+  if (!inner.empty()) inner += ",";
+  inner += extra;
+  return "{" + inner + "}";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  const std::vector<MetricsRegistry::Entry> entries = registry.entries();
+  std::ostringstream os;
+  std::set<std::string> families_done;
+  for (usize i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (families_done.insert(e.name).second) {
+      os << "# HELP " << e.name << " " << e.help << "\n";
+      os << "# TYPE " << e.name << " " << type_name(e.type) << "\n";
+      // Emit every instrument of the family together, directly after its
+      // header (the exposition format requires contiguous families).
+      for (usize j = i; j < entries.size(); ++j) {
+        const auto& m = entries[j];
+        if (m.name != e.name) continue;
+        switch (m.type) {
+          case MetricType::Counter:
+            os << m.name << braced(m.labels) << " " << fmt(m.counter->value())
+               << "\n";
+            break;
+          case MetricType::Gauge:
+            os << m.name << braced(m.labels) << " " << fmt(m.gauge->value())
+               << "\n";
+            break;
+          case MetricType::Histogram: {
+            const Histogram& h = *m.histogram;
+            const std::vector<u64> counts = h.bucket_counts();
+            const std::vector<f64>& bounds = h.bounds();
+            u64 cumulative = 0;
+            for (usize b = 0; b < bounds.size(); ++b) {
+              cumulative += counts[b];
+              os << m.name << "_bucket"
+                 << with_extra_label(m.labels,
+                                     "le=\"" + fmt(bounds[b]) + "\"")
+                 << " " << cumulative << "\n";
+            }
+            cumulative += counts[bounds.size()];
+            os << m.name << "_bucket"
+               << with_extra_label(m.labels, "le=\"+Inf\"") << " " << cumulative
+               << "\n";
+            os << m.name << "_sum" << braced(m.labels) << " " << fmt(h.sum())
+               << "\n";
+            os << m.name << "_count" << braced(m.labels) << " " << h.count()
+               << "\n";
+            break;
+          }
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string frame_log_csv(const FrameLog& log) {
+  CsvWriter csv;
+  csv.header({"frame", "scenario", "quality_level", "total_stripes",
+              "predicted_ms", "measured_ms", "output_ms", "budget_ms",
+              "fits_budget", "error_pct"});
+  for (const FrameSample& s : log.samples()) {
+    csv.cell(s.frame)
+        .cell(static_cast<u64>(s.scenario))
+        .cell(s.quality_level)
+        .cell(s.total_stripes)
+        .cell(s.predicted_ms)
+        .cell(s.measured_ms)
+        .cell(s.output_ms)
+        .cell(s.budget_ms)
+        .cell(static_cast<i32>(s.fits_budget ? 1 : 0))
+        .cell(s.error_pct);
+    csv.end_row();
+  }
+  return csv.str();
+}
+
+std::string render_dashboard(const MetricsRegistry& registry,
+                             const FrameLog& log) {
+  std::ostringstream os;
+  const std::vector<FrameSample> frames = log.samples();
+
+  os << "== Triple-C observability dashboard ==\n";
+  if (frames.empty()) {
+    os << "(no managed frames logged)\n";
+  } else {
+    std::vector<f64> predicted;
+    std::vector<f64> measured;
+    std::vector<f64> output;
+    std::vector<f64> error;
+    usize misses = 0;
+    for (const FrameSample& s : frames) {
+      predicted.push_back(s.predicted_ms);
+      measured.push_back(s.measured_ms);
+      output.push_back(s.output_ms);
+      error.push_back(s.error_pct);
+      if (!s.fits_budget) ++misses;
+    }
+    std::vector<AsciiSeries> latency_series{
+        {"measured", measured, '*'},
+        {"output (delay line)", output, 'o'},
+        {"predicted", predicted, '.'},
+    };
+    AsciiPlotOptions opt;
+    opt.title = "latency per frame [ms]";
+    opt.x_label = "frame ->";
+    opt.height = 14;
+    os << render_ascii_plot(latency_series, opt) << "\n";
+
+    AsciiPlotOptions err_opt;
+    err_opt.title = "prediction error per frame [%]";
+    err_opt.x_label = "frame ->";
+    err_opt.height = 8;
+    os << render_ascii_plot(AsciiSeries{"error_pct", error, '#'}, err_opt)
+       << "\n";
+
+    os << "frames: " << frames.size() << "   budget: "
+       << fmt(frames.back().budget_ms) << " ms   budget misses: " << misses
+       << " (" << fmt(100.0 * static_cast<f64>(misses) /
+                      static_cast<f64>(frames.size()))
+       << "%)\n";
+  }
+
+  // Percentile table over every registered histogram.
+  os << "\n" << "histogram percentiles (p50 / p90 / p99, count):\n";
+  for (const auto& e : registry.entries()) {
+    if (e.type != MetricType::Histogram || e.histogram->count() == 0) continue;
+    os << "  " << e.name;
+    if (!e.labels.empty()) os << "{" << e.labels << "}";
+    os << ": " << fmt(e.histogram->p50()) << " / " << fmt(e.histogram->p90())
+       << " / " << fmt(e.histogram->p99()) << "  (n=" << e.histogram->count()
+       << ")\n";
+  }
+  os << "\ncounters and gauges:\n";
+  for (const auto& e : registry.entries()) {
+    if (e.type == MetricType::Histogram) continue;
+    os << "  " << e.name;
+    if (!e.labels.empty()) os << "{" << e.labels << "}";
+    os << " = "
+       << fmt(e.type == MetricType::Counter ? e.counter->value()
+                                            : e.gauge->value())
+       << "\n";
+  }
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return out.good();
+}
+
+}  // namespace tc::obs

@@ -1,0 +1,32 @@
+// Exporters over the observability state:
+//   * Prometheus text exposition (one # HELP/# TYPE block per family,
+//     histograms as cumulative `_bucket{le=...}` + `_sum` + `_count`);
+//   * per-frame CSV (one row per managed frame, predicted/measured/output
+//     latency and prediction-error percent);
+//   * an ASCII latency dashboard built on common/ascii_plot.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tc::obs {
+
+/// Prometheus text-exposition format (version 0.0.4).
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// CSV with one row per frame:
+/// frame,scenario,quality_level,total_stripes,predicted_ms,measured_ms,
+/// output_ms,budget_ms,fits_budget,error_pct
+[[nodiscard]] std::string frame_log_csv(const FrameLog& log);
+
+/// Multi-panel ASCII dashboard: latency series (predicted / measured /
+/// output), error series, and a headline table with percentiles.
+[[nodiscard]] std::string render_dashboard(const MetricsRegistry& registry,
+                                           const FrameLog& log);
+
+/// Write `content` to `path`; returns false (and leaves no partial file
+/// guarantees) when the file cannot be created.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace tc::obs

@@ -1,0 +1,42 @@
+#include "obs/obs.hpp"
+
+namespace tc::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void ObsContext::set_node_namer(std::function<std::string(i32)> fn) {
+  std::lock_guard<std::mutex> lock(namer_mutex_);
+  node_namer_ = std::move(fn);
+}
+
+std::string ObsContext::node_name(i32 node) const {
+  {
+    std::lock_guard<std::mutex> lock(namer_mutex_);
+    if (node_namer_) return node_namer_(node);
+  }
+  return "node" + std::to_string(node);
+}
+
+void ObsContext::clear() {
+  tracer.clear();
+  metrics.reset_values();
+  frames.clear();
+}
+
+ObsContext& global() {
+  static ObsContext ctx;
+  return ctx;
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+ScopedSpan host_span(std::string name, std::string category) {
+  return ScopedSpan(enabled() ? &global().tracer : nullptr, std::move(name),
+                    std::move(category));
+}
+
+}  // namespace tc::obs

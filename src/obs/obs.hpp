@@ -1,0 +1,78 @@
+// Umbrella header and process-global observability context.
+//
+// Instrumentation hooks throughout the stack (runtime manager, QoS, the
+// StentBoost app, the thread pool, the cache simulator, the predictors)
+// check `obs::enabled()` — a relaxed atomic load — and do nothing when
+// observability is off, so the hot path cost of a disabled registry is one
+// predictable branch per hook.  Compiling with -DTC_OBS_ENABLED=0 (CMake
+// option TRIPLEC_OBS=OFF) removes even that.
+//
+// Typical use (see examples/observe_run.cpp):
+//   obs::set_enabled(true);
+//   ... run the pipeline ...
+//   obs::write_text_file("trace.json", obs::global().tracer.to_chrome_json());
+//   obs::write_text_file("metrics.prom", obs::to_prometheus(obs::global().metrics));
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/span_tracer.hpp"
+
+#ifndef TC_OBS_ENABLED
+#define TC_OBS_ENABLED 1
+#endif
+
+namespace tc::obs {
+
+/// All observability state of the process: the span tracer, the metrics
+/// registry and the per-frame log.
+class ObsContext {
+ public:
+  SpanTracer tracer;
+  MetricsRegistry metrics;
+  FrameLog frames;
+
+  /// Map a flow-graph node id to a display name for task-labeled metrics;
+  /// installed by the application layer (StentBoostApp does it in its
+  /// constructor).  Defaults to "node<i>".
+  void set_node_namer(std::function<std::string(i32)> fn);
+  [[nodiscard]] std::string node_name(i32 node) const;
+
+  /// Drop all recorded spans/frames and zero every metric value (instrument
+  /// registrations survive, so cached references stay valid).
+  void clear();
+
+ private:
+  mutable std::mutex namer_mutex_;
+  std::function<std::string(i32)> node_namer_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// The process-global context used by all built-in hooks.
+[[nodiscard]] ObsContext& global();
+
+/// Runtime switch for the built-in hooks (default: off — the null sink).
+void set_enabled(bool on);
+
+[[nodiscard]] inline bool enabled() {
+#if TC_OBS_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Convenience: RAII wall-clock span on the global tracer's host timeline;
+/// a no-op span when observability is disabled.
+[[nodiscard]] ScopedSpan host_span(std::string name, std::string category);
+
+}  // namespace tc::obs

@@ -1,0 +1,177 @@
+#include "obs/span_tracer.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace tc::obs {
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_event(std::ostringstream& os, const SpanEvent& e) {
+  os << "{\"name\":";
+  append_json_string(os, e.name);
+  os << ",\"cat\":";
+  append_json_string(os, e.category.empty() ? "tripleC" : e.category);
+  os << ",\"ph\":\"" << e.phase << "\"";
+  os << ",\"ts\":" << e.ts_us;
+  if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
+  if (e.phase == 'i') os << ",\"s\":\"t\"";
+  os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    for (usize i = 0; i < e.args.size(); ++i) {
+      if (i > 0) os << ',';
+      append_json_string(os, e.args[i].key);
+      os << ':';
+      append_json_string(os, e.args[i].value);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+void append_metadata(std::ostringstream& os, const char* what, u32 pid,
+                     u32 tid, std::string_view name, bool with_tid) {
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (with_tid) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":";
+  append_json_string(os, name);
+  os << "}}";
+}
+
+}  // namespace
+
+void SpanTracer::record(SpanEvent e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::instant(std::string name, std::string category, u32 pid,
+                         u32 tid, f64 ts_us, std::vector<SpanArg> args) {
+  SpanEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.phase = 'i';
+  e.args = std::move(args);
+  record(std::move(e));
+}
+
+u32 SpanTracer::host_tid() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = host_tids_.find(std::this_thread::get_id());
+  if (it == host_tids_.end()) {
+    u32 id = static_cast<u32>(host_tids_.size());
+    it = host_tids_.emplace(std::this_thread::get_id(), id).first;
+  }
+  return it->second;
+}
+
+void SpanTracer::set_thread_name(u32 pid, u32 tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+usize SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string SpanTracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  append_metadata(os, "process_name", kSimPid, 0, "simulated platform",
+                  /*with_tid=*/false);
+  sep();
+  append_metadata(os, "process_name", kHostPid, 0, "host", /*with_tid=*/false);
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    append_metadata(os, "thread_name", key.first, key.second, name,
+                    /*with_tid=*/true);
+  }
+  for (const SpanEvent& e : events_) {
+    sep();
+    append_event(os, e);
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(SpanTracer* tracer, std::string name,
+                       std::string category, std::vector<SpanArg> args)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.pid = kHostPid;
+  event_.tid = tracer_->host_tid();
+  event_.ts_us = tracer_->host_now_us();
+  event_.args = std::move(args);
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : tracer_(other.tracer_), event_(std::move(other.event_)) {
+  other.tracer_ = nullptr;
+}
+
+void ScopedSpan::arg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  event_.args.push_back(SpanArg{std::move(key), std::move(value)});
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = tracer_->host_now_us() - event_.ts_us;
+  tracer_->record(std::move(event_));
+}
+
+}  // namespace tc::obs

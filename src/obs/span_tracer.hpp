@@ -1,0 +1,113 @@
+// Per-frame span tracing.
+//
+// Spans live on one of two timelines:
+//   * the *simulated platform* timeline (pid kSimPid) — frame, task and
+//     stripe spans whose timestamps come from the cost model's simulated
+//     milliseconds, laid out by the runtime manager;
+//   * the *host* timeline (pid kHostPid) — real wall-clock spans (frame
+//     processing, thread-pool jobs) stamped with steady_clock time.
+//
+// The tracer is an append-only, thread-safe event log; export to the Chrome
+// trace-event JSON format (load in chrome://tracing or https://ui.perfetto.dev)
+// lives in to_chrome_json().
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/scoped_timer.hpp"
+
+namespace tc::obs {
+
+/// Process ids of the two timelines in the exported trace.
+constexpr u32 kSimPid = 1;
+constexpr u32 kHostPid = 2;
+
+/// One key/value annotation attached to a span ("args" in the Chrome
+/// trace-event schema; values are emitted as JSON strings).
+struct SpanArg {
+  std::string key;
+  std::string value;
+};
+
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  u32 pid = kSimPid;
+  u32 tid = 0;
+  /// Start timestamp in microseconds on the owning timeline.
+  f64 ts_us = 0.0;
+  /// Duration in microseconds (ignored for instant events).
+  f64 dur_us = 0.0;
+  /// 'X' = complete span, 'i' = instant event.
+  char phase = 'X';
+  std::vector<SpanArg> args;
+};
+
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Append one event (thread-safe).
+  void record(SpanEvent e);
+
+  /// Append an instant event (thread-safe).
+  void instant(std::string name, std::string category, u32 pid, u32 tid,
+               f64 ts_us, std::vector<SpanArg> args = {});
+
+  /// Microseconds since the tracer was constructed (host timeline clock).
+  [[nodiscard]] f64 host_now_us() const { return epoch_.elapsed_us(); }
+
+  /// Stable small integer id for the calling host thread (thread-safe).
+  [[nodiscard]] u32 host_tid();
+
+  /// Name a (pid, tid) lane in the exported trace.
+  void set_thread_name(u32 pid, u32 tid, std::string name);
+
+  [[nodiscard]] usize size() const;
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  void clear();
+
+  /// Serialize to the Chrome trace-event JSON object-format:
+  /// {"traceEvents":[...]} with process/thread metadata events first.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+  std::map<std::thread::id, u32> host_tids_;
+  std::map<std::pair<u32, u32>, std::string> thread_names_;
+  ScopedTimer epoch_;
+};
+
+/// RAII wall-clock span on the host timeline.  A null tracer makes the span
+/// a no-op, so call sites can write
+///   obs::ScopedSpan span(obs::enabled() ? &obs::global().tracer : nullptr,
+///                        "name", "cat");
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, std::string name, std::string category,
+             std::vector<SpanArg> args = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  /// Attach another annotation before the span closes.
+  void arg(std::string key, std::string value);
+
+ private:
+  SpanTracer* tracer_;
+  SpanEvent event_;
+};
+
+}  // namespace tc::obs

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace tc::plat {
 
 CacheSim::CacheSim(CacheConfig config) : config_(config) {
@@ -41,7 +43,16 @@ void CacheSim::access(u64 address, bool is_write) {
     }
     if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
   }
-  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    if (obs::enabled()) {
+      // Registered once; the reference stays valid for the process lifetime.
+      static obs::Counter& evicted = obs::global().metrics.counter(
+          "tripleC_cache_eviction_bytes_total",
+          "Bytes written back by the cache simulator on dirty evictions");
+      evicted.add(static_cast<f64>(config_.line_bytes));
+    }
+  }
   victim->valid = true;
   victim->tag = tag;
   victim->lru = tick_;

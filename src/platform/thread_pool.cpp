@@ -1,6 +1,44 @@
 #include "platform/thread_pool.hpp"
 
+#include "obs/obs.hpp"
+
 namespace tc::plat {
+
+namespace {
+
+/// Run one queued job, recording a host-timeline span and the pool metrics
+/// when observability is on.
+void run_job_observed(const std::function<void()>& job) {
+  if (!obs::enabled()) {
+    job();
+    return;
+  }
+  obs::ObsContext& ctx = obs::global();
+  const u32 tid = ctx.tracer.host_tid();
+  ctx.tracer.set_thread_name(obs::kHostPid, tid,
+                             "pool worker " + std::to_string(tid));
+  const f64 t0_us = ctx.tracer.host_now_us();
+  job();
+  const f64 dur_us = ctx.tracer.host_now_us() - t0_us;
+  obs::SpanEvent e;
+  e.name = "pool_job";
+  e.category = "pool";
+  e.pid = obs::kHostPid;
+  e.tid = tid;
+  e.ts_us = t0_us;
+  e.dur_us = dur_us;
+  ctx.tracer.record(std::move(e));
+  ctx.metrics
+      .counter("tripleC_pool_jobs_total", "Jobs executed by the thread pool")
+      .add();
+  ctx.metrics
+      .histogram("tripleC_pool_job_wall_ms",
+                 "Host wall-clock time per thread-pool job",
+                 obs::latency_buckets_ms())
+      .record(dur_us / 1000.0);
+}
+
+}  // namespace
 
 IndexRange even_chunk(i32 count, i32 chunks, i32 chunk) {
   if (chunks <= 0) return IndexRange{0, count};
@@ -40,7 +78,7 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();
+    run_job_observed(job);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

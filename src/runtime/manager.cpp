@@ -1,8 +1,10 @@
 #include "runtime/manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 
 namespace tc::rt {
 
@@ -62,6 +64,7 @@ std::vector<NodeForecast> RuntimeManager::forecast(
 
 ManagedFrame RuntimeManager::step(i32 t) {
   ManagedFrame result;
+  const bool managed = budget_set_;
 
   if (!budget_set_) {
     // Initialization phase: run serially and collect the average case.
@@ -139,7 +142,165 @@ ManagedFrame RuntimeManager::step(i32 t) {
     }
     predictor_.observe(normalized);
   }
+
+  const bool repartitioned = managed && result.plan != prev_plan_;
+  const bool qos_changed = result.quality_level != prev_quality_;
+  prev_plan_ = result.plan;
+  prev_quality_ = result.quality_level;
+  if (obs::enabled()) {
+    record_frame_observability(result, managed, repartitioned, qos_changed);
+  }
   return result;
+}
+
+void RuntimeManager::record_frame_observability(const ManagedFrame& f,
+                                                bool managed,
+                                                bool repartitioned,
+                                                bool qos_changed) {
+  obs::ObsContext& ctx = obs::global();
+  obs::MetricsRegistry& m = ctx.metrics;
+
+  // --- metrics ------------------------------------------------------------
+  m.counter("tripleC_frames_total", "Frames processed by the runtime manager")
+      .add();
+  if (budget_set_) {
+    m.gauge("tripleC_latency_budget_ms", "Active output-latency budget")
+        .set(budget_ms_);
+  }
+  const bool budget_miss = managed && f.measured_latency_ms > budget_ms_;
+  // Register unconditionally so the family exists (value 0) from frame one.
+  obs::Counter& misses = m.counter(
+      "tripleC_budget_miss_total",
+      "Managed frames whose measured latency exceeded the budget");
+  if (budget_miss) misses.add();
+  obs::Counter& reparts = m.counter(
+      "tripleC_repartitions_total",
+      "Managed frames whose stripe plan differs from the previous frame");
+  if (repartitioned) reparts.add();
+  m.gauge("tripleC_qos_level", "QoS quality level applied this frame")
+      .set(static_cast<f64>(f.quality_level));
+  obs::Counter& qos_changes =
+      m.counter("tripleC_qos_level_changes_total",
+                "Frames where the applied QoS level changed");
+  if (qos_changed) qos_changes.add();
+
+  const std::vector<f64> latency_bounds = obs::latency_buckets_ms();
+  m.histogram("tripleC_frame_predicted_ms",
+              "Triple-C predicted frame latency", latency_bounds)
+      .record(f.predicted_latency_ms);
+  m.histogram("tripleC_frame_measured_ms", "Measured (simulated) frame latency",
+              latency_bounds)
+      .record(f.measured_latency_ms);
+  m.histogram("tripleC_frame_output_ms",
+              "Output latency after the delay line", latency_bounds)
+      .record(f.output_latency_ms);
+  // Same skip rule and formula as model::evaluate_accuracy so the metric is
+  // directly comparable with AccuracyReport::mape_pct.
+  f64 error_pct = 0.0;
+  obs::Histogram& error_hist =
+      m.histogram("tripleC_frame_prediction_error_pct",
+                  "Per-frame |predicted - measured| / measured in percent",
+                  obs::error_pct_buckets());
+  if (std::fabs(f.measured_latency_ms) > 1e-9) {
+    error_pct = std::fabs(f.predicted_latency_ms - f.measured_latency_ms) /
+                std::fabs(f.measured_latency_ms) * 100.0;
+    error_hist.record(error_pct);
+  }
+
+  i32 total_stripes = 0;
+  for (const graph::TaskExecution& exec : f.record.tasks) {
+    if (!exec.executed) continue;
+    total_stripes += app::node_data_parallel(exec.node)
+                         ? f.plan[static_cast<usize>(exec.node)]
+                         : 1;
+  }
+  m.histogram("tripleC_frame_stripes",
+              "Total execution lanes (stripes) of the frame's plan",
+              obs::small_count_buckets())
+      .record(static_cast<f64>(total_stripes));
+
+  ctx.frames.add(obs::FrameSample{f.record.frame, f.record.scenario,
+                                  f.quality_level, total_stripes,
+                                  f.predicted_latency_ms, f.measured_latency_ms,
+                                  f.output_latency_ms, budget_ms_,
+                                  f.fits_budget, error_pct});
+
+  // --- spans on the simulated timeline ------------------------------------
+  obs::SpanTracer& tracer = ctx.tracer;
+  tracer.set_thread_name(obs::kSimPid, 0, "frames / tasks");
+  const f64 frame_start_us = sim_clock_ms_ * 1000.0;
+  obs::SpanEvent frame_span;
+  frame_span.name = "frame " + std::to_string(f.record.frame);
+  frame_span.category = "frame";
+  frame_span.pid = obs::kSimPid;
+  frame_span.tid = 0;
+  frame_span.ts_us = frame_start_us;
+  frame_span.dur_us = f.output_latency_ms * 1000.0;
+  frame_span.args = {
+      {"scenario", std::to_string(f.record.scenario)},
+      {"plan", plan_to_string(f.plan)},
+      {"predicted_ms", std::to_string(f.predicted_latency_ms)},
+      {"measured_ms", std::to_string(f.measured_latency_ms)},
+      {"quality_level", std::to_string(f.quality_level)},
+  };
+  tracer.record(std::move(frame_span));
+
+  f64 cursor_us = frame_start_us;
+  for (const graph::TaskExecution& exec : f.record.tasks) {
+    if (!exec.executed) continue;
+    const f64 dur_us = exec.simulated_ms * 1000.0;
+    obs::SpanEvent task_span;
+    task_span.name = std::string(ctx.node_name(exec.node));
+    task_span.category = "task";
+    task_span.pid = obs::kSimPid;
+    task_span.tid = 0;
+    task_span.ts_us = cursor_us;
+    task_span.dur_us = dur_us;
+    task_span.args = {{"simulated_ms", std::to_string(exec.simulated_ms)}};
+    tracer.record(std::move(task_span));
+    // Stripe lanes: a data-parallel task striped s-ways occupies s simulated
+    // CPU lanes for the task's (already striped) duration.
+    const i32 stripes = app::node_data_parallel(exec.node)
+                            ? f.plan[static_cast<usize>(exec.node)]
+                            : 1;
+    if (stripes > 1) {
+      for (i32 s = 0; s < stripes; ++s) {
+        const u32 lane = static_cast<u32>(s) + 1;
+        tracer.set_thread_name(obs::kSimPid, lane,
+                               "stripe lane " + std::to_string(lane));
+        obs::SpanEvent stripe_span;
+        stripe_span.name =
+            std::string(ctx.node_name(exec.node)) + " stripe " +
+            std::to_string(s);
+        stripe_span.category = "stripe";
+        stripe_span.pid = obs::kSimPid;
+        stripe_span.tid = lane;
+        stripe_span.ts_us = cursor_us;
+        stripe_span.dur_us = dur_us;
+        tracer.record(std::move(stripe_span));
+      }
+    }
+    cursor_us += dur_us;
+  }
+  if (f.output_latency_ms > f.measured_latency_ms + 1e-12) {
+    obs::SpanEvent hold;
+    hold.name = "delay_line_hold";
+    hold.category = "delay-line";
+    hold.pid = obs::kSimPid;
+    hold.tid = 0;
+    hold.ts_us = frame_start_us + f.measured_latency_ms * 1000.0;
+    hold.dur_us = (f.output_latency_ms - f.measured_latency_ms) * 1000.0;
+    tracer.record(std::move(hold));
+  }
+  if (repartitioned) {
+    tracer.instant("repartition", "plan", obs::kSimPid, 0, frame_start_us,
+                   {{"plan", plan_to_string(f.plan)}});
+  }
+  if (qos_changed) {
+    tracer.instant("qos_level_change", "qos", obs::kSimPid, 0, frame_start_us,
+                   {{"level", std::to_string(f.quality_level)}});
+  }
+  sim_clock_ms_ += f.output_latency_ms;
 }
 
 std::vector<ManagedFrame> RuntimeManager::run(i32 n) {

@@ -74,6 +74,12 @@ class RuntimeManager {
       bool assume_reg_success = true) const;
 
  private:
+  /// Observability hook: emit the frame's spans onto the simulated timeline
+  /// and update the metrics registry / per-frame log.  Called only when
+  /// obs::enabled(); `managed` is false for warm-up (serial) frames.
+  void record_frame_observability(const ManagedFrame& f, bool managed,
+                                  bool repartitioned, bool qos_changed);
+
   app::StentBoostApp& app_;
   model::GraphPredictor& predictor_;
   ManagerConfig config_;
@@ -82,6 +88,11 @@ class RuntimeManager {
   std::vector<f64> warmup_latencies_;
   /// Quality level currently applied to the app (QoS).
   QualityLevel applied_quality_;
+  /// Simulated-timeline cursor for span tracing: frames are laid out
+  /// back-to-back at their output (delay-line) latency.
+  f64 sim_clock_ms_ = 0.0;
+  app::StripePlan prev_plan_ = app::serial_plan();
+  i32 prev_quality_ = 0;
 };
 
 }  // namespace tc::rt

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/obs.hpp"
+
 namespace tc::rt {
 
 std::span<const QualityLevel> quality_ladder() {
@@ -34,15 +36,34 @@ QosDecision choose_quality_and_plan(const plat::CostParams& params,
                                     f64 budget_ms, i32 max_stripes_per_task,
                                     i32 cpu_count) {
   QosDecision decision;
+  i32 ladder_steps = 0;
+  bool fit = false;
   for (const QualityLevel& level : quality_ladder()) {
+    ++ladder_steps;
     std::vector<NodeForecast> degraded = degrade_forecast(forecast, level);
     PlanChoice plan = choose_plan(params, degraded, budget_ms,
                                   max_stripes_per_task, cpu_count);
     decision.level = level;
     decision.plan = plan;
-    if (plan.fits_budget) return decision;
+    if (plan.fits_budget) {
+      fit = true;
+      break;
+    }
   }
-  // Nothing fits: stay at the lowest quality with its widest plan.
+  // When nothing fits we stay at the lowest quality with its widest plan.
+  if (obs::enabled()) {
+    obs::MetricsRegistry& m = obs::global().metrics;
+    m.counter("tripleC_qos_evaluations_total",
+              "Invocations of the QoS quality/plan search")
+        .add();
+    m.counter("tripleC_qos_ladder_steps_total",
+              "Quality levels examined across all QoS evaluations")
+        .add(static_cast<f64>(ladder_steps));
+    obs::Counter& exhausted = m.counter(
+        "tripleC_qos_ladder_exhausted_total",
+        "QoS evaluations where even the lowest quality missed the budget");
+    if (!fit) exhausted.add();
+  }
   return decision;
 }
 

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace tc::model {
 
 AccuracyReport evaluate_accuracy(std::span<const f64> predicted,
@@ -33,6 +35,21 @@ AccuracyReport evaluate_accuracy(std::span<const f64> predicted,
         static_cast<f64>(over20) / static_cast<f64>(r.samples);
     r.excursions_over_30_pct =
         static_cast<f64>(over30) / static_cast<f64>(r.samples);
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry& m = obs::global().metrics;
+    m.gauge("tripleC_accuracy_mean_pct",
+            "Mean prediction accuracy of the last evaluation")
+        .set(r.mean_accuracy_pct);
+    m.gauge("tripleC_accuracy_mape_pct",
+            "Mean absolute percentage error of the last evaluation")
+        .set(r.mape_pct);
+    m.gauge("tripleC_accuracy_max_error_pct",
+            "Largest single-sample error of the last evaluation")
+        .set(r.max_error_pct);
+    m.gauge("tripleC_accuracy_samples",
+            "Sample count of the last accuracy evaluation")
+        .set(static_cast<f64>(r.samples));
   }
   return r;
 }

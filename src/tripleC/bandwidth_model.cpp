@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace tc::model {
 
 std::vector<EdgeBandwidth> intertask_bandwidth(const graph::FlowGraph& g,
@@ -16,6 +18,14 @@ std::vector<EdgeBandwidth> intertask_bandwidth(const graph::FlowGraph& g,
     eb.bytes_per_frame =
         static_cast<u64>(static_cast<f64>(e.bytes_per_frame()) * scale);
     eb.mbytes_per_s = static_cast<f64>(eb.bytes_per_frame) * fps / 1.0e6;
+    if (obs::enabled()) {
+      obs::global()
+          .metrics
+          .gauge("tripleC_edge_bandwidth_mbytes_per_s",
+                 "Inter-task bandwidth of the last evaluation, per edge",
+                 "edge=\"" + eb.from + "->" + eb.to + "\"")
+          .set(eb.mbytes_per_s);
+    }
     out.push_back(std::move(eb));
   }
   return out;

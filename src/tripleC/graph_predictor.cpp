@@ -1,5 +1,9 @@
 #include "tripleC/graph_predictor.hpp"
 
+#include <cmath>
+
+#include "obs/obs.hpp"
+
 namespace tc::model {
 
 GraphPredictor::GraphPredictor(usize task_count, usize switch_count)
@@ -88,6 +92,41 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
   for (const graph::TaskExecution& exec : record.tasks) {
     if (!exec.executed) continue;
     u32 ctx = context_of(prev, exec.node);
+    if (obs::enabled()) {
+      // Attribute the prediction this task would have been given (the same
+      // context/fallback rule as predict_task, evaluated before the observe
+      // below advances the online state) to its EWMA/linear baseline and
+      // Markov residual, and score it against the measurement.
+      const TaskPredictor& configured = task_predictor(exec.node, ctx);
+      const TaskPredictor& p =
+          configured.trained() ? configured : task_predictor(exec.node, 0);
+      const TaskPredictor::PredictionBreakdown parts =
+          p.predict_breakdown(record.roi_pixels);
+      obs::MetricsRegistry& m = obs::global().metrics;
+      m.counter("tripleC_prediction_component_abs_ms_total",
+                "Cumulative |contribution| of each predictor component",
+                "component=\"baseline\"")
+          .add(std::fabs(parts.baseline_ms));
+      m.counter("tripleC_prediction_component_abs_ms_total",
+                "Cumulative |contribution| of each predictor component",
+                "component=\"markov\"")
+          .add(std::fabs(parts.markov_ms));
+      m.counter("tripleC_prediction_component_abs_ms_total",
+                "Cumulative |contribution| of each predictor component",
+                "component=\"combined\"")
+          .add(std::fabs(parts.combined_ms()));
+      if (std::fabs(exec.simulated_ms) > 1e-9) {
+        const f64 err_pct =
+            std::fabs(parts.combined_ms() - exec.simulated_ms) /
+            std::fabs(exec.simulated_ms) * 100.0;
+        m.histogram(
+             "tripleC_task_prediction_error_pct",
+             "Per-task |predicted - measured| / measured in percent",
+             obs::error_pct_buckets(),
+             "task=\"" + obs::global().node_name(exec.node) + "\"")
+            .record(err_pct);
+      }
+    }
     task_predictor(exec.node, ctx).observe(exec.simulated_ms,
                                            record.roi_pixels);
   }

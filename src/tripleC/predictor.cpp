@@ -97,13 +97,19 @@ f64 TaskPredictor::baseline(f64 size) const {
 }
 
 f64 TaskPredictor::predict(f64 size) const {
-  f64 base = baseline(size);
+  return predict_breakdown(size).combined_ms();
+}
+
+TaskPredictor::PredictionBreakdown TaskPredictor::predict_breakdown(
+    f64 size) const {
+  PredictionBreakdown parts;
+  parts.baseline_ms = baseline(size);
   if ((config_.kind == PredictorKind::EwmaMarkov ||
        config_.kind == PredictorKind::LinearMarkov) &&
       residual_markov_.fitted() && has_residual_) {
-    base += residual_markov_.predict_next(last_residual_);
+    parts.markov_ms = residual_markov_.predict_next(last_residual_);
   }
-  return base;
+  return parts;
 }
 
 void TaskPredictor::observe(f64 measured_ms, f64 size) {

@@ -66,6 +66,16 @@ class TaskPredictor {
   /// driver (ignored by kinds that do not use it).
   [[nodiscard]] f64 predict(f64 size = 0.0) const;
 
+  /// Decomposition of predict(): the long-term baseline (EWMA / linear /
+  /// constant) and the Markov short-term residual correction.  Exposed so
+  /// observability can attribute the combined prediction to its components.
+  struct PredictionBreakdown {
+    f64 baseline_ms = 0.0;
+    f64 markov_ms = 0.0;
+    [[nodiscard]] f64 combined_ms() const { return baseline_ms + markov_ms; }
+  };
+  [[nodiscard]] PredictionBreakdown predict_breakdown(f64 size = 0.0) const;
+
   /// Absorb the measured value of the frame just executed (advances the
   /// EWMA state and the Markov residual state).
   void observe(f64 measured_ms, f64 size = 0.0);

@@ -17,6 +17,14 @@ TEST(Stats, MeanBasic) {
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
 }
 
+TEST(Stats, VarianceOfEmptyAndSingleElementIsZero) {
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  std::vector<f64> one{42.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
 TEST(Stats, VarianceOfConstantIsZero) {
   std::vector<f64> xs{5.0, 5.0, 5.0};
   EXPECT_DOUBLE_EQ(variance(xs), 0.0);

@@ -1,0 +1,156 @@
+#include "obs/exporters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include <gtest/gtest.h>
+
+namespace tc::obs {
+namespace {
+
+TEST(Prometheus, GoldenFormatForSmallRegistry) {
+  MetricsRegistry r;
+  r.counter("tripleC_frames_total", "Frames processed").add(3.0);
+  r.gauge("tripleC_latency_budget_ms", "Budget").set(42.5);
+  Histogram& h = r.histogram("tripleC_frame_measured_ms", "Measured latency",
+                             std::vector<f64>{10.0, 20.0});
+  h.record(5.0);
+  h.record(15.0);
+  h.record(99.0);
+
+  const std::string expected =
+      "# HELP tripleC_frames_total Frames processed\n"
+      "# TYPE tripleC_frames_total counter\n"
+      "tripleC_frames_total 3\n"
+      "# HELP tripleC_latency_budget_ms Budget\n"
+      "# TYPE tripleC_latency_budget_ms gauge\n"
+      "tripleC_latency_budget_ms 42.5\n"
+      "# HELP tripleC_frame_measured_ms Measured latency\n"
+      "# TYPE tripleC_frame_measured_ms histogram\n"
+      "tripleC_frame_measured_ms_bucket{le=\"10\"} 1\n"
+      "tripleC_frame_measured_ms_bucket{le=\"20\"} 2\n"
+      "tripleC_frame_measured_ms_bucket{le=\"+Inf\"} 3\n"
+      "tripleC_frame_measured_ms_sum 119\n"
+      "tripleC_frame_measured_ms_count 3\n";
+  EXPECT_EQ(to_prometheus(r), expected);
+}
+
+TEST(Prometheus, LabeledFamilyEmitsOneTypeLine) {
+  MetricsRegistry r;
+  r.counter("tripleC_scenario_frames_total", "per scenario",
+            "scenario=\"0\"")
+      .add(2.0);
+  r.counter("tripleC_scenario_frames_total", "per scenario",
+            "scenario=\"5\"")
+      .add(1.0);
+  const std::string text = to_prometheus(r);
+  // Exactly one TYPE header for the family, one sample line per label set.
+  usize first = text.find("# TYPE tripleC_scenario_frames_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE tripleC_scenario_frames_total counter",
+                      first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("tripleC_scenario_frames_total{scenario=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripleC_scenario_frames_total{scenario=\"5\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, EveryRegisteredFamilyHasTypeLine) {
+  MetricsRegistry r;
+  r.counter("tripleC_a_total", "a");
+  r.gauge("tripleC_b", "b");
+  r.histogram("tripleC_c_ms", "c", std::vector<f64>{1.0});
+  r.counter("tripleC_a_total", "a", "task=\"X\"");
+  const std::string text = to_prometheus(r);
+  for (const auto& e : r.entries()) {
+    EXPECT_NE(text.find("# TYPE " + e.name + " "), std::string::npos)
+        << "missing TYPE line for " << e.name;
+  }
+}
+
+TEST(Prometheus, HistogramBucketsWithLabelsComposeCorrectly) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("tripleC_task_ms", "per task",
+                             std::vector<f64>{1.0}, "task=\"RDG\"");
+  h.record(0.5);
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("tripleC_task_ms_bucket{task=\"RDG\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripleC_task_ms_bucket{task=\"RDG\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripleC_task_ms_sum{task=\"RDG\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripleC_task_ms_count{task=\"RDG\"} 1"),
+            std::string::npos);
+}
+
+TEST(FrameCsv, OneRowPerFrameWithHeader) {
+  FrameLog log;
+  FrameSample s;
+  s.frame = 7;
+  s.scenario = 5;
+  s.quality_level = 1;
+  s.total_stripes = 4;
+  s.predicted_ms = 10.0;
+  s.measured_ms = 12.5;
+  s.output_ms = 13.0;
+  s.budget_ms = 13.0;
+  s.fits_budget = true;
+  s.error_pct = 20.0;
+  log.add(s);
+  const std::string csv = frame_log_csv(log);
+  EXPECT_NE(csv.find("frame,scenario,quality_level,total_stripes,predicted_ms,"
+                     "measured_ms,output_ms,budget_ms,fits_budget,error_pct"),
+            std::string::npos);
+  EXPECT_NE(csv.find("7,5,1,4,10,12.5,13,13,1,20"), std::string::npos);
+  // Header + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Dashboard, RendersSeriesAndPercentiles) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("tripleC_frame_measured_ms", "m",
+                             std::vector<f64>{10.0, 20.0, 40.0});
+  FrameLog log;
+  for (i32 i = 0; i < 20; ++i) {
+    FrameSample s;
+    s.frame = i;
+    s.predicted_ms = 10.0 + i;
+    s.measured_ms = 11.0 + i;
+    s.output_ms = 13.0;
+    s.budget_ms = 13.0;
+    s.fits_budget = i % 2 == 0;
+    s.error_pct = 5.0;
+    log.add(s);
+    h.record(s.measured_ms);
+  }
+  const std::string dash = render_dashboard(r, log);
+  EXPECT_NE(dash.find("latency per frame [ms]"), std::string::npos);
+  EXPECT_NE(dash.find("prediction error per frame [%]"), std::string::npos);
+  EXPECT_NE(dash.find("budget misses: 10"), std::string::npos);
+  EXPECT_NE(dash.find("tripleC_frame_measured_ms"), std::string::npos);
+  EXPECT_NE(dash.find("p50 / p90 / p99"), std::string::npos);
+}
+
+TEST(Dashboard, EmptyLogDoesNotCrash) {
+  MetricsRegistry r;
+  FrameLog log;
+  const std::string dash = render_dashboard(r, log);
+  EXPECT_NE(dash.find("no managed frames"), std::string::npos);
+}
+
+TEST(WriteTextFile, RoundTrips) {
+  const std::string path = "obs_test_write.txt";
+  ASSERT_TRUE(write_text_file(path, "hello\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tc::obs

@@ -1,0 +1,130 @@
+#include "obs/span_tracer.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tc::obs {
+namespace {
+
+TEST(SpanTracer, RecordsEventsInOrder) {
+  SpanTracer tracer;
+  SpanEvent e;
+  e.name = "a";
+  e.ts_us = 10.0;
+  e.dur_us = 5.0;
+  tracer.record(e);
+  tracer.instant("marker", "cat", kSimPid, 0, 12.0);
+  ASSERT_EQ(tracer.size(), 2u);
+  std::vector<SpanEvent> events = tracer.events();
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[1].name, "marker");
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(SpanTracer, ScopedSpansNestByContainment) {
+  SpanTracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer", "test");
+    {
+      ScopedSpan inner(&tracer, "inner", "test");
+    }
+  }
+  std::vector<SpanEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: inner closes first.
+  const SpanEvent& inner = events[0];
+  const SpanEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-3);
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_EQ(inner.pid, kHostPid);
+}
+
+TEST(SpanTracer, NullTracerSpanIsNoop) {
+  ScopedSpan span(nullptr, "ignored", "test");
+  span.arg("k", "v");
+  // Destructor must not crash; nothing to assert beyond that.
+}
+
+TEST(SpanTracer, HostTidsAreStablePerThread) {
+  SpanTracer tracer;
+  u32 main_a = tracer.host_tid();
+  u32 main_b = tracer.host_tid();
+  EXPECT_EQ(main_a, main_b);
+  u32 other = main_a;
+  std::thread t([&] { other = tracer.host_tid(); });
+  t.join();
+  EXPECT_NE(other, main_a);
+}
+
+TEST(SpanTracer, ConcurrentRecordingLosesNothing) {
+  SpanTracer tracer;
+  constexpr i32 kThreads = 8;
+  constexpr i32 kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (i32 t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (i32 i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(&tracer, "work", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(), static_cast<usize>(kThreads * kPerThread));
+}
+
+TEST(SpanTracer, ChromeJsonHasSchemaFields) {
+  SpanTracer tracer;
+  tracer.set_thread_name(kSimPid, 0, "frames");
+  SpanEvent e;
+  e.name = "frame 0";
+  e.category = "frame";
+  e.pid = kSimPid;
+  e.tid = 0;
+  e.ts_us = 0.0;
+  e.dur_us = 1000.0;
+  e.args = {{"scenario", "5"}};
+  tracer.record(e);
+  std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"scenario\":\"5\"}"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity check in lieu of a
+  // JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SpanTracer, JsonEscapesSpecialCharacters) {
+  SpanTracer tracer;
+  SpanEvent e;
+  e.name = "quote\" backslash\\ newline\n";
+  tracer.record(e);
+  std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n"),
+            std::string::npos);
+}
+
+TEST(SpanTracer, ClearDropsEvents) {
+  SpanTracer tracer;
+  tracer.record(SpanEvent{});
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tc::obs
