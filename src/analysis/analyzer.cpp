@@ -1,0 +1,66 @@
+#include "analysis/analyzer.hpp"
+
+#include "analysis/rules.hpp"
+
+namespace tc::analysis {
+
+std::string_view to_string(Policy p) {
+  return p == Policy::Strict ? "strict" : "permissive";
+}
+
+AnalysisError::AnalysisError(const Report& report)
+    : std::runtime_error("triplec-lint: " + std::to_string(report.error_count()) +
+                         " error(s) in static validation\n" + report.to_text()),
+      report_(report) {}
+
+Report Analyzer::run(const AnalysisInput& input) const {
+  Report r;
+  if (input.graph != nullptr) {
+    r.merge(check_graph(*input.graph));
+  }
+  if (input.predictor != nullptr) {
+    usize switches = input.graph != nullptr
+                         ? input.graph->switch_count()
+                         : 0;
+    // Without a graph, trust the table's own size (coverage only).
+    if (input.graph == nullptr) {
+      usize space = input.predictor->scenario_table().scenario_space();
+      while ((usize{1} << switches) < space) ++switches;
+    }
+    r.merge(check_graph_predictor(*input.predictor, switches,
+                                  options_.stochastic_epsilon));
+    if (input.graph != nullptr &&
+        input.predictor->task_count() != input.graph->task_count()) {
+      Diagnostic d;
+      d.rule = std::string(rules::kPredictorTaskMismatch);
+      d.severity = Severity::Error;
+      d.subject = Subject::Graph;
+      d.index = -1;
+      d.location = "graph vs. predictor";
+      d.message = "predictor models " +
+                  std::to_string(input.predictor->task_count()) +
+                  " tasks but the graph has " +
+                  std::to_string(input.graph->task_count());
+      d.hint = "construct the GraphPredictor with the graph's task count";
+      r.add(std::move(d));
+    }
+  }
+  if (input.platform != nullptr) {
+    r.merge(check_platform(*input.platform));
+    if (input.graph != nullptr) {
+      r.merge(check_bandwidth_budget(*input.graph, *input.platform, options_));
+    }
+    if (!input.memory_rows.empty()) {
+      r.merge(check_memory_budget(input.memory_rows, *input.platform));
+    }
+  }
+  return r;
+}
+
+void enforce(const Report& report, Policy policy) {
+  if (policy == Policy::Strict && report.has_errors()) {
+    throw AnalysisError(report);
+  }
+}
+
+}  // namespace tc::analysis

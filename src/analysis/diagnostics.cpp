@@ -1,0 +1,157 @@
+#include "analysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace tc::analysis {
+
+namespace {
+
+/// Quote a CSV field (always quoted; embedded quotes doubled).
+void csv_field(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string_view to_string(Subject s) {
+  switch (s) {
+    case Subject::Graph: return "graph";
+    case Subject::Node: return "node";
+    case Subject::Edge: return "edge";
+    case Subject::Switch: return "switch";
+    case Subject::Scenario: return "scenario";
+    case Subject::Model: return "model";
+    case Subject::Platform: return "platform";
+    case Subject::Config: return "config";
+  }
+  return "?";
+}
+
+void Report::add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+
+void Report::merge(Report other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+usize Report::count(Severity s) const {
+  usize n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> Report::by_rule(std::string_view rule) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+bool Report::fired(std::string_view rule) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string Report::to_text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << to_string(d.severity) << ' ' << d.rule;
+    if (!d.location.empty()) os << " [" << d.location << ']';
+    os << ": " << d.message;
+    if (!d.hint.empty()) os << "  (fix: " << d.hint << ')';
+    os << '\n';
+  }
+  os << diagnostics_.size() << " diagnostic(s): " << error_count()
+     << " error(s), " << warning_count() << " warning(s), "
+     << count(Severity::Info) << " info(s)\n";
+  return os.str();
+}
+
+std::string Report::to_csv() const {
+  std::ostringstream os;
+  os << "rule,severity,subject,index,location,message,hint\n";
+  for (const Diagnostic& d : diagnostics_) {
+    csv_field(os, d.rule);
+    os << ',';
+    csv_field(os, to_string(d.severity));
+    os << ',';
+    csv_field(os, to_string(d.subject));
+    os << ',' << d.index << ',';
+    csv_field(os, d.location);
+    os << ',';
+    csv_field(os, d.message);
+    os << ',';
+    csv_field(os, d.hint);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (usize i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i != 0) os << ',';
+    os << "{\"rule\":";
+    json_string(os, d.rule);
+    os << ",\"severity\":";
+    json_string(os, to_string(d.severity));
+    os << ",\"subject\":";
+    json_string(os, to_string(d.subject));
+    os << ",\"index\":" << d.index << ",\"location\":";
+    json_string(os, d.location);
+    os << ",\"message\":";
+    json_string(os, d.message);
+    os << ",\"hint\":";
+    json_string(os, d.hint);
+    os << '}';
+  }
+  os << "],\"errors\":" << error_count() << ",\"warnings\":" << warning_count()
+     << ",\"infos\":" << count(Severity::Info) << '}';
+  return os.str();
+}
+
+}  // namespace tc::analysis

@@ -1,0 +1,84 @@
+// Structured diagnostics for triplec-lint (src/analysis).
+//
+// Every validation pass emits Diagnostic records into a Report: a stable
+// rule id (see rules.hpp for the catalog), a severity, the location inside
+// the artifact (node/edge/switch/scenario index), a human-readable message
+// and a fix hint.  Reports render as text (CLI default), CSV, or a
+// machine-readable JSON document.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc::analysis {
+
+enum class Severity { Info, Warn, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// What part of the artifact a diagnostic points at.
+enum class Subject {
+  Graph,     // the flow graph as a whole
+  Node,      // a task node (index = node id)
+  Edge,      // an edge (index = edge position)
+  Switch,    // a named switch (index = switch id)
+  Scenario,  // a scenario id (index = scenario bitmask)
+  Model,     // a prediction model (index = node id, -1 = standalone model)
+  Platform,  // the platform specification
+  Config,    // a predictor configuration (index = node id)
+};
+
+[[nodiscard]] std::string_view to_string(Subject s);
+
+struct Diagnostic {
+  std::string rule;  // catalog id, e.g. "G001"
+  Severity severity = Severity::Error;
+  Subject subject = Subject::Graph;
+  /// Index of the node/edge/switch/scenario, -1 for whole-artifact findings.
+  i32 index = -1;
+  /// Human-readable location, e.g. "edge 3 (RDG_FULL -> MKX_FULL)".
+  std::string location;
+  std::string message;
+  /// Suggested fix, shown after the message in text output.
+  std::string hint;
+};
+
+/// Ordered collection of diagnostics with severity tallies and exporters.
+class Report {
+ public:
+  void add(Diagnostic d);
+  /// Append every diagnostic of `other` (pass composition).
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] usize size() const { return diagnostics_.size(); }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] usize count(Severity s) const;
+  [[nodiscard]] usize error_count() const { return count(Severity::Error); }
+  [[nodiscard]] usize warning_count() const { return count(Severity::Warn); }
+  [[nodiscard]] bool has_errors() const { return error_count() > 0; }
+  [[nodiscard]] bool has_warnings() const { return warning_count() > 0; }
+
+  /// All diagnostics carrying the given rule id.
+  [[nodiscard]] std::vector<Diagnostic> by_rule(std::string_view rule) const;
+  /// True when at least one diagnostic carries the rule id.
+  [[nodiscard]] bool fired(std::string_view rule) const;
+
+  /// Human-readable listing: one "severity rule location: message (hint)"
+  /// line per diagnostic plus a summary line.
+  [[nodiscard]] std::string to_text() const;
+  /// CSV with header rule,severity,subject,index,location,message,hint.
+  [[nodiscard]] std::string to_csv() const;
+  /// Machine-readable JSON: {"diagnostics":[...],"errors":N,...}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace tc::analysis

@@ -1,0 +1,468 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/rules.hpp"
+
+namespace tc::analysis {
+
+namespace {
+
+Diagnostic make(std::string_view rule, Subject subject, i32 index,
+                std::string location, std::string message, std::string hint) {
+  const RuleInfo* info = find_rule(rule);
+  Diagnostic d;
+  d.rule = std::string(rule);
+  d.severity = info != nullptr ? info->severity : Severity::Error;
+  d.subject = subject;
+  d.index = index;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+std::string fmt(f64 v, i32 precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string node_location(const graph::FlowGraph& g, i32 node) {
+  std::ostringstream os;
+  os << "node " << node;
+  if (node >= 0 && static_cast<usize>(node) < g.task_count()) {
+    os << " (" << g.task(node).name() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Report check_edges(std::span<const graph::Edge> edges, usize task_count) {
+  Report r;
+  for (usize i = 0; i < edges.size(); ++i) {
+    const graph::Edge& e = edges[i];
+    std::ostringstream loc;
+    loc << "edge " << i << " (" << e.from << " -> " << e.to << ")";
+    const bool from_ok =
+        e.from >= 0 && static_cast<usize>(e.from) < task_count;
+    const bool to_ok = e.to >= 0 && static_cast<usize>(e.to) < task_count;
+    if (!from_ok || !to_ok) {
+      r.add(make(rules::kEdgeEndpointRange, Subject::Edge,
+                 static_cast<i32>(i), loc.str(),
+                 "edge endpoint outside [0, " + std::to_string(task_count) +
+                     ")",
+                 "add the producer/consumer tasks before the edge, or drop "
+                 "the edge"));
+    }
+    if (from_ok && to_ok && e.from == e.to) {
+      r.add(make(rules::kSelfLoop, Subject::Edge, static_cast<i32>(i),
+                 loc.str(), "task depends on itself",
+                 "remove the self-loop; intra-task buffering belongs in the "
+                 "task, not the graph"));
+    }
+    if (!e.bytes_per_frame) {
+      r.add(make(rules::kEdgeNullBytes, Subject::Edge, static_cast<i32>(i),
+                 loc.str(),
+                 "bytes_per_frame callable is null; the bandwidth model "
+                 "cannot label this edge",
+                 "pass a callable returning the per-frame buffer bytes (0 is "
+                 "valid for control-only edges)"));
+    }
+  }
+  return r;
+}
+
+Report check_graph(const graph::FlowGraph& g) {
+  Report r;
+  const usize n = g.task_count();
+  if (n == 0) {
+    r.add(make(rules::kEmptyGraph, Subject::Graph, -1, "graph",
+               "flow graph has no tasks", "add at least one task node"));
+  }
+
+  r.merge(check_edges(g.edges(), n));
+
+  // Cycle detection: Kahn peeling without touching topological_order() (which
+  // throws).  Edges with out-of-range endpoints were reported above and are
+  // skipped here.
+  std::vector<i32> indegree(n, 0);
+  std::vector<std::vector<i32>> adj(n);
+  std::vector<bool> incident(n, false);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.from < 0 || e.to < 0 || static_cast<usize>(e.from) >= n ||
+        static_cast<usize>(e.to) >= n) {
+      continue;
+    }
+    adj[static_cast<usize>(e.from)].push_back(e.to);
+    ++indegree[static_cast<usize>(e.to)];
+    incident[static_cast<usize>(e.from)] = true;
+    incident[static_cast<usize>(e.to)] = true;
+  }
+  std::vector<i32> ready;
+  for (usize i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<i32>(i));
+  }
+  usize emitted = 0;
+  while (!ready.empty()) {
+    i32 v = ready.back();
+    ready.pop_back();
+    ++emitted;
+    for (i32 next : adj[static_cast<usize>(v)]) {
+      if (--indegree[static_cast<usize>(next)] == 0) ready.push_back(next);
+    }
+  }
+  if (emitted < n) {
+    std::ostringstream cyclic;
+    cyclic << "tasks on a cycle:";
+    for (usize i = 0; i < n; ++i) {
+      if (indegree[i] > 0) cyclic << ' ' << g.task(static_cast<i32>(i)).name();
+    }
+    r.add(make(rules::kGraphCycle, Subject::Graph, -1, cyclic.str(),
+               "flow graph contains a dependency cycle; no topological "
+               "execution order exists",
+               "break the cycle (frame-delayed feedback must go through "
+               "application state, not a graph edge)"));
+  }
+
+  // Isolated tasks: no incident edges at all.  A single-task graph is fine.
+  if (n > 1) {
+    for (usize i = 0; i < n; ++i) {
+      if (!incident[i]) {
+        r.add(make(rules::kIsolatedTask, Subject::Node, static_cast<i32>(i),
+                   node_location(g, static_cast<i32>(i)),
+                   "task has no incident edges; the bandwidth model and the "
+                   "scheduler treat it as independent",
+                   "connect the task to its producers/consumers, or confirm "
+                   "it is intentionally standalone"));
+      }
+    }
+  }
+
+  // Duplicate switch names break scenario labeling and state-table lookups.
+  std::set<std::string> seen;
+  for (usize s = 0; s < g.switch_count(); ++s) {
+    std::string name(g.switch_name(static_cast<i32>(s)));
+    if (!seen.insert(name).second) {
+      r.add(make(rules::kDuplicateSwitch, Subject::Switch, static_cast<i32>(s),
+                 "switch " + std::to_string(s) + " (" + name + ")",
+                 "switch name \"" + name + "\" is already declared",
+                 "give every switch a unique name"));
+    }
+  }
+
+  // Scenario ids are u32 bitmasks; the per-frame scenario assembly shifts
+  // 1u << s per switch.
+  if (g.switch_count() >= 32) {
+    r.add(make(rules::kSwitchCountUnrepresentable, Subject::Graph, -1,
+               "graph (" + std::to_string(g.switch_count()) + " switches)",
+               "scenario ids are 32-bit bitmasks; " +
+                   std::to_string(g.switch_count()) +
+                   " switches cannot be represented",
+               "reduce the number of switches below 32 or widen ScenarioId"));
+  }
+  return r;
+}
+
+Report check_stochastic_matrix(std::span<const f64> matrix, usize n,
+                               std::string_view where, f64 epsilon) {
+  Report r;
+  if (matrix.size() != n * n) {
+    r.add(make(rules::kRowNotStochastic, Subject::Model, -1, std::string(where),
+               "matrix has " + std::to_string(matrix.size()) +
+                   " entries, expected " + std::to_string(n * n),
+               "store the transition matrix as a dense n x n row-major "
+               "array"));
+    return r;
+  }
+  for (usize i = 0; i < n; ++i) {
+    f64 sum = 0.0;
+    bool negative = false;
+    for (usize j = 0; j < n; ++j) {
+      f64 p = matrix[i * n + j];
+      if (p < 0.0) negative = true;
+      sum += p;
+    }
+    if (negative || std::fabs(sum - 1.0) > epsilon) {
+      r.add(make(rules::kRowNotStochastic, Subject::Model, static_cast<i32>(i),
+                 std::string(where) + " row " + std::to_string(i),
+                 negative ? "transition row contains negative probabilities"
+                          : "transition row sums to " + fmt(sum, 6) +
+                                ", expected 1 (Eq. 2)",
+                 "renormalize the row (P_ij = n_ij / sum_k n_ik) or retrain "
+                 "the chain"));
+    }
+  }
+  return r;
+}
+
+Report check_quantizer_boundaries(std::span<const f64> boundaries,
+                                  std::string_view where) {
+  Report r;
+  for (usize i = 1; i < boundaries.size(); ++i) {
+    if (!(boundaries[i] > boundaries[i - 1])) {
+      r.add(make(rules::kQuantizerNotMonotone, Subject::Model,
+                 static_cast<i32>(i),
+                 std::string(where) + " boundary " + std::to_string(i),
+                 "boundary " + fmt(boundaries[i], 6) +
+                     " is not greater than its predecessor " +
+                     fmt(boundaries[i - 1], 6),
+                 "refit the quantizer; equal-frequency fitting merges tied "
+                 "boundaries instead of repeating them"));
+    }
+  }
+  return r;
+}
+
+Report check_state_count(usize states, usize base_states, f64 state_multiplier,
+                         usize max_states, std::string_view where) {
+  Report r;
+  // Expected ceiling per the paper: round(multiplier * M) clamped to
+  // [2, max_states].  Boundary merging may legitimately reduce the count, so
+  // only an *excess* is suspicious.
+  const usize scaled = static_cast<usize>(std::max(
+      2.0, std::round(static_cast<f64>(base_states) * state_multiplier)));
+  const usize ceiling = std::min(scaled, max_states);
+  if (states > ceiling && states > 1) {
+    r.add(make(
+        rules::kStateCountRule, Subject::Model, -1, std::string(where),
+        "chain has " + std::to_string(states) + " states, but M = C_max/sigma "
+            "gives " + std::to_string(base_states) + " and multiplier " +
+            fmt(state_multiplier, 2) + " caps it at " + std::to_string(ceiling),
+        "refit the chain from its training series, or raise max_states/"
+        "state_multiplier to match the stored model"));
+  }
+  return r;
+}
+
+Report check_predictor_config(const model::PredictorConfig& c,
+                              std::string_view where, i32 node) {
+  Report r;
+  const bool uses_ewma = c.kind == model::PredictorKind::Ewma ||
+                         c.kind == model::PredictorKind::EwmaMarkov;
+  const bool uses_markov = c.kind == model::PredictorKind::EwmaMarkov ||
+                           c.kind == model::PredictorKind::LinearMarkov;
+  if (uses_ewma && (c.ewma_alpha <= 0.0 || c.ewma_alpha > 1.0)) {
+    r.add(make(rules::kEwmaAlphaRange, Subject::Config, node,
+               std::string(where),
+               "EWMA alpha " + fmt(c.ewma_alpha, 4) +
+                   " is outside (0, 1]; Eq. 1 diverges or never updates",
+               "choose alpha in (0, 1] (the paper uses small alpha for the "
+               "long-term component)"));
+  }
+  if (uses_markov && !(c.state_multiplier > 0.0)) {
+    r.add(make(rules::kBadMarkovConfig, Subject::Config, node,
+               std::string(where),
+               "state multiplier " + fmt(c.state_multiplier, 4) +
+                   " must be positive (the paper uses ~2)",
+               "set state_multiplier > 0"));
+  }
+  if (uses_markov && c.max_states < 2) {
+    r.add(make(rules::kBadMarkovConfig, Subject::Config, node,
+               std::string(where),
+               "max_states " + std::to_string(c.max_states) +
+                   " leaves no room for a transition structure",
+               "set max_states >= 2"));
+  }
+  return r;
+}
+
+Report check_markov(const model::MarkovChain& m, f64 state_multiplier,
+                    usize max_states, std::string_view where, i32 node,
+                    f64 epsilon) {
+  Report r;
+  if (!m.fitted()) return r;
+  const usize n = m.states();
+  std::vector<f64> matrix(n * n, 0.0);
+  for (usize i = 0; i < n; ++i) {
+    std::vector<f64> row = m.row(i);
+    std::copy(row.begin(), row.end(), matrix.begin() + static_cast<i64>(i * n));
+  }
+  // Re-anchor row diagnostics at the owning node id (Subject::Model indexes
+  // nodes, not matrix rows).
+  const Report rows = check_stochastic_matrix(matrix, n, where, epsilon);
+  for (Diagnostic d : rows.diagnostics()) {
+    d.index = node;
+    r.add(std::move(d));
+  }
+  r.merge(check_quantizer_boundaries(m.quantizer().boundaries(), where));
+  r.merge(check_state_count(n, m.quantizer().base_states(), state_multiplier,
+                            max_states, where));
+  return r;
+}
+
+Report check_task_predictor(const model::TaskPredictor& p,
+                            std::string_view where, i32 node, f64 epsilon) {
+  Report r;
+  if (!p.trained()) {
+    r.add(make(rules::kUntrainedPredictor, Subject::Model, node,
+               std::string(where),
+               "predictor has not been trained; predictions fall back to 0",
+               "train offline from recorded sequences before the first "
+               "managed frame"));
+    return r;
+  }
+  const model::PredictorConfig& c = p.config();
+  if (const model::MarkovChain* m = p.markov(); m != nullptr) {
+    r.merge(check_markov(*m, c.state_multiplier, c.max_states, where, node,
+                         epsilon));
+  }
+  if (c.kind == model::PredictorKind::LinearMarkov && p.linear().fitted() &&
+      p.linear().slope() < 0.0) {
+    r.add(make(rules::kNegativeRoiSlope, Subject::Model, node,
+               std::string(where),
+               "linear growth model has slope " + fmt(p.linear().slope(), 4) +
+                   "; computation time shrinking with ROI size contradicts "
+                   "Eq. 3",
+               "check the training data (size vs. time pairs) for label "
+               "mixups or degenerate ROI sweeps"));
+  }
+  return r;
+}
+
+Report check_scenario_coverage(const graph::ScenarioTransitions& table,
+                               usize switch_count) {
+  Report r;
+  const usize expected = graph::scenario_count(switch_count);
+  if (table.scenario_space() != expected) {
+    r.add(make(rules::kScenarioSpaceMismatch, Subject::Scenario, -1,
+               "scenario table",
+               "table spans " + std::to_string(table.scenario_space()) +
+                   " scenarios but the graph's " +
+                   std::to_string(switch_count) + " switches define " +
+                   std::to_string(expected),
+               "construct the table with the graph's switch count"));
+    return r;
+  }
+  u64 total = 0;
+  for (usize s = 0; s < expected; ++s) {
+    total += table.row_observations(static_cast<graph::ScenarioId>(s));
+  }
+  if (total == 0) {
+    r.add(make(rules::kScenarioTableUntrained, Subject::Scenario, -1,
+               "scenario table",
+               "no transitions observed; scenario prediction is uniform",
+               "train from recorded sequences (the paper's state tables are "
+               "profiled offline)"));
+    return r;
+  }
+  for (usize s = 0; s < expected; ++s) {
+    if (table.row_observations(static_cast<graph::ScenarioId>(s)) == 0) {
+      r.add(make(rules::kScenarioRowUnobserved, Subject::Scenario,
+                 static_cast<i32>(s), "scenario " + std::to_string(s),
+                 "scenario " + std::to_string(s) +
+                     " has no observed outgoing transitions; its state-table "
+                     "entry is missing",
+                 "extend the training set to cover the scenario, or accept "
+                 "the uniform fallback"));
+    }
+  }
+  return r;
+}
+
+Report check_graph_predictor(const model::GraphPredictor& p,
+                             usize switch_count, f64 epsilon) {
+  Report r;
+  for (usize node = 0; node < p.task_count(); ++node) {
+    const i32 id = static_cast<i32>(node);
+    const std::string where = "task " + std::to_string(node);
+    r.merge(check_predictor_config(p.task_config(id), where, id));
+    for (u32 ctx : p.contexts(id)) {
+      std::string ctx_where = where;
+      if (ctx != 0) ctx_where += " ctx " + std::to_string(ctx);
+      r.merge(check_task_predictor(p.task_predictor(id, ctx), ctx_where, id,
+                                   epsilon));
+    }
+  }
+  r.merge(check_scenario_coverage(p.scenario_table(), switch_count));
+  return r;
+}
+
+Report check_platform(const plat::PlatformSpec& spec) {
+  Report r;
+  auto bad = [&r](std::string message, std::string hint) {
+    r.add(make(rules::kInvalidPlatform, Subject::Platform, -1, "platform",
+               std::move(message), std::move(hint)));
+  };
+  if (spec.cpu_count <= 0) {
+    bad("cpu_count " + std::to_string(spec.cpu_count) + " must be positive",
+        "describe at least one CPU");
+  }
+  if (spec.cpu_mcycles_per_s <= 0.0) {
+    bad("cpu_mcycles_per_s must be positive", "set the per-CPU clock rate");
+  }
+  if (spec.l2_bytes == 0 || spec.l1_bytes == 0) {
+    bad("cache sizes must be nonzero",
+        "set l1_bytes/l2_bytes from the platform datasheet");
+  }
+  if (spec.cpus_per_l2 <= 0) {
+    bad("cpus_per_l2 must be positive", "set how many CPUs share an L2 slice");
+  } else if (spec.cpu_count > 0 && spec.cpu_count % spec.cpus_per_l2 != 0) {
+    bad("cpu_count " + std::to_string(spec.cpu_count) +
+            " is not divisible by cpus_per_l2 " +
+            std::to_string(spec.cpus_per_l2),
+        "make the CPU count a multiple of the L2 sharing degree");
+  }
+  if (spec.cache_bus_gbps <= 0.0 || spec.memory_bus_gbps <= 0.0 ||
+      spec.io_bus_gbps <= 0.0) {
+    bad("bus bandwidths must be positive", "fill in the Fig. 4b bus numbers");
+  }
+  if (spec.dram_channels <= 0 || spec.dram_channel_high_gbps <= 0.0 ||
+      spec.dram_channel_low_gbps <= 0.0 ||
+      spec.dram_channel_low_gbps > spec.dram_channel_high_gbps) {
+    bad("DRAM channel description is inconsistent",
+        "require 0 < low <= high and at least one channel");
+  }
+  return r;
+}
+
+Report check_memory_budget(std::span<const model::MemoryRow> rows,
+                           const plat::PlatformSpec& spec) {
+  Report r;
+  const f64 l2_kb = static_cast<f64>(spec.l2_bytes) / static_cast<f64>(KiB);
+  for (usize i = 0; i < rows.size(); ++i) {
+    const model::MemoryRow& row = rows[i];
+    if (row.total_kb() > l2_kb) {
+      r.add(make(
+          rules::kFootprintOverL2, Subject::Node, static_cast<i32>(i),
+          "task " + row.task + (row.rdg_selected ? " (RDG selected)" : ""),
+          "best-case footprint " + fmt(row.total_kb(), 0) +
+              " KB exceeds one L2 slice (" + fmt(l2_kb, 0) +
+              " KB); eviction traffic is certain (Table 1 / Fig. 5)",
+          "expect the space-time buffer model to add eviction bandwidth, or "
+          "restructure the task into smaller working sets"));
+    }
+  }
+  return r;
+}
+
+Report check_bandwidth_budget(const graph::FlowGraph& g,
+                              const plat::PlatformSpec& spec,
+                              const PassOptions& options) {
+  Report r;
+  f64 bytes_per_frame = 0.0;
+  for (const graph::Edge& e : g.edges()) {
+    if (!e.bytes_per_frame) continue;  // reported by check_graph (G003)
+    bytes_per_frame += static_cast<f64>(e.bytes_per_frame());
+  }
+  bytes_per_frame *= options.byte_scale;
+  const f64 gbps = bytes_per_frame * options.fps / 1.0e9;
+  const f64 budget = spec.memory_bus_gbps * options.bus_budget_fraction;
+  if (gbps > budget) {
+    r.add(make(rules::kBandwidthOverBus, Subject::Graph, -1, "graph",
+               "inter-task traffic " + fmt(gbps, 2) + " GB/s at " +
+                   fmt(options.fps, 0) + " fps exceeds the memory-bus budget " +
+                   fmt(budget, 2) + " GB/s",
+               "reduce per-frame buffer sizes, lower the frame rate, or relax "
+               "bus_budget_fraction if headroom is intended"));
+  }
+  return r;
+}
+
+}  // namespace tc::analysis

@@ -1,0 +1,123 @@
+// Static validation passes over Triple-C artifacts.
+//
+// Each pass inspects one artifact (flow graph, Markov model, predictor
+// configuration, scenario table, platform spec, memory/bandwidth budgets)
+// and returns a Report of rule-id diagnostics; the Analyzer (analyzer.hpp)
+// composes them.  Passes that validate derived data (stochastic rows,
+// quantizer boundaries, state counts) also exist as raw-data overloads so
+// externally produced or deserialized models can be checked — and so tests
+// can prove each rule fires on deliberately broken inputs.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "graph/flowgraph.hpp"
+#include "graph/scenario.hpp"
+#include "platform/spec.hpp"
+#include "tripleC/graph_predictor.hpp"
+#include "tripleC/markov.hpp"
+#include "tripleC/memory_model.hpp"
+#include "tripleC/predictor.hpp"
+
+namespace tc::analysis {
+
+/// Tunables shared by the passes.
+struct PassOptions {
+  /// Tolerance for Markov row sums (rule M001).
+  f64 stochastic_epsilon = 1e-6;
+  /// Frame rate used to convert per-frame bytes into bandwidth (rule B002).
+  f64 fps = 30.0;
+  /// Fraction of the memory bus considered a safe budget (rule B002).
+  f64 bus_budget_fraction = 1.0;
+  /// Multiplies edge byte counts and memory rows (rendering-resolution to
+  /// paper-format scaling; 1.0 = bytes are already at the target format).
+  f64 byte_scale = 1.0;
+};
+
+// --- graph well-formedness (G001..G007, S003) ------------------------------
+
+/// Full graph pass: cycles, edge endpoints, null byte callables, isolated
+/// tasks, duplicate switch names, empty graph, representable scenario ids.
+[[nodiscard]] Report check_graph(const graph::FlowGraph& g);
+
+/// Structural edge validation against a task count (raw-data form of
+/// G002/G003/G007; used by check_graph and directly testable).
+[[nodiscard]] Report check_edges(std::span<const graph::Edge> edges,
+                                 usize task_count);
+
+// --- prediction models (M001..M007) ----------------------------------------
+
+/// Row-stochasticity of an n x n row-major probability matrix (M001).
+[[nodiscard]] Report check_stochastic_matrix(std::span<const f64> matrix,
+                                             usize n, std::string_view where,
+                                             f64 epsilon = 1e-6);
+
+/// Strict monotonicity of quantizer interval boundaries (M002).
+[[nodiscard]] Report check_quantizer_boundaries(std::span<const f64> boundaries,
+                                                std::string_view where);
+
+/// State count versus the paper's M = C_max/sigma_C rule after the
+/// configured multiplier and clamp (M003).  Equal-frequency boundary
+/// merging can only *reduce* the count, so more states than the rule
+/// allows indicate a corrupted or foreign model.
+[[nodiscard]] Report check_state_count(usize states, usize base_states,
+                                       f64 state_multiplier, usize max_states,
+                                       std::string_view where);
+
+/// Static checks of a predictor configuration: EWMA alpha in (0, 1] (M004),
+/// positive state multiplier and max_states >= 2 (M006).  `node` labels the
+/// diagnostics (-1 = standalone config).
+[[nodiscard]] Report check_predictor_config(const model::PredictorConfig& c,
+                                            std::string_view where,
+                                            i32 node = -1);
+
+/// All model checks of one trained (or untrained: M007) task predictor:
+/// Markov rows, quantizer, state-count rule, negative ROI slope (M005).
+[[nodiscard]] Report check_task_predictor(const model::TaskPredictor& p,
+                                          std::string_view where, i32 node,
+                                          f64 epsilon = 1e-6);
+
+/// Fitted Markov chain: stochastic rows, monotone quantizer, state-count
+/// rule given the configuration it was fitted with.
+[[nodiscard]] Report check_markov(const model::MarkovChain& m,
+                                  f64 state_multiplier, usize max_states,
+                                  std::string_view where, i32 node = -1,
+                                  f64 epsilon = 1e-6);
+
+// --- scenario coverage (S001, S002, S004) ----------------------------------
+
+/// Scenario table versus the graph's switch count: the table must span
+/// exactly 2^switches scenarios (S001), every scenario should have observed
+/// transitions (S002), an entirely empty table is reported once (S004).
+[[nodiscard]] Report check_scenario_coverage(
+    const graph::ScenarioTransitions& table, usize switch_count);
+
+// --- whole-predictor pass ---------------------------------------------------
+
+/// Validate every per-task configuration and every instantiated per-context
+/// predictor of a GraphPredictor, plus its scenario table.
+[[nodiscard]] Report check_graph_predictor(const model::GraphPredictor& p,
+                                           usize switch_count,
+                                           f64 epsilon = 1e-6);
+
+// --- platform / budgets (P001, B001, B002) ----------------------------------
+
+/// Structural sanity of a platform spec (P001): positive CPU counts, cache
+/// sizes, bus bandwidths, CPUs evenly divided over L2 slices.
+[[nodiscard]] Report check_platform(const plat::PlatformSpec& spec);
+
+/// Per-task footprint versus one L2 slice (B001): a task whose *best-case*
+/// buffer requirement already exceeds the slice will always evict.
+[[nodiscard]] Report check_memory_budget(std::span<const model::MemoryRow> rows,
+                                         const plat::PlatformSpec& spec);
+
+/// Aggregate inter-task traffic at the frame rate versus the memory bus
+/// (B002).  Edges with null callables are skipped (check_graph reports
+/// those).
+[[nodiscard]] Report check_bandwidth_budget(const graph::FlowGraph& g,
+                                            const plat::PlatformSpec& spec,
+                                            const PassOptions& options = {});
+
+}  // namespace tc::analysis

@@ -1,0 +1,77 @@
+#include "analysis/rules.hpp"
+
+#include <array>
+
+namespace tc::analysis {
+
+namespace {
+
+constexpr std::array<RuleInfo, 20> kCatalog{{
+    {rules::kGraphCycle, Severity::Error,
+     "flow graph contains a dependency cycle"},
+    {rules::kEdgeEndpointRange, Severity::Error,
+     "edge endpoint out of range or negative"},
+    {rules::kEdgeNullBytes, Severity::Error,
+     "edge bytes_per_frame callable is null"},
+    {rules::kIsolatedTask, Severity::Warn,
+     "task has no incident edges (isolated node)"},
+    {rules::kDuplicateSwitch, Severity::Error, "duplicate switch name"},
+    {rules::kEmptyGraph, Severity::Warn, "flow graph has no tasks"},
+    {rules::kSelfLoop, Severity::Error, "edge from a task to itself"},
+    {rules::kPredictorTaskMismatch, Severity::Error,
+     "predictor task count differs from graph task count"},
+    {rules::kRowNotStochastic, Severity::Error,
+     "Markov transition row does not sum to 1 (Eq. 2)"},
+    {rules::kQuantizerNotMonotone, Severity::Error,
+     "quantizer boundaries not strictly increasing"},
+    {rules::kStateCountRule, Severity::Warn,
+     "state count inconsistent with M = C_max/sigma rule"},
+    {rules::kEwmaAlphaRange, Severity::Error,
+     "EWMA alpha outside (0, 1] (Eq. 1)"},
+    {rules::kNegativeRoiSlope, Severity::Warn,
+     "linear growth model has a negative ROI slope (Eq. 3)"},
+    {rules::kBadMarkovConfig, Severity::Error,
+     "invalid Markov configuration (state multiplier / max states)"},
+    {rules::kUntrainedPredictor, Severity::Info,
+     "predictor has not been trained"},
+    {rules::kScenarioSpaceMismatch, Severity::Error,
+     "scenario table size differs from 2^switches"},
+    {rules::kScenarioRowUnobserved, Severity::Warn,
+     "scenario has no observed transitions (missing state-table entry)"},
+    {rules::kSwitchCountUnrepresentable, Severity::Error,
+     "too many switches to represent scenario ids"},
+    {rules::kScenarioTableUntrained, Severity::Info,
+     "scenario state table has no observations at all"},
+    {rules::kInvalidPlatform, Severity::Error,
+     "platform specification is invalid"},
+}};
+
+constexpr std::array<RuleInfo, 2> kBudgetCatalog{{
+    {rules::kFootprintOverL2, Severity::Warn,
+     "task best-case footprint exceeds one L2 slice (eviction predicted)"},
+    {rules::kBandwidthOverBus, Severity::Warn,
+     "aggregate inter-task bandwidth exceeds the memory-bus budget"},
+}};
+
+// Concatenated view over both blocks, kept in one flat array for the span.
+constexpr std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size()>
+    kAllRules = [] {
+      std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size()> all{};
+      usize i = 0;
+      for (const RuleInfo& r : kCatalog) all[i++] = r;
+      for (const RuleInfo& r : kBudgetCatalog) all[i++] = r;
+      return all;
+    }();
+
+}  // namespace
+
+std::span<const RuleInfo> rule_catalog() { return kAllRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : kAllRules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace tc::analysis

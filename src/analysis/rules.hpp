@@ -1,0 +1,64 @@
+// Rule catalog of triplec-lint.
+//
+// Rule ids are stable, grouped by artifact:
+//   G*** — flow-graph well-formedness          (Fig. 2 DAG semantics)
+//   M*** — prediction-model validity           (Eq. 1-3, Table 2)
+//   S*** — scenario/state-table coverage       (paper §5.2, 2^S scenarios)
+//   P*** — platform-specification sanity       (Fig. 4 parameters)
+//   B*** — memory/bandwidth budgets            (Table 1, §5 L2 analysis)
+//
+// The default severity listed here is what the built-in passes emit; the
+// catalog is the single source of truth for the docs (DESIGN.md) and the
+// CLI's --rules listing.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+
+namespace tc::analysis {
+
+struct RuleInfo {
+  std::string_view id;
+  Severity severity = Severity::Error;
+  std::string_view title;
+};
+
+namespace rules {
+// Graph well-formedness.
+inline constexpr std::string_view kGraphCycle = "G001";
+inline constexpr std::string_view kEdgeEndpointRange = "G002";
+inline constexpr std::string_view kEdgeNullBytes = "G003";
+inline constexpr std::string_view kIsolatedTask = "G004";
+inline constexpr std::string_view kDuplicateSwitch = "G005";
+inline constexpr std::string_view kEmptyGraph = "G006";
+inline constexpr std::string_view kSelfLoop = "G007";
+inline constexpr std::string_view kPredictorTaskMismatch = "G008";
+// Markov / predictor models.
+inline constexpr std::string_view kRowNotStochastic = "M001";
+inline constexpr std::string_view kQuantizerNotMonotone = "M002";
+inline constexpr std::string_view kStateCountRule = "M003";
+inline constexpr std::string_view kEwmaAlphaRange = "M004";
+inline constexpr std::string_view kNegativeRoiSlope = "M005";
+inline constexpr std::string_view kBadMarkovConfig = "M006";
+inline constexpr std::string_view kUntrainedPredictor = "M007";
+// Scenario coverage.
+inline constexpr std::string_view kScenarioSpaceMismatch = "S001";
+inline constexpr std::string_view kScenarioRowUnobserved = "S002";
+inline constexpr std::string_view kSwitchCountUnrepresentable = "S003";
+inline constexpr std::string_view kScenarioTableUntrained = "S004";
+// Platform spec.
+inline constexpr std::string_view kInvalidPlatform = "P001";
+// Memory / bandwidth budgets.
+inline constexpr std::string_view kFootprintOverL2 = "B001";
+inline constexpr std::string_view kBandwidthOverBus = "B002";
+}  // namespace rules
+
+/// Every rule the built-in passes can emit, in catalog order.
+[[nodiscard]] std::span<const RuleInfo> rule_catalog();
+
+/// Catalog entry for an id, nullptr when unknown.
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+}  // namespace tc::analysis

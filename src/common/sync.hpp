@@ -1,0 +1,72 @@
+// Annotated synchronization primitives for clang's -Wthread-safety.
+//
+// std::mutex under libstdc++ carries no capability attributes, so
+// TC_GUARDED_BY(some_std_mutex) is a no-op for the analysis.  These thin
+// wrappers add the attributes (zero runtime overhead for Mutex/MutexLock;
+// CondVar uses std::condition_variable_any so it can wait on the annotated
+// mutex directly), letting the compiler statically prove the locking
+// discipline of ThreadPool and the observability layer.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
+
+namespace tc::common {
+
+/// std::mutex with capability annotations.  Satisfies Lockable, so it works
+/// with std::lock_guard/std::unique_lock — but prefer MutexLock, which the
+/// analysis understands as a scoped capability.
+class TC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TC_ACQUIRE() { m_.lock(); }
+  void unlock() TC_RELEASE() { m_.unlock(); }
+  bool try_lock() TC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock holding a Mutex for the enclosing scope (std::lock_guard with
+/// scoped-capability annotations).
+class TC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) TC_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() TC_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable that waits on the annotated Mutex.  wait() must be
+/// called with the mutex held (enforced by the analysis); the predicate is
+/// evaluated under the lock, so annotate predicate lambdas with
+/// TC_REQUIRES(mutex) when they touch guarded state.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <class Predicate>
+  void wait(Mutex& m, Predicate stop_waiting) TC_REQUIRES(m) {
+    cv_.wait(m, std::move(stop_waiting));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tc::common

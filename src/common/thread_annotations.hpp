@@ -1,0 +1,51 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// The macros expand to clang's capability attributes when the compiler
+// supports them and to nothing otherwise (gcc, MSVC), so annotated headers
+// stay portable.  Use together with common/sync.hpp, whose Mutex/MutexLock
+// types carry the capability attributes the analysis needs; a bare
+// std::mutex is *not* a capability under libstdc++, so annotating against
+// one silences the analysis instead of enabling it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TC_THREAD_ANNOTATION(x)
+#endif
+
+/// Type attribute: the class is a lockable capability ("mutex").
+#define TC_CAPABILITY(x) TC_THREAD_ANNOTATION(capability(x))
+
+/// Type attribute: RAII object that acquires on construction and releases
+/// on destruction.
+#define TC_SCOPED_CAPABILITY TC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read/written while holding the given capability.
+#define TC_GUARDED_BY(x) TC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding the given capability.
+#define TC_PT_GUARDED_BY(x) TC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and it must not be held on entry).
+#define TC_ACQUIRE(...) TC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define TC_RELEASE(...) TC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return value.
+#define TC_TRY_ACQUIRE(...) \
+  TC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define TC_REQUIRES(...) TC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define TC_EXCLUDES(...) TC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define TC_RETURN_CAPABILITY(x) TC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress the analysis inside the annotated function.
+#define TC_NO_THREAD_SAFETY_ANALYSIS \
+  TC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,5 +1,6 @@
 #include "graph/flowgraph.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace tc::graph {
@@ -21,6 +22,11 @@ void FlowGraph::add_edge(i32 from, i32 to,
       to >= static_cast<i32>(nodes_.size())) {
     throw std::out_of_range("FlowGraph::add_edge: node id out of range");
   }
+  if (!bytes_per_frame) {
+    throw std::invalid_argument(
+        "FlowGraph::add_edge: bytes_per_frame must be callable (pass "
+        "[] { return u64{0}; } for a pure ordering edge)");
+  }
   edges_.push_back(Edge{from, to, std::move(bytes_per_frame)});
 }
 
@@ -32,6 +38,8 @@ std::vector<std::string> FlowGraph::switch_names() const {
 }
 
 bool FlowGraph::switch_value(i32 sw) {
+  assert(sw >= 0 && sw < static_cast<i32>(switches_.size()) &&
+         "FlowGraph::switch_value: switch id out of range");
   auto& cached = switch_cache_[static_cast<usize>(sw)];
   if (!cached.has_value()) {
     cached = switches_[static_cast<usize>(sw)].predicate();

@@ -10,6 +10,7 @@
 // The vector of switch outcomes defines the frame's scenario id.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -41,6 +42,10 @@ class FlowGraph {
   /// Declare a named switch with its predicate; returns switch id.
   i32 add_switch(std::string name, std::function<bool()> predicate);
 
+  /// Add a producer→consumer edge.  Validates eagerly: throws
+  /// std::out_of_range when an endpoint does not name an existing task and
+  /// std::invalid_argument when bytes_per_frame is a null callable, so a
+  /// malformed graph fails at construction instead of mid-frame.
   void add_edge(i32 from, i32 to, std::function<u64()> bytes_per_frame);
 
   [[nodiscard]] usize task_count() const { return nodes_.size(); }
@@ -48,9 +53,13 @@ class FlowGraph {
   [[nodiscard]] usize edge_count() const { return edges_.size(); }
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
   [[nodiscard]] Task& task(i32 node) {
+    assert(node >= 0 && node < static_cast<i32>(nodes_.size()) &&
+           "FlowGraph::task: node id out of range");
     return *nodes_[static_cast<usize>(node)].task;
   }
   [[nodiscard]] const Task& task(i32 node) const {
+    assert(node >= 0 && node < static_cast<i32>(nodes_.size()) &&
+           "FlowGraph::task: node id out of range");
     return *nodes_[static_cast<usize>(node)].task;
   }
   [[nodiscard]] std::string_view switch_name(i32 sw) const {

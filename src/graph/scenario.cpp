@@ -32,6 +32,12 @@ f64 ScenarioTransitions::probability(ScenarioId from, ScenarioId to) const {
   return static_cast<f64>(counts_[from * n_ + to]) / static_cast<f64>(row);
 }
 
+u64 ScenarioTransitions::row_observations(ScenarioId from) const {
+  u64 row = 0;
+  for (usize j = 0; j < n_; ++j) row += counts_[from * n_ + j];
+  return row;
+}
+
 ScenarioId ScenarioTransitions::most_likely_next(ScenarioId from) const {
   ScenarioId best = from;  // default: scenarios persist
   u64 best_count = 0;

@@ -49,6 +49,11 @@ class ScenarioTransitions {
   /// Most likely successor scenario of `from`.
   [[nodiscard]] ScenarioId most_likely_next(ScenarioId from) const;
 
+  /// Total transitions observed out of `from` (0 = the state-table entry is
+  /// missing and probability() falls back to uniform); used by triplec-lint
+  /// scenario-coverage checks.
+  [[nodiscard]] u64 row_observations(ScenarioId from) const;
+
   [[nodiscard]] usize scenario_space() const { return n_; }
 
  private:

@@ -98,7 +98,7 @@ MetricsRegistry::Slot* MetricsRegistry::find_or_null(std::string_view name,
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Counter)) {
     return *s->c;
   }
@@ -114,7 +114,7 @@ Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Gauge)) {
     return *s->g;
   }
@@ -132,7 +132,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::span<const f64> bounds,
                                       std::string_view labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Histogram)) {
     return *s->h;
   }
@@ -148,7 +148,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::vector<MetricsRegistry::Entry> MetricsRegistry::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<Entry> out;
   out.reserve(slots_.size());
   for (const auto& slot : slots_) out.push_back(slot->meta);
@@ -156,12 +156,12 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::entries() const {
 }
 
 usize MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return slots_.size();
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& slot : slots_) {
     if (slot->c) slot->c->reset();
     if (slot->g) slot->g->reset();
@@ -170,22 +170,22 @@ void MetricsRegistry::reset_values() {
 }
 
 void FrameLog::add(FrameSample s) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   samples_.push_back(s);
 }
 
 std::vector<FrameSample> FrameLog::samples() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return samples_;
 }
 
 usize FrameLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return samples_.size();
 }
 
 void FrameLog::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   samples_.clear();
 }
 

@@ -16,12 +16,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace tc::obs {
@@ -147,10 +147,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> h;
   };
   Slot* find_or_null(std::string_view name, std::string_view labels,
-                     MetricType type);
+                     MetricType type) TC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Slot>> slots_;
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_ TC_GUARDED_BY(mutex_);
 };
 
 /// One row of the per-frame log (written by the runtime manager's hook,
@@ -177,8 +177,8 @@ class FrameLog {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<FrameSample> samples_;
+  mutable common::Mutex mutex_;
+  std::vector<FrameSample> samples_ TC_GUARDED_BY(mutex_);
 };
 
 }  // namespace tc::obs

@@ -7,13 +7,13 @@ std::atomic<bool> g_enabled{false};
 }
 
 void ObsContext::set_node_namer(std::function<std::string(i32)> fn) {
-  std::lock_guard<std::mutex> lock(namer_mutex_);
+  common::MutexLock lock(namer_mutex_);
   node_namer_ = std::move(fn);
 }
 
 std::string ObsContext::node_name(i32 node) const {
   {
-    std::lock_guard<std::mutex> lock(namer_mutex_);
+    common::MutexLock lock(namer_mutex_);
     if (node_namer_) return node_namer_(node);
   }
   return "node" + std::to_string(node);

@@ -16,9 +16,9 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/sync.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
@@ -49,8 +49,8 @@ class ObsContext {
   void clear();
 
  private:
-  mutable std::mutex namer_mutex_;
-  std::function<std::string(i32)> node_namer_;
+  mutable common::Mutex namer_mutex_;
+  std::function<std::string(i32)> node_namer_ TC_GUARDED_BY(namer_mutex_);
 };
 
 namespace detail {

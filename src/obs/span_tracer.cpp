@@ -72,7 +72,7 @@ void append_metadata(std::ostringstream& os, const char* what, u32 pid,
 }  // namespace
 
 void SpanTracer::record(SpanEvent e) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   events_.push_back(std::move(e));
 }
 
@@ -90,7 +90,7 @@ void SpanTracer::instant(std::string name, std::string category, u32 pid,
 }
 
 u32 SpanTracer::host_tid() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = host_tids_.find(std::this_thread::get_id());
   if (it == host_tids_.end()) {
     u32 id = static_cast<u32>(host_tids_.size());
@@ -100,27 +100,27 @@ u32 SpanTracer::host_tid() {
 }
 
 void SpanTracer::set_thread_name(u32 pid, u32 tid, std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   thread_names_[{pid, tid}] = std::move(name);
 }
 
 usize SpanTracer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<SpanEvent> SpanTracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return events_;
 }
 
 void SpanTracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   events_.clear();
 }
 
 std::string SpanTracer::to_chrome_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "obs/scoped_timer.hpp"
 
@@ -80,10 +80,11 @@ class SpanTracer {
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> events_;
-  std::map<std::thread::id, u32> host_tids_;
-  std::map<std::pair<u32, u32>, std::string> thread_names_;
+  mutable common::Mutex mutex_;
+  std::vector<SpanEvent> events_ TC_GUARDED_BY(mutex_);
+  std::map<std::thread::id, u32> host_tids_ TC_GUARDED_BY(mutex_);
+  std::map<std::pair<u32, u32>, std::string> thread_names_
+      TC_GUARDED_BY(mutex_);
   ScopedTimer epoch_;
 };
 

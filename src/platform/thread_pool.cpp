@@ -61,7 +61,7 @@ ThreadPool::ThreadPool(usize threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -72,15 +72,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(mutex_);
+      cv_.wait(mutex_,
+               [this]() TC_REQUIRES(mutex_) { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop();
     }
     run_job_observed(job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) done_cv_.notify_all();
     }
@@ -90,13 +91,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_all(std::vector<std::function<void()>> jobs) {
   if (jobs.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     in_flight_ += jobs.size();
     for (auto& j : jobs) queue_.push(std::move(j));
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  common::MutexLock lock(mutex_);
+  done_cv_.wait(mutex_,
+                [this]() TC_REQUIRES(mutex_) { return in_flight_ == 0; });
 }
 
 void ThreadPool::parallel_ranges(

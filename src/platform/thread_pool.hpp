@@ -5,13 +5,12 @@
 // so host core count never affects experiment results — only wall-clock.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace tc::plat {
@@ -40,12 +39,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  usize in_flight_ = 0;
-  bool stop_ = false;
+  common::Mutex mutex_;
+  std::queue<std::function<void()>> queue_ TC_GUARDED_BY(mutex_);
+  common::CondVar cv_;
+  common::CondVar done_cv_;
+  usize in_flight_ TC_GUARDED_BY(mutex_) = 0;
+  bool stop_ TC_GUARDED_BY(mutex_) = false;
 };
 
 /// Compute the `chunk`-th of `chunks` contiguous ranges covering [0, count):

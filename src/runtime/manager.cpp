@@ -12,6 +12,17 @@ RuntimeManager::RuntimeManager(app::StentBoostApp& app,
                                model::GraphPredictor& predictor,
                                ManagerConfig config)
     : app_(app), predictor_(predictor), config_(config) {
+  if (config_.validate_at_startup) {
+    // Static validation before the first frame: a malformed graph, predictor
+    // configuration or platform spec fails here (under Strict) instead of
+    // corrupting a run.
+    analysis::AnalysisInput input;
+    input.graph = &app_.graph();
+    input.predictor = &predictor_;
+    input.platform = &app_.config().platform;
+    validation_report_ = analysis::Analyzer{}.run(input);
+    analysis::enforce(validation_report_, config_.validation_policy);
+  }
   if (config_.latency_budget_ms > 0.0) {
     budget_ms_ = config_.latency_budget_ms;
     budget_set_ = true;

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "app/stentboost.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/qos.hpp"
@@ -33,6 +34,12 @@ struct ManagerConfig {
   /// When true, the QoS ladder degrades the application quality whenever
   /// even the widest stripe plan misses the budget.
   bool enable_qos = false;
+  /// Run the triplec-lint static passes over the graph, predictor and
+  /// platform at construction, before any frame executes.
+  bool validate_at_startup = true;
+  /// Strict: lint errors throw analysis::AnalysisError from the constructor.
+  /// Permissive: diagnostics are only collected (see validation_report()).
+  analysis::Policy validation_policy = analysis::Policy::Strict;
 };
 
 struct ManagedFrame {
@@ -65,6 +72,12 @@ class RuntimeManager {
   [[nodiscard]] f64 latency_budget_ms() const { return budget_ms_; }
   [[nodiscard]] bool budget_initialized() const { return budget_set_; }
 
+  /// Diagnostics of the startup validation run (empty when
+  /// validate_at_startup is off or nothing fired).
+  [[nodiscard]] const analysis::Report& validation_report() const {
+    return validation_report_;
+  }
+
   /// Forecast of the coming frame (exposed for tests/benches).
   /// `assume_reg_success` = true gives the conservative forecast used for
   /// budget planning (ENH+ZOOM always reserved); false predicts the REG
@@ -83,6 +96,7 @@ class RuntimeManager {
   app::StentBoostApp& app_;
   model::GraphPredictor& predictor_;
   ManagerConfig config_;
+  analysis::Report validation_report_;
   f64 budget_ms_ = 0.0;
   bool budget_set_ = false;
   std::vector<f64> warmup_latencies_;

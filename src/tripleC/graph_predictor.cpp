@@ -32,6 +32,14 @@ const TaskPredictor& GraphPredictor::task_predictor(i32 node,
   return const_cast<GraphPredictor*>(this)->task_predictor(node, context);
 }
 
+std::vector<u32> GraphPredictor::contexts(i32 node) const {
+  std::vector<u32> out;
+  const auto& per_node = tasks_[static_cast<usize>(node)];
+  out.reserve(per_node.size());
+  for (const auto& [ctx, predictor] : per_node) out.push_back(ctx);
+  return out;
+}
+
 void GraphPredictor::train(
     std::span<const std::vector<graph::FrameRecord>> sequences) {
   const usize n = configs_.size();

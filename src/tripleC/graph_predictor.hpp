@@ -65,6 +65,14 @@ class GraphPredictor {
   [[nodiscard]] TaskPredictor& task_predictor(i32 node, u32 context = 0);
   [[nodiscard]] const TaskPredictor& task_predictor(i32 node,
                                                     u32 context = 0) const;
+  /// Configuration of a node without instantiating a predictor (lint-safe:
+  /// inspecting a broken config must not construct from it).
+  [[nodiscard]] const PredictorConfig& task_config(i32 node) const {
+    return configs_[static_cast<usize>(node)];
+  }
+  /// Context values for which a predictor currently exists (training or
+  /// lazy creation), in ascending order.  Does not create predictors.
+  [[nodiscard]] std::vector<u32> contexts(i32 node) const;
   [[nodiscard]] usize task_count() const { return configs_.size(); }
   [[nodiscard]] const graph::ScenarioTransitions& scenario_table() const {
     return scenario_transitions_;

@@ -1,0 +1,110 @@
+// End-to-end analyzer tests: composition of the passes over real artifacts
+// (the shipped StentBoost graph must lint clean of errors) and the
+// strict/permissive policy contract.
+
+#include "analysis/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rules.hpp"
+#include "app/stentboost.hpp"
+
+namespace tc::analysis {
+namespace {
+
+TEST(Analyzer, NullInputProducesEmptyReport) {
+  EXPECT_TRUE(Analyzer{}.run(AnalysisInput{}).empty());
+}
+
+TEST(Analyzer, ShippedStentBoostGraphHasNoErrors) {
+  app::StentBoostConfig config = app::StentBoostConfig::make(96, 96, 16, 7);
+  app::StentBoostApp app(config);
+
+  model::GraphPredictor predictor(app::kNodeCount, app::kSwitchCount);
+  std::vector<std::vector<graph::FrameRecord>> seqs = {app.run(16)};
+  predictor.train(seqs);
+
+  AnalysisInput input;
+  input.graph = &app.graph();
+  input.predictor = &predictor;
+  input.platform = &config.platform;
+  const Report report = Analyzer{}.run(input);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+}
+
+TEST(Analyzer, PredictorTaskCountMismatchFiresG008) {
+  app::StentBoostConfig config = app::StentBoostConfig::make(96, 96, 8, 7);
+  app::StentBoostApp app(config);
+  model::GraphPredictor predictor(app::kNodeCount + 2, app::kSwitchCount);
+
+  AnalysisInput input;
+  input.graph = &app.graph();
+  input.predictor = &predictor;
+  const Report report = Analyzer{}.run(input);
+  EXPECT_TRUE(report.fired(rules::kPredictorTaskMismatch));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analyzer, PredictorWithoutGraphUsesTableScenarioSpace) {
+  // No graph: the scenario-coverage pass infers the switch count from the
+  // table itself, so a self-consistent predictor yields no S001.
+  model::GraphPredictor predictor(4, 3);
+  AnalysisInput input;
+  input.predictor = &predictor;
+  const Report report = Analyzer{}.run(input);
+  EXPECT_FALSE(report.fired(rules::kScenarioSpaceMismatch));
+  EXPECT_TRUE(report.fired(rules::kScenarioTableUntrained));
+}
+
+TEST(Analyzer, MemoryRowsFeedBudgetPass) {
+  plat::PlatformSpec spec = plat::PlatformSpec::paper_platform();
+  std::vector<model::MemoryRow> rows(1);
+  rows[0].task = "ENH";
+  rows[0].intermediate_kb = 10000.0;
+  AnalysisInput input;
+  input.platform = &spec;
+  input.memory_rows = rows;
+  EXPECT_TRUE(Analyzer{}.run(input).fired(rules::kFootprintOverL2));
+}
+
+TEST(Enforce, StrictThrowsOnErrorsOnly) {
+  Report errors;
+  {
+    Diagnostic d;
+    d.rule = "G001";
+    d.severity = Severity::Error;
+    d.message = "cycle";
+    errors.add(d);
+  }
+  EXPECT_THROW(enforce(errors, Policy::Strict), AnalysisError);
+  EXPECT_NO_THROW(enforce(errors, Policy::Permissive));
+
+  Report warnings;
+  {
+    Diagnostic d;
+    d.rule = "B001";
+    d.severity = Severity::Warn;
+    d.message = "footprint";
+    warnings.add(d);
+  }
+  EXPECT_NO_THROW(enforce(warnings, Policy::Strict));
+}
+
+TEST(Enforce, AnalysisErrorCarriesReport) {
+  Report r;
+  Diagnostic d;
+  d.rule = "M001";
+  d.severity = Severity::Error;
+  d.message = "row 2 sums to 0.9";
+  r.add(d);
+  try {
+    enforce(r, Policy::Strict);
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_TRUE(e.report().fired("M001"));
+    EXPECT_NE(std::string(e.what()).find("M001"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tc::analysis

@@ -1,0 +1,348 @@
+// Every triplec-lint rule must fire on a deliberately broken artifact and
+// stay silent on a valid one.
+
+#include "analysis/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rules.hpp"
+#include "graph/task.hpp"
+#include "tripleC/markov.hpp"
+
+namespace tc::analysis {
+namespace {
+
+std::unique_ptr<graph::Task> noop_task(std::string name) {
+  return graph::make_task(std::move(name), false,
+                          [] { return img::WorkReport{}; });
+}
+
+graph::FlowGraph chain_graph(usize n) {
+  graph::FlowGraph g;
+  std::vector<i32> ids;
+  for (usize i = 0; i < n; ++i) {
+    ids.push_back(g.add_task(noop_task("T" + std::to_string(i))));
+  }
+  for (usize i = 1; i < n; ++i) {
+    g.add_edge(ids[i - 1], ids[i], [] { return u64{1024}; });
+  }
+  return g;
+}
+
+// --- graph well-formedness ---------------------------------------------------
+
+TEST(CheckGraph, ValidChainIsClean) {
+  graph::FlowGraph g = chain_graph(3);
+  (void)g.add_switch("SW_A", [] { return true; });
+  (void)g.add_switch("SW_B", [] { return false; });
+  EXPECT_TRUE(check_graph(g).empty());
+}
+
+TEST(CheckGraph, CycleFiresG001) {
+  graph::FlowGraph g;
+  i32 a = g.add_task(noop_task("A"));
+  i32 b = g.add_task(noop_task("B"));
+  g.add_edge(a, b, [] { return u64{0}; });
+  g.add_edge(b, a, [] { return u64{0}; });
+  const Report r = check_graph(g);
+  EXPECT_TRUE(r.fired(rules::kGraphCycle));
+  EXPECT_TRUE(r.has_errors());
+  // The diagnostic names the cyclic tasks.
+  EXPECT_NE(r.by_rule(rules::kGraphCycle)[0].location.find("A"),
+            std::string::npos);
+}
+
+TEST(CheckEdges, OutOfRangeEndpointFiresG002) {
+  std::vector<graph::Edge> edges;
+  edges.push_back(graph::Edge{0, 7, [] { return u64{0}; }});
+  edges.push_back(graph::Edge{-1, 0, [] { return u64{0}; }});
+  const Report r = check_edges(edges, 2);
+  EXPECT_EQ(r.by_rule(rules::kEdgeEndpointRange).size(), 2u);
+}
+
+TEST(CheckEdges, NullBytesCallableFiresG003) {
+  std::vector<graph::Edge> edges;
+  edges.push_back(graph::Edge{0, 1, nullptr});
+  const Report r = check_edges(edges, 2);
+  EXPECT_TRUE(r.fired(rules::kEdgeNullBytes));
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(CheckEdges, SelfLoopFiresG007) {
+  std::vector<graph::Edge> edges;
+  edges.push_back(graph::Edge{1, 1, [] { return u64{0}; }});
+  const Report r = check_edges(edges, 3);
+  EXPECT_TRUE(r.fired(rules::kSelfLoop));
+}
+
+TEST(CheckGraph, IsolatedTaskFiresG004) {
+  graph::FlowGraph g = chain_graph(2);
+  (void)g.add_task(noop_task("LONER"));
+  const Report r = check_graph(g);
+  ASSERT_TRUE(r.fired(rules::kIsolatedTask));
+  EXPECT_EQ(r.by_rule(rules::kIsolatedTask)[0].index, 2);
+  EXPECT_FALSE(r.has_errors());  // G004 is a warning
+}
+
+TEST(CheckGraph, SingleTaskGraphIsNotIsolated) {
+  graph::FlowGraph g = chain_graph(1);
+  EXPECT_FALSE(check_graph(g).fired(rules::kIsolatedTask));
+}
+
+TEST(CheckGraph, DuplicateSwitchNameFiresG005) {
+  graph::FlowGraph g = chain_graph(2);
+  (void)g.add_switch("SW_REG", [] { return true; });
+  (void)g.add_switch("SW_REG", [] { return false; });
+  const Report r = check_graph(g);
+  ASSERT_TRUE(r.fired(rules::kDuplicateSwitch));
+  EXPECT_EQ(r.by_rule(rules::kDuplicateSwitch)[0].index, 1);
+}
+
+TEST(CheckGraph, EmptyGraphFiresG006) {
+  graph::FlowGraph g;
+  EXPECT_TRUE(check_graph(g).fired(rules::kEmptyGraph));
+}
+
+// --- prediction models -------------------------------------------------------
+
+TEST(CheckStochasticMatrix, NonStochasticRowFiresM001) {
+  // Row 1 sums to 0.9.
+  const std::vector<f64> matrix = {0.5, 0.5, 0.4, 0.5};
+  const Report r = check_stochastic_matrix(matrix, 2, "chain");
+  ASSERT_TRUE(r.fired(rules::kRowNotStochastic));
+  EXPECT_EQ(r.by_rule(rules::kRowNotStochastic)[0].index, 1);
+}
+
+TEST(CheckStochasticMatrix, NegativeEntryFiresM001) {
+  const std::vector<f64> matrix = {1.2, -0.2, 0.0, 1.0};
+  EXPECT_TRUE(
+      check_stochastic_matrix(matrix, 2, "chain").fired(
+          rules::kRowNotStochastic));
+}
+
+TEST(CheckStochasticMatrix, ValidMatrixIsClean) {
+  const std::vector<f64> matrix = {0.25, 0.75, 1.0, 0.0};
+  EXPECT_TRUE(check_stochastic_matrix(matrix, 2, "chain").empty());
+}
+
+TEST(CheckStochasticMatrix, SizeMismatchIsReported) {
+  const std::vector<f64> matrix = {1.0, 0.0, 1.0};
+  EXPECT_TRUE(
+      check_stochastic_matrix(matrix, 2, "chain").fired(
+          rules::kRowNotStochastic));
+}
+
+TEST(CheckQuantizer, NonMonotoneBoundaryFiresM002) {
+  const std::vector<f64> boundaries = {1.0, 2.0, 2.0, 3.0};
+  const Report r = check_quantizer_boundaries(boundaries, "quantizer");
+  ASSERT_TRUE(r.fired(rules::kQuantizerNotMonotone));
+  EXPECT_EQ(r.by_rule(rules::kQuantizerNotMonotone)[0].index, 2);
+}
+
+TEST(CheckQuantizer, StrictlyIncreasingIsClean) {
+  const std::vector<f64> boundaries = {1.0, 2.0, 4.0};
+  EXPECT_TRUE(check_quantizer_boundaries(boundaries, "quantizer").empty());
+}
+
+TEST(CheckStateCount, ExcessStatesFireM003) {
+  // Base M = 4, multiplier 2 -> ceiling 8; 20 states cannot come from this
+  // training series.
+  EXPECT_TRUE(check_state_count(20, 4, 2.0, 64, "chain")
+                  .fired(rules::kStateCountRule));
+}
+
+TEST(CheckStateCount, WithinRuleIsClean) {
+  EXPECT_TRUE(check_state_count(8, 4, 2.0, 64, "chain").empty());
+  // Boundary merging may reduce the count below the rule.
+  EXPECT_TRUE(check_state_count(3, 4, 2.0, 64, "chain").empty());
+}
+
+TEST(CheckPredictorConfig, AlphaOutOfRangeFiresM004) {
+  model::PredictorConfig c;
+  c.kind = model::PredictorKind::EwmaMarkov;
+  c.ewma_alpha = 0.0;
+  EXPECT_TRUE(check_predictor_config(c, "task 0", 0)
+                  .fired(rules::kEwmaAlphaRange));
+  c.ewma_alpha = 1.5;
+  EXPECT_TRUE(check_predictor_config(c, "task 0", 0)
+                  .fired(rules::kEwmaAlphaRange));
+}
+
+TEST(CheckPredictorConfig, AlphaIgnoredForNonEwmaKinds) {
+  model::PredictorConfig c;
+  c.kind = model::PredictorKind::Constant;
+  c.ewma_alpha = -1.0;
+  EXPECT_TRUE(check_predictor_config(c, "task 0", 0).empty());
+}
+
+TEST(CheckPredictorConfig, BadMarkovConfigFiresM006) {
+  model::PredictorConfig c;
+  c.kind = model::PredictorKind::LinearMarkov;
+  c.state_multiplier = 0.0;
+  c.max_states = 1;
+  const Report r = check_predictor_config(c, "task 0", 0);
+  EXPECT_EQ(r.by_rule(rules::kBadMarkovConfig).size(), 2u);
+}
+
+TEST(CheckPredictorConfig, DefaultConfigIsClean) {
+  EXPECT_TRUE(check_predictor_config(model::PredictorConfig{}, "task 0", 0)
+                  .empty());
+}
+
+TEST(CheckMarkov, FittedChainFromRealSeriesIsClean) {
+  // A well-behaved two-regime series: the fitted chain must satisfy every
+  // model rule.
+  std::vector<f64> series;
+  for (i32 i = 0; i < 200; ++i) {
+    series.push_back(i % 7 < 4 ? 10.0 + 0.01 * (i % 5) : 20.0 + 0.01 * (i % 3));
+  }
+  model::MarkovChain m;
+  m.fit(series, 2.0, 64);
+  ASSERT_TRUE(m.fitted());
+  EXPECT_TRUE(check_markov(m, 2.0, 64, "chain", 3).empty());
+}
+
+TEST(CheckTaskPredictor, UntrainedFiresM007Info) {
+  model::TaskPredictor p;
+  const Report r = check_task_predictor(p, "task 2", 2);
+  ASSERT_TRUE(r.fired(rules::kUntrainedPredictor));
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_FALSE(r.has_warnings());
+}
+
+TEST(CheckTaskPredictor, NegativeRoiSlopeFiresM005) {
+  // Larger ROI -> *smaller* time: Eq. 3 fitted on mislabeled data.
+  model::PredictorConfig c;
+  c.kind = model::PredictorKind::LinearMarkov;
+  model::TaskPredictor p(c);
+  std::vector<std::vector<model::TrainingSample>> seqs(1);
+  for (i32 i = 0; i < 100; ++i) {
+    const f64 size = 100.0 + i;
+    seqs[0].push_back(model::TrainingSample{300.0 - size, size});
+  }
+  p.train(seqs);
+  ASSERT_TRUE(p.trained());
+  EXPECT_TRUE(check_task_predictor(p, "task 1", 1)
+                  .fired(rules::kNegativeRoiSlope));
+}
+
+TEST(CheckTaskPredictor, PositiveSlopeIsClean) {
+  model::PredictorConfig c;
+  c.kind = model::PredictorKind::LinearMarkov;
+  model::TaskPredictor p(c);
+  std::vector<std::vector<model::TrainingSample>> seqs(1);
+  for (i32 i = 0; i < 100; ++i) {
+    const f64 size = 100.0 + i;
+    seqs[0].push_back(model::TrainingSample{2.0 * size + 5.0, size});
+  }
+  p.train(seqs);
+  EXPECT_FALSE(check_task_predictor(p, "task 1", 1)
+                   .fired(rules::kNegativeRoiSlope));
+}
+
+// --- scenario coverage -------------------------------------------------------
+
+TEST(CheckScenarioCoverage, SpaceMismatchFiresS001) {
+  graph::ScenarioTransitions table(2);  // 4 scenarios
+  table.add(0, 1);
+  EXPECT_TRUE(check_scenario_coverage(table, 3)
+                  .fired(rules::kScenarioSpaceMismatch));
+}
+
+TEST(CheckScenarioCoverage, MissingRowFiresS002) {
+  graph::ScenarioTransitions table(2);
+  table.add(0, 1);
+  table.add(1, 0);
+  const Report r = check_scenario_coverage(table, 2);
+  // Scenarios 2 and 3 were never observed.
+  EXPECT_EQ(r.by_rule(rules::kScenarioRowUnobserved).size(), 2u);
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(CheckScenarioCoverage, FullCoverageIsClean) {
+  graph::ScenarioTransitions table(2);
+  for (u32 s = 0; s < 4; ++s) table.add(s, (s + 1) % 4);
+  EXPECT_TRUE(check_scenario_coverage(table, 2).empty());
+}
+
+TEST(CheckScenarioCoverage, EmptyTableFiresS004Once) {
+  graph::ScenarioTransitions table(3);
+  const Report r = check_scenario_coverage(table, 3);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.fired(rules::kScenarioTableUntrained));
+  EXPECT_FALSE(r.fired(rules::kScenarioRowUnobserved));
+}
+
+TEST(CheckGraph, TooManySwitchesFiresS003) {
+  graph::FlowGraph g = chain_graph(2);
+  for (i32 s = 0; s < 32; ++s) {
+    (void)g.add_switch("SW" + std::to_string(s), [] { return false; });
+  }
+  EXPECT_TRUE(check_graph(g).fired(rules::kSwitchCountUnrepresentable));
+}
+
+// --- whole-predictor pass ----------------------------------------------------
+
+TEST(CheckGraphPredictor, BrokenNodeConfigIsAttributedToNode) {
+  model::GraphPredictor p(3, 2);
+  model::PredictorConfig bad;
+  bad.ewma_alpha = -0.5;
+  p.configure_task(1, bad);
+  const Report r = check_graph_predictor(p, 2);
+  ASSERT_TRUE(r.fired(rules::kEwmaAlphaRange));
+  EXPECT_EQ(r.by_rule(rules::kEwmaAlphaRange)[0].index, 1);
+  // The broken config is never instantiated into a predictor.
+  EXPECT_TRUE(p.contexts(1).empty());
+}
+
+// --- platform / budgets ------------------------------------------------------
+
+TEST(CheckPlatform, PaperPlatformIsClean) {
+  EXPECT_TRUE(check_platform(plat::PlatformSpec::paper_platform()).empty());
+}
+
+TEST(CheckPlatform, BrokenSpecFiresP001) {
+  plat::PlatformSpec spec = plat::PlatformSpec::paper_platform();
+  spec.cpu_count = 0;
+  EXPECT_TRUE(check_platform(spec).fired(rules::kInvalidPlatform));
+
+  spec = plat::PlatformSpec::paper_platform();
+  spec.cpus_per_l2 = 3;  // 8 CPUs not divisible into slices of 3
+  EXPECT_TRUE(check_platform(spec).fired(rules::kInvalidPlatform));
+
+  spec = plat::PlatformSpec::paper_platform();
+  spec.memory_bus_gbps = 0.0;
+  EXPECT_TRUE(check_platform(spec).fired(rules::kInvalidPlatform));
+}
+
+TEST(CheckMemoryBudget, OverL2FootprintFiresB001) {
+  plat::PlatformSpec spec = plat::PlatformSpec::paper_platform();
+  std::vector<model::MemoryRow> rows(2);
+  rows[0].task = "SMALL";
+  rows[0].input_kb = 100.0;
+  rows[1].task = "HUGE";
+  rows[1].input_kb = 8192.0;
+  rows[1].intermediate_kb = 8192.0;
+  const Report r = check_memory_budget(rows, spec);
+  ASSERT_EQ(r.by_rule(rules::kFootprintOverL2).size(), 1u);
+  EXPECT_NE(r.by_rule(rules::kFootprintOverL2)[0].location.find("HUGE"),
+            std::string::npos);
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(CheckBandwidthBudget, OverBusTrafficFiresB002) {
+  graph::FlowGraph g = chain_graph(2);
+  graph::FlowGraph heavy;
+  i32 a = heavy.add_task(noop_task("A"));
+  i32 b = heavy.add_task(noop_task("B"));
+  // 2 GB per frame at 30 fps = 60 GB/s > the 29 GB/s memory bus.
+  heavy.add_edge(a, b, [] { return u64{2} * GiB; });
+  EXPECT_TRUE(check_bandwidth_budget(heavy,
+                                     plat::PlatformSpec::paper_platform())
+                  .fired(rules::kBandwidthOverBus));
+  EXPECT_TRUE(check_bandwidth_budget(g, plat::PlatformSpec::paper_platform())
+                  .empty());
+}
+
+}  // namespace
+}  // namespace tc::analysis

@@ -1,0 +1,99 @@
+#include "analysis/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rules.hpp"
+
+namespace tc::analysis {
+namespace {
+
+Diagnostic diag(std::string rule, Severity sev, std::string message) {
+  Diagnostic d;
+  d.rule = std::move(rule);
+  d.severity = sev;
+  d.message = std::move(message);
+  return d;
+}
+
+TEST(Report, TalliesBySeverity) {
+  Report r;
+  r.add(diag("G001", Severity::Error, "cycle"));
+  r.add(diag("G004", Severity::Warn, "isolated"));
+  r.add(diag("M007", Severity::Info, "untrained"));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.warning_count(), 1u);
+  EXPECT_EQ(r.count(Severity::Info), 1u);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(r.has_warnings());
+}
+
+TEST(Report, EmptyReportIsClean) {
+  Report r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_FALSE(r.has_warnings());
+}
+
+TEST(Report, MergeAppendsInOrder) {
+  Report a;
+  a.add(diag("G001", Severity::Error, "first"));
+  Report b;
+  b.add(diag("M001", Severity::Error, "second"));
+  a.merge(std::move(b));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.diagnostics()[0].rule, "G001");
+  EXPECT_EQ(a.diagnostics()[1].rule, "M001");
+}
+
+TEST(Report, ByRuleAndFired) {
+  Report r;
+  r.add(diag("S002", Severity::Warn, "scenario 3"));
+  r.add(diag("S002", Severity::Warn, "scenario 5"));
+  r.add(diag("G001", Severity::Error, "cycle"));
+  EXPECT_TRUE(r.fired("S002"));
+  EXPECT_FALSE(r.fired("B001"));
+  EXPECT_EQ(r.by_rule("S002").size(), 2u);
+}
+
+TEST(Report, TextOutputContainsRuleAndSummary) {
+  Report r;
+  r.add(diag("G001", Severity::Error, "flow graph contains a cycle"));
+  const std::string text = r.to_text();
+  EXPECT_NE(text.find("G001"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+}
+
+TEST(Report, CsvEscapesQuotesAndCommas) {
+  Report r;
+  r.add(diag("G005", Severity::Error, "name \"SW, REG\" duplicated"));
+  const std::string csv = r.to_csv();
+  EXPECT_NE(csv.find("rule,severity,subject,index,location,message,hint"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"name \"\"SW, REG\"\" duplicated\""), std::string::npos);
+}
+
+TEST(Report, JsonCountsAndEscapes) {
+  Report r;
+  r.add(diag("M001", Severity::Error, "row \"2\" bad"));
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\\\"2\\\""), std::string::npos);
+}
+
+TEST(RuleCatalog, EveryRuleHasIdSeverityTitle) {
+  const auto catalog = rule_catalog();
+  EXPECT_GE(catalog.size(), 20u);
+  for (const RuleInfo& info : catalog) {
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_FALSE(info.title.empty());
+    const RuleInfo* found = find_rule(info.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id, info.id);
+  }
+  EXPECT_EQ(find_rule("Z999"), nullptr);
+}
+
+}  // namespace
+}  // namespace tc::analysis

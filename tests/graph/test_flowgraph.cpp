@@ -54,6 +54,38 @@ TEST(FlowGraph, EdgeOutOfRangeThrows) {
   EXPECT_THROW(g.add_edge(-1, a, [] { return u64{0}; }), std::out_of_range);
 }
 
+TEST(FlowGraph, NullBytesPerFrameThrows) {
+  FlowGraph g;
+  i32 counter = 0;
+  i32 a = g.add_task(counting_task("A", &counter));
+  i32 b = g.add_task(counting_task("B", &counter));
+  EXPECT_THROW(g.add_edge(a, b, std::function<u64()>{}),
+               std::invalid_argument);
+  EXPECT_EQ(g.edge_count(), 0u);  // the malformed edge was not stored
+}
+
+TEST(FlowGraphDeathTest, TaskIndexOutOfRangeAssertsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "bounds assertions compile out in release builds";
+#else
+  FlowGraph g;
+  i32 counter = 0;
+  (void)g.add_task(counting_task("A", &counter));
+  EXPECT_DEATH((void)g.task(7), "out of range");
+  EXPECT_DEATH((void)g.task(-1), "out of range");
+#endif
+}
+
+TEST(FlowGraphDeathTest, SwitchIndexOutOfRangeAssertsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "bounds assertions compile out in release builds";
+#else
+  FlowGraph g;
+  (void)g.add_switch("SW", [] { return true; });
+  EXPECT_DEATH((void)g.switch_value(3), "out of range");
+#endif
+}
+
 TEST(FlowGraph, GuardSkipsTask) {
   FlowGraph g;
   bool enabled = false;

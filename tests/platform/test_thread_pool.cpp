@@ -40,6 +40,30 @@ TEST(EvenChunk, MoreChunksThanItems) {
   EXPECT_EQ(nonempty, 3);
 }
 
+TEST(EvenChunk, ZeroCountGivesEmptyRanges) {
+  for (i32 chunks : {1, 3, 8}) {
+    for (i32 c = 0; c < chunks; ++c) {
+      IndexRange r = even_chunk(0, chunks, c);
+      EXPECT_TRUE(r.empty()) << chunks << "/" << c;
+      EXPECT_EQ(r.lo, 0);
+    }
+  }
+}
+
+TEST(EvenChunk, SingleChunkIsWholeRange) {
+  IndexRange r = even_chunk(123, 1, 0);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 123);
+}
+
+TEST(EvenChunk, NonPositiveChunksFallBackToWholeRange) {
+  for (i32 chunks : {0, -1}) {
+    IndexRange r = even_chunk(55, chunks, 0);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 55);
+  }
+}
+
 TEST(ThreadPool, RunsAllJobs) {
   ThreadPool pool(4);
   std::atomic<i32> counter{0};
@@ -69,6 +93,26 @@ TEST(ThreadPool, EmptyJobListIsNoop) {
   ThreadPool pool(2);
   pool.run_all({});  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, EmptyJobListBetweenBatchesKeepsPoolUsable) {
+  ThreadPool pool(2);
+  std::atomic<i32> counter{0};
+  pool.run_all({});
+  std::vector<std::function<void()>> jobs;
+  for (i32 i = 0; i < 8; ++i) {
+    jobs.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_all(std::move(jobs));
+  pool.run_all({});
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, ParallelRangesZeroCountRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<i32> calls{0};
+  pool.parallel_ranges(0, 4, [&](i32, IndexRange) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {

@@ -38,6 +38,52 @@ model::GraphPredictor trained_predictor(const app::StentBoostConfig& base) {
   return gp;
 }
 
+TEST(Manager, StartupValidationPassesOnValidSetup) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  RuntimeManager mgr(app, gp, ManagerConfig{});  // Strict by default
+  EXPECT_FALSE(mgr.validation_report().has_errors())
+      << mgr.validation_report().to_text();
+}
+
+TEST(Manager, StrictValidationThrowsOnBrokenPredictorConfig) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  // EWMA alpha 0 never updates (Eq. 1); the lint pass flags it before the
+  // predictor is ever instantiated from the config.
+  gp.configure_task(app::kEnh, model::PredictorConfig{
+                                   model::PredictorKind::Ewma, 0.0, 2.0, 64});
+  EXPECT_THROW(RuntimeManager(app, gp, ManagerConfig{}),
+               analysis::AnalysisError);
+}
+
+TEST(Manager, PermissiveValidationCollectsWithoutThrowing) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  gp.configure_task(app::kEnh, model::PredictorConfig{
+                                   model::PredictorKind::Ewma, 0.0, 2.0, 64});
+  ManagerConfig mc;
+  mc.validation_policy = analysis::Policy::Permissive;
+  RuntimeManager mgr(app, gp, mc);
+  EXPECT_TRUE(mgr.validation_report().has_errors());
+  EXPECT_TRUE(mgr.validation_report().fired("M004"));
+}
+
+TEST(Manager, ValidationCanBeDisabled) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp(app::kNodeCount, app::kSwitchCount);
+  gp.configure_task(app::kEnh, model::PredictorConfig{
+                                   model::PredictorKind::Ewma, 0.0, 2.0, 64});
+  ManagerConfig mc;
+  mc.validate_at_startup = false;
+  RuntimeManager mgr(app, gp, mc);
+  EXPECT_TRUE(mgr.validation_report().empty());
+}
+
 TEST(Manager, BudgetInitializedAfterWarmup) {
   app::StentBoostConfig c = test_config();
   app::StentBoostApp app(c);
