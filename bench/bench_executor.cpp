@@ -1,0 +1,293 @@
+// Executor bench — serial vs stripe-parallel execution of the real
+// StentBoost graph on host worker threads, plus functional and hybrid
+// variants of a kernel-backed three-stage pipeline (exec::StagePipeline).
+//
+// Writes BENCH_executor.json (consumed by CI as an artifact) with wall
+// clock, per-frame latency, throughput and speedup vs. serial per
+// configuration.
+//
+// Usage: bench_executor [--frames N] [--size S] [--workers W]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/stentboost.hpp"
+#include "bench_util.hpp"
+#include "exec/stage_pipeline.hpp"
+#include "imaging/kernels.hpp"
+#include "obs/exporters.hpp"
+#include "obs/scoped_timer.hpp"
+
+using namespace tc;
+
+namespace {
+
+struct Options {
+  i32 frames = 48;
+  i32 size = 256;
+  i32 workers = 4;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](i32& field) {
+      if (i + 1 < argc) field = std::atoi(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--frames") == 0) next(opt.frames);
+    else if (std::strcmp(argv[i], "--size") == 0) next(opt.size);
+    else if (std::strcmp(argv[i], "--workers") == 0) next(opt.workers);
+  }
+  return opt;
+}
+
+struct Row {
+  std::string name;
+  f64 wall_ms = 0.0;
+  f64 ms_per_frame = 0.0;
+  f64 fps = 0.0;
+  f64 speedup = 1.0;  // vs. the family's serial row
+};
+
+Row make_row(std::string name, f64 wall_ms, i32 frames, f64 serial_wall_ms) {
+  Row r;
+  r.name = std::move(name);
+  r.wall_ms = wall_ms;
+  r.ms_per_frame = wall_ms / frames;
+  r.fps = 1000.0 * frames / wall_ms;
+  r.speedup = serial_wall_ms > 0.0 ? serial_wall_ms / wall_ms : 1.0;
+  return r;
+}
+
+void print_rows(const char* family, const std::vector<Row>& rows) {
+  std::printf("%s:\n", family);
+  std::printf("  %-24s %10s %10s %10s %10s\n", "config", "wall ms",
+              "ms/frame", "fps", "speedup");
+  for (const Row& r : rows) {
+    std::printf("  %-24s %10.1f %10.2f %10.1f %9.2fx\n", r.name.c_str(),
+                r.wall_ms, r.ms_per_frame, r.fps, r.speedup);
+  }
+  std::printf("\n");
+}
+
+// --- family 1: the real StentBoost graph, serial vs. striped ---------------
+
+app::StentBoostConfig app_config(const Options& opt) {
+  app::StentBoostConfig config = app::StentBoostConfig::make(
+      opt.size, opt.size, opt.frames, /*seed=*/11);
+  // Pin the heavy full-frame scenario so serial and striped runs execute an
+  // identical node set every frame.
+  config.force_full_frame = true;
+  config.dominant_low = 0;
+  return config;
+}
+
+f64 run_app(const Options& opt, const std::vector<img::ImageU16>& frames,
+            plat::ThreadPool* pool, i32 stripes) {
+  app::StentBoostApp app(app_config(opt), pool);
+  app::StripePlan plan = app::serial_plan();
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    if (app::node_data_parallel(node)) plan[static_cast<usize>(node)] = stripes;
+  }
+  app.set_stripe_plan(plan);
+  obs::ScopedTimer timer;
+  for (i32 t = 0; t < opt.frames; ++t) {
+    (void)app.process_image(t, frames[static_cast<usize>(t)]);
+  }
+  return timer.elapsed_ms();
+}
+
+// --- family 2: kernel-backed 3-stage pipeline (functional / hybrid) --------
+
+struct Payload {
+  img::ImageF32 input;
+  img::ImageF32 previous;
+  img::ImageF32 blurred;
+  img::ImageF32 diff;
+  img::ImageF32 zoomed;
+};
+
+std::shared_ptr<Payload> make_payload(const img::ImageU16& frame,
+                                      const img::ImageU16& prev, i32 size) {
+  auto p = std::make_shared<Payload>();
+  p->input = img::to_f32(frame);
+  p->previous = img::to_f32(prev);
+  p->blurred = img::ImageF32(size, size);
+  p->zoomed = img::ImageF32(size, size);
+  return p;
+}
+
+std::vector<exec::StageSpec> pipeline_stages(i32 stripes) {
+  std::vector<exec::StageSpec> stages;
+  stages.push_back(exec::StageSpec{
+      "analysis",
+      [](exec::FramePacket& packet, const exec::StageContext& ctx) {
+        auto& p = *static_cast<Payload*>(packet.payload.get());
+        exec::parallel_rows(ctx, p.input.height(), [&p](IndexRange rows) {
+          img::gaussian_blur_rows(p.input, 2.0, p.blurred, rows);
+        });
+      },
+      stripes});
+  stages.push_back(exec::StageSpec{
+      "features",
+      [](exec::FramePacket& packet, const exec::StageContext&) {
+        auto& p = *static_cast<Payload*>(packet.payload.get());
+        p.diff = img::temporal_difference(p.blurred, p.previous);
+      },
+      1});
+  stages.push_back(exec::StageSpec{
+      "display",
+      [](exec::FramePacket& packet, const exec::StageContext& ctx) {
+        auto& p = *static_cast<Payload*>(packet.payload.get());
+        const Rect src{8, 8, p.diff.width() - 16, p.diff.height() - 16};
+        exec::parallel_rows(ctx, p.zoomed.height(), [&p, src](IndexRange rows) {
+          img::resample_bicubic_rows(p.diff, p.zoomed, src, rows);
+        });
+      },
+      stripes});
+  return stages;
+}
+
+f64 run_pipeline_serial(const std::vector<std::shared_ptr<Payload>>& payloads) {
+  obs::ScopedTimer timer;
+  for (const auto& p : payloads) {
+    img::gaussian_blur_rows(p->input, 2.0, p->blurred,
+                            IndexRange{0, p->input.height()});
+    p->diff = img::temporal_difference(p->blurred, p->previous);
+    const Rect src{8, 8, p->diff.width() - 16, p->diff.height() - 16};
+    img::resample_bicubic_rows(p->diff, p->zoomed, src,
+                               IndexRange{0, p->zoomed.height()});
+  }
+  return timer.elapsed_ms();
+}
+
+f64 run_pipeline(const Options& opt,
+                 const std::vector<std::shared_ptr<Payload>>& payloads,
+                 i32 stripes, plat::ThreadPool* pool, u64* backpressure) {
+  exec::PipelineConfig config;
+  config.queue_capacity = 2;
+  config.stripe_pool = pool;
+  exec::StagePipeline pipeline(pipeline_stages(stripes), config);
+  obs::ScopedTimer timer;
+  pipeline.start();
+  for (i32 t = 0; t < opt.frames; ++t) {
+    pipeline.submit(t, payloads[static_cast<usize>(t)]);
+  }
+  pipeline.drain();
+  const f64 wall = timer.elapsed_ms();
+  if (backpressure != nullptr) {
+    *backpressure = pipeline.stats().backpressure_events;
+  }
+  return wall;
+}
+
+std::string to_json(const Options& opt, const std::vector<Row>& app_rows,
+                    const std::vector<Row>& pipe_rows, u64 backpressure) {
+  std::ostringstream os;
+  auto rows = [&os](const char* family, const std::vector<Row>& r) {
+    os << "  \"" << family << "\": [\n";
+    for (usize i = 0; i < r.size(); ++i) {
+      os << "    {\"name\": \"" << r[i].name << "\", \"wall_ms\": "
+         << r[i].wall_ms << ", \"ms_per_frame\": " << r[i].ms_per_frame
+         << ", \"fps\": " << r[i].fps << ", \"speedup_vs_serial\": "
+         << r[i].speedup << "}" << (i + 1 < r.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+  };
+  os << "{\n";
+  os << "  \"frames\": " << opt.frames << ",\n";
+  os << "  \"size\": " << opt.size << ",\n";
+  os << "  \"workers\": " << opt.workers << ",\n";
+  os << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  rows("stentboost_graph", app_rows);
+  os << ",\n";
+  rows("kernel_pipeline", pipe_rows);
+  os << ",\n  \"pipeline_backpressure_events\": " << backpressure << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  bench::print_header(
+      "Concurrent executor — serial vs stripe vs functional vs hybrid",
+      "Albers et al., IPDPS 2009, Section 5 (partitioning at run time)");
+  std::printf("frames=%d size=%dx%d workers=%d\n\n", opt.frames, opt.size,
+              opt.size, opt.workers);
+
+  // Pre-render the synthetic sequence once; rendering is not part of the
+  // measured pipeline work.
+  const app::StentBoostConfig config = app_config(opt);
+  const img::AngioSequence sequence(config.sequence);
+  std::vector<img::ImageU16> frames;
+  frames.reserve(static_cast<usize>(opt.frames));
+  for (i32 t = 0; t < opt.frames; ++t) frames.push_back(sequence.render(t));
+
+  // --- real graph: serial vs striped ---------------------------------------
+  plat::ThreadPool pool(static_cast<usize>(opt.workers));
+  std::vector<Row> app_rows;
+  const f64 serial_wall = run_app(opt, frames, nullptr, 1);
+  app_rows.push_back(make_row("serial", serial_wall, opt.frames, serial_wall));
+  const f64 striped_wall = run_app(opt, frames, &pool, opt.workers);
+  app_rows.push_back(make_row("stripe_x" + std::to_string(opt.workers),
+                              striped_wall, opt.frames, serial_wall));
+  print_rows("stentboost graph (real kernels, full-frame scenario)", app_rows);
+
+  // --- kernel pipeline: serial vs functional vs hybrid ---------------------
+  auto payloads_for = [&](void) {
+    std::vector<std::shared_ptr<Payload>> payloads;
+    payloads.reserve(static_cast<usize>(opt.frames));
+    for (i32 t = 0; t < opt.frames; ++t) {
+      payloads.push_back(make_payload(frames[static_cast<usize>(t)],
+                                      frames[static_cast<usize>(t > 0 ? t - 1 : 0)],
+                                      opt.size));
+    }
+    return payloads;
+  };
+
+  std::vector<Row> pipe_rows;
+  auto serial_payloads = payloads_for();
+  const f64 pipe_serial = run_pipeline_serial(serial_payloads);
+  pipe_rows.push_back(make_row("serial", pipe_serial, opt.frames, pipe_serial));
+
+  auto functional_payloads = payloads_for();
+  u64 backpressure = 0;
+  const f64 functional_wall =
+      run_pipeline(opt, functional_payloads, 1, nullptr, &backpressure);
+  pipe_rows.push_back(
+      make_row("functional_3stage", functional_wall, opt.frames, pipe_serial));
+
+  auto hybrid_payloads = payloads_for();
+  const f64 hybrid_wall =
+      run_pipeline(opt, hybrid_payloads, opt.workers, &pool, nullptr);
+  pipe_rows.push_back(make_row(
+      "hybrid_3stage_x" + std::to_string(opt.workers), hybrid_wall,
+      opt.frames, pipe_serial));
+  print_rows("kernel pipeline (blur | temporal diff | bicubic zoom)",
+             pipe_rows);
+
+  const std::string json = to_json(opt, app_rows, pipe_rows, backpressure);
+  if (obs::write_text_file("BENCH_executor.json", json)) {
+    std::printf("wrote BENCH_executor.json\n");
+  }
+
+  const bool stripe_wins = striped_wall < serial_wall;
+  std::printf("\nstripe-parallel %s serial (%.1f ms vs %.1f ms on %d workers)\n",
+              stripe_wins ? "beats" : "DOES NOT beat", striped_wall,
+              serial_wall, opt.workers);
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (!stripe_wins && cores < 2) {
+    // Striping cannot beat serial wall-clock without parallel hardware; the
+    // numbers are still valid as an overhead measurement, so don't fail.
+    std::printf("(host has %u core(s); speedup check skipped)\n", cores);
+    return 0;
+  }
+  return stripe_wins ? 0 : 1;
+}

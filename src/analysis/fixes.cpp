@@ -1,0 +1,85 @@
+#include "analysis/fixes.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace tc::analysis {
+
+namespace {
+
+std::string fmt(f64 v, i32 precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace
+
+void FixSummary::merge(const FixSummary& other) {
+  applied += other.applied;
+  skipped += other.skipped;
+  notes.insert(notes.end(), other.notes.begin(), other.notes.end());
+}
+
+FixSummary fix_stochastic_matrix(std::span<f64> matrix, usize n,
+                                 f64 near_tolerance, f64 epsilon) {
+  FixSummary summary;
+  if (matrix.size() != n * n) {
+    summary.notes.push_back("matrix has " + std::to_string(matrix.size()) +
+                            " entries, expected " + std::to_string(n * n) +
+                            "; not repairable");
+    ++summary.skipped;
+    return summary;
+  }
+  for (usize i = 0; i < n; ++i) {
+    f64 sum = 0.0;
+    bool negative = false;
+    bool positive = false;
+    for (usize j = 0; j < n; ++j) {
+      const f64 p = matrix[i * n + j];
+      if (p < 0.0) negative = true;
+      if (p > 0.0) positive = true;
+      sum += p;
+    }
+    if (!negative && std::fabs(sum - 1.0) <= epsilon) continue;  // healthy
+    if (negative || !positive || std::fabs(sum - 1.0) > near_tolerance) {
+      ++summary.skipped;
+      summary.notes.push_back(
+          "row " + std::to_string(i) + ": " +
+          (negative ? "negative probabilities"
+                    : (!positive ? "all-zero row"
+                                 : "sum " + fmt(sum, 6) + " too far from 1")) +
+          "; refusing to repair (retrain the chain)");
+      continue;
+    }
+    for (usize j = 0; j < n; ++j) matrix[i * n + j] /= sum;
+    ++summary.applied;
+    summary.notes.push_back("row " + std::to_string(i) +
+                            ": renormalized from sum " + fmt(sum, 6));
+  }
+  return summary;
+}
+
+FixSummary fix_duplicate_switches(graph::FlowGraph& g) {
+  FixSummary summary;
+  std::set<std::string> seen;
+  // Walk forward, erasing in place: a removal shifts later ids down, so the
+  // index only advances past switches that were kept.
+  i32 s = 0;
+  while (s < narrow<i32>(g.switch_count())) {
+    std::string name(g.switch_name(s));
+    if (seen.insert(name).second) {
+      ++s;
+      continue;
+    }
+    g.remove_switch(s);
+    ++summary.applied;
+    summary.notes.push_back("switch " + std::to_string(s) + " (\"" + name +
+                            "\"): duplicate declaration removed");
+  }
+  return summary;
+}
+
+}  // namespace tc::analysis

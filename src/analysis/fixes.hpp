@@ -1,0 +1,52 @@
+// triplec-lint --fix: in-memory repairs for the two trivially repairable
+// diagnostics.
+//
+//   M001 row-not-stochastic — a transition row whose entries are all
+//        non-negative and whose sum is merely *near* 1 (serialization
+//        round-off, hand-edited tables) is renormalized to sum exactly 1.
+//        Rows that are far off, negative, or all-zero are structural damage
+//        and are left for retraining — repairing them would silently invent
+//        probabilities.
+//   G005 duplicate-switch — later switches re-declaring an existing name
+//        are removed from the graph (scenario labeling keeps the first
+//        declaration).  This reindexes the remaining switches, so it is a
+//        *pre-run* repair: apply it before any frame executes and before
+//        handing switch ids out.
+//
+// Both fixers report what they did (and what they refused to do) in a
+// FixSummary; the CLI re-runs the analyzer afterwards so the exit code
+// reflects the post-fix state.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/flowgraph.hpp"
+
+namespace tc::analysis {
+
+struct FixSummary {
+  /// Repairs performed.
+  i32 applied = 0;
+  /// Candidate findings left untouched (not safely repairable).
+  i32 skipped = 0;
+  /// One human-readable line per decision.
+  std::vector<std::string> notes;
+
+  void merge(const FixSummary& other);
+};
+
+/// Renormalize the near-stochastic rows of an n x n row-major probability
+/// matrix in place: a row qualifies when every entry is >= 0, at least one
+/// is > 0 and |sum - 1| <= near_tolerance.  Exactly-stochastic rows (within
+/// `epsilon`, the M001 tolerance) are untouched.
+[[nodiscard]] FixSummary fix_stochastic_matrix(std::span<f64> matrix, usize n,
+                                               f64 near_tolerance = 0.05,
+                                               f64 epsilon = 1e-6);
+
+/// Remove every switch that re-declares an earlier switch's name (keeps the
+/// first declaration).  Pre-run repair only — remaining switch ids shift.
+[[nodiscard]] FixSummary fix_duplicate_switches(graph::FlowGraph& g);
+
+}  // namespace tc::analysis

@@ -328,10 +328,10 @@ std::optional<img::WorkReport> StentBoostApp::run_roi_est() {
   roi_ = result.roi;
   if (config_.roi_side_override > 0) {
     const i32 s = config_.roi_side_override;
-    const i32 cx = static_cast<i32>(
-        std::lround(0.5 * (couple_->a.x + couple_->b.x)));
-    const i32 cy = static_cast<i32>(
-        std::lround(0.5 * (couple_->a.y + couple_->b.y)));
+    const i32 cx =
+        narrow<i32>(std::lround(0.5 * (couple_->a.x + couple_->b.x)));
+    const i32 cy =
+        narrow<i32>(std::lround(0.5 * (couple_->a.y + couple_->b.y)));
     roi_ = clamp_rect(Rect{cx - s / 2, cy - s / 2, s, s}, frame_.width(),
                       frame_.height());
   }
@@ -358,10 +358,10 @@ std::optional<img::WorkReport> StentBoostApp::run_enh() {
   // on the reference couple (the stent is stabilized there).
   const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
   const Rect cur_roi = !roi_.empty() ? roi_ : full;
-  const i32 rcx = static_cast<i32>(
-      std::lround(0.5 * (ref_couple_->a.x + ref_couple_->b.x)));
-  const i32 rcy = static_cast<i32>(
-      std::lround(0.5 * (ref_couple_->a.y + ref_couple_->b.y)));
+  const i32 rcx =
+      narrow<i32>(std::lround(0.5 * (ref_couple_->a.x + ref_couple_->b.x)));
+  const i32 rcy =
+      narrow<i32>(std::lround(0.5 * (ref_couple_->a.y + ref_couple_->b.y)));
   ref_roi_ = clamp_rect(
       Rect{rcx - cur_roi.w / 2, rcy - cur_roi.h / 2, cur_roi.w, cur_roi.h},
       frame_.width(), frame_.height());

@@ -4,6 +4,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <type_traits>
 
 namespace tc {
 
@@ -18,6 +20,28 @@ using i64 = std::int64_t;
 using f32 = float;
 using f64 = double;
 using usize = std::size_t;
+
+/// Thrown by narrow<> when an integral conversion would change the value.
+class narrowing_error : public std::runtime_error {
+ public:
+  narrowing_error() : std::runtime_error("narrowing conversion changed value") {}
+};
+
+/// Checked integral conversion — the project-wide i32/usize bridge.  The
+/// cast round-trips and preserves the sign, or it throws (an exception, not
+/// an assert: release builds compile with NDEBUG and must still refuse a
+/// value-changing conversion).  Use it wherever a container size meets an
+/// i32 node/frame id:   i32 n = narrow<i32>(tasks.size());
+template <class To, class From>
+[[nodiscard]] constexpr To narrow(From from) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "narrow<> converts between integral types only");
+  const To to = static_cast<To>(from);
+  if (static_cast<From>(to) != from || ((to < To{}) != (from < From{}))) {
+    throw narrowing_error{};
+  }
+  return to;
+}
 
 /// Kilobytes/megabytes expressed in bytes; used by the memory model so that
 /// units are explicit at call sites.

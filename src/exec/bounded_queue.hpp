@@ -1,0 +1,126 @@
+// Bounded, closeable inter-stage queue — the backpressure primitive of the
+// concurrent executor (src/exec).
+//
+// Stages of a functional partition communicate through these queues: a full
+// queue blocks the producer (bounded memory, the paper's double-buffered
+// inter-task channels use capacity 2) instead of letting frames pile up
+// when a downstream stage is the bottleneck.  close() initiates shutdown:
+// producers are refused, consumers drain the remaining items and then see
+// std::nullopt, which propagates the end-of-stream signal stage by stage.
+//
+// All state is guarded by an annotated common::Mutex, so clang's
+// -Wthread-safety statically proves the locking discipline.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/sync.hpp"
+#include "common/types.hpp"
+
+namespace tc::exec {
+
+template <class T>
+class BoundedQueue {
+ public:
+  /// `capacity` >= 1; 2 gives the classic double-buffered channel.
+  explicit BoundedQueue(usize capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push.  Waits while the queue is full (backpressure); returns
+  /// false when the queue was closed before the item could be enqueued.
+  bool push(T item) TC_EXCLUDES(mutex_) {
+    {
+      common::MutexLock lock(mutex_);
+      if (items_.size() >= capacity_ && !closed_) ++blocked_pushes_;
+      not_full_.wait(mutex_, [this]() TC_REQUIRES(mutex_) {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) TC_EXCLUDES(mutex_) {
+    {
+      common::MutexLock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      ++total_pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop.  Waits while the queue is empty; after close(), drains
+  /// the remaining items and then returns std::nullopt (end of stream).
+  std::optional<T> pop() TC_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      common::MutexLock lock(mutex_);
+      not_empty_.wait(mutex_, [this]() TC_REQUIRES(mutex_) {
+        return closed_ || !items_.empty();
+      });
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Initiate shutdown: wake every waiter; pushes fail from now on, pops
+  /// drain what is left.  Idempotent.
+  void close() TC_EXCLUDES(mutex_) {
+    {
+      common::MutexLock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const TC_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] usize size() const TC_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] usize capacity() const { return capacity_; }
+
+  /// Items successfully enqueued over the queue's lifetime.
+  [[nodiscard]] u64 total_pushed() const TC_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return total_pushed_;
+  }
+
+  /// Pushes that found the queue full and had to wait — each one is a
+  /// backpressure event (the producer was throttled by a slower consumer).
+  [[nodiscard]] u64 blocked_pushes() const TC_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return blocked_pushes_;
+  }
+
+ private:
+  const usize capacity_;
+  mutable common::Mutex mutex_;
+  std::deque<T> items_ TC_GUARDED_BY(mutex_);
+  bool closed_ TC_GUARDED_BY(mutex_) = false;
+  u64 total_pushed_ TC_GUARDED_BY(mutex_) = 0;
+  u64 blocked_pushes_ TC_GUARDED_BY(mutex_) = 0;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+};
+
+}  // namespace tc::exec

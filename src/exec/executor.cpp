@@ -1,0 +1,317 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "obs/obs.hpp"
+
+namespace tc::exec {
+
+plat::CostParams host_cost_params() {
+  plat::CostParams p;
+  // Stripe overheads of the host thread pool: a parallel_ranges dispatch and
+  // its barrier cost tens of microseconds, far below the simulated
+  // platform's task-control overhead.  Slightly higher imbalance than the
+  // model default — the host scheduler is noisier than the simulated one.
+  p.dispatch_ms = 0.02;
+  p.stripe_sync_ms = 0.03;
+  p.default_imbalance = 1.10;
+  // The host measures real time; no synthetic interference on top.
+  p.interference_sigma = 0.0;
+  return p;
+}
+
+namespace {
+
+/// Granularity sibling used as an EWMA fallback while a node's own filter
+/// is unprimed (full-frame <-> ROI variants process the same kernel).
+i32 sibling_node(i32 node) {
+  switch (node) {
+    case app::kRdgFull:
+      return app::kRdgRoi;
+    case app::kRdgRoi:
+      return app::kRdgFull;
+    case app::kMkxFull:
+      return app::kMkxRoi;
+    case app::kMkxRoi:
+      return app::kMkxFull;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
+    : config_(config),
+      pool_(config.worker_threads <= 0 ? 0
+                                       : static_cast<usize>(config.worker_threads)),
+      app_(std::move(app_config), &pool_) {
+  node_ewma_.fill(model::EwmaFilter(config_.ewma_alpha));
+  if (config_.validate_at_startup) {
+    // Admission control: the graph and platform spec are linted before any
+    // frame executes (Strict throws analysis::AnalysisError).
+    analysis::AnalysisInput input;
+    input.graph = &app_.graph();
+    input.platform = &app_.config().platform;
+    validation_report_ = analysis::Analyzer{}.run(input);
+    analysis::enforce(validation_report_, config_.validation_policy);
+  }
+  if (config_.deadline_ms > 0.0) {
+    deadline_ms_ = config_.deadline_ms;
+    deadline_set_ = true;
+  }
+}
+
+f64 Executor::node_estimate(i32 node) const {
+  const auto& filter = node_ewma_[static_cast<usize>(node)];
+  if (filter.primed()) return filter.value();
+  const i32 sib = sibling_node(node);
+  if (sib >= 0 && node_ewma_[static_cast<usize>(sib)].primed()) {
+    return node_ewma_[static_cast<usize>(sib)].value();
+  }
+  return 0.0;
+}
+
+std::vector<rt::NodeForecast> Executor::host_forecast() const {
+  std::vector<rt::NodeForecast> fc(app::kNodeCount);
+  // RDG and ROI switch values are inter-frame state known before the frame
+  // starts; the registration outcome is uncertain, so ENH/ZOOM time is
+  // always reserved (over-reserving is the safe direction for a deadline).
+  const bool rdg = app_.rdg_active();
+  const bool roi = app_.roi_valid();
+  auto set = [&](i32 node, bool active) {
+    auto& f = fc[static_cast<usize>(node)];
+    f.active = active;
+    f.data_parallel = app::node_data_parallel(node);
+    if (active) f.serial_ms = node_estimate(node);
+  };
+  set(app::kRdgFull, rdg && !roi);
+  set(app::kRdgRoi, rdg && roi);
+  set(app::kMkxFull, !roi);
+  set(app::kMkxRoi, roi);
+  set(app::kCplsSel, true);
+  set(app::kReg, true);
+  set(app::kRoiEst, true);
+  set(app::kGwExt, rdg);
+  set(app::kEnh, true);
+  set(app::kZoom, true);
+  return fc;
+}
+
+f64 Executor::feed_back(const graph::FrameRecord& record,
+                        const app::StripePlan& plan) {
+  f64 serial_total = 0.0;
+  for (const graph::TaskExecution& exec : record.tasks) {
+    if (!exec.executed) continue;
+    // The filters model *serial* execution: normalize striped measurements
+    // back through the inverse of the stripe cost model.
+    f64 serial_ms = exec.host_ms;
+    const i32 stripes = plan[static_cast<usize>(exec.node)];
+    if (app::node_data_parallel(exec.node) && stripes > 1) {
+      serial_ms = rt::serial_ms_from_striped(config_.host_cost, exec.host_ms,
+                                             stripes);
+    }
+    node_ewma_[static_cast<usize>(exec.node)].update(serial_ms);
+    serial_total += serial_ms;
+  }
+  if (frame_markov_.fitted()) {
+    // On-line model training (the paper's profiling feedback).
+    frame_markov_.observe_transition(last_serial_total_ms_, serial_total);
+  }
+  last_serial_total_ms_ = serial_total;
+  return serial_total;
+}
+
+void Executor::apply_quality(i32 ladder_index) {
+  const auto ladder = rt::quality_ladder();
+  const i32 max_index = narrow<i32>(ladder.size()) - 1;
+  quality_index_ = std::clamp(ladder_index, 0, max_index);
+  const rt::QualityLevel& level = ladder[static_cast<usize>(quality_index_)];
+  app_.set_quality(level.extra_mkx_decimation, level.skip_guidewire,
+                   level.zoom_divisor);
+}
+
+ExecutedFrame Executor::step(i32 t) {
+  ExecutedFrame result;
+  result.frame = t;
+  result.managed = deadline_set_;
+  result.deadline_ms = deadline_ms_;
+
+  app::StripePlan plan = app::serial_plan();
+  if (result.managed && config_.adapt) {
+    std::vector<rt::NodeForecast> fc = host_forecast();
+    // Markov correction: scale the long-term EWMA forecast by the chain's
+    // conditional expectation of the next frame total (short-term state).
+    f64 ewma_total = 0.0;
+    for (const rt::NodeForecast& f : fc) {
+      if (f.active) ewma_total += f.serial_ms;
+    }
+    if (frame_markov_.fitted() && ewma_total > 1e-9) {
+      const f64 markov_total =
+          frame_markov_.predict_next(last_serial_total_ms_);
+      const f64 scale = std::clamp(markov_total / ewma_total, 0.5, 2.0);
+      for (rt::NodeForecast& f : fc) f.serial_ms *= scale;
+    }
+    if (config_.policy == DeadlinePolicy::Degrade && quality_index_ > 0) {
+      const auto ladder = rt::quality_ladder();
+      // Recovery hysteresis: lift one level only after qos_recover_after
+      // consecutive frames whose forecast fits at the better level.
+      std::vector<rt::NodeForecast> better_fc = rt::degrade_forecast(
+          fc, ladder[static_cast<usize>(quality_index_ - 1)]);
+      const rt::PlanChoice better =
+          rt::choose_plan(config_.host_cost, better_fc, deadline_ms_,
+                          config_.max_stripes_per_task,
+                          narrow<i32>(pool_.thread_count()));
+      recover_streak_ = better.fits_budget ? recover_streak_ + 1 : 0;
+      if (recover_streak_ >= config_.qos_recover_after) {
+        apply_quality(quality_index_ - 1);
+        recover_streak_ = 0;
+      }
+    }
+    auto plan_at_current_quality = [&]() {
+      std::vector<rt::NodeForecast> eff = fc;
+      if (quality_index_ > 0) {
+        eff = rt::degrade_forecast(
+            fc, rt::quality_ladder()[static_cast<usize>(quality_index_)]);
+      }
+      return rt::choose_plan(config_.host_cost, eff, deadline_ms_,
+                             config_.max_stripes_per_task,
+                             narrow<i32>(pool_.thread_count()));
+    };
+    rt::PlanChoice choice = plan_at_current_quality();
+    if (config_.policy == DeadlinePolicy::Degrade) {
+      const i32 max_index = narrow<i32>(rt::quality_ladder().size()) - 1;
+      while (!choice.fits_budget && quality_index_ < max_index) {
+        apply_quality(quality_index_ + 1);
+        recover_streak_ = 0;
+        choice = plan_at_current_quality();
+      }
+    }
+    plan = choice.plan;
+    result.predicted_host_ms = choice.estimated_ms;
+  }
+  result.plan = plan;
+  result.quality_level = quality_index_;
+  app_.set_stripe_plan(plan);
+
+  std::optional<obs::ScopedSpan> span;
+  if (obs::enabled()) {
+    span.emplace(&obs::global().tracer, "frame " + std::to_string(t),
+                 "exec-frame");
+    span->arg("plan", rt::plan_to_string(plan));
+    if (result.managed) {
+      span->arg("predicted_ms", std::to_string(result.predicted_host_ms));
+    }
+  }
+  graph::FrameRecord record = app_.process_frame(t);
+  // The frame's latency is the graph execution itself — the sum of the
+  // measured task walls.  Rendering the synthetic input (process_frame's
+  // other cost) stands in for the camera and is not pipeline work, so it
+  // must not contaminate the deadline or the predictor feedback.
+  for (const graph::TaskExecution& exec : record.tasks) {
+    if (exec.executed) result.measured_host_ms += exec.host_ms;
+  }
+  result.scenario = record.scenario;
+  if (span.has_value()) {
+    span->arg("measured_ms", std::to_string(result.measured_host_ms));
+    span->arg("scenario", std::to_string(record.scenario));
+    span.reset();
+  }
+
+  // --- QoS: deadline accounting -------------------------------------------
+  if (deadline_set_ && result.measured_host_ms > deadline_ms_) {
+    result.deadline_miss = true;
+    if (config_.policy == DeadlinePolicy::Drop) result.dropped = true;
+  }
+
+  // --- feedback + warm-up bookkeeping -------------------------------------
+  const f64 serial_total = feed_back(record, plan);
+  if (!frame_markov_.fitted()) {
+    warmup_serial_totals_.push_back(serial_total);
+    if (narrow<i32>(warmup_serial_totals_.size()) >= config_.warmup_frames) {
+      frame_markov_.fit(warmup_serial_totals_);
+    }
+  }
+  if (!deadline_set_) {
+    warmup_measured_ms_.push_back(result.measured_host_ms);
+    if (narrow<i32>(warmup_measured_ms_.size()) >= config_.warmup_frames) {
+      deadline_ms_ = mean(warmup_measured_ms_) * config_.deadline_headroom;
+      deadline_set_ = true;
+    }
+  }
+
+  result.repartitioned = result.managed && plan != prev_plan_;
+  prev_plan_ = plan;
+
+  ++stats_.frames;
+  measured_sum_ms_ += result.measured_host_ms;
+  stats_.mean_measured_ms = measured_sum_ms_ / stats_.frames;
+  if (result.managed) ++stats_.managed_frames;
+  if (result.deadline_miss) ++stats_.deadline_misses;
+  if (result.dropped) ++stats_.dropped_frames;
+  if (result.quality_level > 0) ++stats_.degraded_frames;
+  if (result.repartitioned) ++stats_.repartitions;
+
+  if (obs::enabled()) record_frame_observability(result);
+  return result;
+}
+
+void Executor::record_frame_observability(const ExecutedFrame& f) {
+  obs::ObsContext& ctx = obs::global();
+  obs::MetricsRegistry& m = ctx.metrics;
+
+  m.counter("tripleC_exec_frames_total", "Frames executed on the host").add();
+  if (deadline_set_) {
+    m.gauge("tripleC_exec_deadline_ms", "Active per-frame host deadline")
+        .set(deadline_ms_);
+  }
+  // Register the families unconditionally so each exists from frame one.
+  obs::Counter& misses =
+      m.counter("tripleC_exec_deadline_miss_total",
+                "Frames whose measured host latency exceeded the deadline");
+  if (f.deadline_miss) misses.add();
+  obs::Counter& drops = m.counter(
+      "tripleC_exec_dropped_total",
+      "Late frames removed from the display stream (Drop policy)");
+  if (f.dropped) drops.add();
+  obs::Counter& reparts =
+      m.counter("tripleC_exec_repartitions_total",
+                "Managed frames whose stripe plan changed (live repartition)");
+  if (f.repartitioned) reparts.add();
+  m.gauge("tripleC_exec_quality_level",
+          "QoS quality level applied by the executor")
+      .set(static_cast<f64>(f.quality_level));
+
+  const std::vector<f64> bounds = obs::latency_buckets_ms();
+  m.histogram("tripleC_exec_frame_host_ms",
+              "Measured host latency per executed frame", bounds)
+      .record(f.measured_host_ms);
+  if (f.managed) {
+    m.histogram("tripleC_exec_frame_predicted_ms",
+                "Predicted host latency of the chosen plan", bounds)
+        .record(f.predicted_host_ms);
+  }
+
+  if (f.repartitioned) {
+    obs::SpanTracer& tracer = ctx.tracer;
+    tracer.instant("exec_repartition", "plan", obs::kHostPid, 0,
+                   tracer.host_now_us(),
+                   {{"frame", std::to_string(f.frame)},
+                    {"plan", rt::plan_to_string(f.plan)},
+                    {"predicted_ms", std::to_string(f.predicted_host_ms)}});
+  }
+}
+
+std::vector<ExecutedFrame> Executor::run(i32 n) {
+  std::vector<ExecutedFrame> frames;
+  frames.reserve(static_cast<usize>(n));
+  for (i32 t = 0; t < n; ++t) frames.push_back(step(t));
+  return frames;
+}
+
+}  // namespace tc::exec

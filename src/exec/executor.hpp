@@ -1,0 +1,181 @@
+// Closed-loop concurrent executor: predict → execute → measure → adapt.
+//
+// The runtime manager (runtime/manager) drives the *simulated* platform; the
+// Executor drives the real host.  Every frame it
+//
+//   1. forecasts each active task's serial host time from per-node EWMA
+//      filters (Eq. 1), corrected by a frame-level Markov chain (Eq. 2)
+//      over serial-equivalent frame totals (short-term fluctuation),
+//   2. chooses a stripe plan with rt::choose_plan so the predicted host
+//      latency fits the frame deadline — repartitioning live whenever the
+//      prediction drifts across the plan boundary,
+//   3. executes the frame for real: StentBoostApp stripes its row kernels
+//      over the executor-owned plat::ThreadPool per the plan,
+//   4. feeds the measured host times (FlowGraph stamps TaskExecution::
+//      host_ms) back into the EWMA filters and the Markov chain, after
+//      normalizing them to serial-equivalent via rt::serial_ms_from_striped
+//      so the predictors stay unbiased under repartitioning.
+//
+// Deadline QoS: a frame that measures past its deadline is counted as a
+// miss; DeadlinePolicy::Drop removes it from the display stream,
+// DeadlinePolicy::Degrade walks the rt::quality_ladder() down until the
+// forecast fits again (and back up after `qos_recover_after` consecutive
+// frames that would fit one level better).
+//
+// The first `warmup_frames` frames run serially to prime the filters, fit
+// the Markov chain and derive the deadline (mean * headroom) when none is
+// configured — mirroring the paper's initialization phase.
+//
+// The graph is validated by analysis::Analyzer before the first frame
+// (Strict policy throws analysis::AnalysisError from the constructor).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "app/stentboost.hpp"
+#include "exec/deadline.hpp"
+#include "platform/thread_pool.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/qos.hpp"
+#include "tripleC/ewma.hpp"
+#include "tripleC/markov.hpp"
+
+namespace tc::exec {
+
+/// Stripe-overhead parameters of the *host* (thread-pool dispatch and
+/// barrier are tens of microseconds, unlike the simulated platform's
+/// heavyweight task control), used for plan estimation and for the
+/// serial <-> striped conversion of measured times.
+[[nodiscard]] plat::CostParams host_cost_params();
+
+struct ExecutorConfig {
+  /// Worker threads of the executor-owned pool (0 = hardware concurrency).
+  i32 worker_threads = 4;
+  /// Fixed per-frame deadline; <= 0 derives it from the warm-up phase as
+  /// mean measured host latency * deadline_headroom.
+  f64 deadline_ms = 0.0;
+  f64 deadline_headroom = 1.30;
+  i32 warmup_frames = 8;
+  DeadlinePolicy policy = DeadlinePolicy::Drop;
+  i32 max_stripes_per_task = 4;
+  /// Live repartitioning: when false, managed frames keep the serial plan
+  /// (measure-only mode, useful for baselines).
+  bool adapt = true;
+  /// EWMA smoothing factor of the per-node host-time filters.
+  f64 ewma_alpha = 0.3;
+  /// Host stripe-overhead parameters (see host_cost_params()).
+  plat::CostParams host_cost = host_cost_params();
+  /// Run the triplec-lint static passes over the graph and platform before
+  /// the first frame.
+  bool validate_at_startup = true;
+  analysis::Policy validation_policy = analysis::Policy::Strict;
+  /// Degrade policy: lift one quality level after this many consecutive
+  /// frames whose forecast would fit at the better level.
+  i32 qos_recover_after = 4;
+};
+
+/// Outcome of one executed frame.
+struct ExecutedFrame {
+  i32 frame = -1;
+  graph::ScenarioId scenario = 0;
+  app::StripePlan plan = app::serial_plan();
+  /// Predicted host latency of the chosen plan (0 during warm-up).
+  f64 predicted_host_ms = 0.0;
+  /// Measured host latency of the frame's graph execution: the sum of the
+  /// executed tasks' wall-clock times (input rendering excluded).
+  f64 measured_host_ms = 0.0;
+  f64 deadline_ms = 0.0;
+  /// False for warm-up (serial, deadline not yet set) frames.
+  bool managed = false;
+  bool deadline_miss = false;
+  /// DeadlinePolicy::Drop removed this frame from the display stream.
+  bool dropped = false;
+  /// QoS quality level applied this frame (0 = full quality).
+  i32 quality_level = 0;
+  /// The stripe plan changed vs. the previous frame (live repartition).
+  bool repartitioned = false;
+};
+
+struct ExecutorStats {
+  i32 frames = 0;
+  i32 managed_frames = 0;
+  i32 deadline_misses = 0;
+  i32 dropped_frames = 0;
+  i32 degraded_frames = 0;
+  i32 repartitions = 0;
+  f64 mean_measured_ms = 0.0;
+};
+
+class Executor {
+ public:
+  explicit Executor(app::StentBoostConfig app_config,
+                    ExecutorConfig config = {});
+
+  /// Predict, choose a plan, execute frame `t` for real, feed back.
+  ExecutedFrame step(i32 t);
+
+  /// Run frames [0, n).
+  std::vector<ExecutedFrame> run(i32 n);
+
+  [[nodiscard]] f64 deadline_ms() const { return deadline_ms_; }
+  [[nodiscard]] bool deadline_set() const { return deadline_set_; }
+  [[nodiscard]] app::StentBoostApp& app() { return app_; }
+  [[nodiscard]] plat::ThreadPool& pool() { return pool_; }
+  [[nodiscard]] const ExecutorConfig& config() const { return config_; }
+  [[nodiscard]] const analysis::Report& validation_report() const {
+    return validation_report_;
+  }
+  [[nodiscard]] ExecutorStats stats() const { return stats_; }
+
+  // --- predictor state (read-only, for tests/examples) ---------------------
+  [[nodiscard]] const model::EwmaFilter& node_filter(i32 node) const {
+    return node_ewma_[static_cast<usize>(node)];
+  }
+  [[nodiscard]] const model::MarkovChain& frame_markov() const {
+    return frame_markov_;
+  }
+
+  /// Host-time forecast of the coming frame (serial-equivalent per node),
+  /// built from the EWMA filters; exposed for tests/benches.
+  [[nodiscard]] std::vector<rt::NodeForecast> host_forecast() const;
+
+ private:
+  /// EWMA serial-ms estimate of a node; falls back to the node's
+  /// granularity sibling (RDG_ROI <-> RDG_FULL, MKX_ROI <-> MKX_FULL) while
+  /// the filter is unprimed (e.g. the first ROI-mode frame).
+  [[nodiscard]] f64 node_estimate(i32 node) const;
+
+  /// Feed the frame's measured host times back into the predictors; returns
+  /// the serial-equivalent frame total.
+  f64 feed_back(const graph::FrameRecord& record, const app::StripePlan& plan);
+
+  void apply_quality(i32 ladder_index);
+  void record_frame_observability(const ExecutedFrame& f);
+
+  ExecutorConfig config_;
+  plat::ThreadPool pool_;
+  app::StentBoostApp app_;
+  analysis::Report validation_report_;
+
+  std::array<model::EwmaFilter, app::kNodeCount> node_ewma_;
+  model::MarkovChain frame_markov_;
+  /// Serial-equivalent frame totals of the warm-up phase (Markov training
+  /// series) and measured warm-up latencies (deadline derivation).
+  std::vector<f64> warmup_serial_totals_;
+  std::vector<f64> warmup_measured_ms_;
+  f64 last_serial_total_ms_ = 0.0;
+
+  f64 deadline_ms_ = 0.0;
+  bool deadline_set_ = false;
+  app::StripePlan prev_plan_ = app::serial_plan();
+  /// Index into rt::quality_ladder() currently applied (Degrade policy).
+  i32 quality_index_ = 0;
+  i32 recover_streak_ = 0;
+
+  ExecutorStats stats_;
+  f64 measured_sum_ms_ = 0.0;
+};
+
+}  // namespace tc::exec

@@ -2,18 +2,29 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace tc::graph {
 
 i32 FlowGraph::add_task(std::unique_ptr<Task> task, Guard guard) {
   nodes_.push_back(Node{std::move(task), std::move(guard)});
-  return static_cast<i32>(nodes_.size()) - 1;
+  return narrow<i32>(nodes_.size()) - 1;
 }
 
 i32 FlowGraph::add_switch(std::string name, std::function<bool()> predicate) {
   switches_.push_back(Switch{std::move(name), std::move(predicate)});
   switch_cache_.emplace_back();
-  return static_cast<i32>(switches_.size()) - 1;
+  return narrow<i32>(switches_.size()) - 1;
+}
+
+void FlowGraph::remove_switch(i32 sw) {
+  if (sw < 0 || sw >= narrow<i32>(switches_.size())) {
+    throw std::out_of_range("FlowGraph::remove_switch: switch id out of range");
+  }
+  switches_.erase(switches_.begin() + sw);
+  switch_cache_.erase(switch_cache_.begin() + sw);
 }
 
 void FlowGraph::add_edge(i32 from, i32 to,
@@ -38,7 +49,7 @@ std::vector<std::string> FlowGraph::switch_names() const {
 }
 
 bool FlowGraph::switch_value(i32 sw) {
-  assert(sw >= 0 && sw < static_cast<i32>(switches_.size()) &&
+  assert(sw >= 0 && sw < narrow<i32>(switches_.size()) &&
          "FlowGraph::switch_value: switch id out of range");
   auto& cached = switch_cache_[static_cast<usize>(sw)];
   if (!cached.has_value()) {
@@ -91,7 +102,18 @@ FrameRecord FlowGraph::run_frame(i32 frame_index) {
     exec.node = node_id;
     bool enabled = !node.guard || node.guard(*this);
     if (enabled) {
+      // Stamp the host wall-clock time of the task body: the concurrent
+      // executor's measured signal (the simulated time comes later, from
+      // the cost model).  Optionally emit a host-timeline span.
+      std::optional<obs::ScopedSpan> span;
+      if (obs::enabled()) {
+        span.emplace(&obs::global().tracer, std::string(node.task->name()),
+                     "graph-task");
+        span->arg("frame", std::to_string(frame_index));
+      }
+      obs::ScopedTimer timer;
       std::optional<img::WorkReport> work = node.task->execute();
+      exec.host_ms = timer.elapsed_ms();
       if (work.has_value()) {
         exec.executed = true;
         exec.work = *work;
@@ -103,7 +125,7 @@ FrameRecord FlowGraph::run_frame(i32 frame_index) {
   // Complete the scenario id: evaluate any switch nobody queried.
   record.scenario = 0;
   for (usize s = 0; s < switches_.size(); ++s) {
-    if (switch_value(static_cast<i32>(s))) record.scenario |= (1u << s);
+    if (switch_value(narrow<i32>(s))) record.scenario |= (1u << s);
   }
   return record;
 }

@@ -42,6 +42,13 @@ class FlowGraph {
   /// Declare a named switch with its predicate; returns switch id.
   i32 add_switch(std::string name, std::function<bool()> predicate);
 
+  /// Remove a switch (and its cache slot).  Later switch ids shift down by
+  /// one, so this is a *pre-run* repair operation (used by the triplec-lint
+  /// --fix pass to drop duplicate switches before any frame executes);
+  /// callers holding switch ids must re-resolve them afterwards.  Throws
+  /// std::out_of_range on a bad id.
+  void remove_switch(i32 sw);
+
   /// Add a producer→consumer edge.  Validates eagerly: throws
   /// std::out_of_range when an endpoint does not name an existing task and
   /// std::invalid_argument when bytes_per_frame is a null callable, so a

@@ -19,6 +19,10 @@ struct TaskExecution {
   /// Simulated execution time on the modeled platform (filled by
   /// plat::Machine after mapping).
   f64 simulated_ms = 0.0;
+  /// Measured wall-clock time of the task body on the host (stamped by
+  /// FlowGraph::run_frame).  This is what the concurrent executor feeds
+  /// back into the predictors; it depends on the active stripe plan.
+  f64 host_ms = 0.0;
 };
 
 struct FrameRecord {

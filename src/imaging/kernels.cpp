@@ -245,6 +245,28 @@ ImageF32 resample_bicubic(const ImageF32& in, i32 out_w, i32 out_h, Rect src,
   return out;
 }
 
+void resample_bicubic_rows(const ImageF32& in, ImageF32& out, Rect src,
+                           IndexRange rows, WorkReport* wr) {
+  assert(out.width() > 0 && out.height() > 0 && !src.empty());
+  assert(rows.lo >= 0 && rows.hi <= out.height());
+  f64 sx = static_cast<f64>(src.w) / static_cast<f64>(out.width());
+  f64 sy = static_cast<f64>(src.h) / static_cast<f64>(out.height());
+  for (i32 y = rows.lo; y < rows.hi; ++y) {
+    for (i32 x = 0; x < out.width(); ++x) {
+      f64 srcx = src.x + (static_cast<f64>(x) + 0.5) * sx - 0.5;
+      f64 srcy = src.y + (static_cast<f64>(y) + 0.5) * sy - 0.5;
+      out.at(x, y) = bicubic_sample(in, srcx, srcy);
+    }
+  }
+  if (wr != nullptr) {
+    u64 pixels = static_cast<u64>(out.width()) *
+                 static_cast<u64>(rows.length() < 0 ? 0 : rows.length());
+    wr->pixel_ops += pixels * 40;  // 16 taps, ~2.5 ops each
+    wr->bytes_read += pixels * 16 * sizeof(f32);
+    wr->bytes_written += pixels * sizeof(f32);
+  }
+}
+
 ImageF32 warp_rigid(const ImageF32& in, f64 dx, f64 dy, f64 angle,
                     Point2f center, WorkReport* wr) {
   if (angle == 0.0) return translate_bilinear(in, dx, dy, wr);

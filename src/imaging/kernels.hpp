@@ -74,6 +74,12 @@ void ridgeness_rows(const HessianImages& h, ImageF32& out, IndexRange rows,
                                         i32 out_h, Rect src,
                                         WorkReport* wr = nullptr);
 
+/// Stripe-safe resample: fills only output rows [rows.lo, rows.hi) of the
+/// pre-sized `out` (reads are unrestricted, output row bands are disjoint),
+/// so concurrent stripes compose bit-identically to resample_bicubic.
+void resample_bicubic_rows(const ImageF32& in, ImageF32& out, Rect src,
+                           IndexRange rows, WorkReport* wr = nullptr);
+
 /// Translate an image by a sub-pixel offset with bilinear interpolation
 /// (used for motion compensation in the ENH task).
 [[nodiscard]] ImageF32 translate_bilinear(const ImageF32& in, f64 dx, f64 dy,

@@ -114,12 +114,12 @@ class MetricsRegistry {
   /// instrument.  `labels` is the inner Prometheus label list, e.g.
   /// `task="RDG_FULL"` (empty for unlabeled metrics).
   Counter& counter(std::string_view name, std::string_view help,
-                   std::string_view labels = "");
+                   std::string_view labels = "") TC_EXCLUDES(mutex_);
   Gauge& gauge(std::string_view name, std::string_view help,
-               std::string_view labels = "");
+               std::string_view labels = "") TC_EXCLUDES(mutex_);
   Histogram& histogram(std::string_view name, std::string_view help,
                        std::span<const f64> bounds,
-                       std::string_view labels = "");
+                       std::string_view labels = "") TC_EXCLUDES(mutex_);
 
   struct Entry {
     std::string name;
@@ -133,11 +133,11 @@ class MetricsRegistry {
 
   /// Snapshot of all instruments in registration order (pointers stay valid
   /// for the registry's lifetime).
-  [[nodiscard]] std::vector<Entry> entries() const;
-  [[nodiscard]] usize size() const;
+  [[nodiscard]] std::vector<Entry> entries() const TC_EXCLUDES(mutex_);
+  [[nodiscard]] usize size() const TC_EXCLUDES(mutex_);
 
   /// Zero every value; instruments (and references to them) survive.
-  void reset_values();
+  void reset_values() TC_EXCLUDES(mutex_);
 
  private:
   struct Slot {
@@ -171,10 +171,10 @@ struct FrameSample {
 
 class FrameLog {
  public:
-  void add(FrameSample s);
-  [[nodiscard]] std::vector<FrameSample> samples() const;
-  [[nodiscard]] usize size() const;
-  void clear();
+  void add(FrameSample s) TC_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<FrameSample> samples() const TC_EXCLUDES(mutex_);
+  [[nodiscard]] usize size() const TC_EXCLUDES(mutex_);
+  void clear() TC_EXCLUDES(mutex_);
 
  private:
   mutable common::Mutex mutex_;

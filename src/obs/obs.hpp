@@ -41,8 +41,10 @@ class ObsContext {
   /// Map a flow-graph node id to a display name for task-labeled metrics;
   /// installed by the application layer (StentBoostApp does it in its
   /// constructor).  Defaults to "node<i>".
-  void set_node_namer(std::function<std::string(i32)> fn);
-  [[nodiscard]] std::string node_name(i32 node) const;
+  void set_node_namer(std::function<std::string(i32)> fn)
+      TC_EXCLUDES(namer_mutex_);
+  [[nodiscard]] std::string node_name(i32 node) const
+      TC_EXCLUDES(namer_mutex_);
 
   /// Drop all recorded spans/frames and zero every metric value (instrument
   /// registrations survive, so cached references stay valid).

@@ -56,28 +56,29 @@ class SpanTracer {
   SpanTracer& operator=(const SpanTracer&) = delete;
 
   /// Append one event (thread-safe).
-  void record(SpanEvent e);
+  void record(SpanEvent e) TC_EXCLUDES(mutex_);
 
   /// Append an instant event (thread-safe).
   void instant(std::string name, std::string category, u32 pid, u32 tid,
-               f64 ts_us, std::vector<SpanArg> args = {});
+               f64 ts_us, std::vector<SpanArg> args = {}) TC_EXCLUDES(mutex_);
 
   /// Microseconds since the tracer was constructed (host timeline clock).
   [[nodiscard]] f64 host_now_us() const { return epoch_.elapsed_us(); }
 
   /// Stable small integer id for the calling host thread (thread-safe).
-  [[nodiscard]] u32 host_tid();
+  [[nodiscard]] u32 host_tid() TC_EXCLUDES(mutex_);
 
   /// Name a (pid, tid) lane in the exported trace.
-  void set_thread_name(u32 pid, u32 tid, std::string name);
+  void set_thread_name(u32 pid, u32 tid, std::string name)
+      TC_EXCLUDES(mutex_);
 
-  [[nodiscard]] usize size() const;
-  [[nodiscard]] std::vector<SpanEvent> events() const;
-  void clear();
+  [[nodiscard]] usize size() const TC_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<SpanEvent> events() const TC_EXCLUDES(mutex_);
+  void clear() TC_EXCLUDES(mutex_);
 
   /// Serialize to the Chrome trace-event JSON object-format:
   /// {"traceEvents":[...]} with process/thread metadata events first.
-  [[nodiscard]] std::string to_chrome_json() const;
+  [[nodiscard]] std::string to_chrome_json() const TC_EXCLUDES(mutex_);
 
  private:
   mutable common::Mutex mutex_;

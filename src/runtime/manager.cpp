@@ -88,7 +88,7 @@ ManagedFrame RuntimeManager::step(i32 t) {
     result.measured_latency_ms = result.record.latency_ms;
     result.output_latency_ms = result.record.latency_ms;
     warmup_latencies_.push_back(result.record.latency_ms);
-    if (static_cast<i32>(warmup_latencies_.size()) >= config_.warmup_frames) {
+    if (narrow<i32>(warmup_latencies_.size()) >= config_.warmup_frames) {
       budget_ms_ = mean(warmup_latencies_) * config_.budget_headroom;
       budget_set_ = true;
     }

@@ -1,0 +1,124 @@
+#include "analysis/fixes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "analysis/rules.hpp"
+#include "graph/flowgraph.hpp"
+#include "graph/task.hpp"
+
+namespace tc::analysis {
+namespace {
+
+graph::FlowGraph graph_with_switches(const std::vector<std::string>& names) {
+  graph::FlowGraph g;
+  g.add_task(graph::make_task("t", false, [] {
+    return std::optional<img::WorkReport>(img::WorkReport{});
+  }));
+  for (const std::string& name : names) {
+    g.add_switch(name, [] { return true; });
+  }
+  return g;
+}
+
+TEST(FixStochasticMatrix, RenormalizesNearStochasticRow) {
+  // Row 0 sums to 0.99 (drift, e.g. from float serialization); row 1 is
+  // healthy and must be left untouched.
+  std::array<f64, 4> m = {0.66, 0.33, 0.25, 0.75};
+  EXPECT_TRUE(check_stochastic_matrix(m, 2, "test").fired(rules::kRowNotStochastic));
+
+  const FixSummary summary = fix_stochastic_matrix(m, 2);
+  EXPECT_EQ(summary.applied, 1);
+  EXPECT_EQ(summary.skipped, 0);
+  ASSERT_EQ(summary.notes.size(), 1u);
+  EXPECT_NE(summary.notes[0].find("row 0"), std::string::npos);
+
+  EXPECT_NEAR(m[0] + m[1], 1.0, 1e-12);
+  EXPECT_NEAR(m[0] / m[1], 2.0, 1e-12);  // ratio preserved
+  EXPECT_DOUBLE_EQ(m[2], 0.25);          // healthy row untouched
+  EXPECT_DOUBLE_EQ(m[3], 0.75);
+  EXPECT_FALSE(
+      check_stochastic_matrix(m, 2, "test").fired(rules::kRowNotStochastic));
+}
+
+TEST(FixStochasticMatrix, RefusesRowTooFarFromOne) {
+  std::array<f64, 4> m = {0.2, 0.2, 0.5, 0.5};  // row 0 sums to 0.4
+  const FixSummary summary = fix_stochastic_matrix(m, 2);
+  EXPECT_EQ(summary.applied, 0);
+  EXPECT_EQ(summary.skipped, 1);
+  EXPECT_DOUBLE_EQ(m[0], 0.2);  // unchanged
+  ASSERT_EQ(summary.notes.size(), 1u);
+  EXPECT_NE(summary.notes[0].find("too far"), std::string::npos);
+}
+
+TEST(FixStochasticMatrix, RefusesNegativeProbabilities) {
+  std::array<f64, 4> m = {1.1, -0.1, 0.5, 0.5};  // row 0 sums to 1.0 but is invalid
+  const FixSummary summary = fix_stochastic_matrix(m, 2);
+  EXPECT_EQ(summary.applied, 0);
+  EXPECT_EQ(summary.skipped, 1);
+  EXPECT_DOUBLE_EQ(m[1], -0.1);
+  ASSERT_EQ(summary.notes.size(), 1u);
+  EXPECT_NE(summary.notes[0].find("negative"), std::string::npos);
+}
+
+TEST(FixStochasticMatrix, RefusesAllZeroRow) {
+  std::array<f64, 4> m = {0.0, 0.0, 0.5, 0.5};
+  const FixSummary summary = fix_stochastic_matrix(m, 2);
+  EXPECT_EQ(summary.applied, 0);
+  EXPECT_EQ(summary.skipped, 1);
+  ASSERT_EQ(summary.notes.size(), 1u);
+  EXPECT_NE(summary.notes[0].find("all-zero"), std::string::npos);
+}
+
+TEST(FixStochasticMatrix, RefusesWrongSizeMatrix) {
+  std::array<f64, 3> m = {0.5, 0.5, 1.0};
+  const FixSummary summary = fix_stochastic_matrix(m, 2);
+  EXPECT_EQ(summary.applied, 0);
+  EXPECT_EQ(summary.skipped, 1);
+  ASSERT_EQ(summary.notes.size(), 1u);
+  EXPECT_NE(summary.notes[0].find("not repairable"), std::string::npos);
+}
+
+TEST(FixDuplicateSwitches, RemovesLaterDuplicatesKeepsFirst) {
+  graph::FlowGraph g = graph_with_switches({"sw_rdg", "sw_roi", "sw_rdg",
+                                            "sw_rdg", "sw_reg"});
+  EXPECT_TRUE(check_graph(g).fired(rules::kDuplicateSwitch));
+
+  const FixSummary summary = fix_duplicate_switches(g);
+  EXPECT_EQ(summary.applied, 2);
+  EXPECT_EQ(summary.skipped, 0);
+  ASSERT_EQ(g.switch_count(), 3u);
+  EXPECT_EQ(g.switch_name(0), "sw_rdg");  // declaration order preserved
+  EXPECT_EQ(g.switch_name(1), "sw_roi");
+  EXPECT_EQ(g.switch_name(2), "sw_reg");
+  EXPECT_FALSE(check_graph(g).fired(rules::kDuplicateSwitch));
+}
+
+TEST(FixDuplicateSwitches, NoOpOnCleanGraph) {
+  graph::FlowGraph g = graph_with_switches({"a", "b", "c"});
+  const FixSummary summary = fix_duplicate_switches(g);
+  EXPECT_EQ(summary.applied, 0);
+  EXPECT_EQ(summary.skipped, 0);
+  EXPECT_TRUE(summary.notes.empty());
+  EXPECT_EQ(g.switch_count(), 3u);
+}
+
+TEST(FixSummary, MergeAccumulates) {
+  FixSummary a;
+  a.applied = 1;
+  a.notes.push_back("one");
+  FixSummary b;
+  b.skipped = 2;
+  b.notes.push_back("two");
+  a.merge(b);
+  EXPECT_EQ(a.applied, 1);
+  EXPECT_EQ(a.skipped, 2);
+  ASSERT_EQ(a.notes.size(), 2u);
+  EXPECT_EQ(a.notes[1], "two");
+}
+
+}  // namespace
+}  // namespace tc::analysis

@@ -1,0 +1,132 @@
+#include "exec/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tc::exec {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, CapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+TEST(BoundedQueue, PushAfterCloseFails) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(2));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, PopDrainsAfterCloseThenEndOfStream) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays end-of-stream
+}
+
+TEST(BoundedQueue, CloseIsIdempotent) {
+  BoundedQueue<int> q(1);
+  q.close();
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlockedPushCountsBackpressure) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });  // must wait
+  // Give the producer time to hit the full queue, then free a slot.
+  while (q.blocked_pushes() == 0) std::this_thread::yield();
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_EQ(q.blocked_pushes(), 1u);
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_FALSE(q.push(2)); });
+  while (q.blocked_pushes() == 0) std::this_thread::yield();
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&q] { EXPECT_EQ(q.pop(), std::nullopt); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  // 4 producers x 250 items through a capacity-2 queue into 3 consumers:
+  // every item must arrive exactly once (exercised under TSan in CI).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(2);
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        received.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), total);
+  // Sum of 0..total-1.
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+  EXPECT_EQ(q.total_pushed(), static_cast<u64>(total));
+}
+
+}  // namespace
+}  // namespace tc::exec

@@ -1,0 +1,172 @@
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/stentboost.hpp"
+
+namespace tc::exec {
+namespace {
+
+constexpr i32 kSize = 96;
+constexpr u64 kSeed = 7;
+
+app::StentBoostConfig small_config(i32 frames) {
+  app::StentBoostConfig config =
+      app::StentBoostConfig::make(kSize, kSize, frames, kSeed);
+  return config;
+}
+
+/// Config pinned to full-frame mode with RDG always on: every frame executes
+/// the same heavy node set, which keeps the forecast and plan assertions
+/// deterministic.
+app::StentBoostConfig heavy_config(i32 frames) {
+  app::StentBoostConfig config = small_config(frames);
+  config.force_full_frame = true;
+  config.dominant_low = 0;  // RDG never switches off
+  return config;
+}
+
+TEST(Executor, WarmupDerivesDeadlineFromMeasuredMean) {
+  ExecutorConfig exec_config;
+  exec_config.warmup_frames = 5;
+  exec_config.worker_threads = 2;
+  Executor executor(small_config(16), exec_config);
+  EXPECT_FALSE(executor.deadline_set());
+
+  const std::vector<ExecutedFrame> frames = executor.run(6);
+  for (i32 t = 0; t < 5; ++t) {
+    EXPECT_FALSE(frames[static_cast<usize>(t)].managed) << "warm-up frame " << t;
+  }
+  EXPECT_TRUE(executor.deadline_set());
+  EXPECT_GT(executor.deadline_ms(), 0.0);
+  EXPECT_TRUE(frames[5].managed);
+  EXPECT_EQ(frames[5].deadline_ms, executor.deadline_ms());
+
+  // deadline = mean(measured warm-up latency) * headroom.
+  f64 sum = 0.0;
+  for (i32 t = 0; t < 5; ++t) sum += frames[static_cast<usize>(t)].measured_host_ms;
+  EXPECT_NEAR(executor.deadline_ms(),
+              sum / 5.0 * exec_config.deadline_headroom,
+              1e-6 * executor.deadline_ms());
+}
+
+TEST(Executor, FeedbackPrimesPredictors) {
+  ExecutorConfig exec_config;
+  exec_config.warmup_frames = 6;
+  exec_config.worker_threads = 2;
+  Executor executor(heavy_config(16), exec_config);
+  EXPECT_FALSE(executor.frame_markov().fitted());
+  executor.run(6);
+
+  // Full-frame mode executes RDG_FULL, MKX_FULL, ENH and ZOOM every frame.
+  EXPECT_TRUE(executor.node_filter(app::kRdgFull).primed());
+  EXPECT_TRUE(executor.node_filter(app::kMkxFull).primed());
+  EXPECT_TRUE(executor.node_filter(app::kEnh).primed());
+  EXPECT_TRUE(executor.node_filter(app::kZoom).primed());
+  EXPECT_GT(executor.node_filter(app::kRdgFull).value(), 0.0);
+  EXPECT_TRUE(executor.frame_markov().fitted());
+
+  // The forecast mirrors the primed filters.
+  const std::vector<rt::NodeForecast> fc = executor.host_forecast();
+  EXPECT_TRUE(fc[app::kRdgFull].active);
+  EXPECT_GT(fc[app::kRdgFull].serial_ms, 0.0);
+  EXPECT_FALSE(fc[app::kRdgRoi].active);
+}
+
+TEST(Executor, ScenarioSequenceMatchesSerialApp) {
+  // The executor repartitions and stripes, but the *content* decisions
+  // (switch scenario per frame) must match a plain serial run bit for bit.
+  constexpr i32 kFrames = 12;
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 0.5;  // managed (and striping) from frame 0
+  exec_config.worker_threads = 4;
+  Executor executor(small_config(kFrames), exec_config);
+  const std::vector<ExecutedFrame> managed = executor.run(kFrames);
+
+  app::StentBoostApp serial(small_config(kFrames));
+  const std::vector<graph::FrameRecord> reference = serial.run(kFrames);
+
+  ASSERT_EQ(managed.size(), reference.size());
+  for (usize t = 0; t < reference.size(); ++t) {
+    EXPECT_EQ(managed[t].scenario, reference[t].scenario) << "frame " << t;
+  }
+}
+
+TEST(Executor, RepartitionsWhenPredictionCrossesDeadline) {
+  // Tight fixed deadline: frame 0 plans serially (filters unprimed, forecast
+  // 0), frame 1's primed forecast exceeds the deadline and the plan widens —
+  // a live repartition.
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 0.3;
+  exec_config.worker_threads = 4;
+  exec_config.max_stripes_per_task = 4;
+  Executor executor(heavy_config(8), exec_config);
+  const std::vector<ExecutedFrame> frames = executor.run(6);
+
+  EXPECT_EQ(frames[0].plan, app::serial_plan());
+  EXPECT_FALSE(frames[0].repartitioned);
+  EXPECT_NE(frames[1].plan, app::serial_plan());
+  EXPECT_TRUE(frames[1].repartitioned);
+  EXPECT_GT(frames[1].predicted_host_ms, 0.0);
+  EXPECT_GE(executor.stats().repartitions, 1);
+}
+
+TEST(Executor, DropPolicyCountsMissesAndDrops) {
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 1e-3;  // impossible: every frame misses
+  exec_config.policy = DeadlinePolicy::Drop;
+  exec_config.worker_threads = 2;
+  Executor executor(small_config(8), exec_config);
+  const std::vector<ExecutedFrame> frames = executor.run(4);
+
+  for (const ExecutedFrame& f : frames) {
+    EXPECT_TRUE(f.deadline_miss);
+    EXPECT_TRUE(f.dropped);
+  }
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.frames, 4);
+  EXPECT_EQ(stats.deadline_misses, 4);
+  EXPECT_EQ(stats.dropped_frames, 4);
+  EXPECT_GT(stats.mean_measured_ms, 0.0);
+}
+
+TEST(Executor, DegradePolicyWalksQualityLadderDown) {
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 1e-3;  // unreachable even at min quality
+  exec_config.policy = DeadlinePolicy::Degrade;
+  exec_config.worker_threads = 2;
+  Executor executor(heavy_config(8), exec_config);
+  const std::vector<ExecutedFrame> frames = executor.run(4);
+
+  // Frame 0 plans on an unprimed (zero) forecast and stays at full quality;
+  // once the filters are primed the ladder is walked all the way down.
+  EXPECT_EQ(frames[0].quality_level, 0);
+  const i32 max_level = narrow<i32>(rt::quality_ladder().size()) - 1;
+  EXPECT_EQ(frames[1].quality_level, max_level);
+  EXPECT_FALSE(frames[1].dropped);  // Degrade never drops
+  EXPECT_GE(executor.stats().degraded_frames, 3);
+  EXPECT_EQ(executor.stats().dropped_frames, 0);
+}
+
+TEST(Executor, AdaptDisabledKeepsSerialPlan) {
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 0.3;  // tight, but adaptation is off
+  exec_config.adapt = false;
+  exec_config.worker_threads = 4;
+  Executor executor(heavy_config(8), exec_config);
+  const std::vector<ExecutedFrame> frames = executor.run(4);
+
+  for (const ExecutedFrame& f : frames) {
+    EXPECT_EQ(f.plan, app::serial_plan());
+    EXPECT_FALSE(f.repartitioned);
+  }
+  EXPECT_EQ(executor.stats().repartitions, 0);
+}
+
+TEST(Executor, ValidatesGraphAtStartup) {
+  Executor executor(small_config(4), ExecutorConfig{});
+  EXPECT_FALSE(executor.validation_report().has_errors());
+}
+
+}  // namespace
+}  // namespace tc::exec

@@ -119,5 +119,75 @@ TEST(PipelineSchedule, TotalCpusSummed) {
   EXPECT_EQ(a.total_cpus, 7);
 }
 
+// --- edge cases the concurrent executor exercises --------------------------
+
+TEST(PipelineSchedule, SingleTaskGraph) {
+  // One active node in a one-stage mapping: latency is exactly that task's
+  // time (a single stage has no boundary, so no handoff is charged) and the
+  // bottleneck is the only stage.
+  std::vector<NodeForecast> fc(app::kNodeCount);
+  fc[app::kRdgFull].serial_ms = 45.0;
+  fc[app::kRdgFull].active = true;
+  fc[app::kRdgFull].data_parallel = true;
+  std::vector<PipelineStage> stages{PipelineStage{"only", {app::kRdgFull}, 1}};
+  PipelineAnalysis a =
+      analyze_pipeline(plat::CostParams{}, stages, fc, /*handoff_ms=*/1.0);
+  EXPECT_NEAR(a.latency_ms, 45.0, 1e-9);
+  EXPECT_EQ(a.bottleneck_stage, 0);
+  EXPECT_NEAR(a.throughput_hz, 1000.0 / 45.0, 1e-9);
+  EXPECT_EQ(a.total_cpus, 1);
+}
+
+TEST(PipelineSchedule, MoreStagesThanActiveNodes) {
+  // A mapping with more stages than the frame has active work (switches
+  // turned most nodes off): empty/inactive stages contribute only their
+  // handoff and must not be picked as the bottleneck.
+  std::vector<NodeForecast> fc(app::kNodeCount);
+  fc[app::kMkxFull].serial_ms = 3.0;
+  fc[app::kMkxFull].active = true;
+  fc[app::kMkxFull].data_parallel = true;
+  std::vector<PipelineStage> stages{
+      PipelineStage{"rdg", {app::kRdgFull, app::kRdgRoi}, 1},   // inactive
+      PipelineStage{"mkx", {app::kMkxFull, app::kMkxRoi}, 1},   // 3 ms
+      PipelineStage{"features", {app::kCplsSel, app::kReg}, 1},  // inactive
+      PipelineStage{"gw", {app::kGwExt}, 1},                     // inactive
+      PipelineStage{"display", {app::kEnh, app::kZoom}, 1},      // inactive
+  };
+  PipelineAnalysis a =
+      analyze_pipeline(plat::CostParams{}, stages, fc, /*handoff_ms=*/0.0);
+  EXPECT_NEAR(a.latency_ms, 3.0, 1e-9);
+  EXPECT_EQ(a.bottleneck_stage, 1);
+  ASSERT_EQ(a.stage_ms.size(), stages.size());
+  EXPECT_NEAR(a.stage_ms[0], 0.0, 1e-9);
+  EXPECT_NEAR(a.stage_ms[4], 0.0, 1e-9);
+}
+
+TEST(PipelineSchedule, ZeroDeadlineFrameGetsWidestPlan) {
+  // A zero latency budget can never be met: choose_plan must fall back to
+  // the widest plan and report fits_budget = false instead of looping or
+  // returning the serial plan.
+  auto fc = forecast_full_frame();
+  plat::CostParams params;
+  PlanChoice choice = choose_plan(params, fc, /*budget_ms=*/0.0,
+                                  /*max_stripes_per_task=*/4, /*cpu_count=*/8);
+  EXPECT_FALSE(choice.fits_budget);
+  EXPECT_GT(choice.estimated_ms, 0.0);
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    const auto& f = fc[static_cast<usize>(node)];
+    if (f.active && f.data_parallel) {
+      EXPECT_EQ(choice.plan[static_cast<usize>(node)], 4)
+          << "node " << node << " should be at max stripes";
+    } else {
+      EXPECT_EQ(choice.plan[static_cast<usize>(node)], 1);
+    }
+  }
+  // The widest plan is still an improvement over serial.
+  PlanChoice serial_like = choose_plan(params, fc, /*budget_ms=*/1e9,
+                                       /*max_stripes_per_task=*/4,
+                                       /*cpu_count=*/8);
+  EXPECT_TRUE(serial_like.fits_budget);
+  EXPECT_LT(choice.estimated_ms, serial_like.estimated_ms);
+}
+
 }  // namespace
 }  // namespace tc::rt

@@ -13,6 +13,10 @@
 //   --size=N             rendered frame side in pixels (default: per graph)
 //   --no-train           lint the untrained predictor (scenario/model info
 //                        diagnostics instead of trained-model checks)
+//   --fix                apply the in-memory repairs (analysis/fixes.hpp)
+//                        for the repairable diagnostics -- currently G005
+//                        duplicate switches -- then re-run the analyzer;
+//                        the exit code reflects the post-fix report
 //   --rules              print the rule catalog and exit
 //
 // Exit status: 0 = clean, 1 = lint errors (or warnings under --strict),
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/fixes.hpp"
 #include "analysis/rules.hpp"
 #include "app/stentboost.hpp"
 #include "runtime/manager.hpp"
@@ -43,13 +48,14 @@ struct Options {
   i32 frames = 60;
   i32 size = 0;  // 0 = per-graph default
   bool train = true;
+  bool fix = false;
 };
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: triplec_lint [--strict|--permissive] "
                "[--format=text|csv|json] [--frames=N] [--size=N] "
-               "[--no-train] [--rules] <quickstart|stentboost>\n");
+               "[--no-train] [--fix] [--rules] <quickstart|stentboost>\n");
 }
 
 void print_rules() {
@@ -109,6 +115,8 @@ int main(int argc, char** argv) {
       opt.size = std::atoi(arg.c_str() + 7);
     } else if (arg == "--no-train") {
       opt.train = false;
+    } else if (arg == "--fix") {
+      opt.fix = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -158,7 +166,20 @@ int main(int argc, char** argv) {
   input.predictor = &predictor;
   input.platform = &config.platform;
   input.memory_rows = memory_rows;
-  const analysis::Report report = analysis::Analyzer(pass_options).run(input);
+  analysis::Report report = analysis::Analyzer(pass_options).run(input);
+
+  analysis::FixSummary fixes;
+  if (opt.fix) {
+    // Apply the repairable findings and lint again: the exit code (and the
+    // printed report) reflect the post-fix state, so a cleanly repaired
+    // artifact exits 0 exactly as if it had been healthy from the start.
+    if (report.fired(analysis::rules::kDuplicateSwitch)) {
+      fixes.merge(analysis::fix_duplicate_switches(app.graph()));
+    }
+    if (fixes.applied > 0) {
+      report = analysis::Analyzer(pass_options).run(input);
+    }
+  }
 
   if (opt.format == "csv") {
     std::fputs(report.to_csv().c_str(), stdout);
@@ -168,6 +189,13 @@ int main(int argc, char** argv) {
     std::printf("triplec-lint: %s (%dx%d, %d frames, %s)\n", opt.graph.c_str(),
                 size, size, opt.frames,
                 opt.train ? "trained" : "untrained");
+    if (opt.fix) {
+      for (const std::string& note : fixes.notes) {
+        std::printf("fix: %s\n", note.c_str());
+      }
+      std::printf("fix: %d applied, %d skipped\n", fixes.applied,
+                  fixes.skipped);
+    }
     std::fputs(report.to_text().c_str(), stdout);
   }
 
