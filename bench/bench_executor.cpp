@@ -6,10 +6,16 @@
 // clock, per-frame latency, throughput and speedup vs. serial per
 // configuration.
 //
-// Usage: bench_executor [--frames N] [--size S] [--workers W]
+// Usage: bench_executor [--frames N] [--size S] [--workers W] [--reps R]
+//
+// With --reps > 1 every configuration is run R times and the *median* wall
+// clock is reported — the number bench/compare_bench.py diffs against the
+// committed baseline, so one noisy scheduler burp doesn't flag a regression.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -31,6 +37,7 @@ struct Options {
   i32 frames = 48;
   i32 size = 256;
   i32 workers = 4;
+  i32 reps = 1;
 };
 
 Options parse(int argc, char** argv) {
@@ -42,8 +49,20 @@ Options parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--frames") == 0) next(opt.frames);
     else if (std::strcmp(argv[i], "--size") == 0) next(opt.size);
     else if (std::strcmp(argv[i], "--workers") == 0) next(opt.workers);
+    else if (std::strcmp(argv[i], "--reps") == 0) next(opt.reps);
   }
+  opt.reps = std::max(opt.reps, 1);
   return opt;
+}
+
+/// Run `measure` `reps` times and return the median wall time.
+f64 median_wall(i32 reps, const std::function<f64()>& measure) {
+  std::vector<f64> walls;
+  walls.reserve(static_cast<usize>(reps));
+  for (i32 r = 0; r < reps; ++r) walls.push_back(measure());
+  std::sort(walls.begin(), walls.end());
+  const usize n = walls.size();
+  return n % 2 == 1 ? walls[n / 2] : 0.5 * (walls[n / 2 - 1] + walls[n / 2]);
 }
 
 struct Row {
@@ -203,6 +222,7 @@ std::string to_json(const Options& opt, const std::vector<Row>& app_rows,
   os << "  \"frames\": " << opt.frames << ",\n";
   os << "  \"size\": " << opt.size << ",\n";
   os << "  \"workers\": " << opt.workers << ",\n";
+  os << "  \"reps\": " << opt.reps << ",\n";
   os << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   rows("stentboost_graph", app_rows);
   os << ",\n";
@@ -219,8 +239,8 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Concurrent executor — serial vs stripe vs functional vs hybrid",
       "Albers et al., IPDPS 2009, Section 5 (partitioning at run time)");
-  std::printf("frames=%d size=%dx%d workers=%d\n\n", opt.frames, opt.size,
-              opt.size, opt.workers);
+  std::printf("frames=%d size=%dx%d workers=%d reps=%d (median)\n\n",
+              opt.frames, opt.size, opt.size, opt.workers, opt.reps);
 
   // Pre-render the synthetic sequence once; rendering is not part of the
   // measured pipeline work.
@@ -233,9 +253,11 @@ int main(int argc, char** argv) {
   // --- real graph: serial vs striped ---------------------------------------
   plat::ThreadPool pool(static_cast<usize>(opt.workers));
   std::vector<Row> app_rows;
-  const f64 serial_wall = run_app(opt, frames, nullptr, 1);
+  const f64 serial_wall = median_wall(
+      opt.reps, [&] { return run_app(opt, frames, nullptr, 1); });
   app_rows.push_back(make_row("serial", serial_wall, opt.frames, serial_wall));
-  const f64 striped_wall = run_app(opt, frames, &pool, opt.workers);
+  const f64 striped_wall = median_wall(
+      opt.reps, [&] { return run_app(opt, frames, &pool, opt.workers); });
   app_rows.push_back(make_row("stripe_x" + std::to_string(opt.workers),
                               striped_wall, opt.frames, serial_wall));
   print_rows("stentboost graph (real kernels, full-frame scenario)", app_rows);
@@ -253,20 +275,24 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Row> pipe_rows;
-  auto serial_payloads = payloads_for();
-  const f64 pipe_serial = run_pipeline_serial(serial_payloads);
+  const f64 pipe_serial = median_wall(opt.reps, [&] {
+    auto payloads = payloads_for();
+    return run_pipeline_serial(payloads);
+  });
   pipe_rows.push_back(make_row("serial", pipe_serial, opt.frames, pipe_serial));
 
-  auto functional_payloads = payloads_for();
   u64 backpressure = 0;
-  const f64 functional_wall =
-      run_pipeline(opt, functional_payloads, 1, nullptr, &backpressure);
+  const f64 functional_wall = median_wall(opt.reps, [&] {
+    auto payloads = payloads_for();
+    return run_pipeline(opt, payloads, 1, nullptr, &backpressure);
+  });
   pipe_rows.push_back(
       make_row("functional_3stage", functional_wall, opt.frames, pipe_serial));
 
-  auto hybrid_payloads = payloads_for();
-  const f64 hybrid_wall =
-      run_pipeline(opt, hybrid_payloads, opt.workers, &pool, nullptr);
+  const f64 hybrid_wall = median_wall(opt.reps, [&] {
+    auto payloads = payloads_for();
+    return run_pipeline(opt, payloads, opt.workers, &pool, nullptr);
+  });
   pipe_rows.push_back(make_row(
       "hybrid_3stage_x" + std::to_string(opt.workers), hybrid_wall,
       opt.frames, pipe_serial));

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_executor.json against the committed baseline.
+
+Usage:
+    bench/compare_bench.py BASELINE CURRENT [--threshold PCT]
+
+Diffs the median ms/frame of every (family, config) row.  A row whose
+ms/frame regressed by more than --threshold percent (default 15) produces a
+GitHub Actions `::warning::` annotation; so do rows that appear in only one
+of the two files.  The script is warn-only — it ALWAYS exits 0 — because
+shared CI runners are far too noisy for a hard latency gate; the warnings
+put the trend in front of the reviewer without blocking the merge.
+
+Baselines live in bench/baselines/ and are refreshed deliberately (run the
+bench with --reps 5 on a quiet machine, eyeball the diff, commit).
+"""
+
+import argparse
+import json
+import sys
+
+FAMILIES = ("stentboost_graph", "kernel_pipeline")
+
+
+def load_rows(path):
+    """-> {(family, name): ms_per_frame}, plus the raw document."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for family in FAMILIES:
+        for row in doc.get(family, []):
+            rows[(family, row["name"])] = float(row["ms_per_frame"])
+    return rows, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression warning threshold in percent")
+    args = parser.parse_args()
+
+    try:
+        base_rows, base_doc = load_rows(args.baseline)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"::warning::bench compare: cannot read baseline "
+              f"{args.baseline}: {e}")
+        return 0
+    try:
+        cur_rows, cur_doc = load_rows(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"::warning::bench compare: cannot read current "
+              f"{args.current}: {e}")
+        return 0
+
+    for key in ("frames", "size", "workers"):
+        if base_doc.get(key) != cur_doc.get(key):
+            print(f"::warning::bench compare: {key} differs "
+                  f"(baseline={base_doc.get(key)} current={cur_doc.get(key)});"
+                  f" ms/frame numbers are not directly comparable")
+
+    print(f"{'family/config':<44} {'base':>9} {'now':>9} {'delta':>8}")
+    regressions = 0
+    for (family, name), base_ms in sorted(base_rows.items()):
+        label = f"{family}/{name}"
+        if (family, name) not in cur_rows:
+            print(f"::warning::bench compare: {label} missing from current "
+                  f"results")
+            continue
+        cur_ms = cur_rows[(family, name)]
+        delta_pct = (cur_ms - base_ms) / base_ms * 100.0 if base_ms > 0 else 0.0
+        print(f"{label:<44} {base_ms:>8.2f}ms {cur_ms:>7.2f}ms "
+              f"{delta_pct:>+7.1f}%")
+        if delta_pct > args.threshold:
+            regressions += 1
+            print(f"::warning::bench regression: {label} median ms/frame "
+                  f"{base_ms:.2f} -> {cur_ms:.2f} ({delta_pct:+.1f}%, "
+                  f"threshold {args.threshold:.0f}%)")
+    for (family, name) in sorted(set(cur_rows) - set(base_rows)):
+        print(f"::warning::bench compare: {family}/{name} has no baseline "
+              f"row (new config? refresh bench/baselines/)")
+
+    if regressions == 0:
+        print("bench compare: no median regression beyond "
+              f"{args.threshold:.0f}%")
+    else:
+        print(f"bench compare: {regressions} row(s) regressed beyond "
+              f"{args.threshold:.0f}% (warn-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,20 +55,20 @@ Report check_edges(std::span<const graph::Edge> edges, usize task_count) {
     const bool to_ok = e.to >= 0 && static_cast<usize>(e.to) < task_count;
     if (!from_ok || !to_ok) {
       r.add(make(rules::kEdgeEndpointRange, Subject::Edge,
-                 static_cast<i32>(i), loc.str(),
+                 narrow<i32>(i), loc.str(),
                  "edge endpoint outside [0, " + std::to_string(task_count) +
                      ")",
                  "add the producer/consumer tasks before the edge, or drop "
                  "the edge"));
     }
     if (from_ok && to_ok && e.from == e.to) {
-      r.add(make(rules::kSelfLoop, Subject::Edge, static_cast<i32>(i),
+      r.add(make(rules::kSelfLoop, Subject::Edge, narrow<i32>(i),
                  loc.str(), "task depends on itself",
                  "remove the self-loop; intra-task buffering belongs in the "
                  "task, not the graph"));
     }
     if (!e.bytes_per_frame) {
-      r.add(make(rules::kEdgeNullBytes, Subject::Edge, static_cast<i32>(i),
+      r.add(make(rules::kEdgeNullBytes, Subject::Edge, narrow<i32>(i),
                  loc.str(),
                  "bytes_per_frame callable is null; the bandwidth model "
                  "cannot label this edge",
@@ -107,7 +107,7 @@ Report check_graph(const graph::FlowGraph& g) {
   }
   std::vector<i32> ready;
   for (usize i = 0; i < n; ++i) {
-    if (indegree[i] == 0) ready.push_back(static_cast<i32>(i));
+    if (indegree[i] == 0) ready.push_back(narrow<i32>(i));
   }
   usize emitted = 0;
   while (!ready.empty()) {
@@ -122,7 +122,7 @@ Report check_graph(const graph::FlowGraph& g) {
     std::ostringstream cyclic;
     cyclic << "tasks on a cycle:";
     for (usize i = 0; i < n; ++i) {
-      if (indegree[i] > 0) cyclic << ' ' << g.task(static_cast<i32>(i)).name();
+      if (indegree[i] > 0) cyclic << ' ' << g.task(narrow<i32>(i)).name();
     }
     r.add(make(rules::kGraphCycle, Subject::Graph, -1, cyclic.str(),
                "flow graph contains a dependency cycle; no topological "
@@ -135,8 +135,8 @@ Report check_graph(const graph::FlowGraph& g) {
   if (n > 1) {
     for (usize i = 0; i < n; ++i) {
       if (!incident[i]) {
-        r.add(make(rules::kIsolatedTask, Subject::Node, static_cast<i32>(i),
-                   node_location(g, static_cast<i32>(i)),
+        r.add(make(rules::kIsolatedTask, Subject::Node, narrow<i32>(i),
+                   node_location(g, narrow<i32>(i)),
                    "task has no incident edges; the bandwidth model and the "
                    "scheduler treat it as independent",
                    "connect the task to its producers/consumers, or confirm "
@@ -148,9 +148,9 @@ Report check_graph(const graph::FlowGraph& g) {
   // Duplicate switch names break scenario labeling and state-table lookups.
   std::set<std::string> seen;
   for (usize s = 0; s < g.switch_count(); ++s) {
-    std::string name(g.switch_name(static_cast<i32>(s)));
+    std::string name(g.switch_name(narrow<i32>(s)));
     if (!seen.insert(name).second) {
-      r.add(make(rules::kDuplicateSwitch, Subject::Switch, static_cast<i32>(s),
+      r.add(make(rules::kDuplicateSwitch, Subject::Switch, narrow<i32>(s),
                  "switch " + std::to_string(s) + " (" + name + ")",
                  "switch name \"" + name + "\" is already declared",
                  "give every switch a unique name"));
@@ -190,7 +190,7 @@ Report check_stochastic_matrix(std::span<const f64> matrix, usize n,
       sum += p;
     }
     if (negative || std::fabs(sum - 1.0) > epsilon) {
-      r.add(make(rules::kRowNotStochastic, Subject::Model, static_cast<i32>(i),
+      r.add(make(rules::kRowNotStochastic, Subject::Model, narrow<i32>(i),
                  std::string(where) + " row " + std::to_string(i),
                  negative ? "transition row contains negative probabilities"
                           : "transition row sums to " + fmt(sum, 6) +
@@ -208,7 +208,7 @@ Report check_quantizer_boundaries(std::span<const f64> boundaries,
   for (usize i = 1; i < boundaries.size(); ++i) {
     if (!(boundaries[i] > boundaries[i - 1])) {
       r.add(make(rules::kQuantizerNotMonotone, Subject::Model,
-                 static_cast<i32>(i),
+                 narrow<i32>(i),
                  std::string(where) + " boundary " + std::to_string(i),
                  "boundary " + fmt(boundaries[i], 6) +
                      " is not greater than its predecessor " +
@@ -282,7 +282,7 @@ Report check_markov(const model::MarkovChain& m, f64 state_multiplier,
   std::vector<f64> matrix(n * n, 0.0);
   for (usize i = 0; i < n; ++i) {
     std::vector<f64> row = m.row(i);
-    std::copy(row.begin(), row.end(), matrix.begin() + static_cast<i64>(i * n));
+    std::copy(row.begin(), row.end(), matrix.begin() + narrow<i64>(i * n));
   }
   // Re-anchor row diagnostics at the owning node id (Subject::Model indexes
   // nodes, not matrix rows).
@@ -355,7 +355,7 @@ Report check_scenario_coverage(const graph::ScenarioTransitions& table,
   for (usize s = 0; s < expected; ++s) {
     if (table.row_observations(static_cast<graph::ScenarioId>(s)) == 0) {
       r.add(make(rules::kScenarioRowUnobserved, Subject::Scenario,
-                 static_cast<i32>(s), "scenario " + std::to_string(s),
+                 narrow<i32>(s), "scenario " + std::to_string(s),
                  "scenario " + std::to_string(s) +
                      " has no observed outgoing transitions; its state-table "
                      "entry is missing",
@@ -370,7 +370,7 @@ Report check_graph_predictor(const model::GraphPredictor& p,
                              usize switch_count, f64 epsilon) {
   Report r;
   for (usize node = 0; node < p.task_count(); ++node) {
-    const i32 id = static_cast<i32>(node);
+    const i32 id = narrow<i32>(node);
     const std::string where = "task " + std::to_string(node);
     r.merge(check_predictor_config(p.task_config(id), where, id));
     for (u32 ctx : p.contexts(id)) {
@@ -430,7 +430,7 @@ Report check_memory_budget(std::span<const model::MemoryRow> rows,
     const model::MemoryRow& row = rows[i];
     if (row.total_kb() > l2_kb) {
       r.add(make(
-          rules::kFootprintOverL2, Subject::Node, static_cast<i32>(i),
+          rules::kFootprintOverL2, Subject::Node, narrow<i32>(i),
           "task " + row.task + (row.rdg_selected ? " (RDG selected)" : ""),
           "best-case footprint " + fmt(row.total_kb(), 0) +
               " KB exceeds one L2 slice (" + fmt(l2_kb, 0) +

@@ -200,7 +200,7 @@ graph::FrameRecord StentBoostApp::process_image(i32 t,
   if (obs::enabled()) {
     obs::MetricsRegistry& m = obs::global().metrics;
     m.counter("tripleC_scenario_frames_total", "Frames per active scenario",
-              "scenario=\"" + std::to_string(record.scenario) + "\"")
+              obs::label("scenario", std::to_string(record.scenario)))
         .add();
     m.histogram("tripleC_host_frame_wall_ms",
                 "Host wall-clock time per processed frame",
@@ -438,7 +438,7 @@ void StentBoostApp::assign_costs(graph::FrameRecord& record) {
           .histogram("tripleC_task_simulated_ms",
                      "Simulated execution time per task",
                      obs::latency_buckets_ms(),
-                     "task=\"" + std::string(node_name(exec.node)) + "\"")
+                     obs::label("task", node_name(exec.node)))
           .record(exec.simulated_ms);
     }
   }

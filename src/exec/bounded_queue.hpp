@@ -18,6 +18,7 @@
 
 #include "common/sync.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace tc::exec {
 
@@ -30,9 +31,16 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Tag this queue as flight-recorder channel `id` (>= 0): every push/pop
+  /// then emits a QueuePush/QueuePop event carrying the post-operation
+  /// depth.  Call before producers/consumers start (plain write).
+  void set_flight_channel(i32 id) { flight_channel_ = id; }
+  [[nodiscard]] i32 flight_channel() const { return flight_channel_; }
+
   /// Blocking push.  Waits while the queue is full (backpressure); returns
   /// false when the queue was closed before the item could be enqueued.
   bool push(T item) TC_EXCLUDES(mutex_) {
+    usize depth = 0;
     {
       common::MutexLock lock(mutex_);
       if (items_.size() >= capacity_ && !closed_) ++blocked_pushes_;
@@ -42,20 +50,25 @@ class BoundedQueue {
       if (closed_) return false;
       items_.push_back(std::move(item));
       ++total_pushed_;
+      depth = items_.size();
     }
     not_empty_.notify_one();
+    record_flight(obs::FrEventType::QueuePush, depth);
     return true;
   }
 
   /// Non-blocking push; false when full or closed.
   bool try_push(T item) TC_EXCLUDES(mutex_) {
+    usize depth = 0;
     {
       common::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       ++total_pushed_;
+      depth = items_.size();
     }
     not_empty_.notify_one();
+    record_flight(obs::FrEventType::QueuePush, depth);
     return true;
   }
 
@@ -63,6 +76,7 @@ class BoundedQueue {
   /// the remaining items and then returns std::nullopt (end of stream).
   std::optional<T> pop() TC_EXCLUDES(mutex_) {
     std::optional<T> item;
+    usize depth = 0;
     {
       common::MutexLock lock(mutex_);
       not_empty_.wait(mutex_, [this]() TC_REQUIRES(mutex_) {
@@ -71,8 +85,10 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      depth = items_.size();
     }
     not_full_.notify_one();
+    record_flight(obs::FrEventType::QueuePop, depth);
     return item;
   }
 
@@ -113,7 +129,15 @@ class BoundedQueue {
   }
 
  private:
+  void record_flight(obs::FrEventType type, usize depth) const {
+    if (flight_channel_ >= 0 && obs::enabled()) {
+      obs::global().flight.record(type, -1, flight_channel_,
+                                  static_cast<f64>(depth));
+    }
+  }
+
   const usize capacity_;
+  i32 flight_channel_ = -1;
   mutable common::Mutex mutex_;
   std::deque<T> items_ TC_GUARDED_BY(mutex_);
   bool closed_ TC_GUARDED_BY(mutex_) = false;

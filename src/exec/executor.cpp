@@ -1,6 +1,7 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -65,6 +66,16 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
     deadline_ms_ = config_.deadline_ms;
     deadline_set_ = true;
   }
+  if (config_.diagnostics.enabled) {
+    obs::MetricsRegistry* metrics =
+        obs::enabled() ? &obs::global().metrics : nullptr;
+    drift_ = std::make_unique<obs::DriftMonitor>(config_.diagnostics.drift,
+                                                 metrics);
+    postmortem_ =
+        std::make_unique<obs::PostmortemWriter>(config_.diagnostics.postmortem);
+    // The SLO monitor waits for the deadline (thresholds derive from it);
+    // see run_diagnostics().
+  }
 }
 
 f64 Executor::node_estimate(i32 node) const {
@@ -127,13 +138,19 @@ f64 Executor::feed_back(const graph::FrameRecord& record,
   return serial_total;
 }
 
-void Executor::apply_quality(i32 ladder_index) {
+void Executor::apply_quality(i32 frame, i32 ladder_index) {
   const auto ladder = rt::quality_ladder();
   const i32 max_index = narrow<i32>(ladder.size()) - 1;
+  const i32 previous = quality_index_;
   quality_index_ = std::clamp(ladder_index, 0, max_index);
   const rt::QualityLevel& level = ladder[static_cast<usize>(quality_index_)];
   app_.set_quality(level.extra_mkx_decimation, level.skip_guidewire,
                    level.zoom_divisor);
+  if (quality_index_ != previous && obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::QosTransition, frame, -1,
+                                static_cast<f64>(quality_index_),
+                                static_cast<f64>(previous));
+  }
 }
 
 ExecutedFrame Executor::step(i32 t) {
@@ -143,11 +160,11 @@ ExecutedFrame Executor::step(i32 t) {
   result.deadline_ms = deadline_ms_;
 
   app::StripePlan plan = app::serial_plan();
+  f64 ewma_total = 0.0;  // pre-Markov serial-equivalent forecast (drift input)
   if (result.managed && config_.adapt) {
     std::vector<rt::NodeForecast> fc = host_forecast();
     // Markov correction: scale the long-term EWMA forecast by the chain's
     // conditional expectation of the next frame total (short-term state).
-    f64 ewma_total = 0.0;
     for (const rt::NodeForecast& f : fc) {
       if (f.active) ewma_total += f.serial_ms;
     }
@@ -169,7 +186,7 @@ ExecutedFrame Executor::step(i32 t) {
                           narrow<i32>(pool_.thread_count()));
       recover_streak_ = better.fits_budget ? recover_streak_ + 1 : 0;
       if (recover_streak_ >= config_.qos_recover_after) {
-        apply_quality(quality_index_ - 1);
+        apply_quality(t, quality_index_ - 1);
         recover_streak_ = 0;
       }
     }
@@ -187,17 +204,35 @@ ExecutedFrame Executor::step(i32 t) {
     if (config_.policy == DeadlinePolicy::Degrade) {
       const i32 max_index = narrow<i32>(rt::quality_ladder().size()) - 1;
       while (!choice.fits_budget && quality_index_ < max_index) {
-        apply_quality(quality_index_ + 1);
+        apply_quality(t, quality_index_ + 1);
         recover_streak_ = 0;
         choice = plan_at_current_quality();
       }
     }
     plan = choice.plan;
     result.predicted_host_ms = choice.estimated_ms;
+    if (obs::enabled()) {
+      obs::FlightRecorder& flight = obs::global().flight;
+      i32 total_stripes = 0;
+      for (i32 s : plan) total_stripes += s;
+      flight.record(obs::FrEventType::PlanChoice, t, -1,
+                    static_cast<f64>(total_stripes), choice.estimated_ms);
+      if (frame_markov_.fitted()) {
+        flight.record(
+            obs::FrEventType::MarkovState, t, -1,
+            static_cast<f64>(
+                frame_markov_.quantizer().state_of(last_serial_total_ms_)),
+            frame_markov_.predict_next(last_serial_total_ms_));
+      }
+    }
   }
   result.plan = plan;
   result.quality_level = quality_index_;
   app_.set_stripe_plan(plan);
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::FrameStart, t, -1,
+                                result.predicted_host_ms);
+  }
 
   std::optional<obs::ScopedSpan> span;
   if (obs::enabled()) {
@@ -216,6 +251,19 @@ ExecutedFrame Executor::step(i32 t) {
   for (const graph::TaskExecution& exec : record.tasks) {
     if (exec.executed) result.measured_host_ms += exec.host_ms;
   }
+  // Fault injection: a co-scheduled interferer steals real wall-clock time
+  // from the frame.  The tasks' own measurements are untouched (the
+  // predictors did not cause the spike and must not be trained on it), but
+  // the frame's latency — what the deadline is judged against — inflates.
+  const LoadSpike& spike = config_.load_spike;
+  if (spike.start_frame >= 0 && spike.busy_ms > 0.0 &&
+      t >= spike.start_frame && t < spike.start_frame + spike.frames) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<f64, std::milli>(spike.busy_ms);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    result.measured_host_ms += spike.busy_ms;
+  }
   result.scenario = record.scenario;
   if (span.has_value()) {
     span->arg("measured_ms", std::to_string(result.measured_host_ms));
@@ -227,6 +275,23 @@ ExecutedFrame Executor::step(i32 t) {
   if (deadline_set_ && result.measured_host_ms > deadline_ms_) {
     result.deadline_miss = true;
     if (config_.policy == DeadlinePolicy::Drop) result.dropped = true;
+  }
+
+  if (obs::enabled()) {
+    obs::FlightRecorder& flight = obs::global().flight;
+    // Per-node predicted-vs-measured, while node_estimate() still returns
+    // the pre-frame filter state (feed_back below updates it).
+    for (const graph::TaskExecution& exec : record.tasks) {
+      if (!exec.executed) continue;
+      flight.record(obs::FrEventType::NodeTiming, t, exec.node,
+                    node_estimate(exec.node), exec.host_ms);
+    }
+    flight.record(obs::FrEventType::FrameEnd, t, -1, result.measured_host_ms,
+                  deadline_ms_);
+    if (result.deadline_miss) {
+      flight.record(obs::FrEventType::DeadlineMiss, t, -1,
+                    result.measured_host_ms, deadline_ms_);
+    }
   }
 
   // --- feedback + warm-up bookkeeping -------------------------------------
@@ -258,6 +323,10 @@ ExecutedFrame Executor::step(i32 t) {
   if (result.repartitioned) ++stats_.repartitions;
 
   if (obs::enabled()) record_frame_observability(result);
+  last_frame_ = result;
+  if (config_.diagnostics.enabled) {
+    run_diagnostics(result, ewma_total, serial_total);
+  }
   return result;
 }
 
@@ -304,6 +373,152 @@ void Executor::record_frame_observability(const ExecutedFrame& f) {
                    {{"frame", std::to_string(f.frame)},
                     {"plan", rt::plan_to_string(f.plan)},
                     {"predicted_ms", std::to_string(f.predicted_host_ms)}});
+  }
+}
+
+void Executor::run_diagnostics(const ExecutedFrame& f, f64 ewma_total,
+                               f64 serial_total) {
+  // The SLO monitor is born the moment the deadline is known (its
+  // thresholds are deadline-relative).
+  if (slo_ == nullptr && deadline_set_) {
+    const DiagnosticsConfig& d = config_.diagnostics;
+    std::vector<obs::SloSpec> specs;
+    obs::SloSpec miss;
+    miss.name = "deadline_miss_rate";
+    miss.kind = obs::SloKind::DeadlineMissRate;
+    miss.threshold = d.slo_miss_rate;
+    obs::SloSpec p99;
+    p99.name = "p99_latency_ms";
+    p99.kind = obs::SloKind::P99LatencyMs;
+    p99.threshold = deadline_ms_ * d.slo_p99_factor;
+    obs::SloSpec jitter;
+    jitter.name = "jitter_p99_minus_p50_ms";
+    jitter.kind = obs::SloKind::JitterP99MinusP50Ms;
+    jitter.threshold = deadline_ms_ * d.slo_jitter_factor;
+    for (obs::SloSpec* s : {&miss, &p99, &jitter}) {
+      s->window = d.slo_window;
+      s->min_frames = d.slo_min_frames;
+      s->cooldown_frames = d.slo_cooldown_frames;
+      specs.push_back(*s);
+    }
+    slo_ = std::make_unique<obs::SloMonitor>(
+        std::move(specs), obs::enabled() ? &obs::global().metrics : nullptr);
+  }
+
+  // --- drift: score both predictor variants --------------------------------
+  std::vector<obs::DriftAlert> alerts;
+  if (f.managed && config_.adapt) {
+    // EWMA-only vs Markov-corrected accuracy, both in the units the
+    // respective predictor emits: serial-equivalent for the raw EWMA sum,
+    // plan-estimated host latency for the corrected forecast.
+    if (auto a = drift_->observe("ewma_only", f.frame, ewma_total,
+                                 serial_total)) {
+      alerts.push_back(*a);
+    }
+    if (auto a = drift_->observe("markov_corrected", f.frame,
+                                 f.predicted_host_ms, f.measured_host_ms)) {
+      alerts.push_back(*a);
+    }
+  }
+  for (const obs::DriftAlert& a : alerts) {
+    ++stats_.drift_alerts;
+    if (obs::enabled()) {
+      obs::global().flight.record(obs::FrEventType::DriftAlert, a.frame,
+                                  drift_->stream_index(a.stream), a.statistic,
+                                  a.threshold);
+    }
+    if (config_.diagnostics.retrain_on_drift) force_retrain(a.frame);
+  }
+
+  // --- SLOs ---------------------------------------------------------------
+  std::vector<obs::SloBreach> breaches;
+  if (slo_ != nullptr && f.managed) {
+    breaches =
+        slo_->observe_frame(f.frame, f.measured_host_ms, f.deadline_miss);
+    for (usize i = 0; i < breaches.size(); ++i) {
+      ++stats_.slo_breaches;
+      if (obs::enabled()) {
+        obs::global().flight.record(obs::FrEventType::SloBreach,
+                                    breaches[i].frame, narrow<i32>(i),
+                                    breaches[i].value, breaches[i].threshold);
+      }
+    }
+  }
+
+  // --- post-mortem triggers -----------------------------------------------
+  std::string reason;
+  if (f.deadline_miss) {
+    reason = "deadline_miss";
+  } else if (!breaches.empty()) {
+    reason = "slo_breach:" + breaches.front().slo;
+  } else if (!alerts.empty()) {
+    reason = "drift:" + alerts.front().stream;
+  }
+  if (!reason.empty()) {
+    const std::string path =
+        postmortem_->write(postmortem_context(f, reason), obs::global().flight,
+                           obs::global().metrics);
+    if (!path.empty()) ++stats_.postmortems;
+  }
+}
+
+obs::PredictorStateSummary Executor::predictor_summary() const {
+  obs::PredictorStateSummary s;
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    const auto& f = node_ewma_[static_cast<usize>(node)];
+    s.nodes.push_back({obs::global().node_name(node), f.value(), f.primed()});
+  }
+  s.markov_fitted = frame_markov_.fitted();
+  s.markov_states = frame_markov_.states();
+  s.last_serial_total_ms = last_serial_total_ms_;
+  s.markov_predicted_next_ms =
+      frame_markov_.fitted() ? frame_markov_.predict_next(last_serial_total_ms_)
+                             : 0.0;
+  if (drift_ != nullptr) {
+    for (const char* stream : {"ewma_only", "markov_corrected"}) {
+      s.drift_errors_pct.emplace_back(stream,
+                                      drift_->smoothed_error_pct(stream));
+    }
+  }
+  return s;
+}
+
+obs::PostmortemContext Executor::postmortem_context(
+    const ExecutedFrame& f, const std::string& reason) const {
+  obs::PostmortemContext ctx;
+  ctx.reason = reason;
+  ctx.frame = f.frame;
+  ctx.deadline_ms = deadline_ms_;
+  ctx.predicted_ms = f.predicted_host_ms;
+  ctx.measured_ms = f.measured_host_ms;
+  ctx.plan = rt::plan_to_string(f.plan);
+  ctx.quality_level = f.quality_level;
+  ctx.scenario = f.scenario;
+  ctx.predictors = predictor_summary();
+  ctx.extra.emplace_back("policy", config_.policy == DeadlinePolicy::Drop
+                                       ? "drop"
+                                       : "degrade");
+  ctx.extra.emplace_back("workers", std::to_string(pool_.thread_count()));
+  return ctx;
+}
+
+std::string Executor::write_postmortem(const std::string& reason) {
+  if (postmortem_ == nullptr) return "";
+  const std::string path =
+      postmortem_->write(postmortem_context(last_frame_, reason),
+                         obs::global().flight, obs::global().metrics,
+                         /*force=*/true);
+  if (!path.empty()) ++stats_.postmortems;
+  return path;
+}
+
+void Executor::force_retrain(i32 frame) {
+  frame_markov_ = model::MarkovChain();
+  warmup_serial_totals_.clear();
+  ++stats_.retrains;
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::Retrain, frame, -1,
+                                static_cast<f64>(frame));
   }
 }
 

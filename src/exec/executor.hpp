@@ -31,11 +31,15 @@
 #pragma once
 
 #include <array>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "app/stentboost.hpp"
 #include "exec/deadline.hpp"
+#include "obs/drift.hpp"
+#include "obs/postmortem.hpp"
 #include "platform/thread_pool.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/qos.hpp"
@@ -49,6 +53,38 @@ namespace tc::exec {
 /// heavyweight task control), used for plan estimation and for the
 /// serial <-> striped conversion of measured times.
 [[nodiscard]] plat::CostParams host_cost_params();
+
+/// Fault injection: a synthetic co-scheduled interferer.  For `frames`
+/// frames starting at `start_frame` the executor busy-spins `busy_ms` of
+/// wall-clock time per frame and charges it to the frame's measured host
+/// latency — a deterministic load spike the predictors did not see coming,
+/// used to demo/exercise deadline misses, drift alarms and post-mortems.
+struct LoadSpike {
+  i32 start_frame = -1;  ///< < 0 disables the injection
+  i32 frames = 0;
+  f64 busy_ms = 0.0;
+};
+
+/// Diagnostics: drift/SLO monitoring and post-mortem capture (ISSUE 5).
+/// Disabled by default — the executor then carries zero monitor state.
+struct DiagnosticsConfig {
+  bool enabled = false;
+  /// Per-predictor drift detection ("ewma_only" and "markov_corrected"
+  /// streams); alerts force a predictor re-training when retrain_on_drift.
+  obs::DriftConfig drift;
+  bool retrain_on_drift = true;
+  /// SLO thresholds, derived from the active deadline once it is known:
+  /// miss-rate over the window, p99 <= deadline * slo_p99_factor, and
+  /// p99 - p50 jitter <= deadline * slo_jitter_factor.
+  f64 slo_miss_rate = 0.25;
+  f64 slo_p99_factor = 1.50;
+  f64 slo_jitter_factor = 0.75;
+  i32 slo_window = 48;
+  i32 slo_min_frames = 16;
+  i32 slo_cooldown_frames = 48;
+  /// Bundle output; an empty directory disables post-mortem writing.
+  obs::PostmortemConfig postmortem;
+};
 
 struct ExecutorConfig {
   /// Worker threads of the executor-owned pool (0 = hardware concurrency).
@@ -74,6 +110,10 @@ struct ExecutorConfig {
   /// Degrade policy: lift one quality level after this many consecutive
   /// frames whose forecast would fit at the better level.
   i32 qos_recover_after = 4;
+  /// Drift/SLO monitoring + post-mortem capture.
+  DiagnosticsConfig diagnostics;
+  /// Synthetic interference (see LoadSpike); off by default.
+  LoadSpike load_spike;
 };
 
 /// Outcome of one executed frame.
@@ -106,6 +146,11 @@ struct ExecutorStats {
   i32 degraded_frames = 0;
   i32 repartitions = 0;
   f64 mean_measured_ms = 0.0;
+  // --- diagnostics (all 0 when DiagnosticsConfig::enabled is false) --------
+  i32 drift_alerts = 0;
+  i32 slo_breaches = 0;
+  i32 retrains = 0;
+  i32 postmortems = 0;
 };
 
 class Executor {
@@ -141,6 +186,26 @@ class Executor {
   /// built from the EWMA filters; exposed for tests/benches.
   [[nodiscard]] std::vector<rt::NodeForecast> host_forecast() const;
 
+  // --- diagnostics (null/empty when DiagnosticsConfig::enabled is false) ---
+  [[nodiscard]] obs::DriftMonitor* drift_monitor() { return drift_.get(); }
+  [[nodiscard]] obs::SloMonitor* slo_monitor() { return slo_.get(); }
+  [[nodiscard]] obs::PostmortemWriter* postmortem_writer() {
+    return postmortem_.get();
+  }
+
+  /// Snapshot of the predictor stack (EWMA filters, Markov chain, drift
+  /// errors) as embedded in post-mortem bundles.
+  [[nodiscard]] obs::PredictorStateSummary predictor_summary() const;
+
+  /// Explicitly capture a post-mortem bundle (reason "manual" unless given);
+  /// returns the bundle path or "" when diagnostics/postmortems are off.
+  std::string write_postmortem(const std::string& reason = "manual");
+
+  /// Drop the Markov chain and its training series so the next
+  /// `warmup_frames` frames re-fit it — the drift-alert response ("force
+  /// re-training").  EWMA filters keep adapting and are not reset.
+  void force_retrain(i32 frame);
+
  private:
   /// EWMA serial-ms estimate of a node; falls back to the node's
   /// granularity sibling (RDG_ROI <-> RDG_FULL, MKX_ROI <-> MKX_FULL) while
@@ -151,8 +216,15 @@ class Executor {
   /// the serial-equivalent frame total.
   f64 feed_back(const graph::FrameRecord& record, const app::StripePlan& plan);
 
-  void apply_quality(i32 ladder_index);
+  void apply_quality(i32 frame, i32 ladder_index);
   void record_frame_observability(const ExecutedFrame& f);
+  /// Drift/SLO evaluation + post-mortem triggers for one finished frame;
+  /// `ewma_total` is the pre-Markov serial-equivalent forecast (0 when
+  /// unmanaged), `serial_total` the frame's serial-equivalent measurement.
+  void run_diagnostics(const ExecutedFrame& f, f64 ewma_total,
+                       f64 serial_total);
+  [[nodiscard]] obs::PostmortemContext postmortem_context(
+      const ExecutedFrame& f, const std::string& reason) const;
 
   ExecutorConfig config_;
   plat::ThreadPool pool_;
@@ -176,6 +248,15 @@ class Executor {
 
   ExecutorStats stats_;
   f64 measured_sum_ms_ = 0.0;
+
+  /// Diagnostics stack (allocated only when diagnostics.enabled).  The SLO
+  /// monitor is created lazily once the deadline is known, because its
+  /// thresholds derive from the deadline.
+  std::unique_ptr<obs::DriftMonitor> drift_;
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<obs::PostmortemWriter> postmortem_;
+  /// Last frame result, kept for explicit write_postmortem() requests.
+  ExecutedFrame last_frame_;
 };
 
 }  // namespace tc::exec

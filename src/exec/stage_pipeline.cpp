@@ -25,6 +25,8 @@ StagePipeline::StagePipeline(std::vector<StageSpec> stages,
   for (usize i = 0; i < stages_.size(); ++i) {
     queues_.push_back(
         std::make_unique<BoundedQueue<FramePacket>>(config_.queue_capacity));
+    // Flight-recorder channel i = the queue feeding stage i.
+    queues_.back()->set_flight_channel(narrow<i32>(i));
   }
 }
 
@@ -97,11 +99,17 @@ void StagePipeline::stage_loop(usize stage_index) {
     }
     if (!p.dropped) {
       if (obs::enabled()) {
+        obs::FlightRecorder& flight = obs::global().flight;
+        const i32 stage_id = narrow<i32>(stage_index);
+        flight.record(obs::FrEventType::StageStart, p.frame, stage_id);
+        const f64 start_us = epoch_.elapsed_us();
         auto span = obs::host_span(stage.name, "exec-stage");
         span.arg("frame", std::to_string(p.frame));
         span.arg("stripes", std::to_string(stage.stripes));
         if (p.degraded) span.arg("degraded", "1");
         stage.work(p, ctx);
+        flight.record(obs::FrEventType::StageEnd, p.frame, stage_id,
+                      (epoch_.elapsed_us() - start_us) / 1000.0);
       } else {
         stage.work(p, ctx);
       }

@@ -29,8 +29,8 @@ void FlowGraph::remove_switch(i32 sw) {
 
 void FlowGraph::add_edge(i32 from, i32 to,
                          std::function<u64()> bytes_per_frame) {
-  if (from < 0 || to < 0 || from >= static_cast<i32>(nodes_.size()) ||
-      to >= static_cast<i32>(nodes_.size())) {
+  if (from < 0 || to < 0 || from >= narrow<i32>(nodes_.size()) ||
+      to >= narrow<i32>(nodes_.size())) {
     throw std::out_of_range("FlowGraph::add_edge: node id out of range");
   }
   if (!bytes_per_frame) {
@@ -75,7 +75,7 @@ std::vector<i32> FlowGraph::topological_order() const {
     i32 pick = -1;
     for (usize i = 0; i < n; ++i) {
       if (!done[i] && indegree[i] == 0) {
-        pick = static_cast<i32>(i);
+        pick = narrow<i32>(i);
         break;
       }
     }

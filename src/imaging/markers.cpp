@@ -52,8 +52,8 @@ ImageF32 decimate(const ImageF32& frame, Rect roi, i32 d, WorkReport& work) {
 /// the full-resolution frame around the coarse position.
 Point2f refine_position(const ImageF32& frame, Point2f coarse, i32 half,
                         WorkReport& work) {
-  i32 cx = static_cast<i32>(std::lround(coarse.x));
-  i32 cy = static_cast<i32>(std::lround(coarse.y));
+  i32 cx = narrow<i32>(std::lround(coarse.x));
+  i32 cy = narrow<i32>(std::lround(coarse.y));
   Rect win = clamp_rect(Rect{cx - half, cy - half, 2 * half + 1, 2 * half + 1},
                         frame.width(), frame.height());
   if (win.empty()) return coarse;
@@ -136,9 +136,9 @@ MarkerResult extract_markers(const ImageF32& frame, Rect roi,
         // points.  Markers sitting on the guide wire keep a blobness
         // comparable to their response and pass unattenuated; elongated
         // structures (vessels, catheter) are eliminated.
-        i32 fx = std::clamp(static_cast<i32>(std::lround(refined.x)), 0,
+        i32 fx = std::clamp(narrow<i32>(std::lround(refined.x)), 0,
                             frame.width() - 1);
-        i32 fy = std::clamp(static_cast<i32>(std::lround(refined.y)), 0,
+        i32 fy = std::clamp(narrow<i32>(std::lround(refined.y)), 0,
                             frame.height() - 1);
         f32 resp = ridge->response.at(fx, fy);
         if (resp > params.ridge_floor) {

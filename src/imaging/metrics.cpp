@@ -48,8 +48,8 @@ f64 disk_cnr(const ImageF32& image, Point2f center, f64 radius) {
   std::vector<f64> disk;
   std::vector<f64> ring;
   const i32 reach = static_cast<i32>(std::ceil(3.0 * radius)) + 2;
-  const i32 cx = static_cast<i32>(std::lround(center.x));
-  const i32 cy = static_cast<i32>(std::lround(center.y));
+  const i32 cx = narrow<i32>(std::lround(center.x));
+  const i32 cy = narrow<i32>(std::lround(center.y));
   for (i32 oy = -reach; oy <= reach; ++oy) {
     for (i32 ox = -reach; ox <= reach; ++ox) {
       i32 x = cx + ox;

@@ -15,8 +15,8 @@ namespace {
 /// Mean absolute temporal difference in a window centred on `p`.
 f64 motion_energy(const ImageF32& prev, const ImageF32& cur, Point2f p,
                   i32 half, WorkReport& work) {
-  i32 cx = static_cast<i32>(std::lround(p.x));
-  i32 cy = static_cast<i32>(std::lround(p.y));
+  i32 cx = narrow<i32>(std::lround(p.x));
+  i32 cy = narrow<i32>(std::lround(p.y));
   Rect window = clamp_rect(Rect{cx - half, cy - half, 2 * half + 1,
                                 2 * half + 1},
                            cur.width(), cur.height());

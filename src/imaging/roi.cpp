@@ -22,8 +22,8 @@ RoiResult estimate_roi(const Couple& couple, i32 frame_width, i32 frame_height,
   // Even dimensions keep the 2-stripe split exact.
   w += w % 2;
   h += h % 2;
-  Rect roi{static_cast<i32>(std::lround(cx)) - w / 2,
-           static_cast<i32>(std::lround(cy)) - h / 2, w, h};
+  Rect roi{narrow<i32>(std::lround(cx)) - w / 2,
+           narrow<i32>(std::lround(cy)) - h / 2, w, h};
   result.roi = clamp_rect(roi, frame_width, frame_height);
   result.work.feature_ops = 24;
   result.work.input_bytes = sizeof(Couple);

@@ -114,8 +114,8 @@ void AngioSequence::stamp_line(ImageF32& opacity, Point2f a, Point2f b,
     f64 frac = static_cast<f64>(s) / static_cast<f64>(steps);
     f64 px = a.x + frac * dx;
     f64 py = a.y + frac * dy;
-    i32 cx = static_cast<i32>(std::lround(px));
-    i32 cy = static_cast<i32>(std::lround(py));
+    i32 cx = narrow<i32>(std::lround(px));
+    i32 cy = narrow<i32>(std::lround(py));
     for (i32 oy = -reach; oy <= reach; ++oy) {
       for (i32 ox = -reach; ox <= reach; ++ox) {
         i32 x = cx + ox;
@@ -139,8 +139,8 @@ void AngioSequence::stamp_line(ImageF32& opacity, Point2f a, Point2f b,
 void AngioSequence::stamp_disk(ImageF32& opacity, Point2f c, f64 radius,
                                f64 depth) const {
   const i32 reach = static_cast<i32>(std::ceil(radius + 2.0));
-  i32 cx = static_cast<i32>(std::lround(c.x));
-  i32 cy = static_cast<i32>(std::lround(c.y));
+  i32 cx = narrow<i32>(std::lround(c.x));
+  i32 cy = narrow<i32>(std::lround(c.y));
   for (i32 oy = -reach; oy <= reach; ++oy) {
     for (i32 ox = -reach; ox <= reach; ++ox) {
       i32 x = cx + ox;

@@ -110,7 +110,7 @@ std::string frame_log_csv(const FrameLog& log) {
         .cell(s.measured_ms)
         .cell(s.output_ms)
         .cell(s.budget_ms)
-        .cell(static_cast<i32>(s.fits_budget ? 1 : 0))
+        .cell(s.fits_budget ? 1 : 0)
         .cell(s.error_pct);
     csv.end_row();
   }

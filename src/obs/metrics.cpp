@@ -2,8 +2,63 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace tc::obs {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  auto tail = [&head](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  for (usize i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+void require_valid_name(std::string_view name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + std::string(name));
+  }
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<f64> bounds) : bounds_(std::move(bounds)) {
   assert(!bounds_.empty());
@@ -98,6 +153,7 @@ MetricsRegistry::Slot* MetricsRegistry::find_or_null(std::string_view name,
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   std::string_view labels) {
+  require_valid_name(name);
   common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Counter)) {
     return *s->c;
@@ -114,6 +170,7 @@ Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               std::string_view labels) {
+  require_valid_name(name);
   common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Gauge)) {
     return *s->g;
@@ -132,6 +189,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::span<const f64> bounds,
                                       std::string_view labels) {
+  require_valid_name(name);
   common::MutexLock lock(mutex_);
   if (Slot* s = find_or_null(name, labels, MetricType::Histogram)) {
     return *s->h;
@@ -169,19 +227,42 @@ void MetricsRegistry::reset_values() {
   }
 }
 
+void FrameLog::evict_excess() {
+  if (capacity_ == 0) return;
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
 void FrameLog::add(FrameSample s) {
   common::MutexLock lock(mutex_);
   samples_.push_back(s);
+  ++total_added_;
+  evict_excess();
 }
 
 std::vector<FrameSample> FrameLog::samples() const {
   common::MutexLock lock(mutex_);
-  return samples_;
+  return {samples_.begin(), samples_.end()};
 }
 
 usize FrameLog::size() const {
   common::MutexLock lock(mutex_);
   return samples_.size();
+}
+
+u64 FrameLog::total_added() const {
+  common::MutexLock lock(mutex_);
+  return total_added_;
+}
+
+usize FrameLog::capacity() const {
+  common::MutexLock lock(mutex_);
+  return capacity_;
+}
+
+void FrameLog::set_capacity(usize capacity) {
+  common::MutexLock lock(mutex_);
+  capacity_ = capacity;
+  evict_excess();
 }
 
 void FrameLog::clear() {

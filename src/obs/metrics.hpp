@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <span>
 #include <string>
@@ -104,6 +105,19 @@ class Histogram {
 
 enum class MetricType { Counter, Gauge, Histogram };
 
+/// True when `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; registration rejects everything else.
+[[nodiscard]] bool valid_metric_name(std::string_view name);
+
+/// Escape a label *value* for the Prometheus exposition format: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Build one `key="value"` label pair with the value escaped — the canonical
+/// way to construct the `labels` argument from dynamic strings (node names,
+/// stream names) so a hostile value cannot break the exposition format.
+[[nodiscard]] std::string label(std::string_view key, std::string_view value);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -112,7 +126,9 @@ class MetricsRegistry {
 
   /// Register-or-fetch: the same (name, labels) pair always returns the same
   /// instrument.  `labels` is the inner Prometheus label list, e.g.
-  /// `task="RDG_FULL"` (empty for unlabeled metrics).
+  /// `task="RDG_FULL"` (empty for unlabeled metrics); build dynamic pairs
+  /// with obs::label() so values are escaped.  A name that fails
+  /// valid_metric_name() throws std::invalid_argument.
   Counter& counter(std::string_view name, std::string_view help,
                    std::string_view labels = "") TC_EXCLUDES(mutex_);
   Gauge& gauge(std::string_view name, std::string_view help,
@@ -171,14 +187,29 @@ struct FrameSample {
 
 class FrameLog {
  public:
+  /// `capacity` = 0 keeps every sample (unbounded); > 0 bounds the log to
+  /// the most recent `capacity` samples (ring semantics — long-running
+  /// processes keep a sliding window instead of growing forever).
+  explicit FrameLog(usize capacity = 0) : capacity_(capacity) {}
+
   void add(FrameSample s) TC_EXCLUDES(mutex_);
+  /// Samples in arrival order (oldest surviving sample first).
   [[nodiscard]] std::vector<FrameSample> samples() const TC_EXCLUDES(mutex_);
   [[nodiscard]] usize size() const TC_EXCLUDES(mutex_);
+  /// Samples ever added, including those the capacity bound evicted.
+  [[nodiscard]] u64 total_added() const TC_EXCLUDES(mutex_);
+  [[nodiscard]] usize capacity() const TC_EXCLUDES(mutex_);
+  /// Change the bound (0 = unbounded); excess oldest samples are evicted.
+  void set_capacity(usize capacity) TC_EXCLUDES(mutex_);
   void clear() TC_EXCLUDES(mutex_);
 
  private:
+  void evict_excess() TC_REQUIRES(mutex_);
+
   mutable common::Mutex mutex_;
-  std::vector<FrameSample> samples_ TC_GUARDED_BY(mutex_);
+  std::deque<FrameSample> samples_ TC_GUARDED_BY(mutex_);
+  usize capacity_ TC_GUARDED_BY(mutex_) = 0;
+  u64 total_added_ TC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tc::obs

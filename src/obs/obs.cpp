@@ -23,6 +23,7 @@ void ObsContext::clear() {
   tracer.clear();
   metrics.reset_values();
   frames.clear();
+  flight.clear();
 }
 
 ObsContext& global() {

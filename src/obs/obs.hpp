@@ -20,6 +20,7 @@
 
 #include "common/sync.hpp"
 #include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/span_tracer.hpp"
@@ -31,12 +32,13 @@
 namespace tc::obs {
 
 /// All observability state of the process: the span tracer, the metrics
-/// registry and the per-frame log.
+/// registry, the per-frame log and the flight recorder.
 class ObsContext {
  public:
   SpanTracer tracer;
   MetricsRegistry metrics;
   FrameLog frames;
+  FlightRecorder flight;
 
   /// Map a flow-graph node id to a display name for task-labeled metrics;
   /// installed by the application layer (StentBoostApp does it in its

@@ -93,7 +93,7 @@ u32 SpanTracer::host_tid() {
   common::MutexLock lock(mutex_);
   auto it = host_tids_.find(std::this_thread::get_id());
   if (it == host_tids_.end()) {
-    u32 id = static_cast<u32>(host_tids_.size());
+    u32 id = narrow<u32>(host_tids_.size());
     it = host_tids_.emplace(std::this_thread::get_id(), id).first;
   }
   return it->second;

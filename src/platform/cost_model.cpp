@@ -71,7 +71,7 @@ TaskCost CostModel::striped_cost(
   cost.compute_ms = worst_compute;
   cost.dram_traffic_bytes = dram_traffic(total);
   cost.memory_ms = memory_ms_of(cost.dram_traffic_bytes,
-                                static_cast<i32>(stripe_reports.size()));
+                                narrow<i32>(stripe_reports.size()));
   cost.total_ms = std::max(cost.compute_ms, cost.memory_ms) +
                   params_.dispatch_ms + params_.stripe_sync_ms;
   return cost;

@@ -156,8 +156,38 @@ ManagedFrame RuntimeManager::step(i32 t) {
 
   const bool repartitioned = managed && result.plan != prev_plan_;
   const bool qos_changed = result.quality_level != prev_quality_;
+  if (obs::enabled()) {
+    obs::FlightRecorder& flight = obs::global().flight;
+    flight.record(obs::FrEventType::FrameStart, t, -1,
+                  result.predicted_latency_ms);
+    if (managed) {
+      i32 total_stripes = 0;
+      for (i32 s : result.plan) total_stripes += s;
+      flight.record(obs::FrEventType::PlanChoice, t, -1,
+                    static_cast<f64>(total_stripes),
+                    result.predicted_latency_ms);
+    }
+    if (qos_changed) {
+      flight.record(obs::FrEventType::QosTransition, t, -1,
+                    static_cast<f64>(result.quality_level),
+                    static_cast<f64>(prev_quality_));
+    }
+    if (scenario_seen_ && result.record.scenario != prev_scenario_) {
+      flight.record(obs::FrEventType::ScenarioSwitch, t, -1,
+                    static_cast<f64>(result.record.scenario),
+                    static_cast<f64>(prev_scenario_));
+    }
+    flight.record(obs::FrEventType::FrameEnd, t, -1,
+                  result.measured_latency_ms, budget_ms_);
+    if (managed && result.measured_latency_ms > budget_ms_) {
+      flight.record(obs::FrEventType::DeadlineMiss, t, -1,
+                    result.measured_latency_ms, budget_ms_);
+    }
+  }
   prev_plan_ = result.plan;
   prev_quality_ = result.quality_level;
+  prev_scenario_ = result.record.scenario;
+  scenario_seen_ = true;
   if (obs::enabled()) {
     record_frame_observability(result, managed, repartitioned, qos_changed);
   }
@@ -276,7 +306,7 @@ void RuntimeManager::record_frame_observability(const ManagedFrame& f,
                             : 1;
     if (stripes > 1) {
       for (i32 s = 0; s < stripes; ++s) {
-        const u32 lane = static_cast<u32>(s) + 1;
+        const u32 lane = narrow<u32>(s) + 1;
         tracer.set_thread_name(obs::kSimPid, lane,
                                "stripe lane " + std::to_string(lane));
         obs::SpanEvent stripe_span;

@@ -107,6 +107,9 @@ class RuntimeManager {
   f64 sim_clock_ms_ = 0.0;
   app::StripePlan prev_plan_ = app::serial_plan();
   i32 prev_quality_ = 0;
+  /// Scenario of the previous frame (ScenarioSwitch flight events).
+  graph::ScenarioId prev_scenario_ = 0;
+  bool scenario_seen_ = false;
 };
 
 }  // namespace tc::rt

@@ -65,7 +65,7 @@ PlanChoice choose_plan(const plat::CostParams& params,
       if (widened >= current) continue;  // sync overhead dominates
       if (current > worst_ms) {
         worst_ms = current;
-        worst = static_cast<i32>(node);
+        worst = narrow<i32>(node);
       }
     }
     (void)total_stripes;
@@ -86,7 +86,7 @@ std::string plan_to_string(const app::StripePlan& plan) {
   for (usize node = 0; node < plan.size(); ++node) {
     if (plan[node] > 1) {
       if (any) os << ' ';
-      os << app::node_name(static_cast<i32>(node)) << "x" << plan[node];
+      os << app::node_name(narrow<i32>(node)) << "x" << plan[node];
       any = true;
     }
   }

@@ -27,7 +27,7 @@ PipelineAnalysis analyze_pipeline(const plat::CostParams& params,
     analysis.total_cpus += stage.cpus;
     if (time > analysis.bottleneck_ms) {
       analysis.bottleneck_ms = time;
-      analysis.bottleneck_stage = static_cast<i32>(s);
+      analysis.bottleneck_stage = narrow<i32>(s);
     }
   }
   if (analysis.bottleneck_ms > 0.0) {
@@ -70,7 +70,7 @@ std::string format_pipeline_table(std::span<const PipelineStage> stages,
        << stages[s].name << std::right << std::setw(3) << stages[s].cpus
        << " cpu  " << std::fixed << std::setprecision(2) << std::setw(8)
        << analysis.stage_ms[s] << " ms"
-       << (static_cast<i32>(s) == analysis.bottleneck_stage
+       << (narrow<i32>(s) == analysis.bottleneck_stage
                ? "   <- bottleneck"
                : "")
        << '\n';

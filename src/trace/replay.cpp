@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <map>
 
 #include "app/stentboost.hpp"
@@ -52,11 +53,13 @@ ParseResult read_records_csv(std::istream& in,
       continue;
     }
     char* end = nullptr;
-    i32 frame = static_cast<i32>(std::strtol(cells[0].c_str(), &end, 10));
-    if (end == cells[0].c_str()) {
-      ++result.skipped_lines;
+    const long frame_raw = std::strtol(cells[0].c_str(), &end, 10);
+    if (end == cells[0].c_str() || frame_raw < 0 ||
+        frame_raw > std::numeric_limits<i32>::max()) {
+      ++result.skipped_lines;  // malformed or out-of-range frame id
       continue;
     }
+    const i32 frame = narrow<i32>(frame_raw);
     i32 node = node_id(cells[3]);
     if (node < 0) {
       ++result.skipped_lines;

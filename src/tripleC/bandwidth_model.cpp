@@ -23,7 +23,7 @@ std::vector<EdgeBandwidth> intertask_bandwidth(const graph::FlowGraph& g,
           .metrics
           .gauge("tripleC_edge_bandwidth_mbytes_per_s",
                  "Inter-task bandwidth of the last evaluation, per edge",
-                 "edge=\"" + eb.from + "->" + eb.to + "\"")
+                 obs::label("edge", eb.from + "->" + eb.to))
           .set(eb.mbytes_per_s);
     }
     out.push_back(std::move(eb));

@@ -73,7 +73,7 @@ void GraphPredictor::train(
         if (!s.empty()) nonempty.push_back(std::move(s));
       }
       if (!nonempty.empty()) {
-        task_predictor(static_cast<i32>(node), ctx).train(nonempty);
+        task_predictor(narrow<i32>(node), ctx).train(nonempty);
       }
     }
   }
@@ -96,6 +96,12 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
       last_record_.has_value() ? &*last_record_ : nullptr;
   if (prev != nullptr) {
     scenario_transitions_.add(prev->scenario, record.scenario);
+    if (obs::enabled() && record.scenario != prev->scenario) {
+      obs::global().flight.record(obs::FrEventType::ScenarioSwitch,
+                                  record.frame, -1,
+                                  static_cast<f64>(record.scenario),
+                                  static_cast<f64>(prev->scenario));
+    }
   }
   for (const graph::TaskExecution& exec : record.tasks) {
     if (!exec.executed) continue;
@@ -113,16 +119,19 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
       obs::MetricsRegistry& m = obs::global().metrics;
       m.counter("tripleC_prediction_component_abs_ms_total",
                 "Cumulative |contribution| of each predictor component",
-                "component=\"baseline\"")
+                obs::label("component", "baseline"))
           .add(std::fabs(parts.baseline_ms));
       m.counter("tripleC_prediction_component_abs_ms_total",
                 "Cumulative |contribution| of each predictor component",
-                "component=\"markov\"")
+                obs::label("component", "markov"))
           .add(std::fabs(parts.markov_ms));
       m.counter("tripleC_prediction_component_abs_ms_total",
                 "Cumulative |contribution| of each predictor component",
-                "component=\"combined\"")
+                obs::label("component", "combined"))
           .add(std::fabs(parts.combined_ms()));
+      obs::global().flight.record(obs::FrEventType::NodeTiming, record.frame,
+                                  exec.node, parts.combined_ms(),
+                                  exec.simulated_ms);
       if (std::fabs(exec.simulated_ms) > 1e-9) {
         const f64 err_pct =
             std::fabs(parts.combined_ms() - exec.simulated_ms) /
@@ -131,7 +140,7 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
              "tripleC_task_prediction_error_pct",
              "Per-task |predicted - measured| / measured in percent",
              obs::error_pct_buckets(),
-             "task=\"" + obs::global().node_name(exec.node) + "\"")
+             obs::label("task", obs::global().node_name(exec.node)))
             .record(err_pct);
       }
     }

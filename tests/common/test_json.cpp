@@ -1,0 +1,88 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tc::common {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.5").as_f64(), 3.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1e3").as_f64(), -1000.0);
+  EXPECT_EQ(JsonValue::parse("42").as_i64(), 42);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue& a = v.get("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at(0).as_i64(), 1);
+  EXPECT_EQ(a.at(2).get("b").as_string(), "c");
+  EXPECT_TRUE(v.get("d").get("e").is_null());
+  EXPECT_TRUE(v.get("f").as_bool());
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\te")").as_string(),
+            "a\"b\\c\nd\te");
+  // \uXXXX escapes decode to UTF-8 (here: e-acute and a surrogate pair).
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, KeyedScalarDefaults) {
+  const JsonValue v = JsonValue::parse(R"({"n": 2.5, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", 7.0), 7.0);  // wrong type -> fallback
+  EXPECT_EQ(v.string_or("s", "?"), "x");
+  EXPECT_EQ(v.string_or("n", "?"), "?");
+  // Keyed lookup on a non-object falls back too.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3").number_or("k", 1.5), 1.5);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonError);
+  EXPECT_THROW(JsonValue::parse("1 2"), JsonError);   // trailing garbage
+  EXPECT_THROW(JsonValue::parse("\"ab"), JsonError);  // unterminated string
+}
+
+TEST(Json, ErrorCarriesOffset) {
+  try {
+    (void)JsonValue::parse("[1, x]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_GE(e.offset(), 4u);
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW((void)v.as_string(), JsonError);
+  EXPECT_TRUE(v.get("k").is_null());  // object access on an array: Null
+  EXPECT_THROW((void)v.at(5), JsonError);
+}
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\x01";
+  const std::string doc = "\"" + json_escape(raw) + "\"";
+  EXPECT_EQ(JsonValue::parse(doc).as_string(), raw);
+}
+
+}  // namespace
+}  // namespace tc::common

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "app/stentboost.hpp"
+#include "common/json.hpp"
+#include "obs/obs.hpp"
 
 namespace tc::exec {
 namespace {
@@ -166,6 +173,132 @@ TEST(Executor, AdaptDisabledKeepsSerialPlan) {
 TEST(Executor, ValidatesGraphAtStartup) {
   Executor executor(small_config(4), ExecutorConfig{});
   EXPECT_FALSE(executor.validation_report().has_errors());
+}
+
+TEST(Executor, FlightRecorderStaysEmptyWhenObsDisabled) {
+  obs::set_enabled(false);
+  obs::global().clear();
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 5.0;
+  exec_config.worker_threads = 2;
+  Executor executor(small_config(8), exec_config);
+  executor.run(8);
+  EXPECT_EQ(obs::global().flight.size(), 0u);
+  EXPECT_EQ(obs::global().flight.total_recorded(), 0u);
+}
+
+TEST(Executor, FlightRecorderCapturesFrameLifecycleWhenEnabled) {
+  obs::global().clear();
+  obs::set_enabled(true);
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 5.0;
+  exec_config.worker_threads = 2;
+  Executor executor(small_config(8), exec_config);
+  executor.run(8);
+  obs::set_enabled(false);
+
+  bool saw_frame_start = false;
+  bool saw_frame_end = false;
+  bool saw_node_timing = false;
+  for (const obs::FlightEvent& e : obs::global().flight.snapshot()) {
+    saw_frame_start |= e.type == obs::FrEventType::FrameStart;
+    saw_frame_end |= e.type == obs::FrEventType::FrameEnd;
+    saw_node_timing |= e.type == obs::FrEventType::NodeTiming;
+  }
+  EXPECT_TRUE(saw_frame_start);
+  EXPECT_TRUE(saw_frame_end);
+  EXPECT_TRUE(saw_node_timing);
+  obs::global().clear();
+}
+
+// End-to-end diagnostics: a load spike the predictors never trained on
+// makes frames miss the deadline; the drift monitor alarms, a re-train is
+// forced, and a post-mortem bundle lands on disk and parses.
+TEST(Executor, LoadSpikeProducesPostmortemBundleAndRetrain) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "tc_executor_diag_postmortems";
+  fs::remove_all(dir);
+  obs::global().clear();
+  obs::set_enabled(true);
+
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.warmup_frames = 6;
+  exec_config.deadline_headroom = 1.6;  // roomy: organic misses stay rare
+  exec_config.diagnostics.enabled = true;
+  exec_config.diagnostics.postmortem.directory = dir.string();
+  exec_config.diagnostics.postmortem.max_events = 256;
+  exec_config.diagnostics.postmortem.min_frames_between = 4;
+  exec_config.load_spike.start_frame = 20;
+  exec_config.load_spike.frames = 3;
+  exec_config.load_spike.busy_ms = 25.0;  // dwarfs the small graph's frame
+  Executor executor(small_config(32), exec_config);
+  executor.run(32);
+  obs::set_enabled(false);
+
+  const ExecutorStats stats = executor.stats();
+  EXPECT_GT(stats.deadline_misses, 0);
+  EXPECT_GT(stats.postmortems, 0);
+  EXPECT_GT(stats.drift_alerts + stats.slo_breaches, 0);
+  EXPECT_EQ(stats.retrains, stats.drift_alerts);  // retrain_on_drift default
+
+  ASSERT_NE(executor.postmortem_writer(), nullptr);
+  const std::string path = executor.postmortem_writer()->last_path();
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const common::JsonValue root = common::JsonValue::parse(ss.str());
+  EXPECT_EQ(root.string_or("format", ""), "triplec-postmortem-v1");
+  EXPECT_GT(root.get("events").size(), 0u);
+  EXPECT_GT(root.get("predictors").get("nodes").size(), 0u);
+
+  obs::global().clear();
+  fs::remove_all(dir);
+}
+
+TEST(Executor, ManualPostmortemAndForcedRetrain) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tc_executor_manual_pm";
+  fs::remove_all(dir);
+
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 5.0;
+  exec_config.worker_threads = 2;
+  exec_config.diagnostics.enabled = true;
+  // No automatic re-training: this test drives force_retrain() by hand, so
+  // drift alerts (plentiful with a 5 ms deadline on a loaded box) must not
+  // reset the Markov chain behind its back.
+  exec_config.diagnostics.retrain_on_drift = false;
+  exec_config.diagnostics.postmortem.directory = dir.string();
+  Executor executor(heavy_config(12), exec_config);
+  executor.run(10);
+
+  ASSERT_TRUE(executor.frame_markov().fitted());
+  executor.force_retrain(10);
+  EXPECT_FALSE(executor.frame_markov().fitted());
+  EXPECT_EQ(executor.stats().retrains, 1);
+
+  // An explicit request bypasses the frame rate limit.
+  const std::string path = executor.write_postmortem("operator_request");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const common::JsonValue root = common::JsonValue::parse(ss.str());
+  EXPECT_EQ(root.string_or("reason", ""), "operator_request");
+
+  fs::remove_all(dir);
+}
+
+TEST(Executor, DiagnosticsDisabledMeansNoMonitors) {
+  Executor executor(small_config(4), ExecutorConfig{});
+  EXPECT_EQ(executor.drift_monitor(), nullptr);
+  EXPECT_EQ(executor.slo_monitor(), nullptr);
+  EXPECT_EQ(executor.postmortem_writer(), nullptr);
+  EXPECT_TRUE(executor.write_postmortem("manual").empty());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "imaging/kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace tc::exec {
 namespace {
@@ -218,6 +219,50 @@ TEST(StagePipeline, DeadlineDegradeSetsFlagButRunsWork) {
   EXPECT_EQ(stats.frames_dropped, 0);
   EXPECT_EQ(stats.frames_degraded, kFrames);
   EXPECT_EQ(degraded_seen.load(), kFrames);
+}
+
+TEST(StagePipeline, EmitsQueueAndStageFlightEvents) {
+  obs::global().clear();
+  obs::set_enabled(true);
+  StagePipeline pipeline(make_stages(1), PipelineConfig{});
+  pipeline.start();
+  for (i32 t = 0; t < 5; ++t) {
+    ASSERT_TRUE(pipeline.submit(t, make_payload(32, t)));
+  }
+  pipeline.drain();
+  obs::set_enabled(false);
+
+  bool saw_push = false;
+  bool saw_pop = false;
+  bool saw_stage_start = false;
+  bool saw_stage_end = false;
+  for (const obs::FlightEvent& e : obs::global().flight.snapshot()) {
+    switch (e.type) {
+      case obs::FrEventType::QueuePush:
+        saw_push = true;
+        EXPECT_GE(e.node, 0);  // queue id = fed stage index
+        EXPECT_GE(e.a, 1.0);   // depth after push
+        break;
+      case obs::FrEventType::QueuePop:
+        saw_pop = true;
+        EXPECT_GE(e.a, 0.0);  // depth after pop
+        break;
+      case obs::FrEventType::StageStart:
+        saw_stage_start = true;
+        break;
+      case obs::FrEventType::StageEnd:
+        saw_stage_end = true;
+        EXPECT_GE(e.a, 0.0);  // stage wall ms
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_push);
+  EXPECT_TRUE(saw_pop);
+  EXPECT_TRUE(saw_stage_start);
+  EXPECT_TRUE(saw_stage_end);
+  obs::global().clear();
 }
 
 TEST(StagePipeline, DrainIsIdempotentAndSubmitAfterDrainFails) {

@@ -1,0 +1,228 @@
+#include "obs/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tripleC/markov.hpp"
+
+namespace tc::obs {
+namespace {
+
+TEST(PageHinkley, FiresOnMeanShiftNotOnStationaryNoise) {
+  PageHinkley ph(/*delta=*/0.5, /*lambda=*/20.0);
+  Pcg32 rng(7);
+  bool fired = false;
+  for (i32 i = 0; i < 500; ++i) {
+    fired = ph.observe(rng.uniform(4.5, 5.5)) || fired;
+  }
+  EXPECT_FALSE(fired) << "stationary stream must not alarm";
+
+  // Mean jumps 5 -> 15: the cumulative excess crosses lambda quickly.
+  i32 frames_to_alarm = 0;
+  for (i32 i = 0; i < 100; ++i) {
+    ++frames_to_alarm;
+    if (ph.observe(rng.uniform(14.5, 15.5))) break;
+  }
+  EXPECT_LE(frames_to_alarm, 10);
+}
+
+TEST(Cusum, TwoSidedDetectsBothDirections) {
+  Cusum up(/*reference=*/10.0, /*k=*/1.0, /*h=*/8.0);
+  bool fired = false;
+  for (i32 i = 0; i < 10 && !fired; ++i) fired = up.observe(13.0);
+  EXPECT_TRUE(fired);
+  EXPECT_GT(up.positive(), up.negative());
+
+  Cusum down(10.0, 1.0, 8.0);
+  fired = false;
+  for (i32 i = 0; i < 10 && !fired; ++i) fired = down.observe(7.0);
+  EXPECT_TRUE(fired);
+  EXPECT_GT(down.negative(), down.positive());
+
+  Cusum quiet(10.0, 1.0, 8.0);
+  for (i32 i = 0; i < 200; ++i) EXPECT_FALSE(quiet.observe(10.5));
+}
+
+TEST(DriftMonitor, AccurateStreamStaysQuiet) {
+  DriftMonitor mon;
+  for (i32 t = 0; t < 300; ++t) {
+    const f64 measured = 10.0 + 0.2 * std::sin(t * 0.3);
+    EXPECT_FALSE(mon.observe("s", t, 10.0, measured).has_value());
+  }
+  EXPECT_EQ(mon.alerts_total(), 0u);
+  EXPECT_LT(mon.smoothed_error_pct("s"), 5.0);
+}
+
+TEST(DriftMonitor, AlertCarriesDetectorAndRespectsCooldown) {
+  DriftConfig cfg;
+  cfg.min_frames = 4;
+  cfg.cooldown_frames = 50;
+  DriftMonitor mon(cfg);
+  std::vector<DriftAlert> alerts;
+  mon.set_callback([&alerts](const DriftAlert& a) { alerts.push_back(a); });
+
+  i32 t = 0;
+  for (; t < 10; ++t) (void)mon.observe("s", t, 10.0, 10.0);  // healthy
+  i32 first_alert = -1;
+  for (; t < 60; ++t) {
+    if (mon.observe("s", t, 10.0, 40.0).has_value()) {  // 75 % error
+      first_alert = t;
+      break;
+    }
+  }
+  ASSERT_GE(first_alert, 0) << "sustained 75% error must alarm";
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].stream, "s");
+  EXPECT_GT(alerts[0].smoothed_error_pct, 10.0);
+  EXPECT_GT(alerts[0].threshold, 0.0);
+
+  // Within the cooldown window no second alert fires.
+  for (t = first_alert + 1; t < first_alert + cfg.cooldown_frames; ++t) {
+    EXPECT_FALSE(mon.observe("s", t, 10.0, 40.0).has_value());
+  }
+  EXPECT_EQ(mon.alerts_total(), 1u);
+}
+
+TEST(DriftMonitor, StreamsAreIndependent) {
+  DriftConfig cfg;
+  cfg.min_frames = 4;
+  DriftMonitor mon(cfg);
+  for (i32 t = 0; t < 40; ++t) {
+    (void)mon.observe("good", t, 10.0, 10.0);
+    (void)mon.observe("bad", t, 10.0, 35.0);
+  }
+  EXPECT_LT(mon.smoothed_error_pct("good"), 2.0);
+  EXPECT_GT(mon.smoothed_error_pct("bad"), 50.0);
+  EXPECT_GE(mon.alerts_total(), 1u);
+  EXPECT_EQ(mon.stream_index("good"), 0);
+  EXPECT_EQ(mon.stream_index("bad"), 1);
+  EXPECT_EQ(mon.stream_index("unknown"), -1);
+}
+
+// Acceptance criterion of ISSUE 5: a deliberately corrupted Markov
+// predictor is caught within a bounded number of frames.  The monitor
+// watches predicted-vs-measured of a chain that was fine during warm-up
+// and then starts predicting from corrupted state (a 3x mis-scale, as a
+// stale/overwritten quantizer would produce).
+TEST(DriftMonitor, CatchesCorruptedMarkovPredictorWithinBoundedFrames) {
+  // A well-trained chain over a bimodal frame-total series.
+  Pcg32 rng(21);
+  std::vector<f64> series;
+  for (i32 i = 0; i < 400; ++i) {
+    const f64 base = (i / 8) % 2 == 0 ? 10.0 : 16.0;
+    series.push_back(rng.uniform(base, base + 1.0));
+  }
+  model::MarkovChain chain;
+  chain.fit(series);
+  ASSERT_TRUE(chain.fitted());
+
+  DriftConfig cfg;
+  cfg.min_frames = 8;
+  DriftMonitor mon(cfg);
+
+  // Healthy phase: the chain predicts its own workload well; no alarms.
+  f64 prev = series.back();
+  i32 t = 0;
+  for (; t < 120; ++t) {
+    const f64 base = (t / 8) % 2 == 0 ? 10.0 : 16.0;
+    const f64 measured = rng.uniform(base, base + 1.0);
+    EXPECT_FALSE(
+        mon.observe("markov", t, chain.predict_next(prev), measured)
+            .has_value())
+        << "healthy predictor alarmed at frame " << t;
+    prev = measured;
+  }
+
+  // Corruption: predictions now come out of a mis-scaled state space.
+  constexpr i32 kDetectionBound = 32;
+  i32 detected_after = -1;
+  for (i32 k = 0; k < kDetectionBound; ++k, ++t) {
+    const f64 base = (t / 8) % 2 == 0 ? 10.0 : 16.0;
+    const f64 measured = rng.uniform(base, base + 1.0);
+    const f64 corrupted_prediction = 3.0 * chain.predict_next(prev);
+    if (mon.observe("markov", t, corrupted_prediction, measured).has_value()) {
+      detected_after = k + 1;
+      break;
+    }
+    prev = measured;
+  }
+  ASSERT_GT(detected_after, 0)
+      << "corrupted Markov predictor not caught within " << kDetectionBound
+      << " frames";
+  EXPECT_LE(detected_after, kDetectionBound);
+}
+
+TEST(SloMonitor, MissRateBreachFiresOncePerCooldown) {
+  SloSpec spec;
+  spec.name = "miss_rate";
+  spec.kind = SloKind::DeadlineMissRate;
+  spec.threshold = 0.2;
+  spec.window = 20;
+  spec.min_frames = 10;
+  spec.cooldown_frames = 30;
+  SloMonitor mon({spec});
+
+  i32 breaches = 0;
+  for (i32 t = 0; t < 100; ++t) {
+    const bool miss = t >= 40 && t % 2 == 0;  // 50 % misses from frame 40
+    breaches += static_cast<i32>(mon.observe_frame(t, 10.0, miss).size());
+  }
+  EXPECT_GE(breaches, 1);
+  EXPECT_LE(breaches, 3);  // cooldown throttles repeated firing
+  EXPECT_EQ(mon.breaches_total(), static_cast<u64>(breaches));
+  EXPECT_GT(mon.current("miss_rate"), 0.2);
+}
+
+TEST(SloMonitor, LatencySlosTrackWindowPercentiles) {
+  SloSpec p99;
+  p99.name = "p99";
+  p99.kind = SloKind::P99LatencyMs;
+  p99.threshold = 20.0;
+  p99.window = 50;
+  p99.min_frames = 10;
+  SloSpec jitter;
+  jitter.name = "jitter";
+  jitter.kind = SloKind::JitterP99MinusP50Ms;
+  jitter.threshold = 15.0;
+  jitter.window = 50;
+  jitter.min_frames = 10;
+  SloMonitor mon({p99, jitter});
+
+  for (i32 t = 0; t < 50; ++t) (void)mon.observe_frame(t, 10.0, false);
+  EXPECT_NEAR(mon.current("p99"), 10.0, 1e-9);
+  EXPECT_NEAR(mon.current("jitter"), 0.0, 1e-9);
+
+  // One frame in fifty at 100 ms: p99 and jitter jump, both SLOs break.
+  std::vector<SloBreach> fired;
+  mon.set_callback([&fired](const SloBreach& b) { fired.push_back(b); });
+  i32 total = 0;
+  for (i32 t = 50; t < 100; ++t) {
+    const f64 latency = t % 25 == 0 ? 100.0 : 10.0;
+    total += static_cast<i32>(mon.observe_frame(t, latency, false).size());
+  }
+  EXPECT_GE(total, 2);
+  EXPECT_EQ(fired.size(), static_cast<usize>(total));
+  EXPECT_GT(mon.current("p99"), 20.0);
+}
+
+TEST(SloMonitor, ResetRearms) {
+  SloSpec spec;
+  spec.name = "s";
+  spec.kind = SloKind::DeadlineMissRate;
+  spec.threshold = 0.1;
+  spec.window = 10;
+  spec.min_frames = 5;
+  SloMonitor mon({spec});
+  for (i32 t = 0; t < 20; ++t) (void)mon.observe_frame(t, 1.0, true);
+  EXPECT_GT(mon.breaches_total(), 0u);
+  mon.reset();
+  EXPECT_EQ(mon.breaches_total(), 0u);
+  EXPECT_NEAR(mon.current("s"), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tc::obs

@@ -37,6 +37,28 @@ TEST(Prometheus, GoldenFormatForSmallRegistry) {
   EXPECT_EQ(to_prometheus(r), expected);
 }
 
+TEST(Prometheus, HostileLabelValuesStayInsideTheirSample) {
+  MetricsRegistry r;
+  // A node name with quote/backslash/newline must not break the exposition
+  // format when routed through obs::label().
+  r.counter("tripleC_task_frames_total", "per task",
+            label("task", "RDG\"v2\"\\\n"))
+      .add(1.0);
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("tripleC_task_frames_total{task=\"RDG\\\"v2\\\"\\\\"
+                      "\\n\"} 1"),
+            std::string::npos);
+  // No raw newline sneaks into the middle of a sample line.
+  for (usize pos = 0; (pos = text.find('\n', pos)) != std::string::npos;
+       ++pos) {
+    if (pos + 1 < text.size()) {
+      EXPECT_TRUE(text[pos + 1] == '#' || text[pos + 1] == 't' ||
+                  pos + 1 == text.size())
+          << "unexpected line start at " << pos + 1;
+    }
+  }
+}
+
 TEST(Prometheus, LabeledFamilyEmitsOneTypeLine) {
   MetricsRegistry r;
   r.counter("tripleC_scenario_frames_total", "per scenario",

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -70,6 +72,71 @@ TEST(Histogram, EmptyPercentileIsZero) {
   Histogram h({1.0});
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, InfBucketClampsEveryPercentile) {
+  Histogram h({1.0, 8.0});
+  // All mass in the +Inf bucket: no percentile may escape past the last
+  // finite bound (a naive interpolation would divide by an infinite width).
+  for (i32 i = 0; i < 100; ++i) h.record(1e9);
+  for (f64 p : {0.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 8.0) << "p=" << p;
+  }
+  EXPECT_EQ(h.bucket_counts().back(), 100u);
+}
+
+TEST(Histogram, ResetRacesRecordWithoutCorruption) {
+  // reset() may run while writers record(): totals after the dust settles
+  // stay within the recorded range and nothing tears (TSan acceptance).
+  Histogram h({1.0, 2.0, 4.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (i32 w = 0; w < 2; ++w) {
+    writers.emplace_back([&h, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) h.record(1.5);
+    });
+  }
+  for (i32 i = 0; i < 500; ++i) h.reset();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  // Once quiescent, one more reset restores exact accounting: the racing
+  // phase must not have corrupted any instrument state.
+  h.reset();
+  h.record(1.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+}
+
+TEST(MetricNames, GrammarMatchesPrometheus) {
+  EXPECT_TRUE(valid_metric_name("tripleC_frame_ms"));
+  EXPECT_TRUE(valid_metric_name("_private"));
+  EXPECT_TRUE(valid_metric_name("ns:sub:metric_total"));
+  EXPECT_TRUE(valid_metric_name("A9"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("9starts_with_digit"));
+  EXPECT_FALSE(valid_metric_name("has-dash"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("trailing\n"));
+  EXPECT_FALSE(valid_metric_name("uni\xc3\xa9"));
+}
+
+TEST(MetricNames, RegistrationRejectsInvalidNames) {
+  MetricsRegistry r;
+  EXPECT_THROW(r.counter("bad-name", "h"), std::invalid_argument);
+  EXPECT_THROW(r.gauge("1bad", "h"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("bad name", "h", std::vector<f64>{1.0}),
+               std::invalid_argument);
+  EXPECT_EQ(r.size(), 0u);  // nothing half-registered
+}
+
+TEST(Labels, ValuesAreEscapedForExposition) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(label("task", "RDG_FULL"), "task=\"RDG_FULL\"");
+  EXPECT_EQ(label("task", "a\"b\\c"), "task=\"a\\\"b\\\\c\"");
 }
 
 TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
@@ -148,6 +215,42 @@ TEST(FrameLog, StoresSamplesInOrder) {
   EXPECT_EQ(all[3].frame, 3);
   log.clear();
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(FrameLog, CapacityBoundsKeepNewestSamples) {
+  FrameLog log(4);
+  for (i32 i = 0; i < 10; ++i) {
+    FrameSample s;
+    s.frame = i;
+    log.add(s);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_added(), 10u);
+  EXPECT_EQ(log.capacity(), 4u);
+  const std::vector<FrameSample> all = log.samples();
+  for (usize i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].frame, 6 + static_cast<i32>(i));
+  }
+}
+
+TEST(FrameLog, SetCapacityEvictsAndZeroUnbounds) {
+  FrameLog log;
+  for (i32 i = 0; i < 8; ++i) {
+    FrameSample s;
+    s.frame = i;
+    log.add(s);
+  }
+  log.set_capacity(3);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.samples().front().frame, 5);
+  log.set_capacity(0);  // unbounded again: nothing further evicted
+  for (i32 i = 8; i < 16; ++i) {
+    FrameSample s;
+    s.frame = i;
+    log.add(s);
+  }
+  EXPECT_EQ(log.size(), 11u);
+  EXPECT_EQ(log.total_added(), 16u);
 }
 
 }  // namespace
