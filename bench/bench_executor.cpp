@@ -24,10 +24,13 @@
 
 #include "app/stentboost.hpp"
 #include "bench_util.hpp"
+#include "exec/frame_pipeline.hpp"
 #include "exec/stage_pipeline.hpp"
 #include "imaging/kernels.hpp"
 #include "obs/exporters.hpp"
+#include "obs/obs.hpp"
 #include "obs/scoped_timer.hpp"
+#include "runtime/partition.hpp"
 
 using namespace tc;
 
@@ -38,6 +41,9 @@ struct Options {
   i32 size = 256;
   i32 workers = 4;
   i32 reps = 1;
+  /// Smoke mode (CI/TSan): run everything, skip the speedup exit gate —
+  /// sanitized or oversubscribed hosts make wall-clock wins meaningless.
+  bool smoke = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -50,6 +56,7 @@ Options parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--size") == 0) next(opt.size);
     else if (std::strcmp(argv[i], "--workers") == 0) next(opt.workers);
     else if (std::strcmp(argv[i], "--reps") == 0) next(opt.reps);
+    else if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
   }
   opt.reps = std::max(opt.reps, 1);
   return opt;
@@ -118,6 +125,37 @@ f64 run_app(const Options& opt, const std::vector<img::ImageU16>& frames,
   for (i32 t = 0; t < opt.frames; ++t) {
     (void)app.process_image(t, frames[static_cast<usize>(t)]);
   }
+  return timer.elapsed_ms();
+}
+
+/// The real graph through the two-stage frame pipeline (front || back) with
+/// striped instance fan-out on the shared pool — the hybrid functional +
+/// data partitioning of paper §6 on real kernels.
+f64 run_app_pipelined(const Options& opt,
+                      const std::vector<img::ImageU16>& frames,
+                      plat::ThreadPool* pool, i32 stripes,
+                      i32 frames_in_flight) {
+  app::StentBoostApp app(app_config(opt), pool);
+  app::StripePlan plan = app::serial_plan();
+  for (i32 node = 0; node < app::kNodeCount; ++node) {
+    if (app::node_data_parallel(node)) plan[static_cast<usize>(node)] = stripes;
+  }
+  app.set_stripe_plan(plan);
+  rt::PlanChoice choice;
+  choice.plan = plan;
+  app.set_instance_budget(rt::budget_for_plan(
+      choice, pool != nullptr ? narrow<i32>(pool->thread_count()) : 1,
+      frames_in_flight));
+
+  exec::FramePipelineConfig config;
+  config.frames_in_flight = frames_in_flight;
+  config.collect_records = false;
+  exec::FramePipeline pipeline(app, config);
+  obs::ScopedTimer timer;
+  for (i32 t = 0; t < opt.frames; ++t) {
+    pipeline.submit(t, frames[static_cast<usize>(t)]);
+  }
+  pipeline.drain();
   return timer.elapsed_ms();
 }
 
@@ -260,7 +298,31 @@ int main(int argc, char** argv) {
       opt.reps, [&] { return run_app(opt, frames, &pool, opt.workers); });
   app_rows.push_back(make_row("stripe_x" + std::to_string(opt.workers),
                               striped_wall, opt.frames, serial_wall));
+  const f64 hybrid_pipe_wall = median_wall(opt.reps, [&] {
+    return run_app_pipelined(opt, frames, &pool, opt.workers,
+                             /*frames_in_flight=*/2);
+  });
+  app_rows.push_back(make_row("hybrid_pipeline_x" + std::to_string(opt.workers),
+                              hybrid_pipe_wall, opt.frames, serial_wall));
   print_rows("stentboost graph (real kernels, full-frame scenario)", app_rows);
+
+  // One instrumented hybrid run: prove the admit/commit/fan-out machinery is
+  // exercised (the flight events the post-mortems and traces rely on).
+  {
+    obs::set_enabled(true);
+    obs::global().flight.clear();
+    (void)run_app_pipelined(opt, frames, &pool, opt.workers, 2);
+    usize admits = 0, commits = 0, fanouts = 0;
+    for (const obs::FlightEvent& e : obs::global().flight.snapshot()) {
+      if (e.type == obs::FrEventType::CtxAdmit) ++admits;
+      if (e.type == obs::FrEventType::CtxCommit) ++commits;
+      if (e.type == obs::FrEventType::InstanceFanout) ++fanouts;
+    }
+    obs::set_enabled(false);
+    std::printf("hybrid_pipeline flight events: %zu ctx admits, %zu commits, "
+                "%zu instance fan-outs\n\n",
+                admits, commits, fanouts);
+  }
 
   // --- kernel pipeline: serial vs functional vs hybrid ---------------------
   auto payloads_for = [&](void) {
@@ -308,6 +370,10 @@ int main(int argc, char** argv) {
   std::printf("\nstripe-parallel %s serial (%.1f ms vs %.1f ms on %d workers)\n",
               stripe_wins ? "beats" : "DOES NOT beat", striped_wall,
               serial_wall, opt.workers);
+  if (opt.smoke) {
+    std::printf("(smoke mode; speedup gate skipped)\n");
+    return 0;
+  }
   const unsigned cores = std::thread::hardware_concurrency();
   if (!stripe_wins && cores < 2) {
     // Striping cannot beat serial wall-clock without parallel hardware; the

@@ -54,6 +54,19 @@ def main():
               f"{args.current}: {e}")
         return 0
 
+    # A core-count mismatch is not noise: every parallel row's ms/frame
+    # scales with the host cores the run actually had, so any diff would be
+    # pure machine skew.  Refuse the comparison outright (still exit 0 —
+    # the gate stays warn-only) instead of emitting misleading deltas.
+    base_cores = base_doc.get("host_cores")
+    cur_cores = cur_doc.get("host_cores")
+    if base_cores != cur_cores:
+        print(f"::warning::bench compare: host_cores differs "
+              f"(baseline={base_cores} current={cur_cores}); skipping "
+              f"comparison — rerun the baseline on this machine or refresh "
+              f"bench/baselines/")
+        return 0
+
     for key in ("frames", "size", "workers"):
         if base_doc.get(key) != cur_doc.get(key):
             print(f"::warning::bench compare: {key} differs "

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     if (warm < 8 || !app.reference_couple().has_value()) continue;
     // The enhanced output is stabilized in the reference frame: the markers
     // sit at the *reference* couple positions inside the reference ROI.
-    const img::Couple& ref = *app.reference_couple();
+    const img::Couple ref = *app.reference_couple();
     Rect roi = app.reference_roi();
     f64 sx = static_cast<f64>(config.zoom.output_width) / roi.w;
     f64 sy = static_cast<f64>(config.zoom.output_height) / roi.h;

@@ -1,0 +1,67 @@
+#include "app/frame_context.hpp"
+
+#include <utility>
+
+namespace tc::app {
+
+u64 StreamState::admit(FrontState& out) {
+  common::MutexLock lock(mutex_);
+  const u64 ticket = next_ticket_++;
+  cv_.wait(mutex_, [&] { return front_committed_ >= ticket; });
+  out = front_;
+  return ticket;
+}
+
+void StreamState::commit_front(u64 ticket, FrontState next) {
+  common::MutexLock lock(mutex_);
+  cv_.wait(mutex_, [&] { return front_committed_ == ticket; });
+  front_ = std::move(next);
+  front_committed_ = ticket + 1;
+  cv_.notify_all();
+}
+
+void StreamState::acquire_back(u64 ticket, BackState& out) {
+  common::MutexLock lock(mutex_);
+  cv_.wait(mutex_, [&] { return back_committed_ >= ticket; });
+  out = std::move(back_);
+}
+
+void StreamState::commit_back(u64 ticket, BackState next) {
+  common::MutexLock lock(mutex_);
+  cv_.wait(mutex_, [&] { return back_committed_ == ticket; });
+  back_ = std::move(next);
+  back_committed_ = ticket + 1;
+  cv_.notify_all();
+}
+
+FrontState StreamState::front() const {
+  common::MutexLock lock(mutex_);
+  return front_;
+}
+
+std::optional<img::Couple> StreamState::back_ref_couple() const {
+  common::MutexLock lock(mutex_);
+  return back_.ref_couple;
+}
+
+Rect StreamState::back_ref_roi() const {
+  common::MutexLock lock(mutex_);
+  return back_.ref_roi;
+}
+
+u64 StreamState::tickets_issued() const {
+  common::MutexLock lock(mutex_);
+  return next_ticket_;
+}
+
+void StreamState::reset() {
+  common::MutexLock lock(mutex_);
+  front_ = FrontState{};
+  back_ = BackState{};
+  next_ticket_ = 0;
+  front_committed_ = 0;
+  back_committed_ = 0;
+  cv_.notify_all();
+}
+
+}  // namespace tc::app

@@ -18,6 +18,12 @@ constexpr std::array<bool, kNodeCount> kDataParallel = {
     true,  true,  true,  true,  false,
     false, false, false, true,  true,
 };
+
+/// The frame context a graph-level execution context belongs to.
+FrameContext& ctx_of(graph::ExecContext& g) {
+  assert(g.user != nullptr);
+  return *static_cast<FrameContext*>(g.user);
+}
 }  // namespace
 
 std::string_view node_name(i32 node) {
@@ -94,10 +100,18 @@ StentBoostApp::StentBoostApp(StentBoostConfig config, plat::ThreadPool* pool)
 void StentBoostApp::build_graph() {
   using graph::FlowGraph;
 
-  // Switches (bit positions must match the Switch enum).
-  i32 sw_rdg = graph_.add_switch("RDG", [this] { return rdg_active_; });
-  i32 sw_roi = graph_.add_switch("ROI", [this] { return roi_valid_; });
-  i32 sw_reg = graph_.add_switch("REG", [this] { return reg_success_; });
+  // Switches (bit positions must match the Switch enum).  SW_RDG and SW_ROI
+  // read the admission-time stream snapshot; SW_REG reads the registration
+  // outcome of the frame itself.
+  i32 sw_rdg = graph_.add_switch(
+      "RDG", FlowGraph::SwitchFn(
+                 [](graph::ExecContext& g) { return ctx_of(g).front.rdg_active; }));
+  i32 sw_roi = graph_.add_switch(
+      "ROI", FlowGraph::SwitchFn(
+                 [](graph::ExecContext& g) { return ctx_of(g).front.roi_valid; }));
+  i32 sw_reg = graph_.add_switch(
+      "REG", FlowGraph::SwitchFn(
+                 [](graph::ExecContext& g) { return ctx_of(g).reg_success; }));
   assert(sw_rdg == kSwRdg && sw_roi == kSwRoi && sw_reg == kSwReg);
   (void)sw_rdg;
   (void)sw_roi;
@@ -113,37 +127,55 @@ void StentBoostApp::build_graph() {
     (void)expected;
   };
 
-  add(kRdgFull, "RDG_FULL", true, [this] { return run_rdg(false); },
-      [](FlowGraph& g) {
-        return g.switch_value(kSwRdg) && !g.switch_value(kSwRoi);
+  add(kRdgFull, "RDG_FULL", true,
+      [this](graph::ExecContext& g) { return run_rdg(ctx_of(g), false); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return g.switch_value(kSwRdg, c) && !g.switch_value(kSwRoi, c);
       });
-  add(kRdgRoi, "RDG_ROI", true, [this] { return run_rdg(true); },
-      [](FlowGraph& g) {
-        return g.switch_value(kSwRdg) && g.switch_value(kSwRoi);
+  add(kRdgRoi, "RDG_ROI", true,
+      [this](graph::ExecContext& g) { return run_rdg(ctx_of(g), true); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return g.switch_value(kSwRdg, c) && g.switch_value(kSwRoi, c);
       });
-  add(kMkxFull, "MKX_FULL", true, [this] { return run_mkx(false); },
-      [](FlowGraph& g) { return !g.switch_value(kSwRoi); });
-  add(kMkxRoi, "MKX_ROI", true, [this] { return run_mkx(true); },
-      [](FlowGraph& g) { return g.switch_value(kSwRoi); });
-  add(kCplsSel, "CPLS_SEL", false, [this] { return run_cpls(); }, {});
-  add(kReg, "REG", false, [this] { return run_reg(); }, {});
-  add(kRoiEst, "ROI_EST", false, [this] { return run_roi_est(); }, {});
-  add(kGwExt, "GW_EXT", false, [this] { return run_gw(); }, {});
-  add(kEnh, "ENH", true, [this] { return run_enh(); },
-      [](FlowGraph& g) { return g.switch_value(kSwReg); });
-  add(kZoom, "ZOOM", true, [this] { return run_zoom(); },
-      [](FlowGraph& g) { return g.switch_value(kSwReg); });
+  add(kMkxFull, "MKX_FULL", true,
+      [this](graph::ExecContext& g) { return run_mkx(ctx_of(g), false); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return !g.switch_value(kSwRoi, c);
+      });
+  add(kMkxRoi, "MKX_ROI", true,
+      [this](graph::ExecContext& g) { return run_mkx(ctx_of(g), true); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return g.switch_value(kSwRoi, c);
+      });
+  add(kCplsSel, "CPLS_SEL", false,
+      [this](graph::ExecContext& g) { return run_cpls(ctx_of(g)); }, {});
+  add(kReg, "REG", false,
+      [this](graph::ExecContext& g) { return run_reg(ctx_of(g)); }, {});
+  add(kRoiEst, "ROI_EST", false,
+      [this](graph::ExecContext& g) { return run_roi_est(ctx_of(g)); }, {});
+  add(kGwExt, "GW_EXT", false,
+      [this](graph::ExecContext& g) { return run_gw(ctx_of(g)); }, {});
+  add(kEnh, "ENH", true,
+      [this](graph::ExecContext& g) { return run_enh(ctx_of(g)); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return g.switch_value(kSwReg, c);
+      });
+  add(kZoom, "ZOOM", true,
+      [this](graph::ExecContext& g) { return run_zoom(ctx_of(g)); },
+      [](FlowGraph& g, graph::ExecContext& c) {
+        return g.switch_value(kSwReg, c);
+      });
 
   // Edges: execution order plus the buffer flows of Fig. 2.  Byte counts
-  // reflect the producer's output at the current granularity.
+  // reflect the producer's output at the current granularity (edges are
+  // queried at analysis time, so they read the committed stream state).
   const auto full_pixels = [this] {
     return static_cast<u64>(config_.sequence.width) *
            static_cast<u64>(config_.sequence.height);
   };
-  const auto roi_px = [this] {
-    return roi_valid_ ? static_cast<u64>(roi_.area())
-                      : static_cast<u64>(config_.sequence.width) *
-                            static_cast<u64>(config_.sequence.height);
+  const auto roi_px = [this, full_pixels] {
+    FrontState front = stream_.front();
+    return front.roi_valid ? static_cast<u64>(front.roi.area()) : full_pixels();
   };
 
   graph_.add_edge(kRdgFull, kMkxFull,
@@ -162,6 +194,151 @@ void StentBoostApp::build_graph() {
   graph_.add_edge(kReg, kEnh,
                   [=] { return full_pixels() * sizeof(u16); });
   graph_.add_edge(kEnh, kZoom, [=] { return roi_px() * sizeof(f32); });
+
+  // Stage split for pipelined execution: ENH and ZOOM form the back end.
+  // All front nodes precede them in the topological order (ENH depends on
+  // GW_EXT, the last front node), so the concatenation front + back is the
+  // full topological order and record layouts match serial execution.
+  front_order_.clear();
+  back_order_.clear();
+  for (i32 node : graph_.topological_order()) {
+    if (node == kEnh || node == kZoom) {
+      back_order_.push_back(node);
+    } else {
+      front_order_.push_back(node);
+    }
+  }
+}
+
+FrameContext* StentBoostApp::acquire_context() {
+  common::MutexLock lock(ctx_mutex_);
+  if (!free_ctx_.empty()) {
+    FrameContext* ctx = free_ctx_.back();
+    free_ctx_.pop_back();
+    return ctx;
+  }
+  contexts_.push_back(std::make_unique<FrameContext>());
+  return contexts_.back().get();
+}
+
+void StentBoostApp::recycle_context(FrameContext* ctx) {
+  common::MutexLock lock(ctx_mutex_);
+  free_ctx_.push_back(ctx);
+}
+
+FrameContext* StentBoostApp::admit_frame(i32 t) {
+  return admit_image(t, sequence_.render(t));
+}
+
+FrameContext* StentBoostApp::admit_image(i32 t, const img::ImageU16& frame) {
+  FrameContext* ctx = acquire_context();
+
+  // Reuse a frame-image allocation once the stream's prev_frame reference
+  // moved past it (use_count() == 1 means only the slot holds it).
+  std::shared_ptr<img::ImageF32> image;
+  for (std::shared_ptr<img::ImageF32>& slot : ctx->image_slots) {
+    if (slot != nullptr && slot.use_count() == 1) {
+      image = slot;
+      break;
+    }
+  }
+  if (image == nullptr) {
+    image = std::make_shared<img::ImageF32>();
+    for (std::shared_ptr<img::ImageF32>& slot : ctx->image_slots) {
+      if (slot == nullptr) {
+        slot = image;
+        break;
+      }
+    }
+  }
+  img::to_f32(frame, *image);
+  ctx->image = std::move(image);
+
+  ctx->frame = t;
+  ctx->ticket = stream_.admit(ctx->front);
+
+  // Reset the per-frame outputs (buffers keep their allocations).
+  ctx->ridge.dominant_pixels = 0;
+  ctx->ridge.work = img::WorkReport{};
+  ctx->ridge_valid = false;
+  ctx->markers = img::MarkerResult{};
+  ctx->couple.reset();
+  ctx->reg = img::RegistrationResult{};
+  ctx->reg_success = false;
+  ctx->roi = ctx->front.roi;
+  ctx->gw_ran = false;
+  ctx->gw_found = false;
+  for (auto& reports : ctx->stripe_reports) reports.clear();
+  ctx->record = graph::FrameRecord{};
+  ctx->record.frame = t;
+  ctx->record.tasks.reserve(kNodeCount);
+
+  // Knob snapshots: a set_* call only affects frames admitted afterwards.
+  ctx->plan = plan_;
+  ctx->budget = budget_;
+  ctx->qos_extra_decim = qos_extra_decim_;
+  ctx->qos_skip_gw = qos_skip_gw_;
+  ctx->qos_zoom_div = qos_zoom_div_;
+
+  const Rect full = Rect{0, 0, ctx->image->width(), ctx->image->height()};
+  ctx->roi_for_frame = ctx->front.roi_valid ? ctx->front.roi : full;
+  ctx->roi_pixels = static_cast<f64>(ctx->roi_for_frame.area()) *
+                    config_.cost.resolution_scale;
+
+  ctx->gctx.user = ctx;
+  graph_.begin_frame(t, ctx->gctx);
+
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::CtxAdmit, t, -1,
+                                static_cast<f64>(ctx->ticket));
+  }
+  return ctx;
+}
+
+void StentBoostApp::run_front(FrameContext& ctx) {
+  graph_.run_nodes(front_order_, ctx.gctx, ctx.record);
+  stream_.commit_front(ctx.ticket, advance_front(ctx));
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::CtxCommit, ctx.frame, -1,
+                                static_cast<f64>(ctx.ticket), 0.0);
+  }
+}
+
+void StentBoostApp::run_back(FrameContext& ctx) {
+  stream_.acquire_back(ctx.ticket, ctx.back);
+  graph_.run_nodes(back_order_, ctx.gctx, ctx.record);
+  // SW_REG: a failed registration restarts the temporal integration (the
+  // reference ROI is kept, matching the serial application).
+  if (!ctx.reg_success) {
+    ctx.back.accumulator = img::ImageF32();
+    ctx.back.ref_couple.reset();
+  }
+  stream_.commit_back(ctx.ticket, std::move(ctx.back));
+  ctx.back = BackState{};
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::CtxCommit, ctx.frame, -1,
+                                static_cast<f64>(ctx.ticket), 1.0);
+  }
+}
+
+graph::FrameRecord StentBoostApp::retire_frame(FrameContext& ctx) {
+  graph_.finalize_scenario(ctx.gctx, ctx.record);
+  ctx.record.roi_pixels = ctx.roi_pixels;
+  assign_costs(ctx);
+
+  if (obs::enabled()) {
+    obs::global()
+        .metrics
+        .counter("tripleC_scenario_frames_total", "Frames per active scenario",
+                 obs::label("scenario", std::to_string(ctx.record.scenario)))
+        .add();
+  }
+
+  graph::FrameRecord record = std::move(ctx.record);
+  ctx.record = graph::FrameRecord{};
+  last_ctx_ = &ctx;
+  recycle_context(&ctx);
+  return record;
 }
 
 graph::FrameRecord StentBoostApp::process_frame(i32 t) {
@@ -174,37 +351,17 @@ graph::FrameRecord StentBoostApp::process_image(i32 t,
   host_span.arg("frame", std::to_string(t));
   obs::ScopedTimer wall;
 
-  frame_ = img::to_f32(frame);
-
-  // Reset the per-frame state.
-  ridge_.reset();
-  markers_ = img::MarkerResult{};
-  couple_.reset();
-  reg_ = img::RegistrationResult{};
-  reg_success_ = false;
-  for (auto& reports : stripe_reports_) reports.clear();
-
-  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
-  const Rect roi_for_frame = roi_valid_ ? roi_ : full;
-  roi_pixels_ = static_cast<f64>(roi_for_frame.area()) *
-                config_.cost.resolution_scale;
-
-  graph::FrameRecord record = graph_.run_frame(t);
-  record.roi_pixels = roi_pixels_;
-  assign_costs(record);
-  advance_switch_state();
-
-  prev_frame_ = frame_;
-  prev_couple_ = couple_;
+  FrameContext& ctx = *admit_image(t, frame);
+  run_front(ctx);
+  run_back(ctx);
+  graph::FrameRecord record = retire_frame(ctx);
 
   if (obs::enabled()) {
-    obs::MetricsRegistry& m = obs::global().metrics;
-    m.counter("tripleC_scenario_frames_total", "Frames per active scenario",
-              obs::label("scenario", std::to_string(record.scenario)))
-        .add();
-    m.histogram("tripleC_host_frame_wall_ms",
-                "Host wall-clock time per processed frame",
-                obs::latency_buckets_ms())
+    obs::global()
+        .metrics
+        .histogram("tripleC_host_frame_wall_ms",
+                   "Host wall-clock time per processed frame",
+                   obs::latency_buckets_ms())
         .record(wall.elapsed_ms());
   }
   return record;
@@ -218,192 +375,267 @@ std::vector<graph::FrameRecord> StentBoostApp::run(i32 n) {
 }
 
 void StentBoostApp::reset() {
-  frame_ = img::ImageF32();
-  prev_frame_ = img::ImageF32();
-  ridge_.reset();
-  markers_ = img::MarkerResult{};
-  couple_.reset();
-  prev_couple_.reset();
-  reg_ = img::RegistrationResult{};
-  accumulator_ = img::ImageF32();
-  ref_couple_.reset();
-  enhanced_roi_ = img::ImageF32();
-  output_ = img::ImageU16();
-  roi_pixels_ = 0.0;
+  stream_.reset();
+  {
+    common::MutexLock lock(ctx_mutex_);
+    free_ctx_.clear();
+    contexts_.clear();
+  }
+  last_ctx_ = nullptr;
   for (auto& p : interference_) p.reset();
-  rdg_active_ = true;
-  quiet_frames_ = 0;
-  roi_valid_ = false;
-  roi_ = Rect{};
-  reg_success_ = false;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_rdg(bool roi_mode) {
-  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
-  const Rect r = roi_mode && roi_valid_ ? roi_ : full;
+bool StentBoostApp::last_reg_success() const {
+  return last_ctx_ != nullptr && last_ctx_->reg_success;
+}
+
+const img::ImageU16& StentBoostApp::last_output() const {
+  static const img::ImageU16 kEmpty;
+  return last_ctx_ != nullptr ? last_ctx_->output : kEmpty;
+}
+
+const img::RidgeResult* StentBoostApp::last_ridge() const {
+  return last_ctx_ != nullptr && last_ctx_->ridge_valid ? &last_ctx_->ridge
+                                                        : nullptr;
+}
+
+usize StentBoostApp::last_candidate_count() const {
+  return last_ctx_ != nullptr ? last_ctx_->markers.candidates.size() : 0;
+}
+
+f64 StentBoostApp::roi_pixels_of_frame() const {
+  return last_ctx_ != nullptr ? last_ctx_->roi_pixels : 0.0;
+}
+
+void StentBoostApp::run_instances(
+    FrameContext& ctx, i32 node, i32 count, i32 instances,
+    const std::function<void(i32, IndexRange)>& body) {
+  if (instances > 1 && obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::InstanceFanout, ctx.frame,
+                                node, static_cast<f64>(instances),
+                                static_cast<f64>(count));
+  }
+  if (pool_ != nullptr && instances > 1 && ctx.budget.max_concurrent != 1) {
+    pool_->parallel_ranges(count, instances, body);
+  } else {
+    for (i32 i = 0; i < instances; ++i) {
+      body(i, plat::even_chunk(count, instances, i));
+    }
+  }
+}
+
+std::optional<img::WorkReport> StentBoostApp::run_rdg(FrameContext& ctx,
+                                                      bool roi_mode) {
+  const img::ImageF32& frame = *ctx.image;
+  const Rect full = Rect{0, 0, frame.width(), frame.height()};
+  const Rect r = clamp_rect(roi_mode && ctx.front.roi_valid ? ctx.front.roi
+                                                            : full,
+                            frame.width(), frame.height());
   const i32 node = roi_mode ? kRdgRoi : kRdgFull;
-  const i32 stripes = plan_[static_cast<usize>(node)];
+  const i32 stripes = ctx.plan[static_cast<usize>(node)];
+
+  // Output images are reused across frames; a serial run starts from
+  // zero-filled allocations, so clear them before any instance writes.
+  ctx.ridge.response.ensure(frame.width(), frame.height());
+  ctx.ridge.blobness.ensure(frame.width(), frame.height());
+  ctx.ridge.response.fill(0.0f);
+  ctx.ridge.blobness.fill(0.0f);
+  ctx.ridge.dominant_pixels = 0;
+
+  const usize scratch_count = static_cast<usize>(std::max(stripes, 1));
+  if (ctx.ridge_scratch.size() < scratch_count) {
+    ctx.ridge_scratch.resize(scratch_count);
+  }
 
   if (stripes <= 1) {
-    img::RidgeResult result = img::ridge_detect(frame_, r, config_.ridge);
-    img::WorkReport work = result.work;
-    ridge_ = std::move(result);
+    img::WorkReport work;
+    img::ridge_detect_rows(frame, r, config_.ridge, ctx.ridge.response,
+                           ctx.ridge.blobness, IndexRange{r.y, r.y + r.h},
+                           ctx.ridge.dominant_pixels, work,
+                           &ctx.ridge_scratch[0]);
+    work.data_parallel = true;
+    ctx.ridge.work = work;
+    ctx.ridge_valid = true;
     return work;
   }
 
-  // Stripe-parallel execution: disjoint output row bands, bit-identical to
-  // the serial run.
-  img::RidgeResult result;
-  result.response = img::ImageF32(frame_.width(), frame_.height(), 0.0f);
-  result.blobness = img::ImageF32(frame_.width(), frame_.height(), 0.0f);
+  // Instance-parallel execution: disjoint output row bands, bit-identical
+  // to the serial run.
   std::vector<img::WorkReport> reports(static_cast<usize>(stripes));
   std::vector<u64> dominant(static_cast<usize>(stripes), 0);
   auto run_band = [&](i32 band, IndexRange rows) {
     IndexRange abs_rows{r.y + rows.lo, r.y + rows.hi};
-    img::ridge_detect_rows(frame_, r, config_.ridge, result.response,
-                           result.blobness, abs_rows,
+    img::ridge_detect_rows(frame, r, config_.ridge, ctx.ridge.response,
+                           ctx.ridge.blobness, abs_rows,
                            dominant[static_cast<usize>(band)],
-                           reports[static_cast<usize>(band)]);
+                           reports[static_cast<usize>(band)],
+                           &ctx.ridge_scratch[static_cast<usize>(band)]);
   };
-  if (pool_ != nullptr) {
-    pool_->parallel_ranges(r.h, stripes, run_band);
-  } else {
-    for (i32 b = 0; b < stripes; ++b) {
-      run_band(b, plat::even_chunk(r.h, stripes, b));
-    }
-  }
+  run_instances(ctx, node, r.h, stripes, run_band);
   img::WorkReport total;
   for (usize b = 0; b < reports.size(); ++b) {
     total += reports[b];
-    result.dominant_pixels += dominant[b];
+    ctx.ridge.dominant_pixels += dominant[b];
   }
   total.data_parallel = true;
-  stripe_reports_[static_cast<usize>(node)] = std::move(reports);
-  result.work = total;
-  ridge_ = std::move(result);
+  ctx.stripe_reports[static_cast<usize>(node)] = std::move(reports);
+  ctx.ridge.work = total;
+  ctx.ridge_valid = true;
   return total;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_mkx(bool roi_mode) {
-  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
-  const Rect r = roi_mode && roi_valid_ ? roi_ : full;
-  const img::RidgeResult* ridge = ridge_.has_value() ? &*ridge_ : nullptr;
+std::optional<img::WorkReport> StentBoostApp::run_mkx(FrameContext& ctx,
+                                                      bool roi_mode) {
+  const img::ImageF32& frame = *ctx.image;
+  const Rect full = Rect{0, 0, frame.width(), frame.height()};
+  const Rect r = roi_mode && ctx.front.roi_valid ? ctx.front.roi : full;
+  const img::RidgeResult* ridge = ctx.ridge_valid ? &ctx.ridge : nullptr;
   img::MarkerParams params = config_.markers;
-  if (qos_extra_decim_ > 1) {
+  if (ctx.qos_extra_decim > 1) {
     // QoS degradation: coarser detection grid, matched blob scales.
-    params.decimation *= qos_extra_decim_;
+    params.decimation *= ctx.qos_extra_decim;
     params.blob_sigma =
-        std::max(0.7, params.blob_sigma / qos_extra_decim_);
+        std::max(0.7, params.blob_sigma / ctx.qos_extra_decim);
     params.background_sigma = 2.5 * params.blob_sigma;
   }
-  markers_ = img::extract_markers(frame_, r, params, ridge);
-  return markers_.work;
+  if (clamp_rect(r, frame.width(), frame.height()).empty()) {
+    ctx.markers = img::MarkerResult{};
+    return ctx.markers.work;
+  }
+
+  // Grid preparation is a serial prologue; cell extraction fans out as
+  // candidate-batch instances over NMS cell rows.
+  img::MarkerGrid grid = img::marker_grid(frame, r, params);
+  const i32 node = roi_mode ? kMkxRoi : kMkxFull;
+  const i32 instances =
+      std::clamp(std::max(ctx.plan[static_cast<usize>(node)],
+                          ctx.budget.feature_batches),
+                 1, std::max(grid.cell_rows, 1));
+  std::vector<img::MarkerBatch> batches(static_cast<usize>(instances));
+  run_instances(ctx, node, grid.cell_rows, instances,
+                [&](i32 b, IndexRange cells) {
+                  batches[static_cast<usize>(b)] = img::extract_marker_cells(
+                      frame, grid, params, ridge, cells);
+                });
+  ctx.markers = img::finalize_markers(
+      grid, params, ridge != nullptr,
+      std::span<const img::MarkerBatch>(batches));
+  return ctx.markers.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_cpls() {
-  const img::Couple* prior =
-      prev_couple_.has_value() ? &*prev_couple_ : nullptr;
-  img::CoupleResult result =
-      img::select_couple(markers_.candidates, config_.couples, prior);
-  couple_ = result.best;
+std::optional<img::WorkReport> StentBoostApp::run_cpls(FrameContext& ctx) {
+  const img::Couple* prior = ctx.front.prev_couple.has_value()
+                                 ? &*ctx.front.prev_couple
+                                 : nullptr;
+  const i32 n = narrow<i32>(ctx.markers.candidates.size());
+  const i32 instances =
+      std::clamp(ctx.budget.feature_batches, 1, std::max(n, 1));
+  std::vector<img::CouplePartial> partials(static_cast<usize>(instances));
+  run_instances(ctx, kCplsSel, n, instances, [&](i32 b, IndexRange range) {
+    partials[static_cast<usize>(b)] = img::select_couple_rows(
+        ctx.markers.candidates, config_.couples, prior, range);
+  });
+  img::CoupleResult result = img::merge_couple_partials(
+      std::span<const img::CouplePartial>(partials),
+      ctx.markers.candidates.size());
+  ctx.couple = result.best;
   return result.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_reg() {
-  if (!couple_.has_value() || !prev_couple_.has_value() ||
-      prev_frame_.empty()) {
-    reg_success_ = false;
+std::optional<img::WorkReport> StentBoostApp::run_reg(FrameContext& ctx) {
+  if (!ctx.couple.has_value() || !ctx.front.prev_couple.has_value() ||
+      ctx.front.prev_frame == nullptr) {
+    ctx.reg_success = false;
     return std::nullopt;
   }
-  reg_ = img::register_couple(*prev_couple_, *couple_, prev_frame_, frame_,
-                              config_.registration);
-  reg_success_ = reg_.success;
-  return reg_.work;
+  ctx.reg = img::register_couple(*ctx.front.prev_couple, *ctx.couple,
+                                 *ctx.front.prev_frame, *ctx.image,
+                                 config_.registration);
+  ctx.reg_success = ctx.reg.success;
+  return ctx.reg.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_roi_est() {
-  if (!couple_.has_value()) return std::nullopt;
-  img::RoiResult result = img::estimate_roi(*couple_, frame_.width(),
-                                            frame_.height(), config_.roi);
-  roi_ = result.roi;
+std::optional<img::WorkReport> StentBoostApp::run_roi_est(FrameContext& ctx) {
+  if (!ctx.couple.has_value()) return std::nullopt;
+  const img::ImageF32& frame = *ctx.image;
+  img::RoiResult result = img::estimate_roi(*ctx.couple, frame.width(),
+                                            frame.height(), config_.roi);
+  ctx.roi = result.roi;
   if (config_.roi_side_override > 0) {
     const i32 s = config_.roi_side_override;
     const i32 cx =
-        narrow<i32>(std::lround(0.5 * (couple_->a.x + couple_->b.x)));
+        narrow<i32>(std::lround(0.5 * (ctx.couple->a.x + ctx.couple->b.x)));
     const i32 cy =
-        narrow<i32>(std::lround(0.5 * (couple_->a.y + couple_->b.y)));
-    roi_ = clamp_rect(Rect{cx - s / 2, cy - s / 2, s, s}, frame_.width(),
-                      frame_.height());
+        narrow<i32>(std::lround(0.5 * (ctx.couple->a.y + ctx.couple->b.y)));
+    ctx.roi = clamp_rect(Rect{cx - s / 2, cy - s / 2, s, s}, frame.width(),
+                         frame.height());
   }
   return result.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_gw() {
-  if (qos_skip_gw_) return std::nullopt;
-  if (!couple_.has_value() || !ridge_.has_value()) return std::nullopt;
+std::optional<img::WorkReport> StentBoostApp::run_gw(FrameContext& ctx) {
+  if (ctx.qos_skip_gw) return std::nullopt;
+  if (!ctx.couple.has_value() || !ctx.ridge_valid) return std::nullopt;
   img::GuideWireResult result =
-      img::extract_guidewire(*ridge_, *couple_, config_.guidewire);
-  gw_found_ = result.found;
-  gw_ran_ = true;
+      img::extract_guidewire(ctx.ridge, *ctx.couple, config_.guidewire);
+  ctx.gw_found = result.found;
+  ctx.gw_ran = true;
   return result.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_enh() {
-  if (!reg_success_ || !couple_.has_value()) return std::nullopt;
-  if (accumulator_.empty() || !ref_couple_.has_value()) {
+std::optional<img::WorkReport> StentBoostApp::run_enh(FrameContext& ctx) {
+  if (!ctx.reg_success || !ctx.couple.has_value()) return std::nullopt;
+  if (ctx.back.accumulator.empty() || !ctx.back.ref_couple.has_value()) {
     // Integration (re)starts: the current couple defines the reference.
-    ref_couple_ = couple_;
+    ctx.back.ref_couple = ctx.couple;
   }
   // Crop rectangle in reference coordinates: current ROI dimensions centred
   // on the reference couple (the stent is stabilized there).
-  const Rect full = Rect{0, 0, frame_.width(), frame_.height()};
-  const Rect cur_roi = !roi_.empty() ? roi_ : full;
-  const i32 rcx =
-      narrow<i32>(std::lround(0.5 * (ref_couple_->a.x + ref_couple_->b.x)));
-  const i32 rcy =
-      narrow<i32>(std::lround(0.5 * (ref_couple_->a.y + ref_couple_->b.y)));
-  ref_roi_ = clamp_rect(
+  const img::ImageF32& frame = *ctx.image;
+  const Rect full = Rect{0, 0, frame.width(), frame.height()};
+  const Rect cur_roi = !ctx.roi.empty() ? ctx.roi : full;
+  const i32 rcx = narrow<i32>(
+      std::lround(0.5 * (ctx.back.ref_couple->a.x + ctx.back.ref_couple->b.x)));
+  const i32 rcy = narrow<i32>(
+      std::lround(0.5 * (ctx.back.ref_couple->a.y + ctx.back.ref_couple->b.y)));
+  ctx.back.ref_roi = clamp_rect(
       Rect{rcx - cur_roi.w / 2, rcy - cur_roi.h / 2, cur_roi.w, cur_roi.h},
-      frame_.width(), frame_.height());
-  img::EnhanceResult result = img::enhance(frame_, ref_roi_, accumulator_,
-                                           *couple_, *ref_couple_,
-                                           config_.enhance);
-  accumulator_ = std::move(result.accumulator);
-  enhanced_roi_ = std::move(result.enhanced_roi);
+      frame.width(), frame.height());
+  img::EnhanceResult result =
+      img::enhance(frame, ctx.back.ref_roi, ctx.back.accumulator, *ctx.couple,
+                   *ctx.back.ref_couple, config_.enhance);
+  ctx.back.accumulator = std::move(result.accumulator);
+  ctx.enhanced_roi = std::move(result.enhanced_roi);
   return result.work;
 }
 
-std::optional<img::WorkReport> StentBoostApp::run_zoom() {
-  if (enhanced_roi_.empty()) return std::nullopt;
+std::optional<img::WorkReport> StentBoostApp::run_zoom(FrameContext& ctx) {
+  if (ctx.enhanced_roi.empty()) return std::nullopt;
   img::ZoomParams zoom_params = config_.zoom;
   zoom_params.output_width =
-      std::max(16, zoom_params.output_width / qos_zoom_div_);
+      std::max(16, zoom_params.output_width / ctx.qos_zoom_div);
   zoom_params.output_height =
-      std::max(16, zoom_params.output_height / qos_zoom_div_);
-  const i32 stripes = plan_[kZoom];
+      std::max(16, zoom_params.output_height / ctx.qos_zoom_div);
+  const i32 stripes = ctx.plan[kZoom];
+  // Every output pixel is written below, so stale reused contents are fine.
+  ctx.output.ensure(zoom_params.output_width, zoom_params.output_height);
   if (stripes <= 1) {
-    img::ZoomResult result = img::zoom(enhanced_roi_, zoom_params);
-    output_ = std::move(result.output);
-    return result.work;
+    img::WorkReport work;
+    img::zoom_rows(ctx.enhanced_roi, zoom_params, ctx.output,
+                   IndexRange{0, zoom_params.output_height}, work);
+    work.data_parallel = true;
+    return work;
   }
-  output_ = img::ImageU16(zoom_params.output_width,
-                          zoom_params.output_height);
   std::vector<img::WorkReport> reports(static_cast<usize>(stripes));
   auto run_band = [&](i32 band, IndexRange rows) {
-    img::zoom_rows(enhanced_roi_, zoom_params, output_, rows,
+    img::zoom_rows(ctx.enhanced_roi, zoom_params, ctx.output, rows,
                    reports[static_cast<usize>(band)]);
   };
-  if (pool_ != nullptr) {
-    pool_->parallel_ranges(zoom_params.output_height, stripes, run_band);
-  } else {
-    for (i32 b = 0; b < stripes; ++b) {
-      run_band(b, plat::even_chunk(zoom_params.output_height, stripes, b));
-    }
-  }
+  run_instances(ctx, kZoom, zoom_params.output_height, stripes, run_band);
   img::WorkReport total;
   for (const img::WorkReport& w : reports) total += w;
   total.data_parallel = true;
-  stripe_reports_[kZoom] = std::move(reports);
+  ctx.stripe_reports[kZoom] = std::move(reports);
   return total;
 }
 
@@ -414,16 +646,16 @@ void StentBoostApp::set_quality(i32 extra_mkx_decimation, bool skip_guidewire,
   qos_zoom_div_ = std::max(1, zoom_divisor);
 }
 
-void StentBoostApp::assign_costs(graph::FrameRecord& record) {
+void StentBoostApp::assign_costs(FrameContext& ctx) {
   f64 latency = 0.0;
-  for (graph::TaskExecution& exec : record.tasks) {
+  for (graph::TaskExecution& exec : ctx.record.tasks) {
     if (!exec.executed) continue;
     const usize node = static_cast<usize>(exec.node);
     plat::TaskCost cost;
-    if (!stripe_reports_[node].empty()) {
-      cost = cost_model_.striped_cost(stripe_reports_[node]);
+    if (!ctx.stripe_reports[node].empty()) {
+      cost = cost_model_.striped_cost(ctx.stripe_reports[node]);
     } else {
-      i32 stripes = node_data_parallel(exec.node) ? plan_[node] : 1;
+      i32 stripes = node_data_parallel(exec.node) ? ctx.plan[node] : 1;
       cost = stripes > 1 ? cost_model_.striped_cost(exec.work, stripes)
                          : cost_model_.serial_cost(exec.work);
     }
@@ -442,44 +674,42 @@ void StentBoostApp::assign_costs(graph::FrameRecord& record) {
           .record(exec.simulated_ms);
     }
   }
-  record.latency_ms = latency;
+  ctx.record.latency_ms = latency;
 }
 
-void StentBoostApp::advance_switch_state() {
+FrontState StentBoostApp::advance_front(const FrameContext& ctx) const {
+  FrontState next = ctx.front;
+
   // SW_RDG hysteresis.
-  if (ridge_.has_value()) {
-    if (ridge_->dominant_pixels < config_.dominant_low) {
-      ++quiet_frames_;
+  if (ctx.ridge_valid) {
+    if (ctx.ridge.dominant_pixels < config_.dominant_low) {
+      ++next.quiet_frames;
     } else {
-      quiet_frames_ = 0;
+      next.quiet_frames = 0;
     }
-    if (quiet_frames_ >= config_.rdg_off_after) {
-      rdg_active_ = false;
-      quiet_frames_ = 0;
+    if (next.quiet_frames >= config_.rdg_off_after) {
+      next.rdg_active = false;
+      next.quiet_frames = 0;
     }
-  } else if (markers_.candidates.size() > config_.clutter_high) {
-    rdg_active_ = true;
-    quiet_frames_ = 0;
+  } else if (ctx.markers.candidates.size() > config_.clutter_high) {
+    next.rdg_active = true;
+    next.quiet_frames = 0;
   }
 
   // SW_ROI: the ROI estimated this frame becomes next frame's granularity.
-  // A failed guide-wire check (when it ran) invalidates the couple.
-  bool roi_ok = couple_.has_value() && !roi_.empty();
-  if (gw_ran_ && !gw_found_) {
-    // The guide-wire check rejected the couple: drop the ROI and the
-    // tracking prior so the next frame re-acquires from scratch.
+  // A failed guide-wire check (when it ran) invalidates the couple, so the
+  // next frame re-acquires from scratch.
+  std::optional<img::Couple> carried = ctx.couple;
+  bool roi_ok = carried.has_value() && !ctx.roi.empty();
+  if (ctx.gw_ran && !ctx.gw_found) {
     roi_ok = false;
-    couple_.reset();
+    carried.reset();
   }
-  roi_valid_ = roi_ok && !config_.force_full_frame;
-  gw_ran_ = false;
-  gw_found_ = false;
-
-  // SW_REG: a failed registration restarts the temporal integration.
-  if (!reg_success_) {
-    accumulator_ = img::ImageF32();
-    ref_couple_.reset();
-  }
+  next.roi_valid = roi_ok && !config_.force_full_frame;
+  next.roi = ctx.roi;
+  next.prev_couple = std::move(carried);
+  next.prev_frame = ctx.image;
+  return next;
 }
 
 }  // namespace tc::app

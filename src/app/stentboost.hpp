@@ -17,6 +17,21 @@
 // Eight scenarios (2^3) result.  Every frame yields a FrameRecord with
 // per-task WorkReports; simulated execution times are assigned by the
 // platform cost model according to the active partitioning plan.
+//
+// Execution model (ROADMAP item 3): every in-flight frame owns a
+// FrameContext; the only cross-frame state is the ticket-ordered
+// StreamState (see app/frame_context.hpp).  A frame's lifecycle is
+//
+//   admit_frame/admit_image  — snapshot stream state, reset the context
+//   run_front                — analysis front (RDG..GW_EXT), commit front
+//   run_back                 — enhancement back end (ENH, ZOOM), commit back
+//   retire_frame             — finalize scenario, assign simulated costs
+//
+// process_frame/process_image run the four steps serially; exec::FramePipeline
+// overlaps run_back(t-1) with run_front(t) on separate stage threads.  Each
+// graph node fans its work out as *instances* (row stripes for the streaming
+// tasks, candidate batches for MKX/CPLS) onto the shared thread pool, under
+// the per-frame InstanceBudget.
 #pragma once
 
 #include <array>
@@ -24,6 +39,7 @@
 #include <optional>
 #include <vector>
 
+#include "app/frame_context.hpp"
 #include "graph/flowgraph.hpp"
 #include "imaging/pipeline.hpp"
 #include "imaging/synthetic.hpp"
@@ -47,6 +63,9 @@ enum Node : i32 {
   kZoom,
   kNodeCount,
 };
+
+static_assert(kNodeCount == kFrameNodeCount,
+              "FrameContext per-node arrays must cover every graph node");
 
 [[nodiscard]] std::string_view node_name(i32 node);
 /// True for streaming tasks that support stripe (data) partitioning.
@@ -108,7 +127,7 @@ using StripePlan = std::array<i32, kNodeCount>;
 
 class StentBoostApp {
  public:
-  /// `pool` (optional) enables real host-parallel stripe execution; the
+  /// `pool` (optional) enables real host-parallel instance execution; the
   /// simulated timing is host-independent either way.
   explicit StentBoostApp(StentBoostConfig config,
                          plat::ThreadPool* pool = nullptr);
@@ -118,22 +137,47 @@ class StentBoostApp {
   [[nodiscard]] const plat::CostModel& cost_model() const { return cost_model_; }
   [[nodiscard]] const img::AngioSequence& sequence() const { return sequence_; }
 
-  /// Set the partitioning plan used for the next process_frame call.
+  /// Set the partitioning plan snapshot applied to frames admitted from now
+  /// on (1 = serial).
   void set_stripe_plan(const StripePlan& plan) { plan_ = plan; }
   [[nodiscard]] const StripePlan& stripe_plan() const { return plan_; }
 
+  /// Set the host resource budget snapshot applied to frames admitted from
+  /// now on (see InstanceBudget; never affects simulated results).
+  void set_instance_budget(const InstanceBudget& budget) { budget_ = budget; }
+  [[nodiscard]] const InstanceBudget& instance_budget() const {
+    return budget_;
+  }
+
   /// Apply a runtime quality setting (QoS): extra marker-grid decimation,
   /// guide-wire skip, and display-zoom divisor.  Takes effect from the next
-  /// frame; pass (1, false, 1) to restore full quality.
+  /// admitted frame; pass (1, false, 1) to restore full quality.
   void set_quality(i32 extra_mkx_decimation, bool skip_guidewire,
                    i32 zoom_divisor);
   [[nodiscard]] i32 quality_extra_decimation() const { return qos_extra_decim_; }
   [[nodiscard]] bool quality_skip_guidewire() const { return qos_skip_gw_; }
   [[nodiscard]] i32 quality_zoom_divisor() const { return qos_zoom_div_; }
 
-  /// Process frame `t` of the synthetic sequence: render, run the flow
-  /// graph, assign simulated per-task times under the current stripe plan,
-  /// and compute the frame latency.
+  // --- frame lifecycle (pipelined execution) -------------------------------
+  // The returned context stays owned by the app; it is valid until
+  // retire_frame recycles it.  Admissions must happen in frame order (the
+  // stream ticket sequences them); run_front/run_back/retire_frame may run
+  // on different threads, the StreamState orders their commits.
+
+  /// Admit frame `t` of the synthetic sequence (renders on this thread).
+  [[nodiscard]] FrameContext* admit_frame(i32 t);
+  /// Admit an externally supplied frame.
+  [[nodiscard]] FrameContext* admit_image(i32 t, const img::ImageU16& frame);
+  /// Run the analysis front (RDG..GW_EXT) and commit the next front state.
+  void run_front(FrameContext& ctx);
+  /// Run the enhancement back end (ENH, ZOOM) and commit the back state.
+  void run_back(FrameContext& ctx);
+  /// Finalize the scenario, assign simulated costs (platform interference is
+  /// drawn here, so frames must retire in order), recycle the context.
+  [[nodiscard]] graph::FrameRecord retire_frame(FrameContext& ctx);
+
+  /// Process frame `t` of the synthetic sequence: render, run the full
+  /// lifecycle serially, return the record.
   graph::FrameRecord process_frame(i32 t);
 
   /// Process an externally supplied frame (e.g. for tests).
@@ -142,48 +186,59 @@ class StentBoostApp {
   /// Convenience: process frames [0, n) and return all records.
   std::vector<graph::FrameRecord> run(i32 n);
 
-  /// Reset all inter-frame state (start of a new sequence).
+  /// Reset all inter-frame state (start of a new sequence).  Must not be
+  /// called with frames in flight.
   void reset();
 
   // --- state inspection (read-only, for tests/examples) -------------------
-  [[nodiscard]] bool rdg_active() const { return rdg_active_; }
-  [[nodiscard]] bool roi_valid() const { return roi_valid_; }
-  [[nodiscard]] bool last_reg_success() const { return reg_success_; }
-  [[nodiscard]] Rect current_roi() const { return roi_; }
-  [[nodiscard]] const std::optional<img::Couple>& last_couple() const {
-    return prev_couple_;
+  // Committed-stream accessors take the stream lock and are safe while a
+  // pipeline is running; the last_* accessors read the most recently retired
+  // frame's context and are meaningful only when no frame is in flight.
+  [[nodiscard]] bool rdg_active() const { return stream_.front().rdg_active; }
+  [[nodiscard]] bool roi_valid() const { return stream_.front().roi_valid; }
+  [[nodiscard]] Rect current_roi() const { return stream_.front().roi; }
+  [[nodiscard]] std::optional<img::Couple> last_couple() const {
+    return stream_.front().prev_couple;
   }
   /// Couple defining the stent-aligned integration reference (empty when
   /// the integration is cold).
-  [[nodiscard]] const std::optional<img::Couple>& reference_couple() const {
-    return ref_couple_;
+  [[nodiscard]] std::optional<img::Couple> reference_couple() const {
+    return stream_.back_ref_couple();
   }
   /// Crop rectangle (reference coordinates) of the most recent enhanced ROI.
-  [[nodiscard]] Rect reference_roi() const { return ref_roi_; }
-  [[nodiscard]] const img::ImageU16& last_output() const { return output_; }
-  [[nodiscard]] const img::RidgeResult* last_ridge() const {
-    return ridge_.has_value() ? &*ridge_ : nullptr;
-  }
-  [[nodiscard]] usize last_candidate_count() const {
-    return markers_.candidates.size();
-  }
+  [[nodiscard]] Rect reference_roi() const { return stream_.back_ref_roi(); }
+  [[nodiscard]] bool last_reg_success() const;
+  [[nodiscard]] const img::ImageU16& last_output() const;
+  [[nodiscard]] const img::RidgeResult* last_ridge() const;
+  [[nodiscard]] usize last_candidate_count() const;
 
-  /// ROI granularity driver of the frame most recently processed (full
-  /// frame when no ROI was active).
-  [[nodiscard]] f64 roi_pixels_of_frame() const { return roi_pixels_; }
+  /// ROI granularity driver of the frame most recently retired (full frame
+  /// when no ROI was active).
+  [[nodiscard]] f64 roi_pixels_of_frame() const;
+
+  /// The explicitly-synchronized cross-frame state (tests).
+  [[nodiscard]] StreamState& stream() { return stream_; }
 
  private:
   void build_graph();
-  std::optional<img::WorkReport> run_rdg(bool roi_mode);
-  std::optional<img::WorkReport> run_mkx(bool roi_mode);
-  std::optional<img::WorkReport> run_cpls();
-  std::optional<img::WorkReport> run_reg();
-  std::optional<img::WorkReport> run_roi_est();
-  std::optional<img::WorkReport> run_gw();
-  std::optional<img::WorkReport> run_enh();
-  std::optional<img::WorkReport> run_zoom();
-  void assign_costs(graph::FrameRecord& record);
-  void advance_switch_state();
+  [[nodiscard]] FrameContext* acquire_context();
+  void recycle_context(FrameContext* ctx);
+  /// Fan one node's work out as `instances` index-range instances (host
+  /// execution only; the decomposition is fixed by the caller).
+  void run_instances(FrameContext& ctx, i32 node, i32 count, i32 instances,
+                     const std::function<void(i32, IndexRange)>& body);
+  /// Pure successor computation for the cross-frame front state.
+  [[nodiscard]] FrontState advance_front(const FrameContext& ctx) const;
+
+  std::optional<img::WorkReport> run_rdg(FrameContext& ctx, bool roi_mode);
+  std::optional<img::WorkReport> run_mkx(FrameContext& ctx, bool roi_mode);
+  std::optional<img::WorkReport> run_cpls(FrameContext& ctx);
+  std::optional<img::WorkReport> run_reg(FrameContext& ctx);
+  std::optional<img::WorkReport> run_roi_est(FrameContext& ctx);
+  std::optional<img::WorkReport> run_gw(FrameContext& ctx);
+  std::optional<img::WorkReport> run_enh(FrameContext& ctx);
+  std::optional<img::WorkReport> run_zoom(FrameContext& ctx);
+  void assign_costs(FrameContext& ctx);
 
   StentBoostConfig config_;
   plat::ThreadPool* pool_;
@@ -191,41 +246,31 @@ class StentBoostApp {
   plat::CostModel cost_model_;
   graph::FlowGraph graph_;
   StripePlan plan_ = serial_plan();
-  /// Per-node platform interference (cache misses / task switching).
+  InstanceBudget budget_;
+  /// Per-node platform interference (cache misses / task switching); drawn
+  /// in retire order, so results are independent of pipelining.
   std::vector<plat::InterferenceProcess> interference_;
 
-  // Per-frame working state.
-  img::ImageF32 frame_;
-  img::ImageF32 prev_frame_;
-  std::optional<img::RidgeResult> ridge_;
-  img::MarkerResult markers_;
-  std::optional<img::Couple> couple_;
-  std::optional<img::Couple> prev_couple_;
-  img::RegistrationResult reg_;
-  img::ImageF32 accumulator_;
-  /// Marker couple of the frame the integration reference is aligned to.
-  std::optional<img::Couple> ref_couple_;
-  Rect ref_roi_{};
-  img::ImageF32 enhanced_roi_;
-  img::ImageU16 output_;
-  f64 roi_pixels_ = 0.0;
-  /// Per-node per-stripe reports of the frame being processed (empty when
-  /// the node ran serially).
-  std::array<std::vector<img::WorkReport>, kNodeCount> stripe_reports_;
+  /// Ticket-ordered cross-frame state.
+  StreamState stream_;
 
-  // QoS quality knobs.
+  /// Context pool: stable-address contexts, recycled LIFO.
+  common::Mutex ctx_mutex_;
+  std::vector<std::unique_ptr<FrameContext>> contexts_
+      TC_GUARDED_BY(ctx_mutex_);
+  std::vector<FrameContext*> free_ctx_ TC_GUARDED_BY(ctx_mutex_);
+  /// Most recently retired context (quiescent inspection only).
+  FrameContext* last_ctx_ = nullptr;
+
+  /// Topological order split at the front/back boundary (ENH, ZOOM form the
+  /// back end; their concatenation is the full topological order).
+  std::vector<i32> front_order_;
+  std::vector<i32> back_order_;
+
+  // QoS quality knobs (snapshotted into each context at admission).
   i32 qos_extra_decim_ = 1;
   bool qos_skip_gw_ = false;
   i32 qos_zoom_div_ = 1;
-
-  // Inter-frame switch state.
-  bool rdg_active_ = true;
-  i32 quiet_frames_ = 0;
-  bool roi_valid_ = false;
-  Rect roi_{};
-  bool reg_success_ = false;
-  bool gw_ran_ = false;
-  bool gw_found_ = false;
 };
 
 }  // namespace tc::app

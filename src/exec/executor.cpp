@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "common/stats.hpp"
+#include "exec/frame_pipeline.hpp"
 #include "obs/obs.hpp"
 
 namespace tc::exec {
@@ -153,12 +155,13 @@ void Executor::apply_quality(i32 frame, i32 ladder_index) {
   }
 }
 
-ExecutedFrame Executor::step(i32 t) {
-  ExecutedFrame result;
+f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
   result.frame = t;
   result.managed = deadline_set_;
   result.deadline_ms = deadline_ms_;
 
+  rt::PlanChoice choice;
+  choice.plan = app::serial_plan();
   app::StripePlan plan = app::serial_plan();
   f64 ewma_total = 0.0;  // pre-Markov serial-equivalent forecast (drift input)
   if (result.managed && config_.adapt) {
@@ -200,7 +203,7 @@ ExecutedFrame Executor::step(i32 t) {
                              config_.max_stripes_per_task,
                              narrow<i32>(pool_.thread_count()));
     };
-    rt::PlanChoice choice = plan_at_current_quality();
+    choice = plan_at_current_quality();
     if (config_.policy == DeadlinePolicy::Degrade) {
       const i32 max_index = narrow<i32>(rt::quality_ladder().size()) - 1;
       while (!choice.fits_budget && quality_index_ < max_index) {
@@ -229,16 +232,28 @@ ExecutedFrame Executor::step(i32 t) {
   result.plan = plan;
   result.quality_level = quality_index_;
   app_.set_stripe_plan(plan);
+  // Host resource budget: the chosen plan's widest fan-out, capped by this
+  // frame's fair share of the pool (pipelining divides the pool among the
+  // frames in flight).
+  choice.plan = plan;
+  app_.set_instance_budget(rt::budget_for_plan(
+      choice, narrow<i32>(pool_.thread_count()), frames_in_flight));
   if (obs::enabled()) {
     obs::global().flight.record(obs::FrEventType::FrameStart, t, -1,
                                 result.predicted_host_ms);
   }
+  return ewma_total;
+}
+
+ExecutedFrame Executor::step(i32 t) {
+  ExecutedFrame result;
+  const f64 ewma_total = plan_frame(t, /*frames_in_flight=*/1, result);
 
   std::optional<obs::ScopedSpan> span;
   if (obs::enabled()) {
     span.emplace(&obs::global().tracer, "frame " + std::to_string(t),
                  "exec-frame");
-    span->arg("plan", rt::plan_to_string(plan));
+    span->arg("plan", rt::plan_to_string(result.plan));
     if (result.managed) {
       span->arg("predicted_ms", std::to_string(result.predicted_host_ms));
     }
@@ -271,6 +286,14 @@ ExecutedFrame Executor::step(i32 t) {
     span.reset();
   }
 
+  settle_frame(result, record, ewma_total);
+  return result;
+}
+
+void Executor::settle_frame(ExecutedFrame& result,
+                            const graph::FrameRecord& record, f64 ewma_total) {
+  result.scenario = record.scenario;
+
   // --- QoS: deadline accounting -------------------------------------------
   if (deadline_set_ && result.measured_host_ms > deadline_ms_) {
     result.deadline_miss = true;
@@ -283,19 +306,19 @@ ExecutedFrame Executor::step(i32 t) {
     // the pre-frame filter state (feed_back below updates it).
     for (const graph::TaskExecution& exec : record.tasks) {
       if (!exec.executed) continue;
-      flight.record(obs::FrEventType::NodeTiming, t, exec.node,
+      flight.record(obs::FrEventType::NodeTiming, result.frame, exec.node,
                     node_estimate(exec.node), exec.host_ms);
     }
-    flight.record(obs::FrEventType::FrameEnd, t, -1, result.measured_host_ms,
-                  deadline_ms_);
+    flight.record(obs::FrEventType::FrameEnd, result.frame, -1,
+                  result.measured_host_ms, deadline_ms_);
     if (result.deadline_miss) {
-      flight.record(obs::FrEventType::DeadlineMiss, t, -1,
+      flight.record(obs::FrEventType::DeadlineMiss, result.frame, -1,
                     result.measured_host_ms, deadline_ms_);
     }
   }
 
   // --- feedback + warm-up bookkeeping -------------------------------------
-  const f64 serial_total = feed_back(record, plan);
+  const f64 serial_total = feed_back(record, result.plan);
   if (!frame_markov_.fitted()) {
     warmup_serial_totals_.push_back(serial_total);
     if (narrow<i32>(warmup_serial_totals_.size()) >= config_.warmup_frames) {
@@ -310,8 +333,8 @@ ExecutedFrame Executor::step(i32 t) {
     }
   }
 
-  result.repartitioned = result.managed && plan != prev_plan_;
-  prev_plan_ = plan;
+  result.repartitioned = result.managed && result.plan != prev_plan_;
+  prev_plan_ = result.plan;
 
   ++stats_.frames;
   measured_sum_ms_ += result.measured_host_ms;
@@ -327,7 +350,6 @@ ExecutedFrame Executor::step(i32 t) {
   if (config_.diagnostics.enabled) {
     run_diagnostics(result, ewma_total, serial_total);
   }
-  return result;
 }
 
 void Executor::record_frame_observability(const ExecutedFrame& f) {
@@ -447,17 +469,20 @@ void Executor::run_diagnostics(const ExecutedFrame& f, f64 ewma_total,
 
   // --- post-mortem triggers -----------------------------------------------
   std::string reason;
+  const obs::SloBreach* trigger_breach = nullptr;
   if (f.deadline_miss) {
     reason = "deadline_miss";
+    if (!breaches.empty()) trigger_breach = &breaches.front();
   } else if (!breaches.empty()) {
     reason = "slo_breach:" + breaches.front().slo;
+    trigger_breach = &breaches.front();
   } else if (!alerts.empty()) {
     reason = "drift:" + alerts.front().stream;
   }
   if (!reason.empty()) {
     const std::string path =
-        postmortem_->write(postmortem_context(f, reason), obs::global().flight,
-                           obs::global().metrics);
+        postmortem_->write(postmortem_context(f, reason, trigger_breach),
+                           obs::global().flight, obs::global().metrics);
     if (!path.empty()) ++stats_.postmortems;
   }
 }
@@ -484,7 +509,8 @@ obs::PredictorStateSummary Executor::predictor_summary() const {
 }
 
 obs::PostmortemContext Executor::postmortem_context(
-    const ExecutedFrame& f, const std::string& reason) const {
+    const ExecutedFrame& f, const std::string& reason,
+    const obs::SloBreach* breach) const {
   obs::PostmortemContext ctx;
   ctx.reason = reason;
   ctx.frame = f.frame;
@@ -499,6 +525,23 @@ obs::PostmortemContext Executor::postmortem_context(
                                        ? "drop"
                                        : "degrade");
   ctx.extra.emplace_back("workers", std::to_string(pool_.thread_count()));
+  // SLO-breach context: which objective fired, at what value, against which
+  // threshold — plus the monitor's window aggregates, so a bundle is
+  // diagnosable without replaying the run.
+  if (breach != nullptr) {
+    ctx.extra.emplace_back("slo_name", breach->slo);
+    ctx.extra.emplace_back("slo_kind", obs::to_string(breach->kind));
+    ctx.extra.emplace_back("slo_value", std::to_string(breach->value));
+    ctx.extra.emplace_back("slo_threshold", std::to_string(breach->threshold));
+  }
+  if (slo_ != nullptr) {
+    const obs::SloMonitor::WindowStats w = slo_->window_snapshot();
+    ctx.extra.emplace_back("slo_window_frames", std::to_string(w.frames));
+    ctx.extra.emplace_back("slo_window_miss_rate",
+                           std::to_string(w.miss_rate));
+    ctx.extra.emplace_back("slo_window_p50_ms", std::to_string(w.p50));
+    ctx.extra.emplace_back("slo_window_p99_ms", std::to_string(w.p99));
+  }
   return ctx;
 }
 
@@ -526,6 +569,47 @@ std::vector<ExecutedFrame> Executor::run(i32 n) {
   std::vector<ExecutedFrame> frames;
   frames.reserve(static_cast<usize>(n));
   for (i32 t = 0; t < n; ++t) frames.push_back(step(t));
+  return frames;
+}
+
+std::vector<ExecutedFrame> Executor::run_pipelined(i32 n,
+                                                   i32 frames_in_flight) {
+  struct Pending {
+    ExecutedFrame result;
+    f64 ewma_total = 0.0;
+  };
+  // One mutex serializes plan_frame (front-stage thread) against
+  // settle_frame (back-stage thread): both touch the predictor state.
+  // Admissions and retires are each in frame order, so the pending frames
+  // form a FIFO.
+  common::Mutex mutex;
+  std::deque<Pending> pending;
+  std::vector<ExecutedFrame> frames(static_cast<usize>(std::max(0, n)));
+
+  FramePipelineConfig pc;
+  pc.frames_in_flight = frames_in_flight;
+  pc.deadline_ms = deadline_ms_;
+  pc.collect_records = false;
+  pc.on_admit = [&](i32 t) {
+    common::MutexLock lock(mutex);
+    Pending p;
+    p.ewma_total = plan_frame(t, frames_in_flight, p.result);
+    pending.push_back(std::move(p));
+  };
+  pc.on_retire = [&](const graph::FrameRecord& record) {
+    common::MutexLock lock(mutex);
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    for (const graph::TaskExecution& exec : record.tasks) {
+      if (exec.executed) p.result.measured_host_ms += exec.host_ms;
+    }
+    settle_frame(p.result, record, p.ewma_total);
+    frames[static_cast<usize>(record.frame)] = p.result;
+  };
+
+  FramePipeline pipeline(app_, std::move(pc));
+  for (i32 t = 0; t < n; ++t) pipeline.submit(t);
+  pipeline.drain();
   return frames;
 }
 

@@ -164,6 +164,15 @@ class Executor {
   /// Run frames [0, n).
   std::vector<ExecutedFrame> run(i32 n);
 
+  /// Run frames [0, n) with up to `frames_in_flight` frames overlapped
+  /// through exec::FramePipeline (front stage analyses frame t+1 while the
+  /// back stage enhances frame t).  Plans are chosen at admission and frames
+  /// settle at retire — both in frame order — so the FrameRecords are
+  /// byte-identical to run(n); only the predictor feedback may lag by the
+  /// frames in flight.  The per-frame instance budget divides the pool
+  /// among the in-flight frames (rt::budget_for_plan).
+  std::vector<ExecutedFrame> run_pipelined(i32 n, i32 frames_in_flight = 2);
+
   [[nodiscard]] f64 deadline_ms() const { return deadline_ms_; }
   [[nodiscard]] bool deadline_set() const { return deadline_set_; }
   [[nodiscard]] app::StentBoostApp& app() { return app_; }
@@ -217,14 +226,31 @@ class Executor {
   f64 feed_back(const graph::FrameRecord& record, const app::StripePlan& plan);
 
   void apply_quality(i32 frame, i32 ladder_index);
+
+  /// Select and apply the stripe plan + instance budget for frame `t`
+  /// (fills the prediction-side fields of `result`); returns the pre-Markov
+  /// EWMA forecast total (drift input).  Touches predictor state — callers
+  /// outside the serial step() path must serialize plan_frame/settle_frame
+  /// (run_pipelined guards both with one mutex).
+  f64 plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result);
+  /// Post-execution bookkeeping for a frame whose measured_host_ms is
+  /// final: deadline accounting, predictor feedback, warm-up fitting,
+  /// stats, observability and diagnostics.  Frames must settle in order.
+  void settle_frame(ExecutedFrame& result, const graph::FrameRecord& record,
+                    f64 ewma_total);
+
   void record_frame_observability(const ExecutedFrame& f);
   /// Drift/SLO evaluation + post-mortem triggers for one finished frame;
   /// `ewma_total` is the pre-Markov serial-equivalent forecast (0 when
   /// unmanaged), `serial_total` the frame's serial-equivalent measurement.
   void run_diagnostics(const ExecutedFrame& f, f64 ewma_total,
                        f64 serial_total);
+  /// `breach` (optional) attaches the triggering SLO's identity, value and
+  /// threshold plus the monitor's window aggregates to the bundle's extra
+  /// fields.
   [[nodiscard]] obs::PostmortemContext postmortem_context(
-      const ExecutedFrame& f, const std::string& reason) const;
+      const ExecutedFrame& f, const std::string& reason,
+      const obs::SloBreach* breach = nullptr) const;
 
   ExecutorConfig config_;
   plat::ThreadPool pool_;

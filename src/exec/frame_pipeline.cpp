@@ -1,0 +1,69 @@
+#include "exec/frame_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tc::exec {
+
+FramePipeline::FramePipeline(app::StentBoostApp& app,
+                             FramePipelineConfig config)
+    : app_(app), config_(std::move(config)) {
+  std::vector<StageSpec> stages(2);
+  stages[0].name = "front";
+  stages[0].work = [this](FramePacket& packet, const StageContext&) {
+    if (config_.on_admit) config_.on_admit(packet.frame);
+    // A pre-set payload is a caller-supplied input image (see the submit
+    // overload); otherwise the synthetic sequence renders here.
+    app::FrameContext* ctx =
+        packet.payload != nullptr
+            ? app_.admit_image(packet.frame, *static_cast<const img::ImageU16*>(
+                                                 packet.payload.get()))
+            : app_.admit_frame(packet.frame);
+    app_.run_front(*ctx);
+    // Non-owning alias: the app owns the context and recycles it at retire.
+    packet.payload = std::shared_ptr<void>(std::shared_ptr<void>{}, ctx);
+  };
+  stages[1].name = "back";
+  stages[1].work = [this](FramePacket& packet, const StageContext&) {
+    auto* ctx = static_cast<app::FrameContext*>(packet.payload.get());
+    app_.run_back(*ctx);
+    graph::FrameRecord record = app_.retire_frame(*ctx);
+    packet.payload.reset();
+    if (config_.on_retire) config_.on_retire(record);
+    if (config_.collect_records) {
+      common::MutexLock lock(records_mutex_);
+      records_.push_back(std::move(record));
+    }
+  };
+
+  PipelineConfig pc;
+  pc.queue_capacity =
+      static_cast<usize>(std::max(1, config_.frames_in_flight - 1));
+  pc.deadline_ms = config_.deadline_ms;
+  // Run, never Drop: a dropped packet would skip the frame's StreamState
+  // commits and stall every later ticket.
+  pc.policy = DeadlinePolicy::Run;
+  pc.stripe_pool = nullptr;  // instance fan-out uses the app's own pool
+  pipeline_ = std::make_unique<StagePipeline>(std::move(stages), pc);
+  pipeline_->start();
+}
+
+FramePipeline::~FramePipeline() { drain(); }
+
+bool FramePipeline::submit(i32 t) { return pipeline_->submit(t, nullptr); }
+
+bool FramePipeline::submit(i32 t, const img::ImageU16& image) {
+  // Non-owning alias; the caller guarantees the image outlives the frame.
+  return pipeline_->submit(
+      t, std::shared_ptr<void>(std::shared_ptr<void>{},
+                               const_cast<img::ImageU16*>(&image)));
+}
+
+void FramePipeline::drain() { pipeline_->drain(); }
+
+std::vector<graph::FrameRecord> FramePipeline::take_records() {
+  common::MutexLock lock(records_mutex_);
+  return std::move(records_);
+}
+
+}  // namespace tc::exec

@@ -1,0 +1,85 @@
+// Frame pipeline: drives the real StentBoost graph through a two-stage
+// StagePipeline (hybrid functional + data partitioning, paper §6).
+//
+// Stage "front" admits the frame (StreamState ticket, immutable snapshot of
+// the cross-frame front state) and runs the analysis front (RDG..GW_EXT);
+// stage "back" runs the enhancement back end (ENH, ZOOM), retires the frame
+// and hands the FrameRecord to the caller.  While the back stage enhances
+// frame t, the front stage already analyses frame t+1 — the app's
+// StreamState tickets keep every cross-frame read/commit in frame order, so
+// the records are byte-identical to a serial run (see tests/exec/
+// test_frame_pipeline).
+//
+// The packet payload is a non-owning pointer to the app-owned FrameContext
+// (the app recycles it at retire_frame); deadline policy is always Run —
+// dropping a frame mid-pipeline would skip its StreamState commits and
+// deadlock the stream, so QoS decisions belong to the caller (exec::
+// Executor::run_pipelined marks late frames dropped after the fact).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/stentboost.hpp"
+#include "exec/stage_pipeline.hpp"
+
+namespace tc::exec {
+
+struct FramePipelineConfig {
+  /// Target number of frames concurrently admitted-but-not-retired (>= 1);
+  /// maps to the inter-stage queue capacity, so the actual bound is
+  /// frames_in_flight + 1 (one resident per stage thread).
+  i32 frames_in_flight = 2;
+  /// Per-frame deadline for the pipeline's lateness accounting (0 = none);
+  /// late frames are counted, never dropped (policy is always Run).
+  f64 deadline_ms = 0.0;
+  /// Keep every retired FrameRecord for take_records().
+  bool collect_records = true;
+  /// Called on the front-stage thread immediately before frame admission —
+  /// in frame order.  The hook is where a controller applies the stripe
+  /// plan / instance budget snapshot for the coming frame.
+  std::function<void(i32 frame)> on_admit;
+  /// Called on the back-stage thread immediately after retire_frame — in
+  /// frame order, with the frame's final record.
+  std::function<void(const graph::FrameRecord&)> on_retire;
+};
+
+class FramePipeline {
+ public:
+  FramePipeline(app::StentBoostApp& app, FramePipelineConfig config = {});
+  /// Drains and joins (drain() if the caller did not).
+  ~FramePipeline();
+
+  FramePipeline(const FramePipeline&) = delete;
+  FramePipeline& operator=(const FramePipeline&) = delete;
+
+  /// Admit frame `t` of the app's synthetic sequence (renders on the
+  /// front-stage thread).  Blocks under backpressure; frames must be
+  /// submitted in increasing order.  False after drain().
+  bool submit(i32 t);
+
+  /// Admit an externally supplied frame.  The caller keeps `image` alive
+  /// and unchanged until the frame retires (the pipeline does not copy it
+  /// before the front stage runs).
+  bool submit(i32 t, const img::ImageU16& image);
+
+  /// Close the input, finish every in-flight frame, join the stage threads.
+  /// Idempotent; stats()/take_records() are complete afterwards.
+  void drain();
+
+  [[nodiscard]] PipelineStats stats() const { return pipeline_->stats(); }
+
+  /// Move out the retired records (frame order).
+  [[nodiscard]] std::vector<graph::FrameRecord> take_records();
+
+ private:
+  app::StentBoostApp& app_;
+  FramePipelineConfig config_;
+  std::unique_ptr<StagePipeline> pipeline_;
+
+  common::Mutex records_mutex_;
+  std::vector<graph::FrameRecord> records_ TC_GUARDED_BY(records_mutex_);
+};
+
+}  // namespace tc::exec

@@ -1,0 +1,28 @@
+// Per-invocation execution context threaded through one FlowGraph frame.
+//
+// A FlowGraph used to cache switch values in a member, which meant one graph
+// could only have a single frame in flight.  ExecContext moves that per-frame
+// state out of the graph: every run_frame()/run_nodes() call carries its own
+// context, so several frames can traverse the same (immutable) graph
+// structure concurrently.  `user` lets the application attach its own
+// per-frame state (app::FrameContext); task bodies and guards downcast it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tc::graph {
+
+struct ExecContext {
+  /// Frame index set by FlowGraph::begin_frame().
+  i32 frame = -1;
+  /// Application-owned per-frame payload (e.g. app::FrameContext*).
+  void* user = nullptr;
+  /// Lazily-evaluated switch cache for this frame (one slot per switch,
+  /// grown on demand by FlowGraph::switch_value).
+  std::vector<std::optional<bool>> switch_cache;
+};
+
+}  // namespace tc::graph

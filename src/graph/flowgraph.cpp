@@ -13,10 +13,27 @@ i32 FlowGraph::add_task(std::unique_ptr<Task> task, Guard guard) {
   return narrow<i32>(nodes_.size()) - 1;
 }
 
-i32 FlowGraph::add_switch(std::string name, std::function<bool()> predicate) {
+i32 FlowGraph::add_task(std::unique_ptr<Task> task, LegacyGuard guard) {
+  Guard wrapped;
+  if (guard) {
+    wrapped = [g = std::move(guard)](FlowGraph& fg, ExecContext&) {
+      return g(fg);
+    };
+  }
+  return add_task(std::move(task), std::move(wrapped));
+}
+
+i32 FlowGraph::add_switch(std::string name, SwitchFn predicate) {
   switches_.push_back(Switch{std::move(name), std::move(predicate)});
-  switch_cache_.emplace_back();
+  default_ctx_.switch_cache.emplace_back();
   return narrow<i32>(switches_.size()) - 1;
+}
+
+i32 FlowGraph::add_switch(std::string name, std::function<bool()> predicate) {
+  return add_switch(std::move(name),
+                    SwitchFn([p = std::move(predicate)](ExecContext&) {
+                      return p();
+                    }));
 }
 
 void FlowGraph::remove_switch(i32 sw) {
@@ -24,7 +41,7 @@ void FlowGraph::remove_switch(i32 sw) {
     throw std::out_of_range("FlowGraph::remove_switch: switch id out of range");
   }
   switches_.erase(switches_.begin() + sw);
-  switch_cache_.erase(switch_cache_.begin() + sw);
+  default_ctx_.switch_cache.erase(default_ctx_.switch_cache.begin() + sw);
 }
 
 void FlowGraph::add_edge(i32 from, i32 to,
@@ -48,15 +65,20 @@ std::vector<std::string> FlowGraph::switch_names() const {
   return names;
 }
 
-bool FlowGraph::switch_value(i32 sw) {
+bool FlowGraph::switch_value(i32 sw, ExecContext& ctx) {
   assert(sw >= 0 && sw < narrow<i32>(switches_.size()) &&
          "FlowGraph::switch_value: switch id out of range");
-  auto& cached = switch_cache_[static_cast<usize>(sw)];
+  if (ctx.switch_cache.size() < switches_.size()) {
+    ctx.switch_cache.resize(switches_.size());
+  }
+  auto& cached = ctx.switch_cache[static_cast<usize>(sw)];
   if (!cached.has_value()) {
-    cached = switches_[static_cast<usize>(sw)].predicate();
+    cached = switches_[static_cast<usize>(sw)].predicate(ctx);
   }
   return *cached;
 }
+
+bool FlowGraph::switch_value(i32 sw) { return switch_value(sw, default_ctx_); }
 
 std::vector<i32> FlowGraph::topological_order() const {
   const usize n = nodes_.size();
@@ -89,18 +111,18 @@ std::vector<i32> FlowGraph::topological_order() const {
   return order;
 }
 
-FrameRecord FlowGraph::run_frame(i32 frame_index) {
-  FrameRecord record;
-  record.frame = frame_index;
-  for (auto& c : switch_cache_) c.reset();
+void FlowGraph::begin_frame(i32 frame_index, ExecContext& ctx) {
+  ctx.frame = frame_index;
+  ctx.switch_cache.assign(switches_.size(), std::nullopt);
+}
 
-  const std::vector<i32> order = topological_order();
-  record.tasks.reserve(order.size());
+void FlowGraph::run_nodes(std::span<const i32> order, ExecContext& ctx,
+                          FrameRecord& record) {
   for (i32 node_id : order) {
     const Node& node = nodes_[static_cast<usize>(node_id)];
     TaskExecution exec;
     exec.node = node_id;
-    bool enabled = !node.guard || node.guard(*this);
+    bool enabled = !node.guard || node.guard(*this, ctx);
     if (enabled) {
       // Stamp the host wall-clock time of the task body: the concurrent
       // executor's measured signal (the simulated time comes later, from
@@ -109,10 +131,10 @@ FrameRecord FlowGraph::run_frame(i32 frame_index) {
       if (obs::enabled()) {
         span.emplace(&obs::global().tracer, std::string(node.task->name()),
                      "graph-task");
-        span->arg("frame", std::to_string(frame_index));
+        span->arg("frame", std::to_string(ctx.frame));
       }
       obs::ScopedTimer timer;
-      std::optional<img::WorkReport> work = node.task->execute();
+      std::optional<img::WorkReport> work = node.task->execute(ctx);
       exec.host_ms = timer.elapsed_ms();
       if (work.has_value()) {
         exec.executed = true;
@@ -121,13 +143,29 @@ FrameRecord FlowGraph::run_frame(i32 frame_index) {
     }
     record.tasks.push_back(std::move(exec));
   }
+}
 
-  // Complete the scenario id: evaluate any switch nobody queried.
+void FlowGraph::finalize_scenario(ExecContext& ctx, FrameRecord& record) {
   record.scenario = 0;
   for (usize s = 0; s < switches_.size(); ++s) {
-    if (switch_value(narrow<i32>(s))) record.scenario |= (1u << s);
+    if (switch_value(narrow<i32>(s), ctx)) record.scenario |= (1u << s);
   }
+}
+
+FrameRecord FlowGraph::run_frame(i32 frame_index, ExecContext& ctx) {
+  FrameRecord record;
+  record.frame = frame_index;
+  begin_frame(frame_index, ctx);
+
+  const std::vector<i32> order = topological_order();
+  record.tasks.reserve(order.size());
+  run_nodes(order, ctx, record);
+  finalize_scenario(ctx, record);
   return record;
+}
+
+FrameRecord FlowGraph::run_frame(i32 frame_index) {
+  return run_frame(frame_index, default_ctx_);
 }
 
 }  // namespace tc::graph

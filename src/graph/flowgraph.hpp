@@ -8,15 +8,24 @@
 // frame.  This matches the dataflow semantics of Fig. 2, where a switch
 // (e.g. "registration successful?") fires after its upstream tasks ran.
 // The vector of switch outcomes defines the frame's scenario id.
+//
+// All per-frame state (the switch cache, the frame index) lives in an
+// ExecContext supplied by the caller, so the same graph can have several
+// frames in flight concurrently (begin_frame → run_nodes → finalize_scenario
+// per context).  The legacy single-context entry points (run_frame(i32),
+// switch_value(i32)) operate on an internal default context and keep the
+// original one-frame-at-a-time semantics.
 #pragma once
 
 #include <cassert>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "graph/exec_context.hpp"
 #include "graph/record.hpp"
 #include "graph/task.hpp"
 
@@ -33,13 +42,21 @@ struct Edge {
 class FlowGraph {
  public:
   /// Guard deciding whether a task runs this frame.  May query switch
-  /// values through the graph (lazy evaluation).
-  using Guard = std::function<bool(FlowGraph&)>;
+  /// values through the graph (lazy evaluation, cached in the context).
+  using Guard = std::function<bool(FlowGraph&, ExecContext&)>;
+  /// Legacy guard signature (reads captured application state directly).
+  using LegacyGuard = std::function<bool(FlowGraph&)>;
+  /// Switch predicate over the frame's context.
+  using SwitchFn = std::function<bool(ExecContext&)>;
 
   /// Add a task; returns its node id.  A null guard means unconditional.
   i32 add_task(std::unique_ptr<Task> task, Guard guard = {});
+  /// Legacy overload: wraps a one-argument guard (context ignored).
+  i32 add_task(std::unique_ptr<Task> task, LegacyGuard guard);
 
   /// Declare a named switch with its predicate; returns switch id.
+  i32 add_switch(std::string name, SwitchFn predicate);
+  /// Legacy overload: wraps a zero-argument predicate (context ignored).
   i32 add_switch(std::string name, std::function<bool()> predicate);
 
   /// Remove a switch (and its cache slot).  Later switch ids shift down by
@@ -74,18 +91,35 @@ class FlowGraph {
   }
   [[nodiscard]] std::vector<std::string> switch_names() const;
 
-  /// Value of a switch for the current frame: evaluated on first query,
-  /// cached until the frame ends.
+  /// Value of a switch for the context's frame: evaluated on first query,
+  /// cached in the context until the frame ends.
+  [[nodiscard]] bool switch_value(i32 sw, ExecContext& ctx);
+  /// Legacy single-context query (uses the internal default context).
   [[nodiscard]] bool switch_value(i32 sw);
 
   /// Topological order of the nodes.  Throws std::logic_error on a cycle.
   [[nodiscard]] std::vector<i32> topological_order() const;
 
-  /// Execute one frame: run every task in topological order, consulting
-  /// guards (which lazily evaluate switches).  Tasks whose guard is off —
-  /// or whose execute() returns nullopt — are recorded as not executed.
-  /// Any switch nobody queried is evaluated at the end of the frame so the
-  /// scenario id is always complete.
+  /// Start a frame on a context: stamps the frame index and resets the
+  /// switch cache.  Must precede run_nodes()/finalize_scenario().
+  void begin_frame(i32 frame_index, ExecContext& ctx);
+
+  /// Execute a subset of nodes (in the given order) against the context,
+  /// appending one TaskExecution per node to the record.  Guards and tasks
+  /// see only this context, so disjoint node subsets of different frames
+  /// may run concurrently on different contexts.
+  void run_nodes(std::span<const i32> order, ExecContext& ctx,
+                 FrameRecord& record);
+
+  /// Complete the scenario id: evaluate any switch nobody queried and fold
+  /// the outcome vector into record.scenario.
+  void finalize_scenario(ExecContext& ctx, FrameRecord& record);
+
+  /// Execute one frame against the context: begin_frame, every task in
+  /// topological order, finalize_scenario.  Tasks whose guard is off — or
+  /// whose execute() returns nullopt — are recorded as not executed.
+  [[nodiscard]] FrameRecord run_frame(i32 frame_index, ExecContext& ctx);
+  /// Legacy single-context frame execution (internal default context).
   [[nodiscard]] FrameRecord run_frame(i32 frame_index);
 
  private:
@@ -95,13 +129,14 @@ class FlowGraph {
   };
   struct Switch {
     std::string name;
-    std::function<bool()> predicate;
+    SwitchFn predicate;
   };
 
   std::vector<Node> nodes_;
   std::vector<Switch> switches_;
   std::vector<Edge> edges_;
-  std::vector<std::optional<bool>> switch_cache_;
+  /// Context backing the legacy run_frame(i32)/switch_value(i32) API.
+  ExecContext default_ctx_;
 };
 
 }  // namespace tc::graph

@@ -1,9 +1,11 @@
 // Task abstraction for groups of dynamic image-processing tasks.
 //
 // A Task wraps one pipeline stage.  Its execute() runs the stage for the
-// current frame against application state captured at construction and
-// returns the stage's WorkReport, or std::nullopt when the stage was
-// switched off for this frame (the "groups of tasks" dynamism of the paper).
+// frame described by the ExecContext and returns the stage's WorkReport, or
+// std::nullopt when the stage was switched off for this frame (the "groups
+// of tasks" dynamism of the paper).  Task bodies must keep all per-frame
+// state in the context (see graph/exec_context.hpp) — the graph may have
+// several frames in flight at once.
 #pragma once
 
 #include <functional>
@@ -11,8 +13,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
+#include "graph/exec_context.hpp"
 #include "imaging/work_report.hpp"
 
 namespace tc::graph {
@@ -29,8 +33,8 @@ class Task {
   /// (data-parallel) partitioning.
   [[nodiscard]] bool data_parallel() const { return data_parallel_; }
 
-  /// Run the stage for the current frame.  std::nullopt = switched off.
-  virtual std::optional<img::WorkReport> execute() = 0;
+  /// Run the stage for the context's frame.  std::nullopt = switched off.
+  virtual std::optional<img::WorkReport> execute(ExecContext& ctx) = 0;
 
  protected:
   Task(std::string name, bool data_parallel)
@@ -46,22 +50,34 @@ class Task {
 /// the stage this frame).
 class LambdaTask final : public Task {
  public:
-  using Fn = std::function<std::optional<img::WorkReport>()>;
+  using Fn = std::function<std::optional<img::WorkReport>(ExecContext&)>;
 
   LambdaTask(std::string name, bool data_parallel, Fn fn)
       : Task(std::move(name), data_parallel), fn_(std::move(fn)) {}
 
-  std::optional<img::WorkReport> execute() override { return fn_(); }
+  std::optional<img::WorkReport> execute(ExecContext& ctx) override {
+    return fn_(ctx);
+  }
 
  private:
   Fn fn_;
 };
 
-[[nodiscard]] inline std::unique_ptr<Task> make_task(std::string name,
-                                                     bool data_parallel,
-                                                     LambdaTask::Fn fn) {
-  return std::make_unique<LambdaTask>(std::move(name), data_parallel,
-                                      std::move(fn));
+/// Build a LambdaTask from either signature: callables taking ExecContext&
+/// are used directly; legacy zero-argument callables (whose state lives in
+/// captures) are wrapped.  Both may return WorkReport or optional<WorkReport>.
+template <class F>
+[[nodiscard]] std::unique_ptr<Task> make_task(std::string name,
+                                              bool data_parallel, F fn) {
+  if constexpr (std::is_invocable_v<F&, ExecContext&>) {
+    return std::make_unique<LambdaTask>(std::move(name), data_parallel,
+                                        LambdaTask::Fn(std::move(fn)));
+  } else {
+    return std::make_unique<LambdaTask>(
+        std::move(name), data_parallel,
+        LambdaTask::Fn([f = std::move(fn)](ExecContext&) mutable
+                           -> std::optional<img::WorkReport> { return f(); }));
+  }
 }
 
 }  // namespace tc::graph

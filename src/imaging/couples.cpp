@@ -16,19 +16,23 @@ f64 Couple::distance() const {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-CoupleResult select_couple(const std::vector<MarkerCandidate>& candidates,
-                           const CoupleParams& params, const Couple* previous) {
-  CoupleResult result;
-  f64 best_score = 0.0;
+CouplePartial select_couple_rows(const std::vector<MarkerCandidate>& candidates,
+                                 const CoupleParams& params,
+                                 const Couple* previous,
+                                 IndexRange first_range) {
+  CouplePartial partial;
   f64 prev_cx = 0.0;
   f64 prev_cy = 0.0;
   if (previous != nullptr) {
     prev_cx = 0.5 * (previous->a.x + previous->b.x);
     prev_cy = 0.5 * (previous->a.y + previous->b.y);
   }
-  for (usize i = 0; i < candidates.size(); ++i) {
-    for (usize j = i + 1; j < candidates.size(); ++j) {
-      ++result.pairs_considered;
+  const usize n = candidates.size();
+  const usize i0 = std::min(static_cast<usize>(std::max(first_range.lo, 0)), n);
+  const usize i1 = std::min(static_cast<usize>(std::max(first_range.hi, 0)), n);
+  for (usize i = i0; i < i1; ++i) {
+    for (usize j = i + 1; j < n; ++j) {
+      ++partial.pairs_considered;
       f64 dx = candidates[j].position.x - candidates[i].position.x;
       f64 dy = candidates[j].position.y - candidates[i].position.y;
       f64 dist = std::sqrt(dx * dx + dy * dy);
@@ -49,19 +53,42 @@ CoupleResult select_couple(const std::vector<MarkerCandidate>& candidates,
         f64 s2 = params.tracking_sigma * params.tracking_sigma;
         score *= std::exp(-0.5 * move2 / s2);
       }
-      if (score > best_score) {
-        best_score = score;
-        result.best = Couple{candidates[i].position, candidates[j].position,
-                             score};
+      if (score > partial.best_score) {
+        partial.best_score = score;
+        partial.best = Couple{candidates[i].position, candidates[j].position,
+                              score};
       }
+    }
+  }
+  return partial;
+}
+
+CoupleResult merge_couple_partials(std::span<const CouplePartial> partials,
+                                   usize candidate_count) {
+  CoupleResult result;
+  f64 best_score = 0.0;
+  for (const CouplePartial& p : partials) {
+    result.pairs_considered += p.pairs_considered;
+    if (p.best.has_value() && p.best_score > best_score) {
+      best_score = p.best_score;
+      result.best = p.best;
     }
   }
   result.work.feature_ops = result.pairs_considered * 12;
   result.work.items = result.pairs_considered;
-  result.work.input_bytes = candidates.size() * sizeof(MarkerCandidate);
+  result.work.input_bytes = candidate_count * sizeof(MarkerCandidate);
   result.work.output_bytes = sizeof(Couple);
   result.work.data_parallel = false;  // feature-level: functional partitioning
   return result;
+}
+
+CoupleResult select_couple(const std::vector<MarkerCandidate>& candidates,
+                           const CoupleParams& params, const Couple* previous) {
+  CouplePartial partial =
+      select_couple_rows(candidates, params, previous,
+                         IndexRange{0, narrow<i32>(candidates.size())});
+  return merge_couple_partials(std::span<const CouplePartial>(&partial, 1),
+                               candidates.size());
 }
 
 }  // namespace tc::img

@@ -13,6 +13,13 @@ ImageF32 to_f32(const ImageU16& in) {
   return out;
 }
 
+void to_f32(const ImageU16& in, ImageF32& out) {
+  out.ensure(in.width(), in.height());
+  const u16* src = in.data();
+  f32* dst = out.data();
+  for (usize i = 0; i < in.size(); ++i) dst[i] = static_cast<f32>(src[i]);
+}
+
 ImageU16 to_u16(const ImageF32& in) {
   ImageU16 out(in.width(), in.height());
   const f32* src = in.data();

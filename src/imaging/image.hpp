@@ -67,6 +67,18 @@ class Image {
 
   void fill(T v) { std::fill(pixels_.begin(), pixels_.end(), v); }
 
+  /// Reshape to width × height, reusing the allocation when possible.  When
+  /// the dimensions change the contents are reset to T{}; when they already
+  /// match the (stale) contents are kept — callers that reuse an image as
+  /// scratch must clear whatever region they read before writing it.
+  void ensure(i32 width, i32 height) {
+    assert(width >= 0 && height >= 0);
+    if (width == width_ && height == height_ && !pixels_.empty()) return;
+    width_ = width;
+    height_ = height;
+    pixels_.assign(static_cast<usize>(width) * static_cast<usize>(height), T{});
+  }
+
   [[nodiscard]] Rect full_rect() const { return Rect{0, 0, width_, height_}; }
 
   /// Copy out a sub-rectangle (clamped to the image bounds).
@@ -97,6 +109,9 @@ using ImageF32 = Image<f32>;
 /// Convert with clamping to the destination range.
 [[nodiscard]] ImageF32 to_f32(const ImageU16& in);
 [[nodiscard]] ImageU16 to_u16(const ImageF32& in);
+
+/// Allocation-free variant: converts into `out` (reshaped as needed).
+void to_f32(const ImageU16& in, ImageF32& out);
 
 /// Write an image as binary PGM (P5, 8-bit after range compression for u16).
 /// Returns false on I/O failure.

@@ -84,29 +84,45 @@ Point2f refine_position(const ImageF32& frame, Point2f coarse, i32 half,
 
 }  // namespace
 
-MarkerResult extract_markers(const ImageF32& frame, Rect roi,
-                             const MarkerParams& params,
-                             const RidgeResult* ridge) {
-  MarkerResult result;
-  WorkReport& work = result.work;
-  Rect r = clamp_rect(roi, frame.width(), frame.height());
-  if (r.empty()) return result;
-  const i32 d = std::max(params.decimation, 1);
+MarkerGrid marker_grid(const ImageF32& frame, Rect roi,
+                       const MarkerParams& params) {
+  MarkerGrid grid;
+  grid.r = clamp_rect(roi, frame.width(), frame.height());
+  if (grid.r.empty()) return grid;
+  grid.d = std::max(params.decimation, 1);
 
-  ImageF32 low = decimate(frame, r, d, work);
+  grid.low = decimate(frame, grid.r, grid.d, grid.work);
+  grid.blob = gaussian_blur(grid.low, params.blob_sigma, &grid.work);
+  grid.background = gaussian_blur(grid.low, params.background_sigma, &grid.work);
 
-  ImageF32 blob = gaussian_blur(low, params.blob_sigma, &work);
-  ImageF32 background = gaussian_blur(low, params.background_sigma, &work);
+  // Non-maximum suppression runs over cells anchored to the absolute
+  // decimated grid (so ROI offsets and batch splits reproduce identical
+  // cells).
+  grid.cell = std::max(params.nms_cell, 2);
+  grid.gx0 = (grid.r.x / grid.d) / grid.cell * grid.cell;
+  grid.gy0 = (grid.r.y / grid.d) / grid.cell * grid.cell;
+  grid.lx0 = grid.r.x / grid.d;  // low-res coords of the ROI origin
+  grid.ly0 = grid.r.y / grid.d;
+  grid.cell_rows =
+      (grid.ly0 + grid.low.height() - grid.gy0 + grid.cell - 1) / grid.cell;
+  return grid;
+}
 
-  // Non-maximum suppression over cells anchored to the absolute decimated
-  // grid (so ROI offsets and stripe splits reproduce identical cells).
-  const i32 cell = std::max(params.nms_cell, 2);
-  const i32 gx0 = (r.x / d) / cell * cell;  // absolute decimated grid origin
-  const i32 gy0 = (r.y / d) / cell * cell;
-  const i32 lx0 = r.x / d;  // low-res coords of the ROI origin
-  const i32 ly0 = r.y / d;
-  for (i32 cy = gy0; cy < ly0 + low.height(); cy += cell) {
-    for (i32 cx = gx0; cx < lx0 + low.width(); cx += cell) {
+MarkerBatch extract_marker_cells(const ImageF32& frame, const MarkerGrid& grid,
+                                 const MarkerParams& params,
+                                 const RidgeResult* ridge, IndexRange cells) {
+  MarkerBatch batch;
+  WorkReport refine_work;
+  const ImageF32& low = grid.low;
+  const i32 lx0 = grid.lx0;
+  const i32 ly0 = grid.ly0;
+  const i32 cell = grid.cell;
+  const i32 d = grid.d;
+  const i32 c0 = std::clamp(cells.lo, 0, grid.cell_rows);
+  const i32 c1 = std::clamp(cells.hi, 0, grid.cell_rows);
+  for (i32 k = c0; k < c1; ++k) {
+    const i32 cy = grid.gy0 + k * cell;
+    for (i32 cx = grid.gx0; cx < lx0 + low.width(); cx += cell) {
       f32 best = 0.0f;
       i32 bx = -1;
       i32 by = -1;
@@ -114,8 +130,8 @@ MarkerResult extract_markers(const ImageF32& frame, Rect roi,
            ++y) {
         for (i32 x = std::max(cx, lx0);
              x < std::min(cx + cell, lx0 + low.width()); ++x) {
-          f32 darkness = background.at(x - lx0, y - ly0) -
-                         blob.at(x - lx0, y - ly0);
+          f32 darkness = grid.background.at(x - lx0, y - ly0) -
+                         grid.blob.at(x - lx0, y - ly0);
           if (darkness > best) {
             best = darkness;
             bx = x;
@@ -128,7 +144,7 @@ MarkerResult extract_markers(const ImageF32& frame, Rect roi,
       Point2f coarse{static_cast<f64>(bx) * d + 0.5 * (d - 1),
                      static_cast<f64>(by) * d + 0.5 * (d - 1)};
       Point2f refined =
-          refine_position(frame, coarse, params.refine_half, work);
+          refine_position(frame, coarse, params.refine_half, refine_work);
 
       if (ridge != nullptr) {
         // Structure suppression sampled at the refined full-res position:
@@ -148,8 +164,23 @@ MarkerResult extract_markers(const ImageF32& frame, Rect roi,
         }
         if (best <= params.detect_threshold) continue;
       }
-      result.candidates.push_back(MarkerCandidate{refined, best});
+      batch.candidates.push_back(MarkerCandidate{refined, best});
     }
+  }
+  batch.feature_ops = refine_work.feature_ops;
+  return batch;
+}
+
+MarkerResult finalize_markers(const MarkerGrid& grid,
+                              const MarkerParams& params, bool ridge_used,
+                              std::span<const MarkerBatch> batches) {
+  MarkerResult result;
+  result.work = grid.work;
+  WorkReport& work = result.work;
+  for (const MarkerBatch& batch : batches) {
+    work.feature_ops += batch.feature_ops;
+    result.candidates.insert(result.candidates.end(), batch.candidates.begin(),
+                             batch.candidates.end());
   }
 
   // Strongest first; cap the list.
@@ -163,17 +194,30 @@ MarkerResult extract_markers(const ImageF32& frame, Rect roi,
     result.candidates.resize(static_cast<usize>(params.max_candidates));
   }
 
-  u64 low_pixels = low.size();
-  work.pixel_ops += low_pixels * (ridge != nullptr ? 6 : 3);
-  work.bytes_read += low_pixels * (ridge != nullptr ? 4 : 2) * sizeof(f32);
+  u64 low_pixels = grid.low.size();
+  work.pixel_ops += low_pixels * (ridge_used ? 6 : 3);
+  work.bytes_read += low_pixels * (ridge_used ? 4 : 2) * sizeof(f32);
   work.items = result.candidates.size();
-  u64 roi_pixels = static_cast<u64>(r.area());
+  u64 roi_pixels = static_cast<u64>(grid.r.area());
   work.input_bytes += roi_pixels * sizeof(u16) +
-                      (ridge != nullptr ? roi_pixels * 2 * sizeof(f32) : 0);
-  work.intermediate_bytes += low.bytes() + blob.bytes() + background.bytes();
+                      (ridge_used ? roi_pixels * 2 * sizeof(f32) : 0);
+  work.intermediate_bytes +=
+      grid.low.bytes() + grid.blob.bytes() + grid.background.bytes();
   work.output_bytes += result.candidates.size() * sizeof(MarkerCandidate);
   work.data_parallel = true;
   return result;
+}
+
+MarkerResult extract_markers(const ImageF32& frame, Rect roi,
+                             const MarkerParams& params,
+                             const RidgeResult* ridge) {
+  Rect r = clamp_rect(roi, frame.width(), frame.height());
+  if (r.empty()) return MarkerResult{};
+  MarkerGrid grid = marker_grid(frame, roi, params);
+  MarkerBatch batch = extract_marker_cells(frame, grid, params, ridge,
+                                           IndexRange{0, grid.cell_rows});
+  return finalize_markers(grid, params, ridge != nullptr,
+                          std::span<const MarkerBatch>(&batch, 1));
 }
 
 }  // namespace tc::img

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "imaging/image.hpp"
@@ -55,12 +56,27 @@ struct RidgeResult {
 [[nodiscard]] RidgeResult ridge_detect(const ImageF32& frame, Rect roi,
                                        const RidgeParams& params);
 
+/// Reusable working buffers for one ridge_detect_rows invocation (one set
+/// per concurrent stripe instance).  Owning them in the caller's frame
+/// context removes the four image allocations each stripe used to make.
+struct RidgeScratch {
+  ImageF32 smooth;
+  ImageF32 resp_local;
+  ImageF32 blob_local;
+  HessianImages hess;
+  /// Reshape every buffer to the frame size (reuses allocations; stale
+  /// contents are fine — ridge_detect_rows zeroes what it reads).
+  void ensure(i32 width, i32 height);
+};
+
 /// Stripe variant: computes response/blobness rows [rows.lo, rows.hi) ∩ roi
-/// into the provided images (which must be frame-sized).
+/// into the provided images (which must be frame-sized).  `scratch` (may be
+/// null) supplies reusable working buffers; results are bit-identical with
+/// and without it.
 void ridge_detect_rows(const ImageF32& frame, Rect roi,
                        const RidgeParams& params, ImageF32& response,
                        ImageF32& blobness, IndexRange rows, u64& dominant_pixels,
-                       WorkReport& work);
+                       WorkReport& work, RidgeScratch* scratch = nullptr);
 
 // ---------------------------------------------------------------------------
 // MKX_EXT — marker extraction
@@ -112,6 +128,52 @@ struct MarkerResult {
                                            const MarkerParams& params,
                                            const RidgeResult* ridge);
 
+/// Decimated detection grid shared by every MKX instance batch of a frame:
+/// the low-res ROI image, its difference-of-Gaussians pair, and the NMS
+/// cell geometry.  Built once per frame; cell rows are then scanned in
+/// independent batches (candidate-batch instance fan-out).
+struct MarkerGrid {
+  ImageF32 low;
+  ImageF32 blob;
+  ImageF32 background;
+  Rect r{};           ///< clamped ROI in full-resolution pixels
+  i32 d = 1;          ///< decimation factor
+  i32 cell = 2;       ///< NMS cell size (decimated pixels)
+  i32 gx0 = 0;        ///< absolute decimated grid origin (x)
+  i32 gy0 = 0;        ///< absolute decimated grid origin (y)
+  i32 lx0 = 0;        ///< low-res coords of the ROI origin (x)
+  i32 ly0 = 0;        ///< low-res coords of the ROI origin (y)
+  i32 cell_rows = 0;  ///< NMS cell rows — the batchable unit
+  WorkReport work;    ///< decimation + blur work of the grid build
+};
+
+/// Build the shared detection grid for `roi` (must be non-empty after
+/// clamping to the frame).
+[[nodiscard]] MarkerGrid marker_grid(const ImageF32& frame, Rect roi,
+                                     const MarkerParams& params);
+
+/// Candidates produced by one batch of NMS cell rows.
+struct MarkerBatch {
+  std::vector<MarkerCandidate> candidates;
+  u64 feature_ops = 0;  ///< sub-pixel refinement work of this batch
+};
+
+/// Scan NMS cell rows [cells.lo, cells.hi) of the grid.  Disjoint batches
+/// visit disjoint cells, so they may run concurrently; concatenating the
+/// batches in order reproduces the serial scan exactly.
+[[nodiscard]] MarkerBatch extract_marker_cells(const ImageF32& frame,
+                                               const MarkerGrid& grid,
+                                               const MarkerParams& params,
+                                               const RidgeResult* ridge,
+                                               IndexRange cells);
+
+/// Merge the per-batch candidate lists (in batch order), sort, cap, and
+/// attach the fixed accounting — byte-identical to extract_markers().
+[[nodiscard]] MarkerResult finalize_markers(const MarkerGrid& grid,
+                                            const MarkerParams& params,
+                                            bool ridge_used,
+                                            std::span<const MarkerBatch> batches);
+
 // ---------------------------------------------------------------------------
 // CPLS_SEL — couples selection
 // ---------------------------------------------------------------------------
@@ -150,6 +212,25 @@ struct CoupleResult {
 [[nodiscard]] CoupleResult select_couple(
     const std::vector<MarkerCandidate>& candidates, const CoupleParams& params,
     const Couple* previous = nullptr);
+
+/// Partial result of scanning a sub-range of first-candidate indices (the
+/// candidate-batch instance unit of CPLS_SEL).
+struct CouplePartial {
+  std::optional<Couple> best;
+  f64 best_score = 0.0;
+  u64 pairs_considered = 0;
+};
+
+/// Score pairs (i, j) with i ∈ [first_range.lo, first_range.hi) and j > i.
+/// Disjoint ranges cover disjoint pairs, so batches may run concurrently.
+[[nodiscard]] CouplePartial select_couple_rows(
+    const std::vector<MarkerCandidate>& candidates, const CoupleParams& params,
+    const Couple* previous, IndexRange first_range);
+
+/// Merge partials in batch order (strict > keeps the earliest batch's
+/// winner on ties, reproducing the serial scan) and attach the accounting.
+[[nodiscard]] CoupleResult merge_couple_partials(
+    std::span<const CouplePartial> partials, usize candidate_count);
 
 // ---------------------------------------------------------------------------
 // REG — temporal registration

@@ -22,15 +22,42 @@ constexpr i32 kFilterHalo = 3;
 
 }  // namespace
 
+void RidgeScratch::ensure(i32 width, i32 height) {
+  smooth.ensure(width, height);
+  resp_local.ensure(width, height);
+  blob_local.ensure(width, height);
+  hess.xx.ensure(width, height);
+  hess.xy.ensure(width, height);
+  hess.yy.ensure(width, height);
+}
+
 void ridge_detect_rows(const ImageF32& frame, Rect roi,
                        const RidgeParams& params, ImageF32& response,
                        ImageF32& blobness, IndexRange rows,
-                       u64& dominant_pixels, WorkReport& work) {
+                       u64& dominant_pixels, WorkReport& work,
+                       RidgeScratch* scratch) {
   Rect r = clamp_rect(roi, frame.width(), frame.height());
   if (r.empty()) return;
   const i32 y0 = std::clamp(rows.lo, r.y, r.y + r.h);
   const i32 y1 = std::clamp(rows.hi, r.y, r.y + r.h);
   if (y1 <= y0) return;
+
+  // Working buffers: caller-provided scratch (allocation-free in steady
+  // state) or a fresh local set.  Stale scratch only matters for the
+  // response/blobness images — sub-stage D's along-ridge sampling reads up
+  // to kFilterHalo + 1 rows beyond the output band (bilinear interpolation
+  // adds one row), and those reads must see the zeros a serial run sees.
+  // smooth/hess need no clearing: every read falls inside the freshly
+  // written band.
+  RidgeScratch local;
+  RidgeScratch* s = scratch != nullptr ? scratch : &local;
+  s->ensure(frame.width(), frame.height());
+  const i32 zy0 = std::max(0, y0 - kFilterHalo - 1);
+  const i32 zy1 = std::min(frame.height(), y1 + kFilterHalo + 1);
+  for (i32 y = zy0; y < zy1; ++y) {
+    std::fill_n(s->resp_local.row(y), frame.width(), 0.0f);
+    std::fill_n(s->blob_local.row(y), frame.width(), 0.0f);
+  }
 
   // Extended band: the output band plus the filtering halo, clamped to the
   // ROI so serial and striped runs see identical (zero) values outside it.
@@ -39,20 +66,20 @@ void ridge_detect_rows(const ImageF32& frame, Rect roi,
 
   // Sub-stage A: smooth the extended band (one extra pixel of halo in both
   // directions for the Hessian's central differences).
-  ImageF32 smooth(frame.width(), frame.height());
+  ImageF32& smooth = s->smooth;
   gaussian_blur_rect(frame, params.sigma, smooth, IndexRange{ey0 - 1, ey1 + 1},
                      IndexRange{r.x - 1, r.x + r.w + 1}, &work);
 
   // Sub-stage B: Hessian of the smoothed band.
-  HessianImages hess = make_hessian_images(frame.width(), frame.height());
+  HessianImages& hess = s->hess;
   hessian_rect(smooth, hess, IndexRange{ey0, ey1},
                IndexRange{r.x, r.x + r.w}, &work);
 
   // Sub-stage C: eigenvalues → ridgeness (lambda_max) and blobness
   // (lambda_min clamped at zero) over the extended band, into local images
   // so a striped run never races on the shared outputs.
-  ImageF32 resp_local(frame.width(), frame.height(), 0.0f);
-  ImageF32 blob_local(frame.width(), frame.height(), 0.0f);
+  ImageF32& resp_local = s->resp_local;
+  ImageF32& blob_local = s->blob_local;
   for (i32 y = ey0; y < ey1; ++y) {
     for (i32 x = r.x; x < r.x + r.w; ++x) {
       f32 xx = hess.xx.at(x, y);

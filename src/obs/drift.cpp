@@ -205,9 +205,15 @@ void SloMonitor::set_callback(Callback cb) {
   callback_ = std::move(cb);
 }
 
+SloMonitor::WindowStats SloMonitor::window_snapshot() const {
+  common::MutexLock lock(mutex_);
+  return window_stats();
+}
+
 SloMonitor::WindowStats SloMonitor::window_stats() const {
   WindowStats w;
   if (window_.empty()) return w;
+  w.frames = narrow<i64>(window_.size());
   usize misses = 0;
   std::vector<f64> lat;
   lat.reserve(window_.size());

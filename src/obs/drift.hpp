@@ -207,6 +207,15 @@ class SloMonitor {
  public:
   using Callback = std::function<void(const SloBreach&)>;
 
+  /// Aggregates of the current sliding window (all 0 before any frame).
+  struct WindowStats {
+    f64 miss_rate = 0.0;
+    f64 p50 = 0.0;
+    f64 p99 = 0.0;
+    /// Frames currently in the window (<= max spec window).
+    i64 frames = 0;
+  };
+
   explicit SloMonitor(std::vector<SloSpec> slos,
                       MetricsRegistry* metrics = nullptr);
 
@@ -220,17 +229,14 @@ class SloMonitor {
 
   /// Current value of an objective (0 before any frame).
   [[nodiscard]] f64 current(std::string_view slo) const TC_EXCLUDES(mutex_);
+  /// Snapshot of the sliding-window aggregates (post-mortem context).
+  [[nodiscard]] WindowStats window_snapshot() const TC_EXCLUDES(mutex_);
   [[nodiscard]] u64 breaches_total() const TC_EXCLUDES(mutex_);
   [[nodiscard]] const std::vector<SloSpec>& specs() const { return specs_; }
 
   void reset() TC_EXCLUDES(mutex_);
 
  private:
-  struct WindowStats {
-    f64 miss_rate = 0.0;
-    f64 p50 = 0.0;
-    f64 p99 = 0.0;
-  };
   [[nodiscard]] WindowStats window_stats() const TC_REQUIRES(mutex_);
 
   std::vector<SloSpec> specs_;

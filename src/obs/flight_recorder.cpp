@@ -38,6 +38,12 @@ const char* to_string(FrEventType t) {
       return "drift_alert";
     case FrEventType::Retrain:
       return "retrain";
+    case FrEventType::CtxAdmit:
+      return "ctx_admit";
+    case FrEventType::CtxCommit:
+      return "ctx_commit";
+    case FrEventType::InstanceFanout:
+      return "instance_fanout";
     case FrEventType::Custom:
       return "custom";
   }

@@ -52,6 +52,9 @@ enum class FrEventType : u16 {
   SloBreach,        ///< node = slo index; a = value, b = threshold
   DriftAlert,       ///< node = stream index; a = statistic, b = threshold
   Retrain,          ///< predictor re-training forced; a = trigger frame
+  CtxAdmit,         ///< frame context admitted; a = stream ticket
+  CtxCommit,        ///< stream state committed; a = ticket, b = 0 front/1 back
+  InstanceFanout,   ///< node id; a = instance count, b = total work units
   Custom,           ///< free-form marker from examples/tests
 };
 

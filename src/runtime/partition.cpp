@@ -80,6 +80,20 @@ PlanChoice choose_plan(const plat::CostParams& params,
   return choice;
 }
 
+app::InstanceBudget budget_for_plan(const PlanChoice& choice, i32 pool_threads,
+                                    i32 frames_in_flight) {
+  app::InstanceBudget budget;
+  const i32 threads = std::max(1, pool_threads);
+  const i32 in_flight = std::max(1, frames_in_flight);
+  // Fair share of the pool for one in-flight frame (never below one slot).
+  const i32 share = std::max(1, threads / in_flight);
+  i32 widest = 1;
+  for (i32 stripes : choice.plan) widest = std::max(widest, stripes);
+  budget.max_concurrent = std::min(widest, share);
+  budget.feature_batches = std::clamp(share, 1, 4);
+  return budget;
+}
+
 std::string plan_to_string(const app::StripePlan& plan) {
   std::ostringstream os;
   bool any = false;

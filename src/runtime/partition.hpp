@@ -57,6 +57,17 @@ struct PlanChoice {
                                      f64 budget_ms, i32 max_stripes_per_task,
                                      i32 cpu_count);
 
+/// Host resource budget for one frame executed under `choice`: with
+/// `frames_in_flight` frames sharing a `pool_threads`-worker pool (stage
+/// pipelining), each frame may run at most pool/frames_in_flight instances
+/// concurrently — capped further by the widest stripe count the plan
+/// actually asks for.  Feature-level batching (MKX/CPLS) follows the same
+/// per-frame share, clamped to [1, 4].  Pure function of its inputs; the
+/// budget throttles *host* concurrency only and never changes WorkReports.
+[[nodiscard]] app::InstanceBudget budget_for_plan(const PlanChoice& choice,
+                                                  i32 pool_threads,
+                                                  i32 frames_in_flight);
+
 [[nodiscard]] std::string plan_to_string(const app::StripePlan& plan);
 
 }  // namespace tc::rt

@@ -84,6 +84,26 @@ TEST(BoundedQueue, CloseWakesBlockedProducer) {
   producer.join();
 }
 
+TEST(BoundedQueue, CloseWhileFullWakesAllProducersAndDrains) {
+  // Shutdown with a full queue and several throttled producers: close()
+  // must refuse every blocked push (none may sneak an item in after the
+  // close), wake them all, and still let consumers drain what was queued.
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, p] { EXPECT_FALSE(q.push(100 + p)); });
+  }
+  while (q.blocked_pushes() < 3) std::this_thread::yield();
+  q.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   BoundedQueue<int> q(1);
   std::thread consumer([&q] { EXPECT_EQ(q.pop(), std::nullopt); });

@@ -1,0 +1,190 @@
+// StreamState is the only cross-frame state of the pipelined app: tickets
+// are issued at admission and every commit must happen in strict ticket
+// order.  These tests pin the ordering edge cases (out-of-order commits
+// block, admissions see the predecessor's committed state, acquire_back
+// moves ownership) under real threads — run them under TSan.
+
+#include "app/frame_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace tc::app {
+namespace {
+
+TEST(StreamState, TicketsAreSequentialFromZero) {
+  StreamState stream;
+  FrontState front;
+  EXPECT_EQ(stream.admit(front), 0u);
+  stream.commit_front(0, front);
+  EXPECT_EQ(stream.admit(front), 1u);
+  stream.commit_front(1, front);
+  EXPECT_EQ(stream.tickets_issued(), 2u);
+}
+
+TEST(StreamState, AdmissionSeesPredecessorsCommittedFront) {
+  StreamState stream;
+  FrontState front;
+  const u64 t0 = stream.admit(front);
+  EXPECT_TRUE(front.rdg_active);  // initial state
+  FrontState next;
+  next.rdg_active = false;
+  next.quiet_frames = 7;
+  stream.commit_front(t0, next);
+  FrontState seen;
+  const u64 t1 = stream.admit(seen);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_FALSE(seen.rdg_active);
+  EXPECT_EQ(seen.quiet_frames, 7);
+}
+
+TEST(StreamState, AdmitBlocksUntilPredecessorCommitsFront) {
+  StreamState stream;
+  FrontState front;
+  const u64 t0 = stream.admit(front);
+
+  std::atomic<bool> admitted{false};
+  FrontState seen;
+  std::thread next([&] {
+    (void)stream.admit(seen);  // ticket 1: must wait for commit_front(0)
+    admitted.store(true);
+  });
+  // The successor cannot admit before ticket 0 commits its front state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  FrontState committed;
+  committed.quiet_frames = 3;
+  stream.commit_front(t0, committed);
+  next.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(seen.quiet_frames, 3);
+}
+
+TEST(StreamState, OutOfOrderFrontCommitBlocksUntilPredecessor) {
+  StreamState stream;
+  FrontState f0, f1;
+  const u64 t0 = stream.admit(f0);
+  stream.commit_front(t0, f0);
+  const u64 t1 = stream.admit(f1);
+
+  // Ticket 2 is admitted on another thread only after t1 commits, so its
+  // commit necessarily serializes behind t1's.
+  std::atomic<int> order{0};
+  std::thread late([&] {
+    FrontState f2;
+    const u64 t2 = stream.admit(f2);
+    EXPECT_EQ(t2, 2u);
+    EXPECT_EQ(order.load(), 1);  // t1 committed first
+    f2.quiet_frames = 2;
+    stream.commit_front(t2, f2);
+    order.store(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  order.store(1);
+  f1.quiet_frames = 1;
+  stream.commit_front(t1, f1);
+  late.join();
+  EXPECT_EQ(order.load(), 2);
+  EXPECT_EQ(stream.front().quiet_frames, 2);
+}
+
+TEST(StreamState, BackStateMovesThroughAcquireCommit) {
+  StreamState stream;
+  FrontState front;
+  const u64 t0 = stream.admit(front);
+  stream.commit_front(t0, front);
+
+  BackState back;
+  stream.acquire_back(t0, back);
+  EXPECT_TRUE(back.accumulator.empty());
+  back.accumulator = img::ImageF32(8, 8);
+  back.ref_roi = Rect{1, 2, 3, 4};
+  stream.commit_back(t0, std::move(back));
+
+  // The next ticket acquires exactly what ticket 0 committed.
+  const u64 t1 = stream.admit(front);
+  stream.commit_front(t1, front);
+  BackState seen;
+  stream.acquire_back(t1, seen);
+  EXPECT_EQ(seen.accumulator.width(), 8);
+  EXPECT_EQ(seen.ref_roi, (Rect{1, 2, 3, 4}));
+}
+
+TEST(StreamState, BackCommitOrderIsTicketOrder) {
+  StreamState stream;
+  // Two tickets through the front.
+  FrontState f;
+  const u64 t0 = stream.admit(f);
+  stream.commit_front(t0, f);
+  const u64 t1 = stream.admit(f);
+  stream.commit_front(t1, f);
+
+  std::atomic<int> order{0};
+  std::thread second([&] {
+    BackState b;
+    stream.acquire_back(t1, b);  // blocks until commit_back(0)
+    EXPECT_EQ(order.load(), 1);
+    stream.commit_back(t1, std::move(b));
+    order.store(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(order.load(), 0);
+  BackState b0;
+  stream.acquire_back(t0, b0);
+  order.store(1);
+  stream.commit_back(t0, std::move(b0));
+  second.join();
+  EXPECT_EQ(order.load(), 2);
+}
+
+TEST(StreamState, ResetRestartsTicketSequence) {
+  StreamState stream;
+  FrontState f;
+  f.quiet_frames = 9;
+  const u64 t0 = stream.admit(f);
+  f.quiet_frames = 9;
+  stream.commit_front(t0, f);
+  stream.reset();
+  EXPECT_EQ(stream.tickets_issued(), 0u);
+  FrontState fresh;
+  EXPECT_EQ(stream.admit(fresh), 0u);
+  EXPECT_EQ(fresh.quiet_frames, 0);  // state cleared, not carried over
+  EXPECT_TRUE(fresh.rdg_active);
+}
+
+TEST(StreamState, PipelineOfThreadsProgressesInTicketOrder) {
+  // A miniature front/back pipeline: N frames, front thread commits
+  // quiet_frames = ticket, back thread checks it observes every commit in
+  // order.  TSan-checked handshake of the real usage pattern.
+  StreamState stream;
+  const int n = 32;
+  std::thread front([&] {
+    for (int i = 0; i < n; ++i) {
+      FrontState f;
+      const u64 ticket = stream.admit(f);
+      EXPECT_EQ(f.quiet_frames, static_cast<i32>(ticket));
+      FrontState next;
+      next.quiet_frames = static_cast<i32>(ticket) + 1;
+      stream.commit_front(ticket, next);
+    }
+  });
+  std::thread back([&] {
+    for (int i = 0; i < n; ++i) {
+      BackState b;
+      stream.acquire_back(static_cast<u64>(i), b);
+      b.ref_roi.x = i;
+      stream.commit_back(static_cast<u64>(i), std::move(b));
+    }
+  });
+  front.join();
+  back.join();
+  EXPECT_EQ(stream.tickets_issued(), static_cast<u64>(n));
+  EXPECT_EQ(stream.back_ref_roi().x, n - 1);
+  EXPECT_EQ(stream.front().quiet_frames, n);
+}
+
+}  // namespace
+}  // namespace tc::app

@@ -76,6 +76,22 @@ void print_header(const JsonValue& root) {
               static_cast<i64>(root.number_or("scenario", 0)));
 }
 
+/// Free-form context the executor attached (policy, workers, and — for SLO
+/// breaches — the triggering objective plus its window aggregates).
+void print_extra(const JsonValue& root) {
+  const JsonValue* extra = root.find("extra");
+  if (extra == nullptr || extra->type() != JsonValue::Type::Object ||
+      extra->members().empty()) {
+    return;
+  }
+  std::printf("\nContext\n");
+  for (const auto& [key, v] : extra->members()) {
+    std::printf("  %-22s : %s\n", key.c_str(),
+                v.type() == JsonValue::Type::String ? v.as_string().c_str()
+                                                    : "?");
+  }
+}
+
 void print_predictors(const JsonValue& root) {
   const JsonValue* p = root.find("predictors");
   if (p == nullptr || p->type() != JsonValue::Type::Object) return;
@@ -274,6 +290,7 @@ int main(int argc, char** argv) {
   }
 
   print_header(root);
+  print_extra(root);
   print_predictors(root);
   print_events(root, opt.show_events);
   print_metrics(root);
