@@ -24,6 +24,7 @@
 
 #include "app/stentboost.hpp"
 #include "bench_util.hpp"
+#include "exec/executor.hpp"
 #include "exec/frame_pipeline.hpp"
 #include "exec/stage_pipeline.hpp"
 #include "imaging/kernels.hpp"
@@ -44,6 +45,11 @@ struct Options {
   /// Smoke mode (CI/TSan): run everything, skip the speedup exit gate —
   /// sanitized or oversubscribed hosts make wall-clock wins meaningless.
   bool smoke = false;
+  /// Prediction-ledger phase: run the closed-loop executor with the ledger
+  /// on (natural scenario dynamics, not the pinned full-frame scenario of
+  /// the timed rows) and dump the ledger for triplec_ledger.
+  bool ledger = false;
+  std::string ledger_out = "BENCH_ledger.json";
 };
 
 Options parse(int argc, char** argv) {
@@ -57,6 +63,9 @@ Options parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--workers") == 0) next(opt.workers);
     else if (std::strcmp(argv[i], "--reps") == 0) next(opt.reps);
     else if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
+    else if (std::strcmp(argv[i], "--ledger") == 0) opt.ledger = true;
+    else if (std::strcmp(argv[i], "--ledger-out") == 0 && i + 1 < argc)
+      opt.ledger_out = argv[++i];
   }
   opt.reps = std::max(opt.reps, 1);
   return opt;
@@ -243,6 +252,40 @@ f64 run_pipeline(const Options& opt,
   return wall;
 }
 
+/// The --ledger phase: a closed-loop executor run with the prediction
+/// ledger on and *natural* scenario dynamics (force_full_frame off, so the
+/// data-dependent switches produce their full scenario set), dumped as a
+/// triplec-ledger-v1 document for tools/triplec_ledger.
+void run_ledger_phase(const Options& opt) {
+  app::StentBoostConfig config = app::StentBoostConfig::make(
+      opt.size, opt.size, opt.frames, /*seed=*/23);
+  exec::ExecutorConfig ec;
+  ec.worker_threads = opt.workers;
+  ec.ledger.enabled = true;
+  ec.ledger.capacity = 0;  // keep every row; the report scores them all
+  exec::Executor executor(std::move(config), ec);
+  (void)executor.run(opt.frames);
+
+  obs::PredictionLedger* ledger = executor.ledger();
+  const std::vector<obs::LedgerRow> rows = ledger->rows();
+  std::vector<bool> seen(64, false);
+  usize scenarios = 0;
+  for (const obs::LedgerRow& r : rows) {
+    if (r.scenario < seen.size() && !seen[r.scenario]) {
+      seen[r.scenario] = true;
+      ++scenarios;
+    }
+  }
+  std::printf(
+      "prediction ledger: %llu rows settled over %d frames, %zu scenarios\n",
+      static_cast<unsigned long long>(ledger->rows_settled()), opt.frames,
+      scenarios);
+  if (obs::write_text_file(opt.ledger_out, ledger->dump_json())) {
+    std::printf("wrote %s (render with: triplec_ledger %s --worst 5)\n\n",
+                opt.ledger_out.c_str(), opt.ledger_out.c_str());
+  }
+}
+
 std::string to_json(const Options& opt, const std::vector<Row>& app_rows,
                     const std::vector<Row>& pipe_rows, u64 backpressure) {
   std::ostringstream os;
@@ -360,6 +403,8 @@ int main(int argc, char** argv) {
       opt.frames, pipe_serial));
   print_rows("kernel pipeline (blur | temporal diff | bicubic zoom)",
              pipe_rows);
+
+  if (opt.ledger) run_ledger_phase(opt);
 
   const std::string json = to_json(opt, app_rows, pipe_rows, backpressure);
   if (obs::write_text_file("BENCH_executor.json", json)) {

@@ -13,6 +13,10 @@ put the trend in front of the reviewer without blocking the merge.
 
 Baselines live in bench/baselines/ and are refreshed deliberately (run the
 bench with --reps 5 on a quiet machine, eyeball the diff, commit).
+
+With --require-same-host the host_cores check becomes a hard gate: a
+mismatch exits 3 instead of warning, for local baseline refreshes where a
+silent cross-machine comparison would poison the committed numbers.
 """
 
 import argparse
@@ -39,6 +43,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="regression warning threshold in percent")
+    parser.add_argument("--require-same-host", action="store_true",
+                        help="exit 3 (instead of warning) when host_cores "
+                             "differs between baseline and current")
     args = parser.parse_args()
 
     try:
@@ -61,6 +68,12 @@ def main():
     base_cores = base_doc.get("host_cores")
     cur_cores = cur_doc.get("host_cores")
     if base_cores != cur_cores:
+        if args.require_same_host:
+            print(f"bench compare: host_cores differs "
+                  f"(baseline={base_cores} current={cur_cores}) and "
+                  f"--require-same-host is set; refusing comparison",
+                  file=sys.stderr)
+            return 3
         print(f"::warning::bench compare: host_cores differs "
               f"(baseline={base_cores} current={cur_cores}); skipping "
               f"comparison — rerun the baseline on this machine or refresh "

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Exit-code tests for compare_bench.py.
+
+Run directly or via ctest (registered as compare_bench_exit_codes with the
+`bench` label).  Exercises the documented contract:
+
+  * matching hosts, no regression            -> exit 0
+  * host_cores mismatch, default (warn-only) -> exit 0 + ::warning::
+  * host_cores mismatch, --require-same-host -> exit 3
+  * unreadable baseline                      -> exit 0 (warn-only)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def bench_doc(host_cores, ms=10.0):
+    return {
+        "host_cores": host_cores,
+        "frames": 48,
+        "size": 256,
+        "workers": 4,
+        "stentboost_graph": [{"name": "serial", "ms_per_frame": ms}],
+        "kernel_pipeline": [],
+    }
+
+
+def write_doc(directory, name, doc):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+def run(*argv):
+    proc = subprocess.run([sys.executable, SCRIPT, *argv],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(label, ok):
+    print(("PASS " if ok else "FAIL ") + label)
+    return ok
+
+
+def main():
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        same_a = write_doc(tmp, "base.json", bench_doc(8, ms=10.0))
+        same_b = write_doc(tmp, "cur.json", bench_doc(8, ms=10.5))
+        other = write_doc(tmp, "other.json", bench_doc(16, ms=10.5))
+
+        rc, out = run(same_a, same_b)
+        ok &= check("same host exits 0", rc == 0)
+        ok &= check("same host compares rows", "serial" in out)
+
+        rc, out = run(same_a, other)
+        ok &= check("host mismatch warn-only exits 0", rc == 0)
+        ok &= check("host mismatch emits ::warning::", "::warning::" in out)
+
+        rc, out = run(same_a, other, "--require-same-host")
+        ok &= check("host mismatch --require-same-host exits 3", rc == 3)
+        ok &= check("hard refusal names host_cores", "host_cores" in out)
+
+        rc, out = run(same_a, same_b, "--require-same-host")
+        ok &= check("same host passes the hard gate", rc == 0)
+
+        rc, out = run(os.path.join(tmp, "missing.json"), same_b)
+        ok &= check("unreadable baseline stays warn-only", rc == 0)
+
+        # A regression beyond the threshold still exits 0 (warn-only gate).
+        slow = write_doc(tmp, "slow.json", bench_doc(8, ms=20.0))
+        rc, out = run(same_a, slow, "--threshold", "15")
+        ok &= check("regression is warn-only", rc == 0)
+        ok &= check("regression annotated", "bench regression" in out)
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 #include "common/stats.hpp"
 #include "exec/frame_pipeline.hpp"
 #include "obs/obs.hpp"
+#include "tripleC/bandwidth_model.hpp"
 
 namespace tc::exec {
 
@@ -55,6 +56,18 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
                                        : static_cast<usize>(config.worker_threads)),
       app_(std::move(app_config), &pool_) {
   node_ewma_.fill(model::EwmaFilter(config_.ewma_alpha));
+  for (auto& per_node : node_aux_ewma_) {
+    per_node.fill(model::EwmaFilter(config_.ewma_alpha));
+  }
+  // Graph topology for the ledger's I/O-bus attribution: a node with no
+  // incoming edge ingests from the camera, one with no outgoing edge feeds
+  // the display (Fig. 4 I/O bus).
+  node_is_source_.fill(true);
+  node_is_sink_.fill(true);
+  for (const graph::Edge& e : app_.graph().edges()) {
+    node_is_sink_[static_cast<usize>(e.from)] = false;
+    node_is_source_[static_cast<usize>(e.to)] = false;
+  }
   if (config_.validate_at_startup) {
     // Admission control: the graph and platform spec are linted before any
     // frame executes (Strict throws analysis::AnalysisError).
@@ -77,6 +90,16 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
         std::make_unique<obs::PostmortemWriter>(config_.diagnostics.postmortem);
     // The SLO monitor waits for the deadline (thresholds derive from it);
     // see run_diagnostics().
+  }
+  if (config_.ledger.enabled) {
+    obs::LedgerConfig lc = config_.ledger;
+    if (!lc.node_name) {
+      lc.node_name = [](i32 node) {
+        return std::string(app::node_name(node));
+      };
+    }
+    ledger_ = std::make_unique<obs::PredictionLedger>(
+        std::move(lc), obs::enabled() ? &obs::global().metrics : nullptr);
   }
 }
 
@@ -164,8 +187,9 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
   choice.plan = app::serial_plan();
   app::StripePlan plan = app::serial_plan();
   f64 ewma_total = 0.0;  // pre-Markov serial-equivalent forecast (drift input)
+  std::vector<rt::NodeForecast> fc;  // Markov-scaled (ledger prediction input)
   if (result.managed && config_.adapt) {
-    std::vector<rt::NodeForecast> fc = host_forecast();
+    fc = host_forecast();
     // Markov correction: scale the long-term EWMA forecast by the chain's
     // conditional expectation of the next frame total (short-term state).
     for (const rt::NodeForecast& f : fc) {
@@ -242,7 +266,94 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
     obs::global().flight.record(obs::FrEventType::FrameStart, t, -1,
                                 result.predicted_host_ms);
   }
+  if (ledger_ != nullptr) ledger_predict(t, fc, result);
   return ewma_total;
+}
+
+void Executor::ledger_predict(i32 t, std::span<const rt::NodeForecast> fc,
+                              const ExecutedFrame& result) {
+  std::vector<obs::LedgerSample> preds;
+  for (usize node = 0; node < fc.size(); ++node) {
+    const rt::NodeForecast& f = fc[node];
+    if (!f.active || f.serial_ms <= 0.0) continue;
+    obs::LedgerSample s;
+    s.node = narrow<i32>(node);
+    // CPU: the Markov-scaled serial forecast, striped through the chosen
+    // plan — the time this node is actually expected to take.
+    f64 cpu_ms = f.serial_ms;
+    const i32 stripes = result.plan[node];
+    if (f.data_parallel && stripes > 1) {
+      cpu_ms = rt::striped_ms_from_serial(config_.host_cost, cpu_ms, stripes);
+    }
+    s.mask = obs::ledger_bit(obs::LedgerResource::CpuMs);
+    s.values[static_cast<usize>(obs::LedgerResource::CpuMs)] = cpu_ms;
+    // Memory and bus traffic: the auxiliary filters, once primed from
+    // measured frames (predictions appear from the node's second frame on).
+    for (i32 r = 1; r < obs::kLedgerResourceCount; ++r) {
+      const model::EwmaFilter& aux =
+          node_aux_ewma_[node][static_cast<usize>(r - 1)];
+      if (!aux.primed()) continue;
+      s.mask |= obs::ledger_bit(static_cast<obs::LedgerResource>(r));
+      s.values[static_cast<usize>(r)] = aux.value();
+    }
+    preds.push_back(s);
+  }
+  ledger_->predict_frame(t, next_ticket_++,
+                         deadline_set_ ? deadline_ms_ : 0.0, result.plan,
+                         preds);
+}
+
+void Executor::ledger_settle(const ExecutedFrame& result,
+                             const graph::FrameRecord& record) {
+  std::vector<obs::LedgerSample> actuals;
+  const u64 l2_slice = app_.config().platform.l2_bytes;
+  for (const graph::TaskExecution& exec : record.tasks) {
+    if (!exec.executed) continue;
+    const auto node = static_cast<usize>(exec.node);
+    const model::NodeBusTraffic bus = model::attribute_node_buses(
+        exec.work, node_is_source_[node], node_is_sink_[node], l2_slice);
+    obs::LedgerSample s;
+    s.node = exec.node;
+    s.mask = obs::kLedgerAllResources;
+    s.values[static_cast<usize>(obs::LedgerResource::CpuMs)] = exec.host_ms;
+    s.values[static_cast<usize>(obs::LedgerResource::MemBytes)] =
+        static_cast<f64>(exec.work.footprint_bytes());
+    s.values[static_cast<usize>(obs::LedgerResource::CacheBusMb)] =
+        bus.cache_mb;
+    s.values[static_cast<usize>(obs::LedgerResource::MemoryBusMb)] =
+        bus.memory_mb;
+    s.values[static_cast<usize>(obs::LedgerResource::IoBusMb)] = bus.io_mb;
+    actuals.push_back(s);
+    for (i32 r = 1; r < obs::kLedgerResourceCount; ++r) {
+      node_aux_ewma_[node][static_cast<usize>(r - 1)].update(
+          s.values[static_cast<usize>(r)]);
+    }
+  }
+  const std::vector<obs::LedgerRow> rows = ledger_->settle_frame(
+      result.frame, record.scenario, result.measured_host_ms, actuals);
+  // Per-node drift streams: the settled CPU rows feed one DriftMonitor
+  // stream per node.  Alerts are counted and flight-recorded but never
+  // force a retrain — a single node drifting is an attribution signal, not
+  // evidence against the frame-level predictor.
+  if (drift_ == nullptr) return;
+  for (const obs::LedgerRow& row : rows) {
+    if (!row.has_pred(obs::LedgerResource::CpuMs) ||
+        !row.has_meas(obs::LedgerResource::CpuMs)) {
+      continue;
+    }
+    const std::string stream =
+        "node:" + std::string(app::node_name(row.node));
+    const auto cpu = static_cast<usize>(obs::LedgerResource::CpuMs);
+    if (auto a =
+            drift_->observe(stream, row.frame, row.pred[cpu], row.meas[cpu])) {
+      ++stats_.drift_alerts;
+      if (obs::enabled()) {
+        obs::global().flight.record(obs::FrEventType::DriftAlert, a->frame,
+                                    drift_->stream_index(a->stream),
+                                    a->statistic, a->threshold);
+      }
+    }
+  }
 }
 
 ExecutedFrame Executor::step(i32 t) {
@@ -316,6 +427,8 @@ void Executor::settle_frame(ExecutedFrame& result,
                     result.measured_host_ms, deadline_ms_);
     }
   }
+
+  if (ledger_ != nullptr) ledger_settle(result, record);
 
   // --- feedback + warm-up bookkeeping -------------------------------------
   const f64 serial_total = feed_back(record, result.plan);
@@ -521,6 +634,9 @@ obs::PostmortemContext Executor::postmortem_context(
   ctx.quality_level = f.quality_level;
   ctx.scenario = f.scenario;
   ctx.predictors = predictor_summary();
+  if (ledger_ != nullptr) {
+    ctx.ledger_rows = ledger_->recent(config_.postmortem_ledger_rows);
+  }
   ctx.extra.emplace_back("policy", config_.policy == DeadlinePolicy::Drop
                                        ? "drop"
                                        : "degrade");

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "app/stentboost.hpp"
 #include "exec/deadline.hpp"
 #include "obs/drift.hpp"
+#include "obs/ledger.hpp"
 #include "obs/postmortem.hpp"
 #include "platform/thread_pool.hpp"
 #include "runtime/partition.hpp"
@@ -112,6 +114,11 @@ struct ExecutorConfig {
   i32 qos_recover_after = 4;
   /// Drift/SLO monitoring + post-mortem capture.
   DiagnosticsConfig diagnostics;
+  /// Prediction ledger (predicted-vs-actual resource attribution per frame
+  /// and node; see obs/ledger.hpp).  Off by default.
+  obs::LedgerConfig ledger;
+  /// Ledger rows embedded in each post-mortem bundle (most recent first).
+  usize postmortem_ledger_rows = 32;
   /// Synthetic interference (see LoadSpike); off by default.
   LoadSpike load_spike;
 };
@@ -195,6 +202,12 @@ class Executor {
   /// built from the EWMA filters; exposed for tests/benches.
   [[nodiscard]] std::vector<rt::NodeForecast> host_forecast() const;
 
+  /// Prediction ledger (null when LedgerConfig::enabled is false).
+  [[nodiscard]] obs::PredictionLedger* ledger() { return ledger_.get(); }
+  [[nodiscard]] const obs::PredictionLedger* ledger() const {
+    return ledger_.get();
+  }
+
   // --- diagnostics (null/empty when DiagnosticsConfig::enabled is false) ---
   [[nodiscard]] obs::DriftMonitor* drift_monitor() { return drift_.get(); }
   [[nodiscard]] obs::SloMonitor* slo_monitor() { return slo_.get(); }
@@ -239,6 +252,16 @@ class Executor {
   void settle_frame(ExecutedFrame& result, const graph::FrameRecord& record,
                     f64 ewma_total);
 
+  /// Ledger prediction rows for frame `t` under the chosen plan: CPU from
+  /// the (Markov-scaled) forecast striped through the plan, memory and
+  /// per-bus traffic from the auxiliary per-node EWMA filters.
+  void ledger_predict(i32 t, std::span<const rt::NodeForecast> fc,
+                      const ExecutedFrame& result);
+  /// Settle the frame's ledger rows from measured task executions, update
+  /// the auxiliary filters and feed the per-node drift streams.
+  void ledger_settle(const ExecutedFrame& result,
+                     const graph::FrameRecord& record);
+
   void record_frame_observability(const ExecutedFrame& f);
   /// Drift/SLO evaluation + post-mortem triggers for one finished frame;
   /// `ewma_total` is the pre-Markov serial-equivalent forecast (0 when
@@ -258,6 +281,17 @@ class Executor {
   analysis::Report validation_report_;
 
   std::array<model::EwmaFilter, app::kNodeCount> node_ewma_;
+  /// Auxiliary per-node filters for the non-CPU ledger resources (memory
+  /// footprint and the three bus classes), fed from measured actuals at
+  /// settle; indexed [node][resource - 1] (resource 0 = CpuMs lives in
+  /// node_ewma_).
+  std::array<std::array<model::EwmaFilter, obs::kLedgerResourceCount - 1>,
+             app::kNodeCount>
+      node_aux_ewma_;
+  /// Graph topology per node: no incoming edge (camera-fed source) / no
+  /// outgoing edge (display sink) — the ledger's I/O-bus attribution.
+  std::array<bool, app::kNodeCount> node_is_source_{};
+  std::array<bool, app::kNodeCount> node_is_sink_{};
   model::MarkovChain frame_markov_;
   /// Serial-equivalent frame totals of the warm-up phase (Markov training
   /// series) and measured warm-up latencies (deadline derivation).
@@ -281,6 +315,10 @@ class Executor {
   std::unique_ptr<obs::DriftMonitor> drift_;
   std::unique_ptr<obs::SloMonitor> slo_;
   std::unique_ptr<obs::PostmortemWriter> postmortem_;
+  /// Prediction ledger (allocated only when config_.ledger.enabled).
+  std::unique_ptr<obs::PredictionLedger> ledger_;
+  /// Admission ticket of the next planned frame (frame order).
+  i64 next_ticket_ = 0;
   /// Last frame result, kept for explicit write_postmortem() requests.
   ExecutedFrame last_frame_;
 };

@@ -1,8 +1,10 @@
 #include "obs/postmortem.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "common/json.hpp"
 
@@ -71,6 +73,33 @@ std::string predictors_json(const PredictorStateSummary& p) {
   return out;
 }
 
+std::string ledger_rows_json(std::span<const LedgerRow> rows) {
+  std::string out = "[";
+  for (usize i = 0; i < rows.size(); ++i) {
+    const LedgerRow& r = rows[i];
+    if (i != 0) out += ",";
+    out += "{\"frame\":" + std::to_string(r.frame) +
+           ",\"node\":" + std::to_string(r.node) +
+           ",\"scenario\":" + std::to_string(r.scenario) +
+           ",\"stripes\":" + std::to_string(r.stripes) +
+           ",\"slack_ms\":" + fmt_f64(r.deadline_slack_ms) +
+           ",\"pred_mask\":" + std::to_string(r.pred_mask) +
+           ",\"meas_mask\":" + std::to_string(r.meas_mask) + ",\"pred\":[";
+    for (i32 v = 0; v < kLedgerResourceCount; ++v) {
+      if (v != 0) out += ",";
+      out += fmt_f64(r.pred[static_cast<usize>(v)]);
+    }
+    out += "],\"meas\":[";
+    for (i32 v = 0; v < kLedgerResourceCount; ++v) {
+      if (v != 0) out += ",";
+      out += fmt_f64(r.meas[static_cast<usize>(v)]);
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 std::string bundle_json(const PostmortemContext& ctx,
@@ -87,6 +116,7 @@ std::string bundle_json(const PostmortemContext& ctx,
   out += "  \"quality_level\": " + std::to_string(ctx.quality_level) + ",\n";
   out += "  \"scenario\": " + std::to_string(ctx.scenario) + ",\n";
   out += "  \"predictors\": " + predictors_json(ctx.predictors) + ",\n";
+  out += "  \"ledger\": " + ledger_rows_json(ctx.ledger_rows) + ",\n";
   out += "  \"extra\": {";
   for (usize i = 0; i < ctx.extra.size(); ++i) {
     if (i != 0) out += ",";
@@ -149,8 +179,40 @@ std::string PostmortemWriter::write(const PostmortemContext& ctx,
     last_bundle_frame_ = ctx.frame;
     ++bundles_written_;
     last_path_ = path;
+    if (config_.keep_latest > 0) prune_directory();
   }
   return path;
+}
+
+void PostmortemWriter::prune_directory() {
+  namespace fs = std::filesystem;
+  struct Bundle {
+    fs::file_time_type mtime;
+    std::string name;
+    fs::path path;
+  };
+  std::vector<Bundle> bundles;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (ec) return;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("postmortem_", 0) != 0) continue;
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".json") continue;
+    bundles.push_back({entry.last_write_time(ec), name, entry.path()});
+  }
+  if (bundles.size() <= config_.keep_latest) return;
+  // Oldest first; filename breaks mtime ties (names are monotonic within a
+  // run, so same-second bursts still prune in write order).
+  std::sort(bundles.begin(), bundles.end(), [](const Bundle& a,
+                                               const Bundle& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.name < b.name;
+  });
+  const usize excess = bundles.size() - config_.keep_latest;
+  for (usize i = 0; i < excess; ++i) {
+    if (fs::remove(bundles[i].path, ec)) ++pruned_;
+  }
 }
 
 u64 PostmortemWriter::bundles_written() const {
@@ -161,6 +223,11 @@ u64 PostmortemWriter::bundles_written() const {
 u64 PostmortemWriter::suppressed() const {
   common::MutexLock lock(mutex_);
   return suppressed_;
+}
+
+u64 PostmortemWriter::pruned() const {
+  common::MutexLock lock(mutex_);
+  return pruned_;
 }
 
 std::string PostmortemWriter::last_path() const {

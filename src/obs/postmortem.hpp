@@ -19,6 +19,7 @@
 #include "common/sync.hpp"
 #include "common/types.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 
 namespace tc::obs {
@@ -33,6 +34,11 @@ struct PostmortemConfig {
   i32 min_frames_between = 32;
   /// Hard cap on bundles written by this writer.
   usize max_bundles = 16;
+  /// Directory retention: after each write, prune the output directory to
+  /// the `keep_latest` most recent bundles (0 = keep everything).  Applies
+  /// to all `postmortem_*.json` files in the directory, including those of
+  /// earlier runs, so a long-lived deployment directory stays bounded.
+  usize keep_latest = 0;
 };
 
 /// Snapshot of the predictor stack at bundle time, filled by the layer that
@@ -65,6 +71,9 @@ struct PostmortemContext {
   i32 quality_level = 0;
   u32 scenario = 0;
   PredictorStateSummary predictors;
+  /// Last-N prediction-ledger rows at bundle time (predicted vs. actual
+  /// resource attribution of the frames leading up to the trigger).
+  std::vector<LedgerRow> ledger_rows;
   /// Free-form extra fields ([key, value] pairs, emitted as strings).
   std::vector<std::pair<std::string, std::string>> extra;
 };
@@ -89,15 +98,21 @@ class PostmortemWriter {
 
   [[nodiscard]] u64 bundles_written() const TC_EXCLUDES(mutex_);
   [[nodiscard]] u64 suppressed() const TC_EXCLUDES(mutex_);
+  /// Old bundle files deleted by the keep_latest retention policy.
+  [[nodiscard]] u64 pruned() const TC_EXCLUDES(mutex_);
   [[nodiscard]] const PostmortemConfig& config() const { return config_; }
   [[nodiscard]] std::string last_path() const TC_EXCLUDES(mutex_);
 
  private:
+  /// Delete the oldest postmortem_*.json files beyond keep_latest.
+  void prune_directory() TC_REQUIRES(mutex_);
+
   PostmortemConfig config_;
   mutable common::Mutex mutex_;
   i64 last_bundle_frame_ TC_GUARDED_BY(mutex_) = -1;
   u64 bundles_written_ TC_GUARDED_BY(mutex_) = 0;
   u64 suppressed_ TC_GUARDED_BY(mutex_) = 0;
+  u64 pruned_ TC_GUARDED_BY(mutex_) = 0;
   std::string last_path_ TC_GUARDED_BY(mutex_);
 };
 

@@ -47,6 +47,18 @@ void append_event(std::ostringstream& os, const SpanEvent& e) {
   if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
   if (e.phase == 'i') os << ",\"s\":\"t\"";
   os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (e.phase == 'C') {
+    // Counter samples carry numeric args (Chrome plots each key as a
+    // series); string args would render as a flat zero line.
+    os << ",\"args\":{";
+    for (usize i = 0; i < e.counters.size(); ++i) {
+      if (i > 0) os << ',';
+      append_json_string(os, e.counters[i].key);
+      os << ':' << e.counters[i].value;
+    }
+    os << "}}";
+    return;
+  }
   if (!e.args.empty()) {
     os << ",\"args\":{";
     for (usize i = 0; i < e.args.size(); ++i) {
@@ -86,6 +98,19 @@ void SpanTracer::instant(std::string name, std::string category, u32 pid,
   e.ts_us = ts_us;
   e.phase = 'i';
   e.args = std::move(args);
+  record(std::move(e));
+}
+
+void SpanTracer::counter(std::string name, std::string category, u32 pid,
+                         u32 tid, f64 ts_us, std::vector<CounterValue> values) {
+  SpanEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.phase = 'C';
+  e.counters = std::move(values);
   record(std::move(e));
 }
 

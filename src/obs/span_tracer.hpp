@@ -35,6 +35,13 @@ struct SpanArg {
   std::string value;
 };
 
+/// One named numeric series sample of a counter event (phase 'C'); Chrome
+/// renders each key of a counter track as its own overlaid series.
+struct CounterValue {
+  std::string key;
+  f64 value = 0.0;
+};
+
 struct SpanEvent {
   std::string name;
   std::string category;
@@ -44,9 +51,12 @@ struct SpanEvent {
   f64 ts_us = 0.0;
   /// Duration in microseconds (ignored for instant events).
   f64 dur_us = 0.0;
-  /// 'X' = complete span, 'i' = instant event.
+  /// 'X' = complete span, 'i' = instant event, 'C' = counter sample.
   char phase = 'X';
   std::vector<SpanArg> args;
+  /// Numeric series of a counter event (used instead of `args` when
+  /// phase == 'C' — counter values must be JSON numbers, not strings).
+  std::vector<CounterValue> counters;
 };
 
 class SpanTracer {
@@ -61,6 +71,13 @@ class SpanTracer {
   /// Append an instant event (thread-safe).
   void instant(std::string name, std::string category, u32 pid, u32 tid,
                f64 ts_us, std::vector<SpanArg> args = {}) TC_EXCLUDES(mutex_);
+
+  /// Append one sample of a counter track (thread-safe).  `name` is the
+  /// track, each CounterValue key a series on it — e.g. a "predicted" and an
+  /// "actual" series overlaid on one per-stage track.
+  void counter(std::string name, std::string category, u32 pid, u32 tid,
+               f64 ts_us, std::vector<CounterValue> values)
+      TC_EXCLUDES(mutex_);
 
   /// Microseconds since the tracer was constructed (host timeline clock).
   [[nodiscard]] f64 host_now_us() const { return epoch_.elapsed_us(); }

@@ -1,5 +1,6 @@
 #include "tripleC/bandwidth_model.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -44,6 +45,124 @@ std::string format_edge_table(std::span<const EdgeBandwidth> edges) {
        << std::setw(12) << e.mbytes_per_s << '\n';
   }
   return os.str();
+}
+
+namespace {
+
+/// Fraction of `bytes` that fits an L2 slice (1 when bytes == 0).
+f64 l2_fit_fraction(u64 bytes, u64 l2_bytes) {
+  if (bytes == 0) return 1.0;
+  return std::min(1.0, static_cast<f64>(l2_bytes) / static_cast<f64>(bytes));
+}
+
+void export_bus_gauges(const EdgeBusShare& e) {
+  const std::string labels = obs::label("edge", e.from + "->" + e.to);
+  struct Row {
+    const char* bus;
+    f64 value;
+  };
+  const Row rows[] = {{"cache", e.cache_mbytes_per_s()},
+                      {"memory", e.memory_mbytes_per_s()},
+                      {"io", e.io_mbytes_per_s()}};
+  for (const Row& r : rows) {
+    obs::global()
+        .metrics
+        .gauge("tripleC_edge_bus_mbytes_per_s",
+               "Per-bus share of inter-task bandwidth, per edge",
+               labels + "," + obs::label("bus", r.bus))
+        .set(r.value);
+  }
+}
+
+}  // namespace
+
+EdgeBusShare split_edge(std::string from, std::string to, u64 bytes_per_frame,
+                        const plat::PlatformSpec& spec, f64 fps,
+                        bool device_edge) {
+  EdgeBusShare e;
+  e.from = std::move(from);
+  e.to = std::move(to);
+  e.bytes_per_frame = bytes_per_frame;
+  e.mbytes_per_s = static_cast<f64>(bytes_per_frame) * fps / 1.0e6;
+  if (device_edge) {
+    e.io_share = 1.0;
+    return e;
+  }
+  const f64 fit = l2_fit_fraction(bytes_per_frame, spec.l2_bytes);
+  e.cache_share = fit;
+  e.memory_share = 1.0 - fit;
+  return e;
+}
+
+std::vector<EdgeBusShare> edge_bus_breakdown(
+    const graph::FlowGraph& g, const plat::PlatformSpec& spec, f64 fps,
+    f64 scale, const plat::VideoFormat* device_format) {
+  std::vector<EdgeBusShare> out;
+  const usize n = g.task_count();
+  std::vector<bool> has_in(n, false);
+  std::vector<bool> has_out(n, false);
+  for (const graph::Edge& e : g.edges()) {
+    has_out[static_cast<usize>(e.from)] = true;
+    has_in[static_cast<usize>(e.to)] = true;
+    const u64 bytes =
+        static_cast<u64>(static_cast<f64>(e.bytes_per_frame()) * scale);
+    out.push_back(split_edge(std::string(g.task(e.from).name()),
+                             std::string(g.task(e.to).name()), bytes, spec,
+                             fps));
+  }
+  if (device_format != nullptr) {
+    for (usize i = 0; i < n; ++i) {
+      const auto node = narrow<i32>(i);
+      if (!has_in[i]) {
+        out.push_back(split_edge("camera", std::string(g.task(node).name()),
+                                 device_format->frame_bytes(), spec, fps,
+                                 /*device_edge=*/true));
+      }
+      if (!has_out[i]) {
+        out.push_back(split_edge(std::string(g.task(node).name()), "display",
+                                 device_format->frame_bytes(), spec, fps,
+                                 /*device_edge=*/true));
+      }
+    }
+  }
+  if (obs::enabled()) {
+    for (const EdgeBusShare& e : out) export_bus_gauges(e);
+  }
+  return out;
+}
+
+std::string format_bus_table(std::span<const EdgeBusShare> rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "From" << std::setw(14) << "To"
+     << std::right << std::setw(12) << "KB/frame" << std::setw(12)
+     << "cache MB/s" << std::setw(12) << "mem MB/s" << std::setw(12)
+     << "io MB/s" << '\n';
+  os << std::string(76, '-') << '\n';
+  for (const EdgeBusShare& e : rows) {
+    os << std::left << std::setw(14) << e.from << std::setw(14) << e.to
+       << std::right << std::fixed << std::setprecision(0) << std::setw(12)
+       << static_cast<f64>(e.bytes_per_frame) / 1024.0 << std::setprecision(1)
+       << std::setw(12) << e.cache_mbytes_per_s() << std::setw(12)
+       << e.memory_mbytes_per_s() << std::setw(12) << e.io_mbytes_per_s()
+       << '\n';
+  }
+  return os.str();
+}
+
+NodeBusTraffic attribute_node_buses(const img::WorkReport& w, bool is_source,
+                                    bool is_sink, u64 l2_slice_bytes) {
+  NodeBusTraffic t;
+  const f64 total_mb =
+      static_cast<f64>(w.bytes_read + w.bytes_written) / 1.0e6;
+  f64 io_mb = 0.0;
+  if (is_source) io_mb += static_cast<f64>(w.input_bytes) / 1.0e6;
+  if (is_sink) io_mb += static_cast<f64>(w.output_bytes) / 1.0e6;
+  t.io_mb = std::min(io_mb, total_mb);
+  const f64 rest_mb = total_mb - t.io_mb;
+  const f64 fit = l2_fit_fraction(w.footprint_bytes(), l2_slice_bytes);
+  t.cache_mb = rest_mb * fit;
+  t.memory_mb = rest_mb * (1.0 - fit);
+  return t;
 }
 
 IntraTaskBandwidth analyze_intratask(std::string task,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/flowgraph.hpp"
+#include "imaging/work_report.hpp"
 #include "platform/buffer_model.hpp"
 #include "platform/spec.hpp"
 
@@ -34,6 +35,68 @@ struct EdgeBandwidth {
 
 [[nodiscard]] std::string format_edge_table(
     std::span<const EdgeBandwidth> edges);
+
+/// Split of one edge's traffic across the three Fig. 4 buses.
+///
+/// Interior producer→consumer edges move through the cache hierarchy: the
+/// fraction of the transported buffer that fits an L2 slice rides the cache
+/// bus, the spill goes over the memory bus.  Device edges (camera → source
+/// task, sink task → display) ride the I/O bus entirely.
+struct EdgeBusShare {
+  std::string from;
+  std::string to;
+  u64 bytes_per_frame = 0;
+  /// Fractions of this edge's traffic per bus; cache + memory + io == 1.
+  f64 cache_share = 0.0;
+  f64 memory_share = 0.0;
+  f64 io_share = 0.0;
+  f64 mbytes_per_s = 0.0;
+
+  [[nodiscard]] f64 cache_mbytes_per_s() const {
+    return mbytes_per_s * cache_share;
+  }
+  [[nodiscard]] f64 memory_mbytes_per_s() const {
+    return mbytes_per_s * memory_share;
+  }
+  [[nodiscard]] f64 io_mbytes_per_s() const { return mbytes_per_s * io_share; }
+};
+
+/// Split one edge.  `device_edge` routes everything to the I/O bus;
+/// otherwise the L2-fit fraction min(1, l2_bytes / bytes_per_frame) decides
+/// the cache vs. memory split.
+[[nodiscard]] EdgeBusShare split_edge(std::string from, std::string to,
+                                      u64 bytes_per_frame,
+                                      const plat::PlatformSpec& spec, f64 fps,
+                                      bool device_edge = false);
+
+/// Per-edge bus breakdown of the whole flow graph at the given frame rate.
+/// When `device_format` is non-null, synthetic "camera" / "display" device
+/// edges are appended for every source (no incoming edge) and sink (no
+/// outgoing edge) task, carrying one video frame each — these are the only
+/// rows with a non-zero I/O-bus share.  When obs is enabled each row is
+/// exported as `tripleC_edge_bus_mbytes_per_s` gauges (one per bus).
+[[nodiscard]] std::vector<EdgeBusShare> edge_bus_breakdown(
+    const graph::FlowGraph& g, const plat::PlatformSpec& spec, f64 fps,
+    f64 scale = 1.0, const plat::VideoFormat* device_format = nullptr);
+
+[[nodiscard]] std::string format_bus_table(std::span<const EdgeBusShare> rows);
+
+/// One task's traffic attributed to the three buses, in megabytes per frame.
+struct NodeBusTraffic {
+  f64 cache_mb = 0.0;
+  f64 memory_mb = 0.0;
+  f64 io_mb = 0.0;
+  [[nodiscard]] f64 total_mb() const { return cache_mb + memory_mb + io_mb; }
+};
+
+/// Attribute one task invocation's measured byte traffic (WorkReport
+/// counters) to the buses: source tasks push their input over the I/O bus
+/// (camera), sink tasks their output (display); the remaining traffic splits
+/// cache vs. memory by the L2-fit fraction of the task's buffer footprint.
+/// This is the ledger's bus-attribution primitive.
+[[nodiscard]] NodeBusTraffic attribute_node_buses(const img::WorkReport& w,
+                                                  bool is_source, bool is_sink,
+                                                  u64 l2_slice_bytes);
 
 struct IntraTaskBandwidth {
   std::string task;

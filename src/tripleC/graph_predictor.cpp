@@ -103,9 +103,35 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
                                   static_cast<f64>(prev->scenario));
     }
   }
+  std::vector<obs::LedgerSample> ledger_preds;
+  std::vector<obs::LedgerSample> ledger_actuals;
   for (const graph::TaskExecution& exec : record.tasks) {
     if (!exec.executed) continue;
     u32 ctx = context_of(prev, exec.node);
+    if (ledger_ != nullptr) {
+      // Causal prediction: the same context/fallback rule as predict_task,
+      // evaluated before the observe below advances the online state.
+      const TaskPredictor& configured = task_predictor(exec.node, ctx);
+      const TaskPredictor& p =
+          configured.trained() ? configured : task_predictor(exec.node, 0);
+      if (p.trained()) {
+        obs::LedgerSample pred;
+        pred.node = exec.node;
+        pred.mask = obs::ledger_bit(obs::LedgerResource::CpuMs);
+        pred.values[static_cast<usize>(obs::LedgerResource::CpuMs)] =
+            p.predict(record.roi_pixels);
+        ledger_preds.push_back(pred);
+      }
+      obs::LedgerSample meas;
+      meas.node = exec.node;
+      meas.mask = obs::ledger_bit(obs::LedgerResource::CpuMs) |
+                  obs::ledger_bit(obs::LedgerResource::MemBytes);
+      meas.values[static_cast<usize>(obs::LedgerResource::CpuMs)] =
+          exec.simulated_ms;
+      meas.values[static_cast<usize>(obs::LedgerResource::MemBytes)] =
+          static_cast<f64>(exec.work.footprint_bytes());
+      ledger_actuals.push_back(meas);
+    }
     if (obs::enabled()) {
       // Attribute the prediction this task would have been given (the same
       // context/fallback rule as predict_task, evaluated before the observe
@@ -146,6 +172,14 @@ void GraphPredictor::observe(const graph::FrameRecord& record) {
     }
     task_predictor(exec.node, ctx).observe(exec.simulated_ms,
                                            record.roi_pixels);
+  }
+  if (ledger_ != nullptr) {
+    // One predict/settle pair per observed frame (simulated timeline: the
+    // ticket is the frame id, no pipelining, no deadline).
+    ledger_->predict_frame(record.frame, record.frame, /*deadline_ms=*/0.0,
+                           /*stripes=*/{}, ledger_preds);
+    ledger_->settle_frame(record.frame, record.scenario, record.latency_ms,
+                          ledger_actuals);
   }
   last_record_ = record;
 }

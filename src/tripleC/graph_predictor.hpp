@@ -25,6 +25,7 @@
 
 #include "graph/record.hpp"
 #include "graph/scenario.hpp"
+#include "obs/ledger.hpp"
 #include "tripleC/predictor.hpp"
 
 namespace tc::model {
@@ -44,6 +45,14 @@ class GraphPredictor {
   /// Install a context function (applies to every node; return 0 for nodes
   /// without scenario-dependent regimes).
   void set_context_fn(ContextFn fn) { context_fn_ = std::move(fn); }
+
+  /// Attach a prediction ledger (not owned; nullptr detaches).  Every
+  /// observe() then writes one settled row per executed task, confronting
+  /// the causal prediction — evaluated from the pre-update online state and
+  /// the previous record's context, exactly what predict_task() would have
+  /// returned before the frame ran — with the measured simulated_ms.
+  void set_ledger(obs::PredictionLedger* ledger) { ledger_ = ledger; }
+  [[nodiscard]] obs::PredictionLedger* ledger() const { return ledger_; }
 
   /// Train every per-(task, context) predictor and the scenario table from
   /// recorded sequences.  Per node, only frames where the node executed
@@ -94,6 +103,7 @@ class GraphPredictor {
   ContextFn context_fn_;
   graph::ScenarioTransitions scenario_transitions_;
   std::optional<graph::FrameRecord> last_record_;
+  obs::PredictionLedger* ledger_ = nullptr;
 };
 
 }  // namespace tc::model

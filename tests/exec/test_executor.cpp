@@ -301,5 +301,182 @@ TEST(Executor, DiagnosticsDisabledMeansNoMonitors) {
   EXPECT_TRUE(executor.write_postmortem("manual").empty());
 }
 
+// --- prediction ledger integration ------------------------------------------
+
+TEST(ExecutorLedger, DisabledByDefault) {
+  Executor executor(small_config(4), ExecutorConfig{});
+  EXPECT_EQ(executor.ledger(), nullptr);
+}
+
+TEST(ExecutorLedger, SettlesOneRowPerExecutedNode) {
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.warmup_frames = 4;
+  exec_config.ledger.enabled = true;
+  exec_config.ledger.capacity = 0;  // keep every row
+  Executor executor(heavy_config(16), exec_config);
+  const std::vector<ExecutedFrame> frames = executor.run(12);
+
+  obs::PredictionLedger* ledger = executor.ledger();
+  ASSERT_NE(ledger, nullptr);
+  const std::vector<obs::LedgerRow> rows = ledger->rows();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(ledger->rows_settled(), rows.size());
+  EXPECT_EQ(ledger->frames_lost(), 0u);
+
+  // Every frame settles at least one row, in retire order.  Rows without
+  // actuals are activity mispredictions (e.g. a dropped frame skipping the
+  // tail of the pipeline) and must still carry their prediction.
+  i32 last_frame = -1;
+  usize measured_rows = 0;
+  for (const obs::LedgerRow& r : rows) {
+    EXPECT_GE(r.frame, last_frame);
+    last_frame = r.frame;
+    EXPECT_GE(r.node, 0);
+    EXPECT_GE(r.ticket, 0);
+    if (r.meas_mask != 0) {
+      ++measured_rows;
+      EXPECT_TRUE(r.has_meas(obs::LedgerResource::CpuMs));
+      EXPECT_TRUE(r.has_meas(obs::LedgerResource::MemBytes));
+    } else {
+      EXPECT_TRUE(r.has_pred(obs::LedgerResource::CpuMs));
+    }
+  }
+  EXPECT_EQ(last_frame, 11);
+  EXPECT_GT(measured_rows, 0u);
+
+  // Full-frame mode always runs RDG_FULL: its measured CPU sums to the
+  // frame's node time, and its calibration stream filled up.
+  const auto stats =
+      ledger->node_calibration(app::kRdgFull, obs::LedgerResource::CpuMs);
+  EXPECT_GT(stats.samples, 0u);
+}
+
+TEST(ExecutorLedger, WarmupRowsAreActualOnlyThenPredictionsAppear) {
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.warmup_frames = 5;
+  exec_config.ledger.enabled = true;
+  exec_config.ledger.capacity = 0;
+  Executor executor(heavy_config(16), exec_config);
+  executor.run(10);
+
+  bool saw_predicted = false;
+  for (const obs::LedgerRow& r : executor.ledger()->rows()) {
+    if (r.frame < 1) {
+      // Frame 0 plans before any feedback: no filter is primed, so every
+      // row is actual-only (pred_mask == 0).
+      EXPECT_EQ(r.pred_mask, 0u) << "node " << r.node;
+    }
+    if (r.frame >= 5 && r.has_pred(obs::LedgerResource::CpuMs)) {
+      saw_predicted = true;
+      EXPECT_GT(r.pred[0], 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_predicted);
+  // Managed frames carry the derived deadline and a finite slack.
+  bool saw_slack = false;
+  for (const obs::LedgerRow& r : executor.ledger()->rows()) {
+    if (r.deadline_ms > 0.0) {
+      saw_slack = true;
+      // slack = deadline - measured latency, and latency is strictly > 0.
+      EXPECT_LT(r.deadline_slack_ms, r.deadline_ms);
+    }
+  }
+  EXPECT_TRUE(saw_slack);
+}
+
+TEST(ExecutorLedger, BusAttributionCoversCacheAndIoClasses) {
+  obs::global().clear();
+  obs::set_enabled(true);
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.warmup_frames = 3;  // predictions (and counter samples) early
+  exec_config.ledger.enabled = true;
+  exec_config.ledger.capacity = 0;
+  Executor executor(small_config(10), exec_config);
+  executor.run(10);
+  obs::set_enabled(false);
+
+  // With obs on, every settled row with both CPU sides adds a sample to the
+  // node's predicted/actual Chrome counter track.
+  bool saw_counter = false;
+  for (const obs::SpanEvent& e : obs::global().tracer.events()) {
+    saw_counter |= e.phase == 'C';
+  }
+  EXPECT_TRUE(saw_counter);
+  obs::global().clear();
+
+  f64 cache_mb = 0.0;
+  f64 io_mb = 0.0;
+  for (const obs::LedgerRow& r : executor.ledger()->rows()) {
+    if (r.meas_mask == 0) continue;  // prediction-only (dropped-frame tail)
+    EXPECT_TRUE(r.has_meas(obs::LedgerResource::CacheBusMb));
+    EXPECT_TRUE(r.has_meas(obs::LedgerResource::IoBusMb));
+    cache_mb += r.meas[static_cast<usize>(obs::LedgerResource::CacheBusMb)];
+    io_mb += r.meas[static_cast<usize>(obs::LedgerResource::IoBusMb)];
+  }
+  // The pipeline moves real bytes: the cache bus carries interior traffic
+  // and the source/sink nodes put the device frames on the I/O bus.
+  EXPECT_GT(cache_mb, 0.0);
+  EXPECT_GT(io_mb, 0.0);
+}
+
+TEST(ExecutorLedger, PipelinedRunSettlesSameRowCountAsSerial) {
+  auto run_rows = [](auto&& drive) {
+    ExecutorConfig exec_config;
+    exec_config.worker_threads = 4;
+    exec_config.warmup_frames = 4;
+    exec_config.ledger.enabled = true;
+    exec_config.ledger.capacity = 0;
+    Executor executor(small_config(12), exec_config);
+    drive(executor);
+    return executor.ledger()->rows();
+  };
+  const auto serial = run_rows([](Executor& e) { e.run(12); });
+  const auto piped =
+      run_rows([](Executor& e) { e.run_pipelined(12, /*frames_in_flight=*/2); });
+
+  ASSERT_EQ(serial.size(), piped.size());
+  // Same (frame, node, scenario) attribution on both drive paths; only the
+  // measured host times differ (wall-clock).
+  for (usize i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].frame, piped[i].frame);
+    EXPECT_EQ(serial[i].node, piped[i].node);
+    EXPECT_EQ(serial[i].scenario, piped[i].scenario);
+  }
+}
+
+TEST(ExecutorLedger, PostmortemBundleEmbedsRecentLedgerRows) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tc_executor_ledger_pm";
+  fs::remove_all(dir);
+
+  ExecutorConfig exec_config;
+  exec_config.deadline_ms = 5.0;
+  exec_config.worker_threads = 2;
+  exec_config.ledger.enabled = true;
+  exec_config.postmortem_ledger_rows = 8;
+  exec_config.diagnostics.enabled = true;
+  exec_config.diagnostics.postmortem.directory = dir.string();
+  Executor executor(small_config(8), exec_config);
+  executor.run(8);
+
+  const std::string path = executor.write_postmortem("ledger_check");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const common::JsonValue root = common::JsonValue::parse(ss.str());
+  const common::JsonValue& ledger = root.get("ledger");
+  ASSERT_TRUE(ledger.is_array());
+  ASSERT_GT(ledger.size(), 0u);
+  ASSERT_LE(ledger.size(), 8u);
+  EXPECT_GE(ledger.at(0).number_or("frame", -1), 0.0);
+  EXPECT_EQ(ledger.at(ledger.size() - 1).number_or("frame", -1), 7.0);
+
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace tc::exec

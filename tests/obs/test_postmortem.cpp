@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -217,6 +218,98 @@ TEST_F(PostmortemWriterTest, TrimsEmbeddedEventsToMaxEvents) {
     EXPECT_EQ(static_cast<i32>(events.at(i).number_or("frame", -1)),
               32 + static_cast<i32>(i));
   }
+}
+
+TEST_F(PostmortemWriterTest, KeepLatestPrunesOldestBundles) {
+  PostmortemConfig config;
+  config.directory = dir_.string();
+  config.min_frames_between = 0;
+  config.keep_latest = 3;
+  PostmortemWriter writer(config);
+
+  PostmortemContext ctx = make_context();
+  for (i32 i = 0; i < 7; ++i) {
+    ctx.frame = i;
+    ASSERT_FALSE(writer.write(ctx, flight_, metrics_).empty());
+  }
+  EXPECT_EQ(writer.bundles_written(), 7u);
+  EXPECT_EQ(writer.pruned(), 4u);
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names.size(), 3u);
+  // Monotonic names break same-second mtime ties: the three newest survive.
+  EXPECT_EQ(names[0], "postmortem_0004_frame4.json");
+  EXPECT_EQ(names[2], "postmortem_0006_frame6.json");
+  EXPECT_TRUE(fs::exists(writer.last_path()));
+}
+
+TEST_F(PostmortemWriterTest, KeepLatestPrunesStaleBundlesFromPriorRuns) {
+  fs::create_directories(dir_);
+  // A leftover bundle from an earlier process plus an unrelated file.
+  std::ofstream(dir_ / "postmortem_0000_frame9.json") << "{}";
+  std::ofstream(dir_ / "notes.txt") << "keep me";
+
+  PostmortemConfig config;
+  config.directory = dir_.string();
+  config.min_frames_between = 0;
+  config.keep_latest = 1;
+  PostmortemWriter writer(config);
+  PostmortemContext ctx = make_context();
+  ctx.frame = 1;
+  const std::string path = writer.write(ctx, flight_, metrics_);
+  ASSERT_FALSE(path.empty());
+
+  EXPECT_FALSE(fs::exists(dir_ / "postmortem_0000_frame9.json"));
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(dir_ / "notes.txt"));  // non-bundles untouched
+  EXPECT_EQ(writer.pruned(), 1u);
+}
+
+TEST_F(PostmortemWriterTest, KeepLatestZeroKeepsEverything) {
+  PostmortemConfig config;
+  config.directory = dir_.string();
+  config.min_frames_between = 0;  // keep_latest stays at its 0 default
+  PostmortemWriter writer(config);
+  PostmortemContext ctx = make_context();
+  for (i32 i = 0; i < 4; ++i) {
+    ctx.frame = i;
+    writer.write(ctx, flight_, metrics_);
+  }
+  EXPECT_EQ(writer.pruned(), 0u);
+  usize files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 4u);
+}
+
+TEST(BundleJson, EmbedsLedgerRows) {
+  PostmortemContext ctx = make_context();
+  LedgerRow row;
+  row.frame = 42;
+  row.node = 1;
+  row.scenario = 3;
+  row.stripes = 2;
+  row.deadline_slack_ms = -3.25;
+  row.pred_mask = row.meas_mask = ledger_bit(LedgerResource::CpuMs);
+  row.pred[0] = 14.5;
+  row.meas[0] = 19.25;
+  ctx.ledger_rows.push_back(row);
+
+  MetricsRegistry metrics;
+  const JsonValue root = JsonValue::parse(bundle_json(ctx, {}, metrics));
+  const JsonValue& ledger = root.get("ledger");
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(static_cast<i32>(ledger.at(0).number_or("frame", -1)), 42);
+  EXPECT_EQ(static_cast<i32>(ledger.at(0).number_or("stripes", 0)), 2);
+  EXPECT_DOUBLE_EQ(ledger.at(0).number_or("slack_ms", 0), -3.25);
+  EXPECT_DOUBLE_EQ(ledger.at(0).get("pred").at(0).number_or(0), 14.5);
+  EXPECT_DOUBLE_EQ(ledger.at(0).get("meas").at(0).number_or(0), 19.25);
 }
 
 }  // namespace

@@ -109,6 +109,24 @@ TEST(SpanTracer, ChromeJsonHasSchemaFields) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(SpanTracer, CounterEventsEmitNumericSeriesArgs) {
+  SpanTracer tracer;
+  tracer.counter("ledger RDG cpu_ms", "ledger", kHostPid, 0, 50.0,
+                 {{"predicted", 4.25}, {"actual", 5.0}});
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].phase, 'C');
+
+  std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Counter args are raw numbers (Chrome overlays each key as a series),
+  // not quoted strings like span args.
+  EXPECT_NE(json.find("\"predicted\":4.25"), std::string::npos);
+  EXPECT_NE(json.find("\"actual\":5"), std::string::npos);
+  EXPECT_EQ(json.find("\"predicted\":\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST(SpanTracer, JsonEscapesSpecialCharacters) {
   SpanTracer tracer;
   SpanEvent e;

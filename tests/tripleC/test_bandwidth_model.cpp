@@ -90,5 +90,115 @@ TEST(BandwidthModel, ScenarioTotalIsSum) {
   EXPECT_DOUBLE_EQ(r.total_mbytes_per_s(), 15.0);
 }
 
+// --- per-bus breakdown (Fig. 4 cache / memory / I/O attribution) ------------
+
+TEST(BusBreakdown, SmallEdgeRidesCacheBusEntirely) {
+  plat::PlatformSpec spec;  // 4 MiB L2 slices
+  EdgeBusShare e = split_edge("A", "B", 1 * MiB, spec, 30.0);
+  EXPECT_DOUBLE_EQ(e.cache_share, 1.0);
+  EXPECT_DOUBLE_EQ(e.memory_share, 0.0);
+  EXPECT_DOUBLE_EQ(e.io_share, 0.0);
+  EXPECT_NEAR(e.mbytes_per_s, 1.0 * MiB * 30.0 / 1.0e6, 0.01);
+  EXPECT_NEAR(e.cache_mbytes_per_s(), e.mbytes_per_s, 1e-9);
+}
+
+TEST(BusBreakdown, OversizedEdgeSpillsToMemoryBus) {
+  plat::PlatformSpec spec;
+  // 16 MiB edge vs. a 4 MiB slice: a quarter fits, three quarters spill.
+  EdgeBusShare e = split_edge("A", "B", 16 * MiB, spec, 30.0);
+  EXPECT_NEAR(e.cache_share, 0.25, 1e-9);
+  EXPECT_NEAR(e.memory_share, 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(e.io_share, 0.0);
+  EXPECT_NEAR(e.cache_share + e.memory_share + e.io_share, 1.0, 1e-12);
+}
+
+TEST(BusBreakdown, DeviceEdgeRidesIoBus) {
+  plat::PlatformSpec spec;
+  EdgeBusShare e = split_edge("camera", "A", 1 * MiB, spec, 30.0,
+                              /*device_edge=*/true);
+  EXPECT_DOUBLE_EQ(e.io_share, 1.0);
+  EXPECT_DOUBLE_EQ(e.cache_share, 0.0);
+  EXPECT_NEAR(e.io_mbytes_per_s(), e.mbytes_per_s, 1e-9);
+}
+
+TEST(BusBreakdown, GraphBreakdownAppendsDeviceEdgesForSourcesAndSinks) {
+  graph::FlowGraph g = two_task_graph(2 * MiB);
+  plat::PlatformSpec spec;
+  plat::VideoFormat fmt;
+
+  // Without a device format: interior edges only, no I/O traffic anywhere.
+  auto interior = edge_bus_breakdown(g, spec, 30.0);
+  ASSERT_EQ(interior.size(), 1u);
+  EXPECT_DOUBLE_EQ(interior[0].io_share, 0.0);
+
+  // With a device format: camera -> A (source) and B -> display (sink).
+  auto rows = edge_bus_breakdown(g, spec, 30.0, 1.0, &fmt);
+  ASSERT_EQ(rows.size(), 3u);
+  usize io_rows = 0;
+  for (const auto& r : rows) {
+    if (r.io_share > 0.0) {
+      ++io_rows;
+      EXPECT_DOUBLE_EQ(r.io_share, 1.0);
+      EXPECT_EQ(r.bytes_per_frame, fmt.frame_bytes());
+      EXPECT_TRUE(r.from == "camera" || r.to == "display");
+    }
+  }
+  EXPECT_EQ(io_rows, 2u);
+}
+
+TEST(BusBreakdown, BusTableFormatting) {
+  graph::FlowGraph g = two_task_graph(1 * MiB);
+  plat::PlatformSpec spec;
+  auto rows = edge_bus_breakdown(g, spec, 30.0);
+  std::string s = format_bus_table(rows);
+  EXPECT_NE(s.find("cache"), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+}
+
+TEST(BusBreakdown, NodeAttributionSplitsIoForSourceAndSink) {
+  img::WorkReport w;
+  w.bytes_read = 3 * 1000 * 1000;
+  w.bytes_written = 1 * 1000 * 1000;
+  w.input_bytes = 1 * 1000 * 1000;   // camera frame for a source task
+  w.output_bytes = 500 * 1000;
+  w.intermediate_bytes = 0;
+
+  // Interior node: nothing on the I/O bus, footprint fits a 4 MiB slice.
+  NodeBusTraffic mid = attribute_node_buses(w, false, false, 4 * MiB);
+  EXPECT_DOUBLE_EQ(mid.io_mb, 0.0);
+  EXPECT_NEAR(mid.total_mb(), 4.0, 1e-9);
+  EXPECT_NEAR(mid.cache_mb, 4.0, 1e-9);  // 1.5 MB footprint fits entirely
+  EXPECT_DOUBLE_EQ(mid.memory_mb, 0.0);
+
+  // Source node: the input frame arrives over the I/O bus.
+  NodeBusTraffic src = attribute_node_buses(w, true, false, 4 * MiB);
+  EXPECT_NEAR(src.io_mb, 1.0, 1e-9);
+  EXPECT_NEAR(src.total_mb(), 4.0, 1e-9);  // I/O comes out of the total
+
+  // Source+sink: input and output both ride the I/O bus.
+  NodeBusTraffic both = attribute_node_buses(w, true, true, 4 * MiB);
+  EXPECT_NEAR(both.io_mb, 1.5, 1e-9);
+}
+
+TEST(BusBreakdown, NodeAttributionSpillsLargeFootprintToMemoryBus) {
+  img::WorkReport w;
+  w.bytes_read = 8 * 1000 * 1000;
+  w.input_bytes = 4 * MiB;
+  w.intermediate_bytes = 4 * MiB;  // 8 MiB footprint vs. 4 MiB slice
+  NodeBusTraffic t = attribute_node_buses(w, false, false, 4 * MiB);
+  EXPECT_DOUBLE_EQ(t.io_mb, 0.0);
+  EXPECT_NEAR(t.cache_mb, 4.0, 1e-9);   // half the traffic fits
+  EXPECT_NEAR(t.memory_mb, 4.0, 1e-9);  // half spills
+}
+
+TEST(BusBreakdown, NodeAttributionClampsIoToObservedTraffic) {
+  img::WorkReport w;
+  w.bytes_read = 100;  // almost no observed traffic...
+  w.input_bytes = 10 * 1000 * 1000;  // ...but a huge declared input buffer
+  NodeBusTraffic t = attribute_node_buses(w, true, false, 4 * MiB);
+  EXPECT_NEAR(t.io_mb, t.total_mb(), 1e-12);  // clamped, never exceeds total
+  EXPECT_NEAR(t.total_mb(), 0.0001, 1e-9);
+}
+
 }  // namespace
 }  // namespace tc::model

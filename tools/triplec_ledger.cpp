@@ -1,0 +1,340 @@
+// triplec_ledger — render prediction-ledger calibration reports.
+//
+// Input is the "triplec-ledger-v1" JSON document obs::PredictionLedger
+// dumps (bench_executor --ledger writes one, post-mortem bundles embed the
+// last rows).  The tool rebuilds the rows, scores every prediction against
+// its measured actual and prints per-node / per-scenario calibration:
+// bias (mean signed percentage error), P50/P95 absolute percentage error
+// and under/over-prediction coverage, per resource (CPU time, memory
+// footprint, cache/memory/I/O bus traffic).
+//
+//   triplec_ledger <ledger.json|->            text report (use - for stdin)
+//   triplec_ledger ... --format csv|json      machine-readable report
+//   triplec_ledger ... --worst K              the K worst-calibrated
+//                                             (node, scenario) pairs
+//   triplec_ledger ... --resource cpu_ms      ranking resource for --worst
+//   triplec_ledger ... --min-samples N        ignore thinner groups (def. 3)
+//
+// Exit codes: 0 ok, 1 usage, 2 unreadable/invalid ledger.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "obs/ledger.hpp"
+
+namespace {
+
+using tc::common::JsonValue;
+using tc::f64;
+using tc::i32;
+using tc::i64;
+using tc::u32;
+using tc::u64;
+using tc::usize;
+namespace obs = tc::obs;
+
+struct Options {
+  std::string path;
+  std::string format = "text";
+  i64 worst = 0;
+  obs::LedgerResource rank_by = obs::LedgerResource::CpuMs;
+  u64 min_samples = 3;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: triplec_ledger <ledger.json|-> [--format text|csv|json]"
+               " [--worst K] [--resource NAME] [--min-samples N]\n"
+               "resources: cpu_ms mem_bytes cache_bus_mb memory_bus_mb"
+               " io_bus_mb\n");
+  return 1;
+}
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Ledger {
+  std::vector<obs::LedgerRow> rows;
+  std::map<i32, std::string> node_names;
+  u64 rows_settled = 0;
+  u64 frames_lost = 0;
+};
+
+bool parse_ledger(const JsonValue& root, Ledger& out) {
+  if (root.string_or("format", "") != "triplec-ledger-v1") return false;
+  out.rows_settled = static_cast<u64>(root.number_or("rows_settled", 0));
+  out.frames_lost = static_cast<u64>(root.number_or("frames_lost", 0));
+  if (const JsonValue* nodes = root.find("nodes");
+      nodes != nullptr && nodes->is_object()) {
+    for (const auto& [key, value] : nodes->members()) {
+      out.node_names[static_cast<i32>(std::strtol(key.c_str(), nullptr, 10))] =
+          value.string_or("?");
+    }
+  }
+  const JsonValue* rows = root.find("rows");
+  if (rows == nullptr || !rows->is_array()) return false;
+  for (const JsonValue& r : rows->items()) {
+    obs::LedgerRow row;
+    row.frame = static_cast<i32>(r.number_or("frame", -1));
+    row.node = static_cast<i32>(r.number_or("node", -1));
+    row.scenario = static_cast<u32>(r.number_or("scenario", 0));
+    row.ticket = static_cast<i64>(r.number_or("ticket", -1));
+    row.stripes = static_cast<i32>(r.number_or("stripes", 1));
+    row.deadline_ms = r.number_or("deadline_ms", 0.0);
+    row.deadline_slack_ms = r.number_or("slack_ms", 0.0);
+    row.pred_mask = static_cast<u32>(r.number_or("pred_mask", 0));
+    row.meas_mask = static_cast<u32>(r.number_or("meas_mask", 0));
+    const JsonValue* pred = r.find("pred");
+    const JsonValue* meas = r.find("meas");
+    for (usize v = 0;
+         v < static_cast<usize>(obs::kLedgerResourceCount); ++v) {
+      if (pred != nullptr && pred->is_array() && v < pred->size()) {
+        row.pred[v] = pred->at(v).number_or(0.0);
+      }
+      if (meas != nullptr && meas->is_array() && v < meas->size()) {
+        row.meas[v] = meas->at(v).number_or(0.0);
+      }
+    }
+    out.rows.push_back(row);
+  }
+  return true;
+}
+
+std::string group_name(const Ledger& ledger, i32 node) {
+  auto it = ledger.node_names.find(node);
+  if (it != ledger.node_names.end()) return it->second;
+  return "node" + std::to_string(node);
+}
+
+void print_group_table(const Ledger& ledger, const char* title,
+                       const std::vector<obs::GroupCalibration>& groups) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %-10s %-14s %8s %9s %9s %9s %7s %7s\n", "node",
+              "scenario", "resource", "samples", "bias%", "p50ape%",
+              "p95ape%", "under", "over");
+  std::printf("%s\n", std::string(95, '-').c_str());
+  for (const obs::GroupCalibration& g : groups) {
+    const std::string node =
+        g.node >= 0 ? group_name(ledger, g.node) : std::string("*");
+    const std::string scenario =
+        g.scenario >= 0 ? std::to_string(g.scenario) : std::string("*");
+    for (i32 r = 0; r < obs::kLedgerResourceCount; ++r) {
+      const obs::CalibrationWindow::Stats& s = g.res[static_cast<usize>(r)];
+      if (s.samples == 0) continue;
+      std::printf("%-14s %-10s %-14s %8" PRIu64
+                  " %+9.1f %9.1f %9.1f %6.0f%% %6.0f%%\n",
+                  node.c_str(), scenario.c_str(),
+                  obs::to_string(static_cast<obs::LedgerResource>(r)),
+                  s.samples, s.bias_pct, s.p50_ape_pct, s.p95_ape_pct,
+                  s.under_pct * 100.0, s.over_pct * 100.0);
+    }
+  }
+}
+
+void print_text(const Ledger& ledger, const obs::CalibrationReport& report,
+                const Options& opt) {
+  std::printf("Triple-C prediction-ledger calibration  (triplec-ledger-v1)\n");
+  std::printf("  rows      : %" PRIu64 " (of %" PRIu64 " settled)\n",
+              report.rows, ledger.rows_settled);
+  std::printf("  frames    : %" PRIu64 "\n", report.frames);
+  std::printf("  scenarios : %" PRIu64 "\n", report.scenarios);
+  if (ledger.frames_lost > 0) {
+    std::printf("  frames lost (never settled): %" PRIu64 "\n",
+                ledger.frames_lost);
+  }
+  if (opt.worst > 0) {
+    const auto worst = obs::worst_calibrated(
+        report, static_cast<usize>(opt.worst), opt.rank_by, opt.min_samples);
+    std::printf("\nWorst-calibrated (node, scenario) pairs by p95 APE of %s"
+                " (>= %" PRIu64 " samples):\n",
+                obs::to_string(opt.rank_by), opt.min_samples);
+    if (worst.empty()) std::printf("  (none with enough samples)\n");
+    for (usize i = 0; i < worst.size(); ++i) {
+      const obs::GroupCalibration& g = *worst[i];
+      const obs::CalibrationWindow::Stats& s =
+          g.res[static_cast<usize>(opt.rank_by)];
+      std::printf("  %2" PRIu64 ". %-14s scenario %-4d p95 %7.1f%%  bias "
+                  "%+7.1f%%  (%" PRIu64 " samples)\n",
+                  static_cast<u64>(i + 1), group_name(ledger, g.node).c_str(),
+                  g.scenario, s.p95_ape_pct, s.bias_pct, s.samples);
+    }
+    return;
+  }
+  print_group_table(ledger, "Per-node calibration:", report.per_node);
+  print_group_table(ledger, "Per-scenario calibration:", report.per_scenario);
+}
+
+void print_csv(const Ledger& ledger, const obs::CalibrationReport& report) {
+  std::printf(
+      "group,node,scenario,resource,samples,bias_pct,p50_ape_pct,"
+      "p95_ape_pct,under_pct,over_pct\n");
+  auto emit = [&](const char* group,
+                  const std::vector<obs::GroupCalibration>& groups) {
+    for (const obs::GroupCalibration& g : groups) {
+      for (i32 r = 0; r < obs::kLedgerResourceCount; ++r) {
+        const obs::CalibrationWindow::Stats& s = g.res[static_cast<usize>(r)];
+        if (s.samples == 0) continue;
+        std::printf("%s,%s,%d,%s,%" PRIu64 ",%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                    group,
+                    g.node >= 0 ? group_name(ledger, g.node).c_str() : "*",
+                    g.scenario, obs::to_string(static_cast<obs::LedgerResource>(r)),
+                    s.samples, s.bias_pct, s.p50_ape_pct, s.p95_ape_pct,
+                    s.under_pct, s.over_pct);
+      }
+    }
+  };
+  emit("node", report.per_node);
+  emit("scenario", report.per_scenario);
+  emit("node_scenario", report.per_node_scenario);
+}
+
+void print_json(const Ledger& ledger, const obs::CalibrationReport& report) {
+  std::string out = "{\n  \"format\": \"triplec-ledger-report-v1\",\n";
+  out += "  \"rows\": " + std::to_string(report.rows) + ",\n";
+  out += "  \"frames\": " + std::to_string(report.frames) + ",\n";
+  out += "  \"scenarios\": " + std::to_string(report.scenarios) + ",\n";
+  out += "  \"frames_lost\": " + std::to_string(ledger.frames_lost) + ",\n";
+  auto group_json = [&](const obs::GroupCalibration& g) {
+    char buf[64];
+    std::string j = "{";
+    if (g.node >= 0) {
+      j += "\"node\":\"" + tc::common::json_escape(group_name(ledger, g.node)) +
+           "\",";
+    }
+    if (g.scenario >= 0) {
+      j += "\"scenario\":" + std::to_string(g.scenario) + ",";
+    }
+    j += "\"resources\":{";
+    bool first = true;
+    for (i32 r = 0; r < obs::kLedgerResourceCount; ++r) {
+      const obs::CalibrationWindow::Stats& s = g.res[static_cast<usize>(r)];
+      if (s.samples == 0) continue;
+      if (!first) j += ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "\"samples\":%" PRIu64 ",\"bias_pct\":%.6g", s.samples,
+                    s.bias_pct);
+      j += std::string("\"") +
+           obs::to_string(static_cast<obs::LedgerResource>(r)) + "\":{" + buf;
+      std::snprintf(buf, sizeof(buf), ",\"p50_ape_pct\":%.6g", s.p50_ape_pct);
+      j += buf;
+      std::snprintf(buf, sizeof(buf), ",\"p95_ape_pct\":%.6g", s.p95_ape_pct);
+      j += buf;
+      std::snprintf(buf, sizeof(buf), ",\"under_pct\":%.6g,\"over_pct\":%.6g}",
+                    s.under_pct, s.over_pct);
+      j += buf;
+    }
+    j += "}}";
+    return j;
+  };
+  auto emit_list = [&](const char* key,
+                       const std::vector<obs::GroupCalibration>& groups) {
+    out += std::string("  \"") + key + "\": [";
+    for (usize i = 0; i < groups.size(); ++i) {
+      if (i != 0) out += ",";
+      out += group_json(groups[i]);
+    }
+    out += "]";
+  };
+  emit_list("per_node", report.per_node);
+  out += ",\n";
+  emit_list("per_scenario", report.per_scenario);
+  out += ",\n";
+  emit_list("per_node_scenario", report.per_node_scenario);
+  out += "\n}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.format = v;
+      if (opt.format != "text" && opt.format != "csv" &&
+          opt.format != "json") {
+        return usage();
+      }
+    } else if (arg == "--worst") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.worst = std::strtol(v, nullptr, 10);
+      if (opt.worst <= 0) return usage();
+    } else if (arg == "--resource") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto r = obs::ledger_resource_from(v);
+      if (!r.has_value()) return usage();
+      opt.rank_by = *r;
+    } else if (arg == "--min-samples") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.min_samples = static_cast<u64>(std::strtoll(v, nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.path.empty()) return usage();
+
+  const std::string text = read_input(opt.path);
+  if (text.empty()) {
+    std::fprintf(stderr, "triplec_ledger: cannot read %s\n", opt.path.c_str());
+    return 2;
+  }
+  Ledger ledger;
+  try {
+    const JsonValue root = JsonValue::parse(text);
+    if (!parse_ledger(root, ledger)) {
+      std::fprintf(stderr,
+                   "triplec_ledger: %s is not a triplec-ledger-v1 document\n",
+                   opt.path.c_str());
+      return 2;
+    }
+  } catch (const tc::common::JsonError& e) {
+    std::fprintf(stderr, "triplec_ledger: invalid JSON: %s\n", e.what());
+    return 2;
+  }
+
+  const obs::CalibrationReport report =
+      obs::build_calibration_report(ledger.rows);
+  if (opt.format == "csv") {
+    print_csv(ledger, report);
+  } else if (opt.format == "json") {
+    print_json(ledger, report);
+  } else {
+    print_text(ledger, report, opt);
+  }
+  return 0;
+}
