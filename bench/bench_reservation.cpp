@@ -70,7 +70,7 @@ int main() {
       // The static design reserves for the scenario where everything runs.
       if (node == app::kRdgRoi || node == app::kMkxRoi) continue;
       i32 s = app::node_data_parallel(node) ? stripes : 1;
-      total += rt::striped_ms_from_serial(params, worst[static_cast<usize>(node)], s);
+      total += plat::striped_ms_from_serial(params, worst[static_cast<usize>(node)], s);
     }
     return total;
   };

@@ -49,6 +49,8 @@ Report Analyzer::run(const AnalysisInput& input) const {
     r.merge(check_platform(*input.platform));
     if (input.graph != nullptr) {
       r.merge(check_bandwidth_budget(*input.graph, *input.platform, options_));
+      r.merge(check_bus_class_budgets(*input.graph, *input.platform,
+                                      options_));
     }
     if (!input.memory_rows.empty()) {
       r.merge(check_memory_budget(input.memory_rows, *input.platform));

@@ -1,0 +1,382 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "analysis/rules.hpp"
+#include "tripleC/bandwidth_model.hpp"
+
+namespace tc::analysis::audit {
+
+namespace {
+
+Diagnostic make(std::string_view rule, i32 index, std::string location,
+                std::string message, std::string hint) {
+  const RuleInfo* info = find_rule(rule);
+  Diagnostic d;
+  d.rule = std::string(rule);
+  d.severity = info != nullptr ? info->severity : Severity::Error;
+  d.subject = Subject::Scenario;
+  d.index = index;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+std::string fmt(f64 v, i32 precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+/// Pessimistic per-node footprint in bytes: the largest Table-1 row for the
+/// task name.  Rows arrive already scaled to the audited format (the
+/// capture side applies the resolution scale), so no byte_scale here —
+/// byte_scale rescales *edge* byte counts only.
+std::vector<u64> node_footprints(const graph::FlowGraph& g,
+                                 std::span<const model::MemoryRow> rows) {
+  std::vector<u64> footprints(g.task_count(), 0);
+  for (usize node = 0; node < g.task_count(); ++node) {
+    std::string_view name = g.task(narrow<i32>(node)).name();
+    f64 worst_kb = 0.0;
+    for (const model::MemoryRow& row : rows) {
+      if (row.task == name) worst_kb = std::max(worst_kb, row.total_kb());
+    }
+    footprints[node] = static_cast<u64>(worst_kb * static_cast<f64>(KiB));
+  }
+  return footprints;
+}
+
+struct BusLoads {
+  f64 cache_gbps = 0.0;
+  f64 memory_gbps = 0.0;
+  f64 io_gbps = 0.0;
+};
+
+/// Per-bus-class loads of one scenario: every edge between two active tasks
+/// split over the Fig.-4 buses, camera/display device edges for active
+/// source/sink tasks, and L2-overflow eviction traffic of active tasks
+/// added to the memory class (the Fig.-5 space-time consequence).
+BusLoads scenario_bus_loads(const graph::FlowGraph& g,
+                            const ScenarioCase& sc,
+                            const plat::PlatformSpec& spec,
+                            std::span<const u64> footprints,
+                            const AuditOptions& options) {
+  BusLoads loads;
+  auto add = [&loads](const model::EdgeBusShare& share) {
+    loads.cache_gbps += share.cache_mbytes_per_s() / 1.0e3;
+    loads.memory_gbps += share.memory_mbytes_per_s() / 1.0e3;
+    loads.io_gbps += share.io_mbytes_per_s() / 1.0e3;
+  };
+  auto active = [&sc](i32 node) {
+    return node >= 0 && static_cast<usize>(node) < sc.nodes.size() &&
+           sc.nodes[static_cast<usize>(node)].active;
+  };
+
+  std::vector<bool> has_in(g.task_count(), false);
+  std::vector<bool> has_out(g.task_count(), false);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.from >= 0 && static_cast<usize>(e.from) < g.task_count()) {
+      has_out[static_cast<usize>(e.from)] = true;
+    }
+    if (e.to >= 0 && static_cast<usize>(e.to) < g.task_count()) {
+      has_in[static_cast<usize>(e.to)] = true;
+    }
+    if (!e.bytes_per_frame || !active(e.from) || !active(e.to)) continue;
+    u64 bytes = static_cast<u64>(static_cast<f64>(e.bytes_per_frame()) *
+                                 options.byte_scale);
+    add(model::split_edge(std::string(g.task(e.from).name()),
+                          std::string(g.task(e.to).name()), bytes, spec,
+                          options.fps));
+  }
+
+  if (options.device_format != nullptr) {
+    const u64 frame = options.device_format->frame_bytes();
+    for (usize node = 0; node < g.task_count(); ++node) {
+      if (!active(narrow<i32>(node))) continue;
+      std::string name(g.task(narrow<i32>(node)).name());
+      if (!has_in[node]) {
+        add(model::split_edge("camera", name, frame, spec, options.fps,
+                              /*device_edge=*/true));
+      }
+      if (!has_out[node]) {
+        add(model::split_edge(name, "display", frame, spec, options.fps,
+                              /*device_edge=*/true));
+      }
+    }
+  }
+
+  // Eviction: a task whose footprint overflows one L2 slice swaps the
+  // overflow out and back every frame (paper §5.2), on the memory bus.
+  for (usize node = 0; node < g.task_count() && node < sc.nodes.size();
+       ++node) {
+    if (!sc.nodes[node].active) continue;
+    if (node < footprints.size() && footprints[node] > spec.l2_bytes) {
+      u64 overflow = 2 * (footprints[node] - spec.l2_bytes);
+      loads.memory_gbps +=
+          static_cast<f64>(overflow) * options.fps / 1.0e9;
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+AuditResult run_audit(const graph::FlowGraph& g,
+                      std::span<const ScenarioCase> cases,
+                      const plat::PlatformSpec& spec,
+                      const plat::CostParams& cost_params,
+                      const graph::ScenarioTransitions* transitions,
+                      std::span<const model::MemoryRow> memory_rows,
+                      const AuditOptions& options) {
+  AuditResult result;
+  const f64 margin = std::max(1.0, options.pessimism_margin);
+  const std::vector<u64> footprints = node_footprints(g, memory_rows);
+
+  // Reachability first: it scopes both the derived deadline and severities.
+  std::vector<sched::ReachabilityRow> reach;
+  if (transitions != nullptr) {
+    reach = sched::scenario_reachability(*transitions, options.reach_epsilon);
+  }
+  auto reach_of = [&reach](graph::ScenarioId id) {
+    if (id < reach.size()) return reach[id];
+    sched::ReachabilityRow all;  // no table: everything reachable
+    all.probability = 1.0;
+    all.observed = false;
+    all.reachable = true;
+    return all;
+  };
+
+  // Enumerate each scenario's plan space once.
+  result.scenarios.reserve(cases.size());
+  for (const ScenarioCase& sc : cases) {
+    ScenarioAudit audit;
+    audit.id = sc.id;
+    audit.label = sc.label;
+    audit.reach = reach_of(sc.id);
+    audit.candidates =
+        sched::enumerate_plans(cost_params, sc.nodes,
+                               options.max_stripes_per_task,
+                               options.cpu_count);
+    result.scenarios.push_back(std::move(audit));
+  }
+
+  // Deadline: explicit, or the worst reachable scenario's margin-scaled
+  // serial latency plus headroom (serial-plan feasibility by construction).
+  f64 deadline = options.deadline_ms;
+  if (deadline <= 0.0) {
+    f64 worst_serial = 0.0;
+    bool any_reachable = false;
+    for (const ScenarioAudit& audit : result.scenarios) {
+      if (!audit.reach.reachable) continue;
+      any_reachable = true;
+      worst_serial =
+          std::max(worst_serial, audit.candidates.front().estimated_ms);
+    }
+    if (!any_reachable) {
+      for (const ScenarioAudit& audit : result.scenarios) {
+        worst_serial =
+            std::max(worst_serial, audit.candidates.front().estimated_ms);
+      }
+    }
+    deadline = worst_serial * margin * std::max(1.0, options.deadline_headroom);
+  }
+  result.deadline_ms = deadline;
+
+  std::vector<bool> was_downgraded;
+
+  // Per-scenario proofs.
+  for (usize i = 0; i < result.scenarios.size(); ++i) {
+    ScenarioAudit& audit = result.scenarios[i];
+    const ScenarioCase& sc = cases[i];
+    bool scenario_downgraded = false;
+    auto emit = [&](Diagnostic d) {
+      if (!audit.reach.reachable && d.severity == Severity::Error) {
+        d.severity = Severity::Warn;
+        scenario_downgraded = true;
+      }
+      result.report.add(std::move(d));
+    };
+
+    // A001: first-fit over the runtime's chain at the audited deadline.
+    audit.chosen = audit.candidates.size() - 1;
+    for (usize c = 0; c < audit.candidates.size(); ++c) {
+      if (audit.candidates[c].estimated_ms * margin <= deadline) {
+        audit.chosen = c;
+        audit.feasible = true;
+        break;
+      }
+    }
+    audit.latency_ms = audit.chosen_plan().estimated_ms * margin;
+    audit.plan = sched::plan_label(sc.nodes, audit.chosen_plan().plan);
+    const std::string& plan = audit.plan;
+    if (!audit.feasible) {
+      emit(make(rules::kScenarioInfeasible, narrow<i32>(audit.id),
+                "scenario " + audit.label,
+                "no plan meets the " + fmt(deadline) +
+                    " ms deadline: the widest plan (" + plan + ") needs " +
+                    fmt(audit.latency_ms) + " ms at pessimism margin " +
+                    fmt(margin),
+                "raise the deadline, lower the pessimism margin, or allow "
+                "more stripes per task"));
+    }
+
+    // A002: per-bus-class budgets under the chosen plan.
+    const BusLoads loads =
+        scenario_bus_loads(g, sc, spec, footprints, options);
+    audit.cache_gbps = loads.cache_gbps;
+    audit.memory_gbps = loads.memory_gbps;
+    audit.io_gbps = loads.io_gbps;
+    struct BusCheck {
+      std::string_view bus;
+      f64 load;
+      f64 budget;
+    };
+    const BusCheck checks[] = {
+        {"cache", loads.cache_gbps,
+         spec.cache_bus_gbps * options.bus_budget_fraction},
+        {"memory", loads.memory_gbps,
+         spec.memory_bus_gbps * options.bus_budget_fraction},
+        {"io", loads.io_gbps,
+         spec.io_bus_gbps * options.bus_budget_fraction},
+    };
+    for (const BusCheck& check : checks) {
+      if (check.load > check.budget) {
+        emit(make(rules::kBusBudgetViolation, narrow<i32>(audit.id),
+                  "scenario " + audit.label + " / plan " + plan + " / " +
+                      std::string(check.bus) + " bus",
+                  "counterexample (scenario " + audit.label + ", plan " +
+                      plan + ", " + std::string(check.bus) + " bus): " +
+                      fmt(check.load) + " GB/s exceeds the budget " +
+                      fmt(check.budget) + " GB/s (Fig. 4)",
+                  "shrink the scenario's buffers, lower the frame rate, or "
+                  "relax bus_budget_fraction if headroom is intended"));
+      }
+    }
+
+    // A003: Fig.-5 buffer ceiling per active task (informational — the
+    // eviction traffic is already in the A002 memory-class load).
+    const f64 l2_kb = static_cast<f64>(spec.l2_bytes) / static_cast<f64>(KiB);
+    for (usize node = 0; node < sc.nodes.size(); ++node) {
+      if (!sc.nodes[node].active || node >= footprints.size()) continue;
+      f64 fp_kb =
+          static_cast<f64>(footprints[node]) / static_cast<f64>(KiB);
+      audit.peak_buffer_kb = std::max(audit.peak_buffer_kb, fp_kb);
+      if (footprints[node] > spec.l2_bytes) {
+        emit(make(rules::kBufferCeilingExceeded, narrow<i32>(audit.id),
+                  "scenario " + audit.label + " / task " + sc.nodes[node].name,
+                  "footprint " + fmt(fp_kb, 0) + " KB exceeds one L2 slice (" +
+                      fmt(l2_kb, 0) +
+                      " KB); eviction traffic added to the memory-bus class",
+                  "restructure the task into smaller working sets, or accept "
+                  "the priced eviction bandwidth"));
+      }
+    }
+
+    was_downgraded.push_back(scenario_downgraded);
+  }
+
+  // A005: note every unreachable scenario whose findings were softened.
+  for (usize i = 0; i < result.scenarios.size(); ++i) {
+    const ScenarioAudit& audit = result.scenarios[i];
+    if (!was_downgraded[i]) continue;
+    result.report.add(make(
+        rules::kUnreachableScenario, narrow<i32>(audit.id),
+        "scenario " + audit.label,
+        "scenario is unreachable under the trained chain (stationary "
+        "probability " +
+            fmt(audit.reach.probability, 6) +
+            "); its violations were downgraded to warnings",
+        "extend training if the scenario can occur in deployment"));
+  }
+
+  // A004: price every likely transition between reachable scenarios.
+  if (transitions != nullptr) {
+    for (usize from = 0; from < result.scenarios.size(); ++from) {
+      const ScenarioAudit& src = result.scenarios[from];
+      if (!src.reach.reachable || !src.reach.observed) continue;
+      for (usize to = 0; to < result.scenarios.size(); ++to) {
+        if (from == to) continue;
+        const ScenarioAudit& dst = result.scenarios[to];
+        if (!dst.reach.reachable) continue;
+        f64 p = transitions->probability(src.id, dst.id);
+        if (p < options.transition_floor) continue;
+        TransitionAudit t;
+        t.from = src.id;
+        t.to = dst.id;
+        t.probability = p;
+        t.cost = sched::price_plan_switch(
+            cost_params, spec, cases[from].nodes, cases[to].nodes,
+            src.chosen_plan().plan, dst.chosen_plan().plan, footprints);
+        t.slack_ms = deadline - dst.latency_ms;
+        if (!t.fits()) {
+          result.report.add(make(
+              rules::kCostlyTransition, narrow<i32>(dst.id),
+              "transition " + src.label + " -> " + dst.label,
+              "plan switch (" + src.plan + " -> " + dst.plan + ", p=" +
+                  fmt(p) + ") costs " + fmt(t.cost.total_ms()) +
+                  " ms but the destination's deadline slack is only " +
+                  fmt(t.slack_ms) + " ms",
+              "pre-warm the destination plan, widen the deadline headroom, "
+              "or pin a compromise plan across both scenarios"));
+        }
+        result.transitions.push_back(t);
+      }
+    }
+  }
+
+  return result;
+}
+
+std::string format_audit_table(const AuditResult& result) {
+  std::ostringstream os;
+  os << "deadline " << fmt(result.deadline_ms) << " ms\n";
+  os << std::left << std::setw(22) << "scenario" << std::right
+     << std::setw(7) << "reach" << std::setw(7) << "plans" << std::setw(10)
+     << "latency" << std::setw(9) << "cache" << std::setw(9) << "memory"
+     << std::setw(9) << "io" << std::setw(10) << "feasible"
+     << "  chosen plan\n";
+  for (const ScenarioAudit& s : result.scenarios) {
+    os << std::left << std::setw(22) << s.label << std::right << std::setw(7)
+       << (s.reach.reachable ? fmt(s.reach.probability, 3) : "no")
+       << std::setw(7) << s.candidates.size() << std::setw(10)
+       << fmt(s.latency_ms) << std::setw(9) << fmt(s.cache_gbps)
+       << std::setw(9) << fmt(s.memory_gbps) << std::setw(9)
+       << fmt(s.io_gbps) << std::setw(10) << (s.feasible ? "yes" : "NO")
+       << "  " << s.plan << '\n';
+  }
+  return os.str();
+}
+
+std::string format_transition_table(const AuditResult& result) {
+  std::ostringstream os;
+  if (result.transitions.empty()) {
+    os << "no transitions above the probability floor\n";
+    return os.str();
+  }
+  os << std::left << std::setw(40) << "transition" << std::right
+     << std::setw(7) << "prob" << std::setw(8) << "nodes" << std::setw(8)
+     << "fanout" << std::setw(10) << "cost ms" << std::setw(10)
+     << "slack ms" << std::setw(6) << "ok" << '\n';
+  for (const TransitionAudit& t : result.transitions) {
+    std::string arrow;
+    for (const ScenarioAudit& s : result.scenarios) {
+      if (s.id == t.from) arrow = s.label + " -> ";
+    }
+    for (const ScenarioAudit& s : result.scenarios) {
+      if (s.id == t.to) arrow += s.label;
+    }
+    os << std::left << std::setw(40) << arrow << std::right << std::setw(7)
+       << fmt(t.probability) << std::setw(8) << t.cost.nodes_repartitioned
+       << std::setw(8) << t.cost.fanout_delta << std::setw(10)
+       << fmt(t.cost.total_ms()) << std::setw(10) << fmt(t.slack_ms)
+       << std::setw(6) << (t.fits() ? "yes" : "NO") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tc::analysis::audit

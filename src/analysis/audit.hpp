@@ -1,0 +1,142 @@
+// triplec-audit: static schedulability and per-bus budget proofs.
+//
+// The paper's central claim is that resource usage is predictable *before*
+// running — so admission should be a proof, not an experiment.  This pass
+// layer enumerates every scenario of the flow graph against every plan the
+// runtime planner can ever pick (the enumerate_plans chain from
+// schedulability.hpp) and, per (scenario, plan), proves or refutes:
+//
+//   A001  deadline feasibility — some plan in the runtime's search space
+//         meets the deadline under the pessimism margin;
+//   A002  per-bus-class budgets — the scenario's active edges split over
+//         the Fig.-4 cache/memory/I-O buses, each class within its bus,
+//         with L2-overflow eviction traffic added to the memory class;
+//   A003  buffer ceilings — an active task's Fig.-5 footprint exceeding one
+//         L2 slice (informational: the eviction traffic is already priced
+//         into the A002 memory-class load);
+//   A004  transition pricing — for every likely scenario transition, the
+//         cost of switching between the two chosen plans (stripe re-layout,
+//         fan-out change, cache refill) must fit the destination's slack;
+//   A005  reachability weighting — scenarios unreachable under the trained
+//         Markov chain keep their findings, downgraded below Error, so an
+//         impossible mode cannot fail admission.
+//
+// The caller supplies one ScenarioCase per scenario (activity + per-node
+// serial predictions); rt::make_audit_cases (runtime/audit_gate.hpp) builds
+// them from a trained GraphPredictor so the audited numbers are exactly the
+// runtime's forecasts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/schedulability.hpp"
+#include "graph/flowgraph.hpp"
+#include "tripleC/memory_model.hpp"
+
+namespace tc::analysis::audit {
+
+/// One scenario's view of the graph: which nodes run and their predicted
+/// serial times.  `nodes` is indexed by graph task id.
+struct ScenarioCase {
+  graph::ScenarioId id = 0;
+  std::string label;
+  std::vector<sched::ScheduleNode> nodes;
+};
+
+struct AuditOptions {
+  f64 fps = 30.0;
+  /// Multiplies edge byte counts and memory rows (rendering-resolution to
+  /// paper-format scaling, as in PassOptions::byte_scale).
+  f64 byte_scale = 1.0;
+  /// Fraction of each bus considered a safe budget (A002).
+  f64 bus_budget_fraction = 1.0;
+  /// Pessimism margin multiplying every predicted latency (>= 1; the audit
+  /// proves feasibility for margin-inflated forecasts).
+  f64 pessimism_margin = 1.10;
+  /// Frame deadline.  0 = derive: worst reachable scenario's margin-scaled
+  /// *serial* latency times deadline_headroom, i.e. "the serial schedule of
+  /// the worst mode plus headroom" — the weakest deadline under which the
+  /// shipped graph is provably schedulable without striping.
+  f64 deadline_ms = 0.0;
+  f64 deadline_headroom = 1.10;
+  /// Stationary probability below which an unvisited scenario counts as
+  /// unreachable (A005 downgrade).
+  f64 reach_epsilon = 1e-4;
+  /// Transitions with probability below this floor are not priced (A004).
+  f64 transition_floor = 0.05;
+  i32 max_stripes_per_task = 8;
+  i32 cpu_count = 8;
+  /// When non-null, camera/display device edges carrying one such frame are
+  /// added for active source/sink tasks (the I/O-bus class).
+  const plat::VideoFormat* device_format = nullptr;
+};
+
+/// Per-scenario verdict.
+struct ScenarioAudit {
+  graph::ScenarioId id = 0;
+  std::string label;
+  sched::ReachabilityRow reach;
+  /// The runtime's full plan search space for this scenario.
+  std::vector<sched::PlanCandidate> candidates;
+  /// Index of the plan the runtime would pick at the audited deadline
+  /// (first candidate that fits; the last when none does).
+  usize chosen = 0;
+  /// Some candidate meets the deadline under the pessimism margin.
+  bool feasible = false;
+  /// Margin-scaled latency of the chosen plan.
+  f64 latency_ms = 0.0;
+  /// Human-readable chosen plan, e.g. "serial" or "RDG_FULLx4".
+  std::string plan;
+  /// Per-bus-class loads of the scenario's active edges (GB/s).
+  f64 cache_gbps = 0.0;
+  f64 memory_gbps = 0.0;
+  f64 io_gbps = 0.0;
+  /// Largest active-task footprint (KB, byte-scaled) vs. one L2 slice.
+  f64 peak_buffer_kb = 0.0;
+
+  [[nodiscard]] const sched::PlanCandidate& chosen_plan() const {
+    return candidates[chosen];
+  }
+};
+
+/// One priced scenario transition (A004).
+struct TransitionAudit {
+  graph::ScenarioId from = 0;
+  graph::ScenarioId to = 0;
+  f64 probability = 0.0;
+  sched::SwitchCost cost;
+  /// deadline - margin-scaled latency of the destination's chosen plan.
+  f64 slack_ms = 0.0;
+  [[nodiscard]] bool fits() const { return cost.total_ms() <= slack_ms; }
+};
+
+struct AuditResult {
+  f64 deadline_ms = 0.0;
+  std::vector<ScenarioAudit> scenarios;
+  std::vector<TransitionAudit> transitions;
+  Report report;
+};
+
+/// Run the full audit.  `cases` must cover every scenario id exactly once
+/// (any order); `transitions` may be null (all scenarios then count as
+/// reachable); `memory_rows` (matched against graph task names, *already*
+/// scaled to the audited format — byte_scale rescales edge bytes only) feed
+/// the buffer-ceiling and eviction checks and the cache-refill pricing;
+/// rows may be empty.
+[[nodiscard]] AuditResult run_audit(
+    const graph::FlowGraph& g, std::span<const ScenarioCase> cases,
+    const plat::PlatformSpec& spec, const plat::CostParams& cost_params,
+    const graph::ScenarioTransitions* transitions,
+    std::span<const model::MemoryRow> memory_rows,
+    const AuditOptions& options = {});
+
+/// Scenario × plan feasibility table (CLI text output).
+[[nodiscard]] std::string format_audit_table(const AuditResult& result);
+
+/// Scenario-transition pricing table (CLI text output).
+[[nodiscard]] std::string format_transition_table(const AuditResult& result);
+
+}  // namespace tc::analysis::audit

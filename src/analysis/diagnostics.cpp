@@ -1,6 +1,10 @@
 #include "analysis/diagnostics.hpp"
 
+#include <set>
 #include <sstream>
+#include <string>
+
+#include "analysis/rules.hpp"
 
 namespace tc::analysis {
 
@@ -151,6 +155,73 @@ std::string Report::to_json() const {
   }
   os << "],\"errors\":" << error_count() << ",\"warnings\":" << warning_count()
      << ",\"infos\":" << count(Severity::Info) << '}';
+  return os.str();
+}
+
+std::string Report::to_sarif(std::string_view tool_name) const {
+  auto sarif_level = [](Severity s) -> std::string_view {
+    switch (s) {
+      case Severity::Info: return "note";
+      case Severity::Warn: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "none";
+  };
+
+  // Only the rules that actually fired go into the driver's rule table, in
+  // first-seen order; results reference them by array index.
+  std::vector<std::string> fired_rules;
+  std::set<std::string, std::less<>> seen;
+  for (const Diagnostic& d : diagnostics_) {
+    if (seen.insert(d.rule).second) fired_rules.push_back(d.rule);
+  }
+  auto rule_index = [&](std::string_view id) -> usize {
+    for (usize i = 0; i < fired_rules.size(); ++i) {
+      if (fired_rules[i] == id) return i;
+    }
+    return 0;  // unreachable: every diagnostic's rule was inserted above
+  };
+
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+     << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+     << "\"name\":";
+  json_string(os, tool_name);
+  os << ",\"informationUri\":"
+     << "\"https://github.com/triplec/triplec\",\"rules\":[";
+  for (usize i = 0; i < fired_rules.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"id\":";
+    json_string(os, fired_rules[i]);
+    const RuleInfo* info = find_rule(fired_rules[i]);
+    os << ",\"shortDescription\":{\"text\":";
+    json_string(os, info != nullptr ? info->title : std::string_view{});
+    os << "}}";
+  }
+  os << "]}},\"results\":[";
+  for (usize i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i != 0) os << ',';
+    os << "{\"ruleId\":";
+    json_string(os, d.rule);
+    os << ",\"ruleIndex\":" << rule_index(d.rule) << ",\"level\":";
+    json_string(os, sarif_level(d.severity));
+    os << ",\"message\":{\"text\":";
+    std::string text{d.message};
+    if (!d.hint.empty()) {
+      text += " (fix: ";
+      text += d.hint;
+      text += ')';
+    }
+    json_string(os, text);
+    os << "},\"locations\":[{\"logicalLocations\":[{\"name\":";
+    json_string(os, d.location.empty() ? std::string{to_string(d.subject)}
+                                       : d.location);
+    os << ",\"kind\":";
+    json_string(os, to_string(d.subject));
+    os << "}]}],\"properties\":{\"subjectIndex\":" << d.index << "}}";
+  }
+  os << "]}]}";
   return os.str();
 }
 

@@ -76,6 +76,12 @@ class Report {
   [[nodiscard]] std::string to_csv() const;
   /// Machine-readable JSON: {"diagnostics":[...],"errors":N,...}.
   [[nodiscard]] std::string to_json() const;
+  /// SARIF 2.1.0 log with one run: `tool_name` names the driver
+  /// (triplec-lint / triplec-audit), rules come from the catalog, results
+  /// map Info/Warn/Error to note/warning/error.  Locations are logical
+  /// (subject kind + index) since the artifacts are in-memory graphs, not
+  /// files.
+  [[nodiscard]] std::string to_sarif(std::string_view tool_name) const;
 
  private:
   std::vector<Diagnostic> diagnostics_;

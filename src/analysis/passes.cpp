@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analysis/rules.hpp"
+#include "tripleC/bandwidth_model.hpp"
 
 namespace tc::analysis {
 
@@ -460,6 +461,39 @@ Report check_bandwidth_budget(const graph::FlowGraph& g,
                    fmt(options.fps, 0) + " fps exceeds the memory-bus budget " +
                    fmt(budget, 2) + " GB/s",
                "reduce per-frame buffer sizes, lower the frame rate, or relax "
+               "bus_budget_fraction if headroom is intended"));
+  }
+  return r;
+}
+
+Report check_bus_class_budgets(const graph::FlowGraph& g,
+                               const plat::PlatformSpec& spec,
+                               const PassOptions& options) {
+  Report r;
+  const std::vector<model::EdgeBusShare> rows = model::edge_bus_breakdown(
+      g, spec, options.fps, options.byte_scale, options.device_format);
+  f64 cache_gbps = 0.0;
+  f64 io_gbps = 0.0;
+  for (const model::EdgeBusShare& row : rows) {
+    cache_gbps += row.cache_mbytes_per_s() / 1.0e3;
+    io_gbps += row.io_mbytes_per_s() / 1.0e3;
+  }
+  const f64 cache_budget = spec.cache_bus_gbps * options.bus_budget_fraction;
+  const f64 io_budget = spec.io_bus_gbps * options.bus_budget_fraction;
+  if (cache_gbps > cache_budget) {
+    r.add(make(rules::kCacheBusOverBudget, Subject::Graph, -1, "graph",
+               "cache-bus-class traffic " + fmt(cache_gbps, 2) + " GB/s at " +
+                   fmt(options.fps, 0) + " fps exceeds the cache-bus budget " +
+                   fmt(cache_budget, 2) + " GB/s (Fig. 4)",
+               "shrink working sets so less re-used data cycles through L2, "
+               "or relax bus_budget_fraction if headroom is intended"));
+  }
+  if (io_gbps > io_budget) {
+    r.add(make(rules::kIoBusOverBudget, Subject::Graph, -1, "graph",
+               "I/O-bus-class traffic " + fmt(io_gbps, 2) + " GB/s at " +
+                   fmt(options.fps, 0) + " fps exceeds the I/O-bus budget " +
+                   fmt(io_budget, 2) + " GB/s (Fig. 4)",
+               "lower the device frame rate or format, or relax "
                "bus_budget_fraction if headroom is intended"));
   }
   return r;

@@ -34,6 +34,11 @@ struct PassOptions {
   /// Multiplies edge byte counts and memory rows (rendering-resolution to
   /// paper-format scaling; 1.0 = bytes are already at the target format).
   f64 byte_scale = 1.0;
+  /// When non-null, synthetic camera/display device edges carrying one such
+  /// frame are included in the per-bus-class checks (rules B003/B004) —
+  /// without them no traffic rides the I/O bus.  Not owned; must outlive the
+  /// pass call.
+  const plat::VideoFormat* device_format = nullptr;
 };
 
 // --- graph well-formedness (G001..G007, S003) ------------------------------
@@ -119,5 +124,15 @@ struct PassOptions {
 [[nodiscard]] Report check_bandwidth_budget(const graph::FlowGraph& g,
                                             const plat::PlatformSpec& spec,
                                             const PassOptions& options = {});
+
+/// Per-bus-class budgets (B003/B004): the Fig.-4 split of every edge's
+/// traffic (model::edge_bus_breakdown) is summed per bus class and compared
+/// against that bus's budget — cache-class traffic vs. the cache bus and
+/// I/O-class traffic vs. the I/O bus (memory-class totals are covered by the
+/// pessimistic B002 check above).  Set options.device_format to include the
+/// camera/display device edges, the only source of I/O-bus traffic.
+[[nodiscard]] Report check_bus_class_budgets(const graph::FlowGraph& g,
+                                             const plat::PlatformSpec& spec,
+                                             const PassOptions& options = {});
 
 }  // namespace tc::analysis

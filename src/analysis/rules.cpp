@@ -46,20 +46,45 @@ constexpr std::array<RuleInfo, 20> kCatalog{{
      "platform specification is invalid"},
 }};
 
-constexpr std::array<RuleInfo, 2> kBudgetCatalog{{
+constexpr std::array<RuleInfo, 4> kBudgetCatalog{{
     {rules::kFootprintOverL2, Severity::Warn,
      "task best-case footprint exceeds one L2 slice (eviction predicted)"},
     {rules::kBandwidthOverBus, Severity::Warn,
      "aggregate inter-task bandwidth exceeds the memory-bus budget"},
+    {rules::kCacheBusOverBudget, Severity::Warn,
+     "cache-bus-class traffic exceeds the cache-bus budget (Fig. 4)"},
+    {rules::kIoBusOverBudget, Severity::Warn,
+     "I/O-bus-class traffic exceeds the I/O-bus budget (Fig. 4)"},
 }};
 
-// Concatenated view over both blocks, kept in one flat array for the span.
-constexpr std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size()>
+constexpr std::array<RuleInfo, 5> kAuditCatalog{{
+    {rules::kScenarioInfeasible, Severity::Error,
+     "no plan in the runtime search space meets the deadline for a reachable "
+     "scenario"},
+    {rules::kBusBudgetViolation, Severity::Error,
+     "a (scenario, plan, bus) triple exceeds its bus-class budget"},
+    {rules::kBufferCeilingExceeded, Severity::Info,
+     "peak buffer occupation exceeds the L2 ceiling (Fig. 5; eviction "
+     "traffic priced into bus loads)"},
+    {rules::kCostlyTransition, Severity::Warn,
+     "a likely scenario transition's plan-switch cost exceeds the deadline "
+     "slack"},
+    {rules::kUnreachableScenario, Severity::Info,
+     "scenario unreachable under the trained chain; its violations were "
+     "downgraded"},
+}};
+
+// Concatenated view over the blocks, kept in one flat array for the span.
+constexpr std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size() +
+                                   kAuditCatalog.size()>
     kAllRules = [] {
-      std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size()> all{};
+      std::array<RuleInfo, kCatalog.size() + kBudgetCatalog.size() +
+                               kAuditCatalog.size()>
+          all{};
       usize i = 0;
       for (const RuleInfo& r : kCatalog) all[i++] = r;
       for (const RuleInfo& r : kBudgetCatalog) all[i++] = r;
+      for (const RuleInfo& r : kAuditCatalog) all[i++] = r;
       return all;
     }();
 

@@ -6,6 +6,8 @@
 //   S*** — scenario/state-table coverage       (paper §5.2, 2^S scenarios)
 //   P*** — platform-specification sanity       (Fig. 4 parameters)
 //   B*** — memory/bandwidth budgets            (Table 1, §5 L2 analysis)
+//   A*** — schedulability audit                (triplec-audit; scenarios ×
+//          plans feasibility, per-bus budgets, buffer ceilings, transitions)
 //
 // The default severity listed here is what the built-in passes emit; the
 // catalog is the single source of truth for the docs (DESIGN.md) and the
@@ -53,6 +55,14 @@ inline constexpr std::string_view kInvalidPlatform = "P001";
 // Memory / bandwidth budgets.
 inline constexpr std::string_view kFootprintOverL2 = "B001";
 inline constexpr std::string_view kBandwidthOverBus = "B002";
+inline constexpr std::string_view kCacheBusOverBudget = "B003";
+inline constexpr std::string_view kIoBusOverBudget = "B004";
+// Schedulability audit (triplec-audit).
+inline constexpr std::string_view kScenarioInfeasible = "A001";
+inline constexpr std::string_view kBusBudgetViolation = "A002";
+inline constexpr std::string_view kBufferCeilingExceeded = "A003";
+inline constexpr std::string_view kCostlyTransition = "A004";
+inline constexpr std::string_view kUnreachableScenario = "A005";
 }  // namespace rules
 
 /// Every rule the built-in passes can emit, in catalog order.

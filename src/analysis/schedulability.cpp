@@ -1,0 +1,177 @@
+#include "analysis/schedulability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tc::analysis::sched {
+
+PlanVec serial_plan(usize node_count) {
+  return PlanVec(node_count, 1);
+}
+
+f64 plan_latency_ms(const plat::CostParams& params,
+                    std::span<const ScheduleNode> nodes,
+                    std::span<const i32> plan) {
+  f64 total = 0.0;
+  for (usize node = 0; node < nodes.size(); ++node) {
+    const ScheduleNode& n = nodes[node];
+    if (!n.active) continue;
+    i32 stripes = n.data_parallel ? plan[node] : 1;
+    total += plat::striped_ms_from_serial(params, n.serial_ms, stripes);
+  }
+  return total;
+}
+
+std::vector<PlanCandidate> enumerate_plans(const plat::CostParams& params,
+                                           std::span<const ScheduleNode> nodes,
+                                           i32 max_stripes_per_task,
+                                           i32 cpu_count) {
+  std::vector<PlanCandidate> chain;
+  PlanVec plan = serial_plan(nodes.size());
+  chain.push_back({plan, plan_latency_ms(params, nodes, plan)});
+
+  // Greedy widening, identical to rt::choose_plan's loop but budget-free:
+  // repeatedly double the stripes of the active data-parallel node with the
+  // largest current estimated time, as long as widening strictly helps and
+  // the per-task/CPU caps allow it.  Every intermediate plan is a candidate.
+  for (;;) {
+    i32 worst = -1;
+    f64 worst_ms = 0.0;
+    for (usize node = 0; node < nodes.size(); ++node) {
+      const ScheduleNode& n = nodes[node];
+      if (!n.active || !n.data_parallel) continue;
+      if (plan[node] >= std::min(max_stripes_per_task, cpu_count)) continue;
+      f64 current =
+          plat::striped_ms_from_serial(params, n.serial_ms, plan[node]);
+      f64 widened =
+          plat::striped_ms_from_serial(params, n.serial_ms, plan[node] * 2);
+      if (widened >= current) continue;  // sync overhead dominates
+      if (current > worst_ms) {
+        worst_ms = current;
+        worst = narrow<i32>(node);
+      }
+    }
+    if (worst < 0) break;
+    plan[static_cast<usize>(worst)] *= 2;
+    chain.push_back({plan, plan_latency_ms(params, nodes, plan)});
+  }
+  return chain;
+}
+
+std::string plan_label(std::span<const ScheduleNode> nodes,
+                       std::span<const i32> plan) {
+  std::ostringstream os;
+  bool any = false;
+  for (usize node = 0; node < plan.size(); ++node) {
+    if (plan[node] > 1) {
+      if (any) os << ' ';
+      os << (node < nodes.size() ? nodes[node].name : "?") << "x"
+         << plan[node];
+      any = true;
+    }
+  }
+  if (!any) os << "serial";
+  return os.str();
+}
+
+std::vector<ReachabilityRow> scenario_reachability(
+    const graph::ScenarioTransitions& table, f64 epsilon, usize iterations) {
+  const usize n = table.scenario_space();
+  std::vector<ReachabilityRow> rows(n);
+
+  u64 total_observations = 0;
+  for (usize s = 0; s < n; ++s) {
+    rows[s].observed = table.row_observations(s) > 0;
+    total_observations += table.row_observations(s);
+  }
+
+  if (total_observations == 0) {
+    // Untrained chain: no evidence that any scenario cannot occur.
+    for (ReachabilityRow& r : rows) {
+      r.probability = 1.0 / static_cast<f64>(n);
+      r.reachable = true;
+    }
+    return rows;
+  }
+
+  // Start distribution = empirical visitation; transition matrix = trained
+  // rows as-is, unobserved rows self-loop (ScenarioTransitions::probability
+  // falls back to uniform there, which would invent reachability).
+  std::vector<f64> dist(n, 0.0);
+  for (usize s = 0; s < n; ++s) {
+    dist[s] = static_cast<f64>(table.row_observations(s)) /
+              static_cast<f64>(total_observations);
+  }
+  std::vector<f64> next(n, 0.0);
+  for (usize it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (usize from = 0; from < n; ++from) {
+      if (dist[from] <= 0.0) continue;
+      if (!rows[from].observed) {
+        next[from] += dist[from];
+        continue;
+      }
+      for (usize to = 0; to < n; ++to) {
+        next[to] += dist[from] *
+                    table.probability(narrow<graph::ScenarioId>(from),
+                                      narrow<graph::ScenarioId>(to));
+      }
+    }
+    f64 delta = 0.0;
+    for (usize s = 0; s < n; ++s) delta += std::abs(next[s] - dist[s]);
+    dist.swap(next);
+    if (delta < 1e-12) break;
+  }
+
+  for (usize s = 0; s < n; ++s) {
+    rows[s].probability = dist[s];
+    rows[s].reachable = rows[s].observed || dist[s] > epsilon;
+  }
+  return rows;
+}
+
+namespace {
+
+i32 effective_stripes(const ScheduleNode& n, i32 plan_stripes) {
+  if (!n.active) return 0;
+  return n.data_parallel ? plan_stripes : 1;
+}
+
+}  // namespace
+
+SwitchCost price_plan_switch(const plat::CostParams& params,
+                             const plat::PlatformSpec& spec,
+                             std::span<const ScheduleNode> from_nodes,
+                             std::span<const ScheduleNode> to_nodes,
+                             std::span<const i32> from_plan,
+                             std::span<const i32> to_plan,
+                             std::span<const u64> footprint_bytes) {
+  SwitchCost cost;
+  const f64 dram_bytes_per_ms =
+      spec.dram_gbps(params.base_dram_contention) * 1.0e9 / 1.0e3;
+  for (usize node = 0; node < from_nodes.size() && node < to_nodes.size();
+       ++node) {
+    i32 before = effective_stripes(from_nodes[node], from_plan[node]);
+    i32 after = effective_stripes(to_nodes[node], to_plan[node]);
+    // A node (de)activating is scenario dynamics, not a re-layout.
+    if (before == 0 || after == 0 || before == after) continue;
+    ++cost.nodes_repartitioned;
+    i32 delta = std::abs(after - before);
+    cost.fanout_delta += delta;
+    // Re-layout: one dispatch to rebuild the stripe set, one barrier per
+    // stripe added or removed.
+    cost.relayout_ms +=
+        params.dispatch_ms + params.stripe_sync_ms * static_cast<f64>(delta);
+    // Cache refill: a repartitioned node's stripes land on CPUs whose L2
+    // slice does not hold its working set yet; the refetch is bounded by one
+    // slice and priced at base-contention DRAM bandwidth.
+    u64 footprint = node < footprint_bytes.size() ? footprint_bytes[node] : 0;
+    u64 refill = std::min(footprint, spec.l2_bytes);
+    cost.cache_refill_ms +=
+        static_cast<f64>(refill) / std::max(1.0, dram_bytes_per_ms);
+  }
+  return cost;
+}
+
+}  // namespace tc::analysis::sched

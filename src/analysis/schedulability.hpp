@@ -1,0 +1,126 @@
+// Static schedulability core (the math half of triplec-audit).
+//
+// Everything here is a pure function over generic inputs — per-node serial
+// time predictions, stripe plans as plain vectors, the platform cost
+// parameters — so the same code serves the runtime planner (through thin
+// adapters in src/runtime/partition.*) and the offline audit
+// (src/analysis/audit.*).  That shared core is what makes the audit's
+// feasibility proofs *binding*: the plan space it enumerates and the latency
+// formula it evaluates are, by construction, exactly the ones
+// rt::choose_plan uses at runtime.
+//
+// Three primitives:
+//   * enumerate_plans — the greedy stripe-widening chain from the serial
+//     plan to saturation (every plan rt::choose_plan can ever return);
+//   * scenario_reachability — stationary scenario probabilities under the
+//     trained transition table (power iteration), used to weight audit
+//     findings by whether a scenario can actually occur;
+//   * price_plan_switch — the static cost of switching plans between
+//     scenarios (stripe re-layout, thread fan-out change, cache refill),
+//     the offline half of mode-transition-aware repartitioning.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/scenario.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/spec.hpp"
+
+namespace tc::analysis::sched {
+
+/// One flow-graph node as the scheduler sees it: active under the scenario
+/// being audited, stripeable or not, and its predicted serial time.
+struct ScheduleNode {
+  std::string name;
+  bool active = false;
+  bool data_parallel = false;
+  f64 serial_ms = 0.0;
+};
+
+/// Stripes per node (1 = serial).  Plain vector so the core stays free of
+/// application-specific plan types; adapters convert to app::StripePlan.
+using PlanVec = std::vector<i32>;
+
+[[nodiscard]] PlanVec serial_plan(usize node_count);
+
+/// Frame latency estimate for a plan: sum over active nodes of their
+/// (striped or serial) estimated time — the same aggregation as
+/// rt::estimate_latency.
+[[nodiscard]] f64 plan_latency_ms(const plat::CostParams& params,
+                                  std::span<const ScheduleNode> nodes,
+                                  std::span<const i32> plan);
+
+struct PlanCandidate {
+  PlanVec plan;
+  f64 estimated_ms = 0.0;
+};
+
+/// The greedy widening chain: starting serial, repeatedly double the stripes
+/// of the active data-parallel node with the largest current estimated time,
+/// as long as that strictly helps and the per-task/CPU caps allow it.  The
+/// returned list (serial first, widest last) is the complete search space of
+/// rt::choose_plan — for any budget, choose_plan returns the first candidate
+/// that fits, or the last when none does.
+[[nodiscard]] std::vector<PlanCandidate> enumerate_plans(
+    const plat::CostParams& params, std::span<const ScheduleNode> nodes,
+    i32 max_stripes_per_task, i32 cpu_count);
+
+/// "serial" or "RDG_FULLx4 ENHx2" (nodes with more than one stripe).
+[[nodiscard]] std::string plan_label(std::span<const ScheduleNode> nodes,
+                                     std::span<const i32> plan);
+
+// --- Markov reachability ----------------------------------------------------
+
+struct ReachabilityRow {
+  /// Stationary probability estimate of the scenario under the trained
+  /// chain (empirical visitation pushed through the transition matrix).
+  f64 probability = 0.0;
+  /// The scenario had observed outgoing transitions in training.
+  bool observed = false;
+  /// probability > epsilon or observed: audit findings keep full severity;
+  /// otherwise they are downgraded to warnings.
+  bool reachable = true;
+};
+
+/// Reachability of every scenario under a trained transition table.  The
+/// start distribution is the empirical visitation (row observation counts);
+/// observed rows use their trained probabilities, unobserved rows self-loop
+/// (mass that was never seen leaving a scenario is not invented).  An
+/// entirely untrained table marks every scenario reachable at uniform
+/// probability — the conservative default.
+[[nodiscard]] std::vector<ReachabilityRow> scenario_reachability(
+    const graph::ScenarioTransitions& table, f64 epsilon = 1e-4,
+    usize iterations = 200);
+
+// --- plan-switch pricing ----------------------------------------------------
+
+/// Static price of switching from one (scenario, plan) to another: stripe
+/// re-layout (one dispatch per repartitioned node plus a barrier per stripe
+/// added or removed) and cache refill (each repartitioned node's working
+/// set, capped at one L2 slice, re-fetched over DRAM at base contention).
+struct SwitchCost {
+  i32 nodes_repartitioned = 0;
+  /// Total change in thread fan-out: sum over nodes of |Δ effective stripes|.
+  i32 fanout_delta = 0;
+  f64 relayout_ms = 0.0;
+  f64 cache_refill_ms = 0.0;
+
+  [[nodiscard]] f64 total_ms() const { return relayout_ms + cache_refill_ms; }
+};
+
+/// `from_nodes`/`to_nodes` give per-node activity in the two scenarios.
+/// Only nodes running on *both* sides with different stripe counts are
+/// priced: a node (de)activating is the graph's normal scenario dynamics,
+/// already reflected in the destination latency, not a re-layout.
+/// `footprint_bytes` (optional, indexed like the nodes, 0 = unknown) sizes
+/// the cache refill.
+[[nodiscard]] SwitchCost price_plan_switch(
+    const plat::CostParams& params, const plat::PlatformSpec& spec,
+    std::span<const ScheduleNode> from_nodes,
+    std::span<const ScheduleNode> to_nodes, std::span<const i32> from_plan,
+    std::span<const i32> to_plan, std::span<const u64> footprint_bytes = {});
+
+}  // namespace tc::analysis::sched

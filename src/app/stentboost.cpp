@@ -34,6 +34,25 @@ bool node_data_parallel(i32 node) {
   return kDataParallel[static_cast<usize>(node)];
 }
 
+std::array<bool, kNodeCount> scenario_node_activity(
+    graph::ScenarioId scenario) {
+  const bool rdg = ((scenario >> kSwRdg) & 1u) != 0;
+  const bool roi = ((scenario >> kSwRoi) & 1u) != 0;
+  const bool reg = ((scenario >> kSwReg) & 1u) != 0;
+  std::array<bool, kNodeCount> active{};
+  active[kRdgFull] = rdg && !roi;
+  active[kRdgRoi] = rdg && roi;
+  active[kMkxFull] = !roi;
+  active[kMkxRoi] = roi;
+  active[kCplsSel] = true;
+  active[kReg] = true;
+  active[kRoiEst] = true;
+  active[kGwExt] = rdg;
+  active[kEnh] = reg;
+  active[kZoom] = reg;
+  return active;
+}
+
 StentBoostConfig StentBoostConfig::make(i32 width, i32 height, i32 frames,
                                         u64 seed) {
   StentBoostConfig c;

@@ -71,6 +71,14 @@ static_assert(kNodeCount == kFrameNodeCount,
 /// True for streaming tasks that support stripe (data) partitioning.
 [[nodiscard]] bool node_data_parallel(i32 node);
 
+/// Which nodes run under a scenario (switch bitmask, bits = Switch enum):
+/// the static mirror of RuntimeManager::forecast's per-frame activity rules
+/// (RDG granularity variants select on SW_RDG/SW_ROI, ENH/ZOOM gate on
+/// SW_REG).  triplec-audit enumerates all 2^kSwitchCount masks through this
+/// to prove per-scenario properties offline.
+[[nodiscard]] std::array<bool, kNodeCount> scenario_node_activity(
+    graph::ScenarioId scenario);
+
 /// Switch indices (bit positions in the scenario id).
 enum Switch : i32 {
   kSwRdg = 0,

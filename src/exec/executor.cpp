@@ -11,6 +11,7 @@
 #include "common/stats.hpp"
 #include "exec/frame_pipeline.hpp"
 #include "obs/obs.hpp"
+#include "runtime/audit_gate.hpp"
 #include "tripleC/bandwidth_model.hpp"
 
 namespace tc::exec {
@@ -76,6 +77,24 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
     input.platform = &app_.config().platform;
     validation_report_ = analysis::Analyzer{}.run(input);
     analysis::enforce(validation_report_, config_.validation_policy);
+  }
+  if (config_.audit_at_startup) {
+    // Schedulability proof before the first frame: train a throwaway
+    // predictor on a simulated copy of the application (the executor's own
+    // app keeps its pristine inter-frame state), capture Table-1 memory
+    // rows, then audit all scenarios × the runtime plan search space.
+    app::StentBoostApp train_app(app_.config());
+    model::GraphPredictor predictor(app::kNodeCount, app::kSwitchCount);
+    std::vector<graph::FrameRecord> records =
+        train_app.run(std::max(1, config_.audit_training_frames));
+    std::vector<std::vector<graph::FrameRecord>> seqs = {records};
+    predictor.train(seqs);
+    std::vector<model::MemoryRow> rows = rt::capture_memory_rows(
+        records, app_.config().cost.resolution_scale);
+    analysis::audit::AuditResult audit =
+        rt::audit_app(train_app, predictor, rows, config_.audit_options);
+    audit_report_ = std::move(audit.report);
+    analysis::enforce(audit_report_, config_.audit_policy);
   }
   if (config_.deadline_ms > 0.0) {
     deadline_ms_ = config_.deadline_ms;
@@ -149,7 +168,7 @@ f64 Executor::feed_back(const graph::FrameRecord& record,
     f64 serial_ms = exec.host_ms;
     const i32 stripes = plan[static_cast<usize>(exec.node)];
     if (app::node_data_parallel(exec.node) && stripes > 1) {
-      serial_ms = rt::serial_ms_from_striped(config_.host_cost, exec.host_ms,
+      serial_ms = plat::serial_ms_from_striped(config_.host_cost, exec.host_ms,
                                              stripes);
     }
     node_ewma_[static_cast<usize>(exec.node)].update(serial_ms);
@@ -283,7 +302,7 @@ void Executor::ledger_predict(i32 t, std::span<const rt::NodeForecast> fc,
     f64 cpu_ms = f.serial_ms;
     const i32 stripes = result.plan[node];
     if (f.data_parallel && stripes > 1) {
-      cpu_ms = rt::striped_ms_from_serial(config_.host_cost, cpu_ms, stripes);
+      cpu_ms = plat::striped_ms_from_serial(config_.host_cost, cpu_ms, stripes);
     }
     s.mask = obs::ledger_bit(obs::LedgerResource::CpuMs);
     s.values[static_cast<usize>(obs::LedgerResource::CpuMs)] = cpu_ms;

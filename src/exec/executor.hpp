@@ -13,7 +13,7 @@
 //      over the executor-owned plat::ThreadPool per the plan,
 //   4. feeds the measured host times (FlowGraph stamps TaskExecution::
 //      host_ms) back into the EWMA filters and the Markov chain, after
-//      normalizing them to serial-equivalent via rt::serial_ms_from_striped
+//      normalizing them to serial-equivalent via plat::serial_ms_from_striped
 //      so the predictors stay unbiased under repartitioning.
 //
 // Deadline QoS: a frame that measures past its deadline is counted as a
@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/audit.hpp"
 #include "app/stentboost.hpp"
 #include "exec/deadline.hpp"
 #include "obs/drift.hpp"
@@ -109,6 +110,16 @@ struct ExecutorConfig {
   /// the first frame.
   bool validate_at_startup = true;
   analysis::Policy validation_policy = analysis::Policy::Strict;
+  /// Run the triplec-audit schedulability proof before the first frame: a
+  /// throwaway copy of the application is simulated for
+  /// audit_training_frames to train a GraphPredictor and capture memory
+  /// rows, then all scenarios × the runtime plan search space are checked
+  /// (deadline feasibility, per-bus budgets, transition pricing).  Strict
+  /// audit_policy refuses graphs with infeasible reachable scenarios.
+  bool audit_at_startup = false;
+  analysis::Policy audit_policy = analysis::Policy::Strict;
+  i32 audit_training_frames = 48;
+  analysis::audit::AuditOptions audit_options;
   /// Degrade policy: lift one quality level after this many consecutive
   /// frames whose forecast would fit at the better level.
   i32 qos_recover_after = 4;
@@ -187,6 +198,11 @@ class Executor {
   [[nodiscard]] const ExecutorConfig& config() const { return config_; }
   [[nodiscard]] const analysis::Report& validation_report() const {
     return validation_report_;
+  }
+  /// Diagnostics of the startup schedulability audit (empty when
+  /// audit_at_startup is off or nothing fired).
+  [[nodiscard]] const analysis::Report& audit_report() const {
+    return audit_report_;
   }
   [[nodiscard]] ExecutorStats stats() const { return stats_; }
 
@@ -279,6 +295,7 @@ class Executor {
   plat::ThreadPool pool_;
   app::StentBoostApp app_;
   analysis::Report validation_report_;
+  analysis::Report audit_report_;
 
   std::array<model::EwmaFilter, app::kNodeCount> node_ewma_;
   /// Auxiliary per-node filters for the non-CPU ledger resources (memory

@@ -5,6 +5,23 @@
 
 namespace tc::plat {
 
+f64 striped_ms_from_serial(const CostParams& params, f64 serial_ms,
+                           i32 stripes) {
+  if (stripes <= 1) return serial_ms;
+  f64 divisible = std::max(0.0, serial_ms - params.dispatch_ms);
+  return divisible / static_cast<f64>(stripes) * params.default_imbalance +
+         params.dispatch_ms + params.stripe_sync_ms;
+}
+
+f64 serial_ms_from_striped(const CostParams& params, f64 striped_ms,
+                           i32 stripes) {
+  if (stripes <= 1) return striped_ms;
+  f64 divisible = std::max(
+      0.0, striped_ms - params.dispatch_ms - params.stripe_sync_ms);
+  return divisible * static_cast<f64>(stripes) / params.default_imbalance +
+         params.dispatch_ms;
+}
+
 u64 CostModel::dram_traffic(const img::WorkReport& w) const {
   f64 scale = params_.resolution_scale;
   u64 compulsory = static_cast<u64>(

@@ -67,6 +67,22 @@ struct TaskCost {
   u64 dram_traffic_bytes = 0;
 };
 
+/// Estimated latency of running a task with `stripes` stripes, derived from
+/// its *serial* time prediction: the dispatch overhead is not divisible,
+/// compute divides by the stripe count with the default imbalance factor,
+/// and a barrier is added.  This is the single definition of the stripe
+/// scaling law — the runtime planner (rt::choose_plan) and the static audit
+/// (analysis::sched) both call it, so their latency proofs agree by
+/// construction.
+[[nodiscard]] f64 striped_ms_from_serial(const CostParams& params,
+                                         f64 serial_ms, i32 stripes);
+
+/// Inverse of striped_ms_from_serial: recover the serial-equivalent time
+/// from a measurement taken under `stripes`-way striping (used to keep the
+/// predictors, which model serial execution, unbiased under repartitioning).
+[[nodiscard]] f64 serial_ms_from_striped(const CostParams& params,
+                                         f64 striped_ms, i32 stripes);
+
 /// Deterministic per-task AR(1) interference process (see
 /// CostParams::interference_sigma).  One instance per task node; next() is
 /// called once per invocation and returns the multiplicative time factor.

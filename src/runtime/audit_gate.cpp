@@ -1,0 +1,86 @@
+#include "runtime/audit_gate.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "graph/scenario.hpp"
+
+namespace tc::rt {
+
+std::vector<model::MemoryRow> capture_memory_rows(
+    std::span<const graph::FrameRecord> records, f64 scale) {
+  std::map<std::pair<i32, bool>, model::MemoryRow> best;
+  for (const graph::FrameRecord& record : records) {
+    const bool rdg_selected = ((record.scenario >> app::kSwRdg) & 1u) != 0;
+    for (const graph::TaskExecution& exec : record.tasks) {
+      if (!exec.executed) continue;
+      model::MemoryRow row =
+          model::memory_row(std::string(app::node_name(exec.node)),
+                            rdg_selected, exec.work, scale);
+      auto key = std::make_pair(exec.node, rdg_selected);
+      auto it = best.find(key);
+      if (it == best.end() || row.total_kb() > it->second.total_kb()) {
+        best.insert_or_assign(key, std::move(row));
+      }
+    }
+  }
+  std::vector<model::MemoryRow> rows;
+  rows.reserve(best.size());
+  for (auto& [key, row] : best) rows.push_back(std::move(row));
+  return rows;
+}
+
+std::vector<analysis::audit::ScenarioCase> make_audit_cases(
+    app::StentBoostApp& app, const model::GraphPredictor& predictor) {
+  const f64 full_px = static_cast<f64>(app.config().sequence.width) *
+                      static_cast<f64>(app.config().sequence.height) *
+                      app.config().cost.resolution_scale;
+  const std::vector<std::string> names = app.graph().switch_names();
+
+  std::vector<analysis::audit::ScenarioCase> cases;
+  const usize scenarios = graph::scenario_count(app::kSwitchCount);
+  cases.reserve(scenarios);
+  for (usize id = 0; id < scenarios; ++id) {
+    analysis::audit::ScenarioCase sc;
+    sc.id = narrow<graph::ScenarioId>(id);
+    sc.label = graph::scenario_label(sc.id, names);
+    const std::array<bool, app::kNodeCount> active =
+        app::scenario_node_activity(sc.id);
+    sc.nodes.resize(app::kNodeCount);
+    for (i32 node = 0; node < app::kNodeCount; ++node) {
+      analysis::sched::ScheduleNode& n = sc.nodes[static_cast<usize>(node)];
+      n.name = app::node_name(node);
+      n.active = active[static_cast<usize>(node)];
+      n.data_parallel = app::node_data_parallel(node);
+      // Pessimistic ROI: price ROI-granularity nodes at the full frame.
+      if (n.active) n.serial_ms = predictor.predict_task(node, full_px);
+    }
+    cases.push_back(std::move(sc));
+  }
+  return cases;
+}
+
+analysis::audit::AuditResult audit_app(
+    app::StentBoostApp& app, const model::GraphPredictor& predictor,
+    std::span<const model::MemoryRow> memory_rows,
+    analysis::audit::AuditOptions options) {
+  analysis::audit::AuditOptions defaults;
+  if (options.cpu_count == defaults.cpu_count) {
+    options.cpu_count = app.config().platform.cpu_count;
+  }
+  if (options.byte_scale == defaults.byte_scale) {
+    options.byte_scale = app.config().cost.resolution_scale;
+  }
+  if (options.device_format == nullptr) {
+    options.device_format = &app.config().paper_format;
+  }
+  const std::vector<analysis::audit::ScenarioCase> cases =
+      make_audit_cases(app, predictor);
+  return analysis::audit::run_audit(app.graph(), cases, app.config().platform,
+                                    app.config().cost,
+                                    &predictor.scenario_table(), memory_rows,
+                                    options);
+}
+
+}  // namespace tc::rt

@@ -5,6 +5,7 @@
 
 #include "common/stats.hpp"
 #include "obs/obs.hpp"
+#include "runtime/audit_gate.hpp"
 
 namespace tc::rt {
 
@@ -22,6 +23,15 @@ RuntimeManager::RuntimeManager(app::StentBoostApp& app,
     input.platform = &app_.config().platform;
     validation_report_ = analysis::Analyzer{}.run(input);
     analysis::enforce(validation_report_, config_.validation_policy);
+  }
+  if (config_.audit_at_startup) {
+    // Static schedulability proof over all scenarios × the plan search
+    // space: a strict deployment refuses a graph whose reachable scenarios
+    // cannot meet the deadline or whose bus loads exceed the Fig.-4 budgets.
+    analysis::audit::AuditResult audit =
+        audit_app(app_, predictor_, {}, config_.audit_options);
+    audit_report_ = std::move(audit.report);
+    analysis::enforce(audit_report_, config_.audit_policy);
   }
   if (config_.latency_budget_ms > 0.0) {
     budget_ms_ = config_.latency_budget_ms;

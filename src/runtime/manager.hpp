@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/audit.hpp"
 #include "app/stentboost.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/qos.hpp"
@@ -40,6 +41,16 @@ struct ManagerConfig {
   /// Strict: lint errors throw analysis::AnalysisError from the constructor.
   /// Permissive: diagnostics are only collected (see validation_report()).
   analysis::Policy validation_policy = analysis::Policy::Strict;
+  /// Run the triplec-audit schedulability proof (all scenarios × the plan
+  /// search space, per-bus budgets, transition pricing; see
+  /// analysis/audit.hpp) at construction.  Meaningful with a *trained*
+  /// predictor — untrained predictions are 0 ms and the proof is vacuous.
+  bool audit_at_startup = false;
+  /// Strict: audit errors (infeasible reachable scenario, bus-budget
+  /// counterexample) throw analysis::AnalysisError from the constructor.
+  analysis::Policy audit_policy = analysis::Policy::Strict;
+  /// Deadline, pessimism margin, budget fractions of the startup audit.
+  analysis::audit::AuditOptions audit_options;
 };
 
 struct ManagedFrame {
@@ -78,6 +89,12 @@ class RuntimeManager {
     return validation_report_;
   }
 
+  /// Diagnostics of the startup schedulability audit (empty when
+  /// audit_at_startup is off or nothing fired).
+  [[nodiscard]] const analysis::Report& audit_report() const {
+    return audit_report_;
+  }
+
   /// Forecast of the coming frame (exposed for tests/benches).
   /// `assume_reg_success` = true gives the conservative forecast used for
   /// budget planning (ENH+ZOOM always reserved); false predicts the REG
@@ -97,6 +114,7 @@ class RuntimeManager {
   model::GraphPredictor& predictor_;
   ManagerConfig config_;
   analysis::Report validation_report_;
+  analysis::Report audit_report_;
   f64 budget_ms_ = 0.0;
   bool budget_set_ = false;
   std::vector<f64> warmup_latencies_;

@@ -3,24 +3,35 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/schedulability.hpp"
+
 namespace tc::rt {
 
-f64 striped_ms_from_serial(const plat::CostParams& params, f64 serial_ms,
-                           i32 stripes) {
-  if (stripes <= 1) return serial_ms;
-  f64 divisible = std::max(0.0, serial_ms - params.dispatch_ms);
-  return divisible / static_cast<f64>(stripes) * params.default_imbalance +
-         params.dispatch_ms + params.stripe_sync_ms;
+namespace {
+
+/// Adapt the runtime's per-node forecasts to the generic schedulability
+/// core's node description (names come from the application node table).
+std::vector<analysis::sched::ScheduleNode> to_schedule_nodes(
+    std::span<const NodeForecast> forecast) {
+  std::vector<analysis::sched::ScheduleNode> nodes(forecast.size());
+  for (usize node = 0; node < forecast.size(); ++node) {
+    nodes[node].name = app::node_name(narrow<i32>(node));
+    nodes[node].active = forecast[node].active;
+    nodes[node].data_parallel = forecast[node].data_parallel;
+    nodes[node].serial_ms = forecast[node].serial_ms;
+  }
+  return nodes;
 }
 
-f64 serial_ms_from_striped(const plat::CostParams& params, f64 striped_ms,
-                           i32 stripes) {
-  if (stripes <= 1) return striped_ms;
-  f64 divisible = std::max(
-      0.0, striped_ms - params.dispatch_ms - params.stripe_sync_ms);
-  return divisible * static_cast<f64>(stripes) / params.default_imbalance +
-         params.dispatch_ms;
+app::StripePlan to_stripe_plan(const analysis::sched::PlanVec& plan) {
+  app::StripePlan out = app::serial_plan();
+  for (usize node = 0; node < plan.size() && node < out.size(); ++node) {
+    out[node] = plan[node];
+  }
+  return out;
 }
+
+}  // namespace
 
 f64 estimate_latency(const plat::CostParams& params,
                      std::span<const NodeForecast> forecast,
@@ -30,53 +41,42 @@ f64 estimate_latency(const plat::CostParams& params,
     const NodeForecast& f = forecast[node];
     if (!f.active) continue;
     i32 stripes = f.data_parallel ? plan[node] : 1;
-    total += striped_ms_from_serial(params, f.serial_ms, stripes);
+    total += plat::striped_ms_from_serial(params, f.serial_ms, stripes);
   }
   return total;
+}
+
+std::vector<PlanCandidate> enumerate_plan_candidates(
+    const plat::CostParams& params, std::span<const NodeForecast> forecast,
+    i32 max_stripes_per_task, i32 cpu_count) {
+  std::vector<analysis::sched::PlanCandidate> chain =
+      analysis::sched::enumerate_plans(params, to_schedule_nodes(forecast),
+                                       max_stripes_per_task, cpu_count);
+  std::vector<PlanCandidate> out;
+  out.reserve(chain.size());
+  for (const analysis::sched::PlanCandidate& c : chain) {
+    out.push_back({to_stripe_plan(c.plan), c.estimated_ms});
+  }
+  return out;
 }
 
 PlanChoice choose_plan(const plat::CostParams& params,
                        std::span<const NodeForecast> forecast, f64 budget_ms,
                        i32 max_stripes_per_task, i32 cpu_count) {
+  // First-fit over the greedy widening chain; when even the widest plan
+  // misses the budget, the widest plan is returned.
+  std::vector<PlanCandidate> chain = enumerate_plan_candidates(
+      params, forecast, max_stripes_per_task, cpu_count);
   PlanChoice choice;
-  choice.plan = app::serial_plan();
-  choice.estimated_ms = estimate_latency(params, forecast, choice.plan);
-  choice.fits_budget = choice.estimated_ms <= budget_ms;
-  if (choice.fits_budget) return choice;
-
-  // Greedy widening: repeatedly double the stripes of the active
-  // data-parallel node with the largest current estimated time, as long as
-  // that actually helps, until the budget fits or nothing can widen.
-  for (;;) {
-    i32 worst = -1;
-    f64 worst_ms = 0.0;
-    i32 total_stripes = 0;
-    for (usize node = 0; node < forecast.size(); ++node) {
-      const NodeForecast& f = forecast[node];
-      if (!f.active || !f.data_parallel) continue;
-      total_stripes += choice.plan[node];
-      if (choice.plan[node] >= std::min(max_stripes_per_task, cpu_count)) {
-        continue;
-      }
-      f64 current = striped_ms_from_serial(params, f.serial_ms,
-                                           choice.plan[node]);
-      f64 widened = striped_ms_from_serial(params, f.serial_ms,
-                                           choice.plan[node] * 2);
-      if (widened >= current) continue;  // sync overhead dominates
-      if (current > worst_ms) {
-        worst_ms = current;
-        worst = narrow<i32>(node);
-      }
-    }
-    (void)total_stripes;
-    if (worst < 0) break;
-    choice.plan[static_cast<usize>(worst)] *= 2;
-    choice.estimated_ms = estimate_latency(params, forecast, choice.plan);
-    if (choice.estimated_ms <= budget_ms) {
+  for (const PlanCandidate& candidate : chain) {
+    choice.plan = candidate.plan;
+    choice.estimated_ms = candidate.estimated_ms;
+    if (candidate.estimated_ms <= budget_ms) {
       choice.fits_budget = true;
-      break;
+      return choice;
     }
   }
+  choice.fits_budget = false;
   return choice;
 }
 

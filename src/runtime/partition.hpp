@@ -10,6 +10,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "app/stentboost.hpp"
 #include "platform/cost_model.hpp"
@@ -23,18 +24,11 @@ struct NodeForecast {
   bool data_parallel = false;
 };
 
-/// Estimated latency of running a task with `stripes` stripes, derived from
-/// its *serial* time prediction and the platform cost parameters:
-/// the dispatch overhead is not divisible, compute divides by the stripe
-/// count with the default imbalance factor, and a barrier is added.
-[[nodiscard]] f64 striped_ms_from_serial(const plat::CostParams& params,
-                                         f64 serial_ms, i32 stripes);
-
-/// Inverse of striped_ms_from_serial: recover the serial-equivalent time
-/// from a measurement taken under `stripes`-way striping (used to keep the
-/// predictors, which model serial execution, unbiased under repartitioning).
-[[nodiscard]] f64 serial_ms_from_striped(const plat::CostParams& params,
-                                         f64 striped_ms, i32 stripes);
+// The stripe scaling law (serial time -> striped time and its inverse)
+// lives in plat::striped_ms_from_serial / plat::serial_ms_from_striped
+// (platform/cost_model.hpp) — one definition shared between this planner
+// and the static audit.  Unqualified calls on a plat::CostParams argument
+// resolve there via ADL.
 
 /// Frame latency estimate for a plan: sum over active nodes of their
 /// (striped or serial) estimated time.
@@ -51,6 +45,22 @@ struct PlanChoice {
   f64 estimated_ms = 0.0;
   bool fits_budget = false;
 };
+
+/// One plan in choose_plan's greedy-widening search chain.
+struct PlanCandidate {
+  app::StripePlan plan;
+  f64 estimated_ms = 0.0;
+};
+
+/// The complete, budget-independent search space of choose_plan: the greedy
+/// widening chain from the serial plan (first entry) to saturation (last
+/// entry, where no node can be widened profitably).  choose_plan returns the
+/// first candidate fitting its budget, or the last when none fits — exposing
+/// the chain lets the static audit (analysis::audit) prove properties over
+/// exactly the plans the runtime can ever pick.
+[[nodiscard]] std::vector<PlanCandidate> enumerate_plan_candidates(
+    const plat::CostParams& params, std::span<const NodeForecast> forecast,
+    i32 max_stripes_per_task, i32 cpu_count);
 
 [[nodiscard]] PlanChoice choose_plan(const plat::CostParams& params,
                                      std::span<const NodeForecast> forecast,

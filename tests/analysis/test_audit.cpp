@@ -1,0 +1,216 @@
+// run_audit must prove clean graphs clean, refute injected violations with
+// counterexamples naming the (scenario, plan, bus) triple, and weight every
+// verdict by Markov reachability.
+
+#include "analysis/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rules.hpp"
+#include "graph/task.hpp"
+
+namespace tc::analysis::audit {
+namespace {
+
+plat::CostParams params() {
+  plat::CostParams p;
+  p.dispatch_ms = 0.5;
+  p.stripe_sync_ms = 0.5;
+  p.default_imbalance = 1.0;
+  return p;
+}
+
+std::unique_ptr<graph::Task> noop_task(std::string name) {
+  return graph::make_task(std::move(name), false,
+                          [] { return img::WorkReport{}; });
+}
+
+/// Two-task graph A -> B carrying `edge_bytes` per frame.
+graph::FlowGraph two_task_graph(u64 edge_bytes) {
+  graph::FlowGraph g;
+  i32 a = g.add_task(noop_task("A"));
+  i32 b = g.add_task(noop_task("B"));
+  g.add_edge(a, b, [edge_bytes] { return edge_bytes; });
+  return g;
+}
+
+sched::ScheduleNode node(std::string name, f64 serial_ms, bool data_parallel,
+                         bool active = true) {
+  sched::ScheduleNode n;
+  n.name = std::move(name);
+  n.active = active;
+  n.data_parallel = data_parallel;
+  n.serial_ms = serial_ms;
+  return n;
+}
+
+/// One-switch scenario space (ids 0 and 1) over the two-task graph, with
+/// per-scenario serial times for A; B is always 1 ms and serial-only.
+std::vector<ScenarioCase> two_cases(f64 a_ms_s0, f64 a_ms_s1,
+                                    bool a_parallel = true) {
+  std::vector<ScenarioCase> cases(2);
+  cases[0].id = 0;
+  cases[0].label = "SW=0";
+  cases[0].nodes = {node("A", a_ms_s0, a_parallel), node("B", 1.0, false)};
+  cases[1].id = 1;
+  cases[1].label = "SW=1";
+  cases[1].nodes = {node("A", a_ms_s1, a_parallel), node("B", 1.0, false)};
+  return cases;
+}
+
+TEST(RunAudit, LightGraphWithDerivedDeadlineIsClean) {
+  graph::FlowGraph g = two_task_graph(1024);
+  const AuditResult r =
+      run_audit(g, two_cases(10.0, 20.0),
+                plat::PlatformSpec::paper_platform(), params(),
+                /*transitions=*/nullptr, /*memory_rows=*/{}, AuditOptions{});
+  EXPECT_TRUE(r.report.empty());
+  ASSERT_EQ(r.scenarios.size(), 2u);
+  for (const ScenarioAudit& s : r.scenarios) {
+    EXPECT_TRUE(s.feasible);
+    EXPECT_TRUE(s.reach.reachable);  // no table: conservatively reachable
+  }
+  // The derived deadline admits the worst scenario's *serial* plan, so the
+  // first-fit choice is serial everywhere.
+  EXPECT_EQ(r.scenarios[0].plan, "serial");
+  EXPECT_EQ(r.scenarios[1].plan, "serial");
+  EXPECT_GT(r.deadline_ms, 21.0 * 1.1);
+}
+
+TEST(RunAudit, ImpossibleDeadlineFiresA001PerScenario) {
+  graph::FlowGraph g = two_task_graph(1024);
+  AuditOptions opt;
+  opt.deadline_ms = 0.1;  // nothing fits, even fully striped
+  const AuditResult r =
+      run_audit(g, two_cases(10.0, 20.0, /*a_parallel=*/false),
+                plat::PlatformSpec::paper_platform(), params(), nullptr, {},
+                opt);
+  EXPECT_EQ(r.report.by_rule(rules::kScenarioInfeasible).size(), 2u);
+  EXPECT_TRUE(r.report.has_errors());
+  for (const ScenarioAudit& s : r.scenarios) EXPECT_FALSE(s.feasible);
+}
+
+TEST(RunAudit, StripingCanRescueATightDeadline) {
+  graph::FlowGraph g = two_task_graph(1024);
+  AuditOptions opt;
+  opt.deadline_ms = 14.0;
+  opt.pessimism_margin = 1.0;
+  // Serial scenario 1 needs 21 ms; A striped x2 gives 11.25 ms.
+  const AuditResult r = run_audit(g, two_cases(10.0, 20.0),
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), nullptr, {}, opt);
+  EXPECT_FALSE(r.report.fired(rules::kScenarioInfeasible));
+  EXPECT_EQ(r.scenarios[0].plan, "serial");
+  EXPECT_EQ(r.scenarios[1].plan, "Ax2");
+  EXPECT_TRUE(r.scenarios[1].feasible);
+}
+
+TEST(RunAudit, OverBudgetEdgeIsRefutedWithCounterexample) {
+  // 2 GB per frame at 30 fps = 60 GB/s, far over the 48 GB/s memory bus.
+  graph::FlowGraph g = two_task_graph(u64{2} * GiB);
+  const AuditResult r = run_audit(g, two_cases(10.0, 20.0),
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), nullptr, {}, AuditOptions{});
+  const auto violations = r.report.by_rule(rules::kBusBudgetViolation);
+  ASSERT_EQ(violations.size(), 2u);  // both scenarios carry the edge
+  EXPECT_TRUE(r.report.has_errors());
+  // The counterexample names the (scenario, plan, bus) triple.
+  EXPECT_NE(violations[0].message.find("scenario SW=0"), std::string::npos);
+  EXPECT_NE(violations[0].message.find("plan serial"), std::string::npos);
+  EXPECT_NE(violations[0].message.find("memory bus"), std::string::npos);
+}
+
+TEST(RunAudit, EdgeToInactiveConsumerCarriesNoTraffic) {
+  graph::FlowGraph g = two_task_graph(u64{2} * GiB);
+  std::vector<ScenarioCase> cases = two_cases(10.0, 20.0);
+  cases[0].nodes[1].active = false;  // B off in scenario 0
+  const AuditResult r = run_audit(g, cases,
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), nullptr, {}, AuditOptions{});
+  EXPECT_EQ(r.report.by_rule(rules::kBusBudgetViolation).size(), 1u);
+  EXPECT_DOUBLE_EQ(r.scenarios[0].memory_gbps, 0.0);
+  EXPECT_GT(r.scenarios[1].memory_gbps, 48.0);
+}
+
+TEST(RunAudit, UnreachableScenarioViolationsDowngradeToWarnings) {
+  graph::FlowGraph g = two_task_graph(u64{2} * GiB);
+  // Scenario 1 is never visited in training: 0 self-loops forever.
+  graph::ScenarioTransitions table(1);
+  for (i32 i = 0; i < 20; ++i) table.add(0, 0);
+  std::vector<ScenarioCase> cases = two_cases(10.0, 20.0);
+  cases[0].nodes[1].active = false;  // keep scenario 0 traffic-free
+  const AuditResult r = run_audit(g, cases,
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), &table, {}, AuditOptions{});
+  // The scenario-1 bus violation survives but is not an error any more,
+  // and the downgrade is announced.
+  EXPECT_FALSE(r.report.has_errors());
+  EXPECT_TRUE(r.report.has_warnings());
+  EXPECT_TRUE(r.report.fired(rules::kBusBudgetViolation));
+  EXPECT_TRUE(r.report.fired(rules::kUnreachableScenario));
+  EXPECT_FALSE(r.scenarios[1].reach.reachable);
+}
+
+TEST(RunAudit, BufferCeilingIsInformational) {
+  graph::FlowGraph g = two_task_graph(1024);
+  std::vector<model::MemoryRow> rows(1);
+  rows[0].task = "A";
+  rows[0].input_kb = 8192.0;  // 8 MB > one 4 MB L2 slice
+  const AuditResult r = run_audit(g, two_cases(10.0, 20.0),
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), nullptr, rows, AuditOptions{});
+  EXPECT_TRUE(r.report.fired(rules::kBufferCeilingExceeded));
+  EXPECT_FALSE(r.report.has_errors());
+  EXPECT_FALSE(r.report.has_warnings());
+  // The overflow is priced as eviction on the memory bus instead.
+  EXPECT_GT(r.scenarios[0].memory_gbps, 0.0);
+  EXPECT_NEAR(r.scenarios[0].peak_buffer_kb, 8192.0, 1.0);
+}
+
+TEST(RunAudit, CostlyPlanSwitchFiresA004) {
+  graph::FlowGraph g = two_task_graph(1024);
+  graph::ScenarioTransitions table(1);
+  for (i32 i = 0; i < 10; ++i) {
+    table.add(0, 1);
+    table.add(1, 0);
+  }
+  plat::CostParams p = params();
+  p.dispatch_ms = 2.0;
+  p.stripe_sync_ms = 2.0;
+  AuditOptions opt;
+  opt.pessimism_margin = 1.0;
+  // Scenario 1 serial needs 31 ms > 20; A x2 gives (30-2)/2+2+2+1 = 19 ms,
+  // leaving 1 ms slack — less than the 4 ms re-layout of switching 0 -> 1.
+  opt.deadline_ms = 20.0;
+  const AuditResult r = run_audit(g, two_cases(10.0, 30.0),
+                                  plat::PlatformSpec::paper_platform(), p,
+                                  &table, {}, opt);
+  EXPECT_EQ(r.scenarios[0].plan, "serial");
+  EXPECT_EQ(r.scenarios[1].plan, "Ax2");
+  EXPECT_TRUE(r.report.fired(rules::kCostlyTransition));
+  EXPECT_FALSE(r.report.has_errors());  // A004 is a warning
+  // Both directions were priced; only the widening one fails.
+  bool widening_failed = false;
+  for (const TransitionAudit& t : r.transitions) {
+    if (t.from == 0 && t.to == 1) {
+      EXPECT_FALSE(t.fits());
+      EXPECT_EQ(t.cost.nodes_repartitioned, 1);
+      widening_failed = true;
+    }
+  }
+  EXPECT_TRUE(widening_failed);
+}
+
+TEST(RunAudit, TablesNameEveryScenario) {
+  graph::FlowGraph g = two_task_graph(1024);
+  const AuditResult r = run_audit(g, two_cases(10.0, 20.0),
+                                  plat::PlatformSpec::paper_platform(),
+                                  params(), nullptr, {}, AuditOptions{});
+  const std::string table = format_audit_table(r);
+  EXPECT_NE(table.find("SW=0"), std::string::npos);
+  EXPECT_NE(table.find("SW=1"), std::string::npos);
+  EXPECT_NE(table.find("deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tc::analysis::audit

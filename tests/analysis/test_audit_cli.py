@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for the triplec_audit and triplec_lint CLIs.
+
+Registered from tests/CMakeLists.txt as audit_cli_exit_codes (label
+`analysis`); binary paths arrive via argv so the test follows whatever
+build directory ctest runs from.  The documented contract:
+
+  triplec_audit --strict <shipped graph>        -> exit 0 (proof holds)
+  triplec_audit --strict --inject-edge-mb=2000  -> exit 1 (refuted, A002)
+  bad graph / bad format                        -> exit 2 (usage)
+  --rules                                       -> exit 0
+
+Plus the CLI half of the --fix idempotence guarantee: running
+`triplec_lint --fix` twice over the same graph yields byte-identical
+output (the fix converges and the tool is deterministic).
+"""
+
+import json
+import subprocess
+import sys
+
+
+def run(binary, *argv):
+    proc = subprocess.run([binary, *argv], capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def check(label, ok):
+    print(("PASS " if ok else "FAIL ") + label)
+    return ok
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: test_audit_cli.py <triplec_audit> <triplec_lint>")
+        return 2
+    audit, lint = sys.argv[1], sys.argv[2]
+    ok = True
+
+    # The shipped graphs carry a statically provable schedule: strict mode
+    # (warnings fatal) must still exit 0.
+    rc, out, _ = run(audit, "--strict", "stentboost")
+    ok &= check("audit --strict stentboost exits 0", rc == 0)
+    ok &= check("audit prints the scenario table", "deadline" in out)
+
+    rc, out, _ = run(audit, "--strict", "quickstart")
+    ok &= check("audit --strict quickstart exits 0", rc == 0)
+
+    # An injected 2 GB/frame edge (60+ GB/s against the 48 GB/s memory bus)
+    # must be refuted with a counterexample and flip the exit code.
+    rc, out, _ = run(audit, "--strict", "--inject-edge-mb=2000", "stentboost")
+    ok &= check("audit refutes the injected edge (exit 1)", rc == 1)
+    ok &= check("counterexample names the bus", "memory bus" in out)
+    ok &= check("counterexample names a scenario", "scenario" in out)
+    ok &= check("counterexample names a plan", "plan" in out)
+
+    # SARIF output parses and carries the A002 results.
+    rc, out, _ = run(audit, "--format=sarif", "--inject-edge-mb=2000",
+                     "stentboost")
+    ok &= check("sarif run exits 1 on refutation", rc == 1)
+    try:
+        doc = json.loads(out)
+        results = doc["runs"][0]["results"]
+        ok &= check("sarif version pinned", doc["version"] == "2.1.0")
+        ok &= check("sarif carries A002 results",
+                    any(r["ruleId"] == "A002" for r in results))
+    except (json.JSONDecodeError, KeyError, IndexError):
+        ok &= check("sarif output parses", False)
+
+    # Usage errors exit 2, never 0/1.
+    rc, _, _ = run(audit, "no_such_graph")
+    ok &= check("unknown graph exits 2", rc == 2)
+    rc, _, _ = run(audit, "--format=yaml", "stentboost")
+    ok &= check("unknown format exits 2", rc == 2)
+    rc, _, _ = run(audit)
+    ok &= check("missing graph exits 2", rc == 2)
+    rc, _, _ = run(audit, "--rules")
+    ok &= check("--rules exits 0", rc == 0)
+
+    # Lint --fix idempotence at the CLI boundary: two runs, identical bytes.
+    rc1, out1, _ = run(lint, "--fix", "--no-train", "quickstart")
+    rc2, out2, _ = run(lint, "--fix", "--no-train", "quickstart")
+    ok &= check("lint --fix is deterministic across runs",
+                rc1 == rc2 and out1 == out2)
+    ok &= check("lint --fix reports the applied/skipped tally",
+                "applied" in out1)
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,29 @@ TEST(FixDuplicateSwitches, NoOpOnCleanGraph) {
   EXPECT_EQ(g.switch_count(), 3u);
 }
 
+TEST(FixDuplicateSwitches, FixIsIdempotent) {
+  graph::FlowGraph g = graph_with_switches({"sw_rdg", "sw_roi", "sw_rdg"});
+  const FixSummary first = fix_duplicate_switches(g);
+  EXPECT_EQ(first.applied, 1);
+  // The repaired graph re-lints clean...
+  EXPECT_FALSE(check_graph(g).fired(rules::kDuplicateSwitch));
+  const std::string after_first = check_graph(g).to_text();
+  std::vector<std::string> names_after_first;
+  for (usize s = 0; s < g.switch_count(); ++s) {
+    names_after_first.emplace_back(g.switch_name(narrow<i32>(s)));
+  }
+
+  // ...and a second fix pass is a byte-identical no-op.
+  const FixSummary second = fix_duplicate_switches(g);
+  EXPECT_EQ(second.applied, 0);
+  EXPECT_EQ(second.skipped, 0);
+  EXPECT_EQ(check_graph(g).to_text(), after_first);
+  ASSERT_EQ(g.switch_count(), names_after_first.size());
+  for (usize s = 0; s < g.switch_count(); ++s) {
+    EXPECT_EQ(g.switch_name(narrow<i32>(s)), names_after_first[s]);
+  }
+}
+
 TEST(FixSummary, MergeAccumulates) {
   FixSummary a;
   a.applied = 1;

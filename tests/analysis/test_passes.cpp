@@ -344,5 +344,49 @@ TEST(CheckBandwidthBudget, OverBusTrafficFiresB002) {
                   .empty());
 }
 
+TEST(CheckBusClassBudgets, CleanChainFiresNothing) {
+  graph::FlowGraph g = chain_graph(3);
+  EXPECT_TRUE(
+      check_bus_class_budgets(g, plat::PlatformSpec::paper_platform()).empty());
+}
+
+TEST(CheckBusClassBudgets, CacheClassOverloadFiresB003) {
+  graph::FlowGraph g;
+  i32 a = g.add_task(noop_task("A"));
+  i32 b = g.add_task(noop_task("B"));
+  // 2 MiB fits one L2 slice, so the whole edge rides the cache bus; at two
+  // million frames per second that is ~4 TB/s against the 72 GB/s budget.
+  g.add_edge(a, b, [] { return u64{2} * MiB; });
+  PassOptions options;
+  options.fps = 2.0e6;
+  const Report r =
+      check_bus_class_budgets(g, plat::PlatformSpec::paper_platform(), options);
+  ASSERT_TRUE(r.fired(rules::kCacheBusOverBudget));
+  EXPECT_FALSE(r.has_errors());  // B003 is a warning
+  EXPECT_NE(r.by_rule(rules::kCacheBusOverBudget)[0].message.find("cache"),
+            std::string::npos);
+}
+
+TEST(CheckBusClassBudgets, DeviceTrafficOverloadFiresB004) {
+  graph::FlowGraph g = chain_graph(2);  // 1 KB interior edge: negligible
+  const plat::VideoFormat format;      // 2 MB/frame camera + display streams
+  PassOptions options;
+  options.fps = 1.0e6;
+  options.device_format = &format;
+  const Report r =
+      check_bus_class_budgets(g, plat::PlatformSpec::paper_platform(), options);
+  EXPECT_TRUE(r.fired(rules::kIoBusOverBudget));
+  EXPECT_FALSE(r.fired(rules::kCacheBusOverBudget));
+}
+
+TEST(CheckBusClassBudgets, NoDeviceFormatMeansNoIoTraffic) {
+  graph::FlowGraph g = chain_graph(2);
+  PassOptions options;
+  options.fps = 1.0e9;  // any I/O traffic at all would trip the budget
+  EXPECT_FALSE(
+      check_bus_class_budgets(g, plat::PlatformSpec::paper_platform(), options)
+          .fired(rules::kIoBusOverBudget));
+}
+
 }  // namespace
 }  // namespace tc::analysis

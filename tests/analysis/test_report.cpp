@@ -82,6 +82,50 @@ TEST(Report, JsonCountsAndEscapes) {
   EXPECT_NE(json.find("\\\"2\\\""), std::string::npos);
 }
 
+TEST(Report, SarifHasSchemaToolAndResults) {
+  Report r;
+  Diagnostic d = diag("A002", Severity::Error, "over budget");
+  d.subject = Subject::Scenario;
+  d.index = 5;
+  r.add(d);
+  const std::string sarif = r.to_sarif("triplec-audit");
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"triplec-audit\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"A002\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"subjectIndex\":5"), std::string::npos);
+}
+
+TEST(Report, SarifMapsSeveritiesAndDeduplicatesRules) {
+  Report r;
+  r.add(diag("G004", Severity::Warn, "isolated"));
+  r.add(diag("G004", Severity::Warn, "another isolated"));
+  r.add(diag("M007", Severity::Info, "untrained"));
+  const std::string sarif = r.to_sarif("triplec-lint");
+  EXPECT_NE(sarif.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"note\""), std::string::npos);
+  // G004 fired twice but appears once in the driver's rule catalog.
+  usize first = sarif.find("\"id\":\"G004\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(sarif.find("\"id\":\"G004\"", first + 1), std::string::npos);
+  // Both results reference the same rule index.
+  EXPECT_EQ(sarif.find("\"ruleIndex\":2"), std::string::npos);
+}
+
+TEST(Report, SarifEscapesMessageText) {
+  Report r;
+  r.add(diag("G005", Severity::Error, "name \"SW\" duplicated"));
+  const std::string sarif = r.to_sarif("triplec-lint");
+  EXPECT_NE(sarif.find("\\\"SW\\\""), std::string::npos);
+}
+
+TEST(Report, EmptyReportYieldsValidSarifRun) {
+  Report r;
+  const std::string sarif = r.to_sarif("triplec-audit");
+  EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+}
+
 TEST(RuleCatalog, EveryRuleHasIdSeverityTitle) {
   const auto catalog = rule_catalog();
   EXPECT_GE(catalog.size(), 20u);

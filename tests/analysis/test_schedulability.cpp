@@ -1,0 +1,194 @@
+// The schedulability core must enumerate exactly the runtime's plan search
+// space, estimate stationary scenario reachability conservatively, and
+// price plan switches only where a re-layout actually happens.
+
+#include "analysis/schedulability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tc::analysis::sched {
+namespace {
+
+plat::CostParams params() {
+  plat::CostParams p;
+  p.dispatch_ms = 0.5;
+  p.stripe_sync_ms = 0.5;
+  p.default_imbalance = 1.0;
+  return p;
+}
+
+ScheduleNode node(std::string name, f64 serial_ms, bool data_parallel,
+                  bool active = true) {
+  ScheduleNode n;
+  n.name = std::move(name);
+  n.active = active;
+  n.data_parallel = data_parallel;
+  n.serial_ms = serial_ms;
+  return n;
+}
+
+TEST(Schedulability, SerialPlanIsAllOnes) {
+  const PlanVec plan = serial_plan(4);
+  ASSERT_EQ(plan.size(), 4u);
+  for (i32 s : plan) EXPECT_EQ(s, 1);
+}
+
+TEST(Schedulability, PlanLatencySumsActiveNodesOnly) {
+  std::vector<ScheduleNode> nodes = {node("A", 10.0, true),
+                                     node("B", 5.0, false),
+                                     node("C", 99.0, true, /*active=*/false)};
+  const f64 lat = plan_latency_ms(params(), nodes, serial_plan(3));
+  EXPECT_DOUBLE_EQ(lat, 15.0);
+}
+
+TEST(Schedulability, PlanLatencyAppliesStripeLawToParallelNodes) {
+  const plat::CostParams p = params();
+  std::vector<ScheduleNode> nodes = {node("A", 40.0, true),
+                                     node("B", 5.0, false)};
+  PlanVec plan = {2, 4};  // B's stripes are ignored: not data-parallel
+  const f64 expected =
+      plat::striped_ms_from_serial(p, 40.0, 2) + 5.0;
+  EXPECT_DOUBLE_EQ(plan_latency_ms(p, nodes, plan), expected);
+}
+
+TEST(Schedulability, EnumerateStartsSerialAndStrictlyImproves) {
+  std::vector<ScheduleNode> nodes = {node("A", 40.0, true),
+                                     node("B", 20.0, true),
+                                     node("C", 5.0, false)};
+  const auto chain = enumerate_plans(params(), nodes, 8, 8);
+  ASSERT_GE(chain.size(), 2u);
+  EXPECT_EQ(chain.front().plan, serial_plan(3));
+  EXPECT_DOUBLE_EQ(chain.front().estimated_ms, 65.0);
+  for (usize i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain[i].estimated_ms, chain[i - 1].estimated_ms);
+  }
+}
+
+TEST(Schedulability, EnumerateWidensTheWorstNodeFirst) {
+  std::vector<ScheduleNode> nodes = {node("A", 40.0, true),
+                                     node("B", 20.0, true)};
+  const auto chain = enumerate_plans(params(), nodes, 8, 8);
+  ASSERT_GE(chain.size(), 2u);
+  // The first widening step doubles A (40 ms), not B (20 ms).
+  EXPECT_EQ(chain[1].plan[0], 2);
+  EXPECT_EQ(chain[1].plan[1], 1);
+}
+
+TEST(Schedulability, EnumerateRespectsStripeAndCpuCaps) {
+  std::vector<ScheduleNode> nodes = {node("A", 400.0, true)};
+  for (const auto& c : enumerate_plans(params(), nodes, 8, 4)) {
+    EXPECT_LE(c.plan[0], 4);  // cpu cap below per-task cap
+  }
+  for (const auto& c : enumerate_plans(params(), nodes, 2, 8)) {
+    EXPECT_LE(c.plan[0], 2);  // per-task cap below cpu cap
+  }
+}
+
+TEST(Schedulability, EnumerateLeavesUnprofitableNodesSerial) {
+  // Striping a 0.3 ms task cannot beat the 1.0 ms overhead.
+  std::vector<ScheduleNode> nodes = {node("TINY", 0.3, true)};
+  const auto chain = enumerate_plans(params(), nodes, 8, 8);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain.front().plan, serial_plan(1));
+}
+
+TEST(Schedulability, PlanLabelNamesWidenedNodes) {
+  std::vector<ScheduleNode> nodes = {node("RDG", 40.0, true),
+                                     node("ENH", 20.0, true)};
+  EXPECT_EQ(plan_label(nodes, serial_plan(2)), "serial");
+  PlanVec plan = {4, 1};
+  EXPECT_EQ(plan_label(nodes, plan), "RDGx4");
+}
+
+// --- reachability ------------------------------------------------------------
+
+TEST(Reachability, UntrainedTableMarksEveryScenarioReachable) {
+  graph::ScenarioTransitions table(2);
+  const auto rows = scenario_reachability(table);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const ReachabilityRow& r : rows) {
+    EXPECT_TRUE(r.reachable);
+    EXPECT_FALSE(r.observed);
+    EXPECT_DOUBLE_EQ(r.probability, 0.25);
+  }
+}
+
+TEST(Reachability, UnvisitedScenariosAreUnreachable) {
+  // Two switches, but only scenarios 0 and 1 ever occur.
+  graph::ScenarioTransitions table(2);
+  for (i32 i = 0; i < 10; ++i) {
+    table.add(0, 1);
+    table.add(1, 0);
+  }
+  const auto rows = scenario_reachability(table);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[0].reachable);
+  EXPECT_TRUE(rows[1].reachable);
+  EXPECT_FALSE(rows[2].reachable);
+  EXPECT_FALSE(rows[3].reachable);
+  EXPECT_NEAR(rows[0].probability + rows[1].probability, 1.0, 1e-9);
+}
+
+TEST(Reachability, ObservedScenarioStaysReachableEvenWhenTransient) {
+  // 0 -> 1 once, then 1 self-loops forever: 0's stationary mass is ~0, but
+  // it was observed, so the audit must not dismiss it.
+  graph::ScenarioTransitions table(1);
+  table.add(0, 1);
+  for (i32 i = 0; i < 50; ++i) table.add(1, 1);
+  const auto rows = scenario_reachability(table);
+  EXPECT_TRUE(rows[0].observed);
+  EXPECT_TRUE(rows[0].reachable);
+  EXPECT_LT(rows[0].probability, 0.01);
+  EXPECT_GT(rows[1].probability, 0.9);
+}
+
+// --- plan-switch pricing -----------------------------------------------------
+
+TEST(PricePlanSwitch, IdenticalPlansCostNothing) {
+  std::vector<ScheduleNode> nodes = {node("A", 40.0, true)};
+  PlanVec plan = {4};
+  const SwitchCost c = price_plan_switch(params(),
+                                         plat::PlatformSpec::paper_platform(),
+                                         nodes, nodes, plan, plan);
+  EXPECT_EQ(c.nodes_repartitioned, 0);
+  EXPECT_EQ(c.fanout_delta, 0);
+  EXPECT_DOUBLE_EQ(c.total_ms(), 0.0);
+}
+
+TEST(PricePlanSwitch, RepartitionedNodeIsPriced) {
+  const plat::CostParams p = params();
+  std::vector<ScheduleNode> nodes = {node("A", 40.0, true)};
+  PlanVec one = {1};
+  PlanVec four = {4};
+  std::vector<u64> footprints = {8 * MiB};
+  const plat::PlatformSpec spec = plat::PlatformSpec::paper_platform();
+  const SwitchCost c =
+      price_plan_switch(p, spec, nodes, nodes, one, four, footprints);
+  EXPECT_EQ(c.nodes_repartitioned, 1);
+  EXPECT_EQ(c.fanout_delta, 3);
+  EXPECT_DOUBLE_EQ(c.relayout_ms, p.dispatch_ms + 3.0 * p.stripe_sync_ms);
+  // Refill is capped at one L2 slice over DRAM at base contention.
+  const f64 dram_bytes_per_ms =
+      spec.dram_gbps(p.base_dram_contention) * 1.0e9 / 1.0e3;
+  EXPECT_NEAR(c.cache_refill_ms,
+              static_cast<f64>(spec.l2_bytes) / dram_bytes_per_ms, 1e-9);
+}
+
+TEST(PricePlanSwitch, ActivityChurnIsNotARelayout) {
+  // The node runs only in the destination scenario: its stripes "change"
+  // from 0 to 4, but that is scenario dynamics, not a re-layout.
+  std::vector<ScheduleNode> off = {node("A", 40.0, true, /*active=*/false)};
+  std::vector<ScheduleNode> on = {node("A", 40.0, true)};
+  PlanVec one = {1};
+  PlanVec four = {4};
+  const SwitchCost c = price_plan_switch(params(),
+                                         plat::PlatformSpec::paper_platform(),
+                                         off, on, one, four);
+  EXPECT_EQ(c.nodes_repartitioned, 0);
+  EXPECT_DOUBLE_EQ(c.total_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace tc::analysis::sched

@@ -57,6 +57,26 @@ TEST(Executor, WarmupDerivesDeadlineFromMeasuredMean) {
               1e-6 * executor.deadline_ms());
 }
 
+TEST(Executor, StartupAuditGatePassesOnSmallConfig) {
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.audit_at_startup = true;
+  exec_config.audit_training_frames = 12;
+  Executor executor(small_config(16), exec_config);  // Strict: throws on fail
+  EXPECT_FALSE(executor.audit_report().has_errors())
+      << executor.audit_report().to_text();
+}
+
+TEST(Executor, StartupAuditGateRefusesImpossibleDeadline) {
+  ExecutorConfig exec_config;
+  exec_config.worker_threads = 2;
+  exec_config.audit_at_startup = true;
+  exec_config.audit_training_frames = 12;
+  exec_config.audit_options.deadline_ms = 1.0e-4;
+  EXPECT_THROW(Executor(small_config(16), exec_config),
+               analysis::AnalysisError);
+}
+
 TEST(Executor, FeedbackPrimesPredictors) {
   ExecutorConfig exec_config;
   exec_config.warmup_frames = 6;

@@ -84,6 +84,29 @@ TEST(Manager, ValidationCanBeDisabled) {
   EXPECT_TRUE(mgr.validation_report().empty());
 }
 
+TEST(Manager, StartupAuditPassesOnTrainedSetup) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.audit_at_startup = true;  // Strict policy by default
+  RuntimeManager mgr(app, gp, mc);  // Strict enforce: would throw on errors
+  EXPECT_FALSE(mgr.audit_report().has_errors())
+      << mgr.audit_report().to_text();
+  EXPECT_FALSE(mgr.audit_report().has_warnings())
+      << mgr.audit_report().to_text();
+}
+
+TEST(Manager, StrictAuditThrowsOnImpossibleDeadline) {
+  app::StentBoostConfig c = test_config();
+  app::StentBoostApp app(c);
+  model::GraphPredictor gp = trained_predictor(c);
+  ManagerConfig mc;
+  mc.audit_at_startup = true;
+  mc.audit_options.deadline_ms = 0.01;  // no plan can meet this
+  EXPECT_THROW(RuntimeManager(app, gp, mc), analysis::AnalysisError);
+}
+
 TEST(Manager, BudgetInitializedAfterWarmup) {
   app::StentBoostConfig c = test_config();
   app::StentBoostApp app(c);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/schedulability.hpp"
+
 namespace tc::rt {
 namespace {
 
@@ -108,6 +110,49 @@ TEST(Partition, PlanToStringNamesStripedNodes) {
   std::string s = plan_to_string(plan);
   EXPECT_NE(s.find("RDG_FULLx2"), std::string::npos);
   EXPECT_NE(s.find("ZOOMx4"), std::string::npos);
+}
+
+TEST(Partition, EnumerateChainMatchesChoosePlanAtEveryBudget) {
+  auto fc = forecast_of({45.0, 20.0, 12.0}, {true, true, true});
+  const auto chain = enumerate_plan_candidates(params(), fc, 4, 8);
+  ASSERT_GE(chain.size(), 2u);
+  // Budget set exactly at a candidate's estimate: choose_plan must return
+  // that candidate (first fit), proving the audit and the runtime search
+  // the same plan space.
+  for (const PlanCandidate& cand : chain) {
+    PlanChoice c = choose_plan(params(), fc, cand.estimated_ms, 4, 8);
+    EXPECT_TRUE(c.fits_budget);
+    EXPECT_EQ(c.plan, cand.plan);
+    EXPECT_DOUBLE_EQ(c.estimated_ms, cand.estimated_ms);
+  }
+  // Budget below even the widest plan: the last candidate, flagged unfit.
+  PlanChoice worst = choose_plan(params(), fc, chain.back().estimated_ms - 1.0,
+                                 4, 8);
+  EXPECT_FALSE(worst.fits_budget);
+  EXPECT_EQ(worst.plan, chain.back().plan);
+}
+
+TEST(Partition, ChainMatchesSchedulabilityCore) {
+  auto fc = forecast_of({45.0, 20.0, 0.0, 12.0}, {true, true, true, false});
+  const auto chain = enumerate_plan_candidates(params(), fc, 4, 8);
+
+  std::vector<analysis::sched::ScheduleNode> nodes(fc.size());
+  for (usize i = 0; i < fc.size(); ++i) {
+    nodes[i].active = fc[i].active;
+    nodes[i].data_parallel = fc[i].data_parallel;
+    nodes[i].serial_ms = fc[i].serial_ms;
+  }
+  const auto core = analysis::sched::enumerate_plans(params(), nodes, 4, 8);
+
+  ASSERT_EQ(chain.size(), core.size());
+  for (usize c = 0; c < chain.size(); ++c) {
+    EXPECT_DOUBLE_EQ(chain[c].estimated_ms, core[c].estimated_ms);
+    ASSERT_EQ(chain[c].plan.size(), core[c].plan.size());
+    for (usize n = 0; n < core[c].plan.size(); ++n) {
+      EXPECT_EQ(chain[c].plan[n], core[c].plan[n])
+          << "candidate " << c << " node " << n;
+    }
+  }
 }
 
 // Monotonicity property: more budget never produces a wider plan.

@@ -8,7 +8,7 @@
 //   <graph>              quickstart | stentboost
 //   --strict             exit nonzero on warnings too (default: errors only)
 //   --permissive         report only; always exit 0
-//   --format=FMT         text (default) | csv | json
+//   --format=FMT         text (default) | csv | json | sarif
 //   --frames=N           frames of the synthetic training run (default 60)
 //   --size=N             rendered frame side in pixels (default: per graph)
 //   --no-train           lint the untrained predictor (scenario/model info
@@ -25,7 +25,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "analysis/fixes.hpp"
 #include "analysis/rules.hpp"
 #include "app/stentboost.hpp"
+#include "runtime/audit_gate.hpp"
 #include "runtime/manager.hpp"
 #include "tripleC/memory_model.hpp"
 
@@ -54,7 +54,7 @@ struct Options {
 void print_usage() {
   std::fprintf(stderr,
                "usage: triplec_lint [--strict|--permissive] "
-               "[--format=text|csv|json] [--frames=N] [--size=N] "
+               "[--format=text|csv|json|sarif] [--frames=N] [--size=N] "
                "[--no-train] [--fix] [--rules] <quickstart|stentboost>\n");
 }
 
@@ -65,33 +65,6 @@ void print_rules() {
                 std::string(analysis::to_string(r.severity)).c_str(),
                 std::string(r.title).c_str());
   }
-}
-
-/// Capture one memory row per executed node from a recorded run, keeping the
-/// largest-footprint report of each (task, rdg_selected) pair and scaling to
-/// the paper's 1024x1024 format.
-std::vector<model::MemoryRow> capture_memory_rows(
-    const std::vector<graph::FrameRecord>& records, i32 size) {
-  const f64 scale = 1024.0 * 1024.0 / (static_cast<f64>(size) * size);
-  std::map<std::pair<i32, bool>, model::MemoryRow> best;
-  for (const graph::FrameRecord& record : records) {
-    const bool rdg_selected = ((record.scenario >> app::kSwRdg) & 1u) != 0;
-    for (const graph::TaskExecution& exec : record.tasks) {
-      if (!exec.executed) continue;
-      model::MemoryRow row =
-          model::memory_row(std::string(app::node_name(exec.node)),
-                            rdg_selected, exec.work, scale);
-      auto key = std::make_pair(exec.node, rdg_selected);
-      auto it = best.find(key);
-      if (it == best.end() || row.total_kb() > it->second.total_kb()) {
-        best.insert_or_assign(key, std::move(row));
-      }
-    }
-  }
-  std::vector<model::MemoryRow> rows;
-  rows.reserve(best.size());
-  for (auto& [key, row] : best) rows.push_back(std::move(row));
-  return rows;
 }
 
 }  // namespace
@@ -135,7 +108,8 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
-  if (opt.format != "text" && opt.format != "csv" && opt.format != "json") {
+  if (opt.format != "text" && opt.format != "csv" && opt.format != "json" &&
+      opt.format != "sarif") {
     std::fprintf(stderr, "triplec_lint: unknown format %s\n",
                  opt.format.c_str());
     return 2;
@@ -155,7 +129,8 @@ int main(int argc, char** argv) {
     std::vector<graph::FrameRecord> records = app.run(opt.frames);
     std::vector<std::vector<graph::FrameRecord>> seqs = {records};
     predictor.train(seqs);
-    memory_rows = capture_memory_rows(records, size);
+    memory_rows = rt::capture_memory_rows(
+        records, 1024.0 * 1024.0 / (static_cast<f64>(size) * size));
     app.reset();
   }
 
@@ -185,6 +160,8 @@ int main(int argc, char** argv) {
     std::fputs(report.to_csv().c_str(), stdout);
   } else if (opt.format == "json") {
     std::fputs(report.to_json().c_str(), stdout);
+  } else if (opt.format == "sarif") {
+    std::fputs(report.to_sarif("triplec-lint").c_str(), stdout);
   } else {
     std::printf("triplec-lint: %s (%dx%d, %d frames, %s)\n", opt.graph.c_str(),
                 size, size, opt.frames,
