@@ -13,6 +13,7 @@
 // committed baseline, so one noisy scheduler burp doesn't flag a regression.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -24,6 +25,7 @@
 
 #include "app/stentboost.hpp"
 #include "bench_util.hpp"
+#include "common/stats.hpp"
 #include "exec/executor.hpp"
 #include "exec/frame_pipeline.hpp"
 #include "exec/stage_pipeline.hpp"
@@ -252,35 +254,69 @@ f64 run_pipeline(const Options& opt,
   return wall;
 }
 
-/// The --ledger phase: a closed-loop executor run with the prediction
-/// ledger on and *natural* scenario dynamics (force_full_frame off, so the
-/// data-dependent switches produce their full scenario set), dumped as a
-/// triplec-ledger-v1 document for tools/triplec_ledger.
-void run_ledger_phase(const Options& opt) {
+/// One closed-loop ledger run; `bias_correction` A/B-toggles the
+/// ledger-bias feedback into the EWMA forecast.
+struct LedgerRunResult {
+  u64 rows_settled = 0;
+  usize scenarios = 0;
+  f64 mean_cpu_ape_pct = 0.0;
+  f64 p95_cpu_ape_pct = 0.0;
+  std::string json;
+};
+
+LedgerRunResult run_ledger_once(const Options& opt, bool bias_correction) {
   app::StentBoostConfig config = app::StentBoostConfig::make(
       opt.size, opt.size, opt.frames, /*seed=*/23);
   exec::ExecutorConfig ec;
   ec.worker_threads = opt.workers;
   ec.ledger.enabled = true;
   ec.ledger.capacity = 0;  // keep every row; the report scores them all
+  ec.ledger_bias_correction = bias_correction;
   exec::Executor executor(std::move(config), ec);
   (void)executor.run(opt.frames);
 
+  LedgerRunResult out;
   obs::PredictionLedger* ledger = executor.ledger();
+  out.rows_settled = ledger->rows_settled();
+  out.json = ledger->dump_json();
   const std::vector<obs::LedgerRow> rows = ledger->rows();
   std::vector<bool> seen(64, false);
-  usize scenarios = 0;
+  std::vector<f64> apes;
   for (const obs::LedgerRow& r : rows) {
     if (r.scenario < seen.size() && !seen[r.scenario]) {
       seen[r.scenario] = true;
-      ++scenarios;
+      ++out.scenarios;
+    }
+    if (const auto err = r.error_pct(obs::LedgerResource::CpuMs)) {
+      apes.push_back(std::abs(*err));
     }
   }
+  if (!apes.empty()) {
+    out.mean_cpu_ape_pct = mean(apes);
+    out.p95_cpu_ape_pct = percentile(apes, 95.0);
+  }
+  return out;
+}
+
+/// The --ledger phase: a closed-loop executor run with the prediction
+/// ledger on and *natural* scenario dynamics (force_full_frame off, so the
+/// data-dependent switches produce their full scenario set), dumped as a
+/// triplec-ledger-v1 document for tools/triplec_ledger.  The run is
+/// repeated with the ledger-bias feedback on (ExecutorConfig::
+/// ledger_bias_correction) as an A/B of the closed calibration loop.
+void run_ledger_phase(const Options& opt) {
+  const LedgerRunResult off = run_ledger_once(opt, /*bias_correction=*/false);
+  const LedgerRunResult on = run_ledger_once(opt, /*bias_correction=*/true);
   std::printf(
       "prediction ledger: %llu rows settled over %d frames, %zu scenarios\n",
-      static_cast<unsigned long long>(ledger->rows_settled()), opt.frames,
-      scenarios);
-  if (obs::write_text_file(opt.ledger_out, ledger->dump_json())) {
+      static_cast<unsigned long long>(off.rows_settled), opt.frames,
+      off.scenarios);
+  std::printf(
+      "ledger bias feedback A/B (CPU APE): off mean %.2f%% p95 %.2f%%  |  "
+      "on mean %.2f%% p95 %.2f%%\n",
+      off.mean_cpu_ape_pct, off.p95_cpu_ape_pct, on.mean_cpu_ape_pct,
+      on.p95_cpu_ape_pct);
+  if (obs::write_text_file(opt.ledger_out, off.json)) {
     std::printf("wrote %s (render with: triplec_ledger %s --worst 5)\n\n",
                 opt.ledger_out.c_str(), opt.ledger_out.c_str());
   }

@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_executor.json against the committed baseline.
+"""Compare fresh bench JSON files against their committed baselines.
 
 Usage:
-    bench/compare_bench.py BASELINE CURRENT [--threshold PCT]
+    bench/compare_bench.py BASELINE CURRENT [BASELINE2 CURRENT2]
+                           [--threshold PCT]
 
-Diffs the median ms/frame of every (family, config) row.  A row whose
-ms/frame regressed by more than --threshold percent (default 15) produces a
-GitHub Actions `::warning::` annotation; so do rows that appear in only one
-of the two files.  The script is warn-only — it ALWAYS exits 0 — because
-shared CI runners are far too noisy for a hard latency gate; the warnings
-put the trend in front of the reviewer without blocking the merge.
+Diffs the median ms/frame of every (family, config) row.  Families are
+discovered dynamically: any top-level key whose value is a list of row
+objects carrying "name" and "ms_per_frame" participates, so the same gate
+covers BENCH_executor.json (stentboost_graph / kernel_pipeline) and
+BENCH_serve.json (serve_fleet) without a hardcoded schema.
+
+A second BASELINE2 CURRENT2 pair compares a second file family in the same
+invocation (one CI step gates both executor and serving benches); the exit
+code is the worst of the pairs.
+
+A row whose ms/frame regressed by more than --threshold percent (default
+15) produces a GitHub Actions `::warning::` annotation; so do rows that
+appear in only one of the two files.  The script is warn-only — it ALWAYS
+exits 0 — because shared CI runners are far too noisy for a hard latency
+gate; the warnings put the trend in front of the reviewer without blocking
+the merge.
 
 Baselines live in bench/baselines/ and are refreshed deliberately (run the
 bench with --reps 5 on a quiet machine, eyeball the diff, commit).
@@ -23,7 +34,19 @@ import argparse
 import json
 import sys
 
-FAMILIES = ("stentboost_graph", "kernel_pipeline")
+
+def discover_families(doc):
+    """Top-level keys holding a list of {"name", "ms_per_frame"} rows."""
+    families = []
+    for key, value in doc.items():
+        if not isinstance(value, list):
+            continue
+        if value and not all(
+                isinstance(row, dict) and "name" in row
+                and "ms_per_frame" in row for row in value):
+            continue
+        families.append(key)
+    return families
 
 
 def load_rows(path):
@@ -31,34 +54,24 @@ def load_rows(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     rows = {}
-    for family in FAMILIES:
+    for family in discover_families(doc):
         for row in doc.get(family, []):
             rows[(family, row["name"])] = float(row["ms_per_frame"])
     return rows, doc
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=15.0,
-                        help="regression warning threshold in percent")
-    parser.add_argument("--require-same-host", action="store_true",
-                        help="exit 3 (instead of warning) when host_cores "
-                             "differs between baseline and current")
-    args = parser.parse_args()
-
+def compare_pair(baseline, current, args):
     try:
-        base_rows, base_doc = load_rows(args.baseline)
+        base_rows, base_doc = load_rows(baseline)
     except (OSError, ValueError, KeyError) as e:
         print(f"::warning::bench compare: cannot read baseline "
-              f"{args.baseline}: {e}")
+              f"{baseline}: {e}")
         return 0
     try:
-        cur_rows, cur_doc = load_rows(args.current)
+        cur_rows, cur_doc = load_rows(current)
     except (OSError, ValueError, KeyError) as e:
         print(f"::warning::bench compare: cannot read current "
-              f"{args.current}: {e}")
+              f"{current}: {e}")
         return 0
 
     # A core-count mismatch is not noise: every parallel row's ms/frame
@@ -114,6 +127,30 @@ def main():
         print(f"bench compare: {regressions} row(s) regressed beyond "
               f"{args.threshold:.0f}% (warn-only)")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="BASELINE CURRENT [BASELINE2 CURRENT2]")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression warning threshold in percent")
+    parser.add_argument("--require-same-host", action="store_true",
+                        help="exit 3 (instead of warning) when host_cores "
+                             "differs between baseline and current")
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0 or not 2 <= len(args.files) <= 4:
+        parser.error("expected BASELINE CURRENT or "
+                     "BASELINE CURRENT BASELINE2 CURRENT2")
+
+    worst = 0
+    for i in range(0, len(args.files), 2):
+        if i > 0:
+            print()
+        worst = max(worst, compare_pair(args.files[i], args.files[i + 1],
+                                        args))
+    return worst
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ Run directly or via ctest (registered as compare_bench_exit_codes with the
   * host_cores mismatch, default (warn-only) -> exit 0 + ::warning::
   * host_cores mismatch, --require-same-host -> exit 3
   * unreadable baseline                      -> exit 0 (warn-only)
+  * second baseline pair                     -> both pairs compared,
+                                                worst exit code wins
+  * dynamic family discovery                 -> serve_fleet rows diffed
+                                                without a schema change
 """
 
 import json
@@ -79,6 +83,43 @@ def main():
         rc, out = run(same_a, slow, "--threshold", "15")
         ok &= check("regression is warn-only", rc == 0)
         ok &= check("regression annotated", "bench regression" in out)
+
+        # Families are discovered dynamically: a serving-bench document is
+        # diffed without compare_bench.py knowing its family names.
+        def serve_doc(host_cores, ms):
+            return {
+                "host_cores": host_cores,
+                "frames": 48,
+                "size": 192,
+                "workers": 4,
+                "serve_fleet": [
+                    {"name": "streams_4", "ms_per_frame": ms, "fps": 100.0},
+                ],
+                "warm_start": {"cold_early_ape_pct": 40.0},  # not a family
+            }
+
+        serve_a = write_doc(tmp, "serve_base.json", serve_doc(8, 5.0))
+        serve_b = write_doc(tmp, "serve_cur.json", serve_doc(8, 5.1))
+        rc, out = run(serve_a, serve_b)
+        ok &= check("serve family discovered dynamically",
+                    rc == 0 and "serve_fleet/streams_4" in out)
+
+        # A second baseline pair compares both files in one invocation.
+        rc, out = run(same_a, same_b, serve_a, serve_b)
+        ok &= check("second pair exits 0", rc == 0)
+        ok &= check("second pair compares both families",
+                    "stentboost_graph/serial" in out
+                    and "serve_fleet/streams_4" in out)
+
+        # The worst pair's exit code wins under --require-same-host.
+        serve_other = write_doc(tmp, "serve_other.json", serve_doc(16, 5.1))
+        rc, out = run(same_a, same_b, serve_a, serve_other,
+                      "--require-same-host")
+        ok &= check("second-pair host mismatch exits 3", rc == 3)
+
+        # An odd file count is a usage error (argparse exits 2).
+        rc, out = run(same_a, same_b, serve_a)
+        ok &= check("odd file count is a usage error", rc == 2)
 
     return 0 if ok else 1
 

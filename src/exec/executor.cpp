@@ -51,11 +51,26 @@ i32 sibling_node(i32 node) {
 
 }  // namespace
 
+f64 PredictorSnapshot::mean_frame_ms() const {
+  if (frame_markov.fitted()) return frame_markov.unconditional_mean();
+  f64 total = 0.0;
+  for (usize node = 0; node < node_serial_ms.size(); ++node) {
+    if (node_primed[node]) total += node_serial_ms[node];
+  }
+  return total;
+}
+
 Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
     : config_(config),
-      pool_(config.worker_threads <= 0 ? 0
-                                       : static_cast<usize>(config.worker_threads)),
-      app_(std::move(app_config), &pool_) {
+      owned_pool_(config.shared_pool != nullptr
+                      ? nullptr
+                      : std::make_unique<plat::ThreadPool>(
+                            config.worker_threads <= 0
+                                ? 0
+                                : static_cast<usize>(config.worker_threads))),
+      pool_(config.shared_pool != nullptr ? config.shared_pool
+                                          : owned_pool_.get()),
+      app_(std::move(app_config), pool_) {
   node_ewma_.fill(model::EwmaFilter(config_.ewma_alpha));
   for (auto& per_node : node_aux_ewma_) {
     per_node.fill(model::EwmaFilter(config_.ewma_alpha));
@@ -120,6 +135,11 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
     ledger_ = std::make_unique<obs::PredictionLedger>(
         std::move(lc), obs::enabled() ? &obs::global().metrics : nullptr);
   }
+}
+
+i32 Executor::effective_threads() const {
+  const i32 pool = narrow<i32>(pool_->thread_count());
+  return pool_share_ > 0 ? std::min(pool_share_, pool) : pool;
 }
 
 f64 Executor::node_estimate(i32 node) const {
@@ -209,6 +229,7 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
   std::vector<rt::NodeForecast> fc;  // Markov-scaled (ledger prediction input)
   if (result.managed && config_.adapt) {
     fc = host_forecast();
+    if (ledger_ != nullptr && config_.ledger_bias_correction) bias_correct(fc);
     // Markov correction: scale the long-term EWMA forecast by the chain's
     // conditional expectation of the next frame total (short-term state).
     for (const rt::NodeForecast& f : fc) {
@@ -229,7 +250,7 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
       const rt::PlanChoice better =
           rt::choose_plan(config_.host_cost, better_fc, deadline_ms_,
                           config_.max_stripes_per_task,
-                          narrow<i32>(pool_.thread_count()));
+                          effective_threads());
       recover_streak_ = better.fits_budget ? recover_streak_ + 1 : 0;
       if (recover_streak_ >= config_.qos_recover_after) {
         apply_quality(t, quality_index_ - 1);
@@ -244,7 +265,7 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
       }
       return rt::choose_plan(config_.host_cost, eff, deadline_ms_,
                              config_.max_stripes_per_task,
-                             narrow<i32>(pool_.thread_count()));
+                             effective_threads());
     };
     choice = plan_at_current_quality();
     if (config_.policy == DeadlinePolicy::Degrade) {
@@ -279,8 +300,8 @@ f64 Executor::plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result) {
   // frame's fair share of the pool (pipelining divides the pool among the
   // frames in flight).
   choice.plan = plan;
-  app_.set_instance_budget(rt::budget_for_plan(
-      choice, narrow<i32>(pool_.thread_count()), frames_in_flight));
+  app_.set_instance_budget(
+      rt::budget_for_plan(choice, effective_threads(), frames_in_flight));
   if (obs::enabled()) {
     obs::global().flight.record(obs::FrEventType::FrameStart, t, -1,
                                 result.predicted_host_ms);
@@ -659,7 +680,7 @@ obs::PostmortemContext Executor::postmortem_context(
   ctx.extra.emplace_back("policy", config_.policy == DeadlinePolicy::Drop
                                        ? "drop"
                                        : "degrade");
-  ctx.extra.emplace_back("workers", std::to_string(pool_.thread_count()));
+  ctx.extra.emplace_back("workers", std::to_string(pool_->thread_count()));
   // SLO-breach context: which objective fired, at what value, against which
   // threshold — plus the monitor's window aggregates, so a bundle is
   // diagnosable without replaying the run.
@@ -697,6 +718,63 @@ void Executor::force_retrain(i32 frame) {
   if (obs::enabled()) {
     obs::global().flight.record(obs::FrEventType::Retrain, frame, -1,
                                 static_cast<f64>(frame));
+  }
+}
+
+void Executor::bias_correct(std::vector<rt::NodeForecast>& fc) const {
+  for (usize node = 0; node < fc.size(); ++node) {
+    rt::NodeForecast& f = fc[node];
+    if (!f.active || f.serial_ms <= 0.0) continue;
+    const obs::CalibrationWindow::Stats s = ledger_->node_calibration(
+        narrow<i32>(node), obs::LedgerResource::CpuMs);
+    if (s.samples < config_.bias_min_samples) continue;
+    // Positive bias means the recent predictions over-shot the measurements,
+    // so dividing by (1 + bias) recentres the forecast.  The clamp keeps one
+    // pathological window from swinging the plan; a near-zero denominator
+    // (window full of pred≈0 rows) is skipped outright.
+    const f64 denom = 1.0 + s.bias_pct / 100.0;
+    if (denom < 0.05) continue;
+    f.serial_ms *= std::clamp(1.0 / denom, 1.0 - config_.bias_correction_clamp,
+                              1.0 + config_.bias_correction_clamp);
+  }
+}
+
+PredictorSnapshot Executor::snapshot_predictors() const {
+  PredictorSnapshot snap;
+  for (usize node = 0; node < app::kNodeCount; ++node) {
+    const model::EwmaFilter& f = node_ewma_[node];
+    snap.node_primed[node] = f.primed();
+    snap.node_serial_ms[node] = f.value();
+    // Bus demand estimate: summed auxiliary filters (cache/memory/io MB per
+    // frame).  Conservative — sums every node that ever ran, not just the
+    // nodes active in the current scenario.
+    for (i32 r = 2; r < obs::kLedgerResourceCount; ++r) {
+      const model::EwmaFilter& aux = node_aux_ewma_[node][static_cast<usize>(r - 1)];
+      if (aux.primed()) snap.bus_mb_per_frame[static_cast<usize>(r - 2)] += aux.value();
+    }
+  }
+  snap.frame_markov = frame_markov_;
+  snap.last_serial_total_ms = last_serial_total_ms_;
+  snap.trained_frames = static_cast<u64>(std::max(0, stats_.frames));
+  return snap;
+}
+
+void Executor::warm_start(const PredictorSnapshot& snap) {
+  if (!snap.trained()) return;
+  for (usize node = 0; node < app::kNodeCount; ++node) {
+    if (!snap.node_primed[node]) continue;
+    // A fresh filter primed with the snapshot level: the stream then adapts
+    // from the donor's estimate instead of from zero.
+    model::EwmaFilter f(config_.ewma_alpha);
+    f.update(snap.node_serial_ms[node]);
+    node_ewma_[node] = f;
+  }
+  if (snap.frame_markov.fitted()) {
+    frame_markov_ = snap.frame_markov;
+    last_serial_total_ms_ = snap.last_serial_total_ms;
+    // The chain is already fitted — settle_frame's warm-up fitting is
+    // skipped, so the training series must stay empty.
+    warmup_serial_totals_.clear();
   }
 }
 

@@ -89,9 +89,39 @@ struct DiagnosticsConfig {
   obs::PostmortemConfig postmortem;
 };
 
+/// Portable snapshot of a trained predictor stack: the per-node EWMA levels
+/// (Eq. 1) plus the frame-level Markov chain (Eq. 2) and its state.  The
+/// serving layer (serve::PredictorRegistry) publishes one per scenario class
+/// at stream retire and clones it into newly admitted same-class streams, so
+/// they start calibrated instead of paying the cold-start warm-up
+/// (Jung/Oh/Ha's mode-transition-delay argument at fleet scale).
+struct PredictorSnapshot {
+  std::array<f64, app::kNodeCount> node_serial_ms{};
+  std::array<bool, app::kNodeCount> node_primed{};
+  model::MarkovChain frame_markov;
+  /// Markov conditioning state at snapshot time (last serial-equivalent
+  /// frame total).
+  f64 last_serial_total_ms = 0.0;
+  /// Mean per-frame traffic per Fig.-4 bus class (cache / memory / I/O MB,
+  /// summed node auxiliary filters) — the admission controller's bus-demand
+  /// estimate.
+  std::array<f64, 3> bus_mb_per_frame{};
+  /// Frames the stack was trained on (0 = empty/cold snapshot).
+  u64 trained_frames = 0;
+
+  [[nodiscard]] bool trained() const { return trained_frames > 0; }
+  /// Serial-equivalent frame-cost estimate of the stack: the Markov chain's
+  /// unconditional mean when fitted, else the sum of the primed filters.
+  [[nodiscard]] f64 mean_frame_ms() const;
+};
+
 struct ExecutorConfig {
   /// Worker threads of the executor-owned pool (0 = hardware concurrency).
   i32 worker_threads = 4;
+  /// External pool shared with other executors (the serving layer runs N
+  /// streams on one pool).  Non-null skips spawning an owned pool —
+  /// worker_threads is then ignored; the pool must outlive the executor.
+  plat::ThreadPool* shared_pool = nullptr;
   /// Fixed per-frame deadline; <= 0 derives it from the warm-up phase as
   /// mean measured host latency * deadline_headroom.
   f64 deadline_ms = 0.0;
@@ -128,6 +158,17 @@ struct ExecutorConfig {
   /// Prediction ledger (predicted-vs-actual resource attribution per frame
   /// and node; see obs/ledger.hpp).  Off by default.
   obs::LedgerConfig ledger;
+  /// Close the calibration loop: divide each node's EWMA forecast by the
+  /// ledger's rolling bias gauge for that node (1 + bias/100), so a
+  /// systematically over- or under-predicting node is recentred before the
+  /// plan is chosen.  Requires ledger.enabled; A/B-toggled by
+  /// `bench_executor --ledger`.
+  bool ledger_bias_correction = false;
+  /// Calibration-window samples a node needs before it is corrected.
+  u64 bias_min_samples = 8;
+  /// Correction clamp: the per-node factor stays in [1-c, 1+c] so one
+  /// pathological window cannot swing the plan.
+  f64 bias_correction_clamp = 0.25;
   /// Ledger rows embedded in each post-mortem bundle (most recent first).
   usize postmortem_ledger_rows = 32;
   /// Synthetic interference (see LoadSpike); off by default.
@@ -194,7 +235,7 @@ class Executor {
   [[nodiscard]] f64 deadline_ms() const { return deadline_ms_; }
   [[nodiscard]] bool deadline_set() const { return deadline_set_; }
   [[nodiscard]] app::StentBoostApp& app() { return app_; }
-  [[nodiscard]] plat::ThreadPool& pool() { return pool_; }
+  [[nodiscard]] plat::ThreadPool& pool() { return *pool_; }
   [[nodiscard]] const ExecutorConfig& config() const { return config_; }
   [[nodiscard]] const analysis::Report& validation_report() const {
     return validation_report_;
@@ -244,6 +285,22 @@ class Executor {
   /// re-training").  EWMA filters keep adapting and are not reset.
   void force_retrain(i32 frame);
 
+  /// Cap the pool threads the planner assumes for this executor's frames —
+  /// the weighted fair share the serving layer grants the stream under a
+  /// shared pool (0 = the whole pool).  Set it only between this executor's
+  /// frames, from the thread that steps it.
+  void set_pool_share(i32 threads) { pool_share_ = threads; }
+  /// Pool threads the planner currently assumes (share-capped pool size).
+  [[nodiscard]] i32 effective_threads() const;
+
+  /// Export the current predictor stack for warm-starting a same-class
+  /// stream (serve::PredictorRegistry).
+  [[nodiscard]] PredictorSnapshot snapshot_predictors() const;
+  /// Seed the predictor stack from a trained snapshot: primed filters and a
+  /// fitted Markov chain are adopted wholesale, so a deadline-configured
+  /// stream skips the cold-start warm-up and runs managed from frame 0.
+  void warm_start(const PredictorSnapshot& snap);
+
  private:
   /// EWMA serial-ms estimate of a node; falls back to the node's
   /// granularity sibling (RDG_ROI <-> RDG_FULL, MKX_ROI <-> MKX_FULL) while
@@ -262,6 +319,9 @@ class Executor {
   /// outside the serial step() path must serialize plan_frame/settle_frame
   /// (run_pipelined guards both with one mutex).
   f64 plan_frame(i32 t, i32 frames_in_flight, ExecutedFrame& result);
+  /// Recentre the forecast by the ledger's rolling per-node bias gauge
+  /// (ledger_bias_correction satellite; no-op without enough samples).
+  void bias_correct(std::vector<rt::NodeForecast>& fc) const;
   /// Post-execution bookkeeping for a frame whose measured_host_ms is
   /// final: deadline accounting, predictor feedback, warm-up fitting,
   /// stats, observability and diagnostics.  Frames must settle in order.
@@ -292,7 +352,10 @@ class Executor {
       const obs::SloBreach* breach = nullptr) const;
 
   ExecutorConfig config_;
-  plat::ThreadPool pool_;
+  /// Owned worker pool; null when ExecutorConfig::shared_pool injects an
+  /// external one.  pool_ always points at the pool in use.
+  std::unique_ptr<plat::ThreadPool> owned_pool_;
+  plat::ThreadPool* pool_;
   app::StentBoostApp app_;
   analysis::Report validation_report_;
   analysis::Report audit_report_;
@@ -318,6 +381,8 @@ class Executor {
 
   f64 deadline_ms_ = 0.0;
   bool deadline_set_ = false;
+  /// Planner thread cap under a shared pool (see set_pool_share; 0 = all).
+  i32 pool_share_ = 0;
   app::StripePlan prev_plan_ = app::serial_plan();
   /// Index into rt::quality_ladder() currently applied (Degrade policy).
   i32 quality_index_ = 0;

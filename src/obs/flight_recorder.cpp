@@ -44,6 +44,12 @@ const char* to_string(FrEventType t) {
       return "ctx_commit";
     case FrEventType::InstanceFanout:
       return "instance_fanout";
+    case FrEventType::StreamAdmit:
+      return "stream_admit";
+    case FrEventType::StreamReject:
+      return "stream_reject";
+    case FrEventType::StreamRetire:
+      return "stream_retire";
     case FrEventType::Custom:
       return "custom";
   }

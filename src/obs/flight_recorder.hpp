@@ -55,6 +55,10 @@ enum class FrEventType : u16 {
   CtxAdmit,         ///< frame context admitted; a = stream ticket
   CtxCommit,        ///< stream state committed; a = ticket, b = 0 front/1 back
   InstanceFanout,   ///< node id; a = instance count, b = total work units
+  StreamAdmit,      ///< node = stream id; a = demand cores, b = residual cores
+  StreamReject,     ///< node = stream id (-1 unassigned); a = demand,
+                    ///<   b = 0 rejected / 1 queued
+  StreamRetire,     ///< node = stream id; a = frames served, b = misses
   Custom,           ///< free-form marker from examples/tests
 };
 

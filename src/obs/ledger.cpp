@@ -117,6 +117,7 @@ void PredictionLedger::predict_frame(i32 frame, i64 ticket, f64 deadline_ms,
     LedgerRow row;
     row.frame = frame;
     row.node = s.node;
+    row.stream = config_.stream_id;
     row.ticket = ticket;
     row.deadline_ms = p.deadline_ms;
     if (static_cast<usize>(s.node) < stripes.size()) {
@@ -167,6 +168,7 @@ std::vector<LedgerRow> PredictionLedger::settle_frame(
       row = &p.rows.back();
       row->frame = frame;
       row->node = a.node;
+      row->stream = config_.stream_id;
       row->ticket = p.ticket;
       row->deadline_ms = p.deadline_ms;
     }
@@ -366,6 +368,7 @@ std::string PredictionLedger::dump_json() const {
     const LedgerRow& r = rows_[i];
     out += "    {\"frame\":" + std::to_string(r.frame) +
            ",\"node\":" + std::to_string(r.node) +
+           ",\"stream\":" + std::to_string(r.stream) +
            ",\"scenario\":" + std::to_string(r.scenario) +
            ",\"ticket\":" + std::to_string(r.ticket) +
            ",\"stripes\":" + std::to_string(r.stripes) +
@@ -392,14 +395,15 @@ std::string PredictionLedger::dump_json() const {
 std::string PredictionLedger::dump_csv() const {
   common::MutexLock lock(mutex_);
   std::string out =
-      "frame,node,task,scenario,ticket,stripes,deadline_ms,slack_ms";
+      "frame,node,task,stream,scenario,ticket,stripes,deadline_ms,slack_ms";
   for (const char* r : kResourceNames) {
     out += std::string(",pred_") + r + ",meas_" + r;
   }
   out += "\n";
   for (const LedgerRow& r : rows_) {
     out += std::to_string(r.frame) + "," + std::to_string(r.node) + "," +
-           node_name(r.node) + "," + std::to_string(r.scenario) + "," +
+           node_name(r.node) + "," + std::to_string(r.stream) + "," +
+           std::to_string(r.scenario) + "," +
            std::to_string(r.ticket) + "," + std::to_string(r.stripes) + "," +
            fmt_f64(r.deadline_ms) + "," + fmt_f64(r.deadline_slack_ms);
     for (i32 v = 0; v < kLedgerResourceCount; ++v) {

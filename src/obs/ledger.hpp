@@ -79,6 +79,9 @@ struct LedgerSample {
 struct LedgerRow {
   i32 frame = -1;
   i32 node = -1;
+  /// Serving-stream id the row belongs to (LedgerConfig::stream_id;
+  /// -1 = single-stream executor, no serving layer involved).
+  i32 stream = -1;
   u32 scenario = 0;
   /// Stream admission ticket of the frame (frame order under pipelining).
   i64 ticket = -1;
@@ -152,6 +155,9 @@ struct LedgerConfig {
   /// Emit per-node predicted/actual Chrome counter tracks through the
   /// global span tracer (only when obs::enabled()).
   bool trace_counters = true;
+  /// Serving-stream id stamped on every row (serve::StreamServer gives each
+  /// stream its own ledger); -1 = untagged single-stream operation.
+  i32 stream_id = -1;
   /// Node display names for metrics labels and dumps ("node<i>" default).
   std::function<std::string(i32)> node_name;
 };

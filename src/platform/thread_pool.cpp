@@ -1,10 +1,33 @@
 #include "platform/thread_pool.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "obs/obs.hpp"
 
 namespace tc::plat {
 
 namespace {
+
+/// Pin `thread` to `core` (mod the hardware core count).  Returns false on
+/// platforms without pthread_setaffinity_np or when the call fails — the
+/// pool then runs unpinned, which is always correct, just less cache-local.
+bool pin_to_core([[maybe_unused]] std::thread& thread,
+                 [[maybe_unused]] usize core) {
+#if defined(__linux__)
+  const usize cores =
+      std::max<usize>(1, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % cores), &set);
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  return false;
+#endif
+}
 
 /// Run one queued job, recording a host-timeline span and the pool metrics
 /// when observability is on.
@@ -49,13 +72,15 @@ IndexRange even_chunk(i32 count, i32 chunks, i32 chunk) {
   return IndexRange{lo, lo + size};
 }
 
-ThreadPool::ThreadPool(usize threads) {
+ThreadPool::ThreadPool(usize threads, bool pin_threads) {
   if (threads == 0) {
     threads = std::max<usize>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
+  pinned_ = pin_threads;
   for (usize i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    if (pin_threads) pinned_ = pin_to_core(workers_.back(), i) && pinned_;
   }
 }
 

@@ -18,13 +18,18 @@ namespace tc::plat {
 class ThreadPool {
  public:
   /// Spawn `threads` workers (0 = std::thread::hardware_concurrency()).
-  explicit ThreadPool(usize threads = 0);
+  /// With `pin_threads`, worker i is pinned to core i mod hardware cores
+  /// (pthread_setaffinity_np); a no-op on platforms without the call — the
+  /// pool works identically, only the scheduler placement hint is lost.
+  explicit ThreadPool(usize threads = 0, bool pin_threads = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] usize thread_count() const { return workers_.size(); }
+  /// True when every worker was successfully pinned to a core.
+  [[nodiscard]] bool pinned() const { return pinned_; }
 
   /// Run all jobs (possibly concurrently) and block until every one
   /// finished.  Safe to call repeatedly; not reentrant from inside a job.
@@ -45,6 +50,7 @@ class ThreadPool {
   common::CondVar done_cv_;
   usize in_flight_ TC_GUARDED_BY(mutex_) = 0;
   bool stop_ TC_GUARDED_BY(mutex_) = false;
+  bool pinned_ = false;
 };
 
 /// Compute the `chunk`-th of `chunks` contiguous ranges covering [0, count):

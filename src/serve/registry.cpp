@@ -1,0 +1,65 @@
+#include "serve/registry.hpp"
+
+#include <utility>
+
+namespace tc::serve {
+
+std::string PredictorRegistry::class_key(const app::StentBoostConfig& config) {
+  std::string key = std::to_string(config.sequence.width) + "x" +
+                    std::to_string(config.sequence.height);
+  if (config.force_full_frame) key += "/ff";
+  if (config.roi_side_override > 0) {
+    key += "/roi" + std::to_string(config.roi_side_override);
+  }
+  return key;
+}
+
+void PredictorRegistry::publish(const std::string& klass,
+                                exec::PredictorSnapshot snapshot) {
+  if (!snapshot.trained()) return;
+  common::MutexLock lock(mutex_);
+  ++publishes_;
+  for (auto& [key, stored] : snapshots_) {
+    if (key != klass) continue;
+    if (snapshot.trained_frames >= stored.trained_frames) {
+      stored = std::move(snapshot);
+    }
+    return;
+  }
+  snapshots_.emplace_back(klass, std::move(snapshot));
+}
+
+std::optional<exec::PredictorSnapshot> PredictorRegistry::lookup(
+    const std::string& klass) const {
+  common::MutexLock lock(mutex_);
+  for (const auto& [key, stored] : snapshots_) {
+    if (key == klass) {
+      ++hits_;
+      return stored;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+usize PredictorRegistry::size() const {
+  common::MutexLock lock(mutex_);
+  return snapshots_.size();
+}
+
+u64 PredictorRegistry::publishes() const {
+  common::MutexLock lock(mutex_);
+  return publishes_;
+}
+
+u64 PredictorRegistry::hits() const {
+  common::MutexLock lock(mutex_);
+  return hits_;
+}
+
+u64 PredictorRegistry::misses() const {
+  common::MutexLock lock(mutex_);
+  return misses_;
+}
+
+}  // namespace tc::serve

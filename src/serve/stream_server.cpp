@@ -1,0 +1,403 @@
+#include "serve/stream_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "obs/obs.hpp"
+
+namespace tc::serve {
+
+namespace {
+
+/// Mean CPU absolute percentage error over the stream's first `early`
+/// frames — the warm-vs-cold calibration comparison (-1 without data).
+f64 early_cpu_ape(const obs::PredictionLedger* ledger, i32 early) {
+  if (ledger == nullptr) return -1.0;
+  const auto cpu = obs::LedgerResource::CpuMs;
+  f64 sum = 0.0;
+  i32 n = 0;
+  for (const obs::LedgerRow& row : ledger->rows()) {
+    if (row.frame >= early) continue;
+    const std::optional<f64> err = row.error_pct(cpu);
+    if (!err.has_value()) continue;
+    sum += std::abs(*err);
+    ++n;
+  }
+  return n > 0 ? sum / n : -1.0;
+}
+
+}  // namespace
+
+StreamServer::StreamServer(ServeConfig config)
+    : config_(config),
+      pool_(config.pool_threads <= 0 ? 0
+                                     : static_cast<usize>(config.pool_threads),
+            config.pin_threads),
+      admission_(config.admission, narrow<i32>(pool_.thread_count()),
+                 plat::PlatformSpec::paper_platform()) {}
+
+StreamServer::~StreamServer() = default;
+
+i32 StreamServer::submit(StreamConfig stream) {
+  common::MutexLock lock(mutex_);
+  const i32 id = narrow<i32>(reports_.size());
+  if (stream.name.empty()) {
+    std::string fallback = std::to_string(id);
+    fallback.insert(fallback.begin(), 's');
+    stream.name = std::move(fallback);
+  }
+
+  StreamReport report;
+  report.id = id;
+  report.name = stream.name;
+  report.class_key = PredictorRegistry::class_key(stream.app);
+  report.weight = stream.weight;
+  report.deadline_ms = stream.deadline_ms;
+
+  // Price the stream: a registry snapshot when one exists for its class
+  // (warm — no execution), else a short serial probe.
+  const std::optional<exec::PredictorSnapshot> snap =
+      registry_.lookup(report.class_key);
+  StreamDemand demand = admission_.estimate_demand(
+      stream.app, stream.deadline_ms, stream.max_stripes_per_task,
+      snap.has_value() ? &*snap : nullptr);
+  report.decision = admission_.decide(demand);
+  if (report.decision.verdict == AdmissionVerdict::Reject && demand.warm) {
+    // A snapshot trained under fleet contention over-prices the stream
+    // (its EWMAs saw contended wall times, not intrinsic cost).  Before
+    // rejecting on warm numbers alone, re-price with an uncontended probe —
+    // the stream still warm-starts its predictors if it is admitted.
+    demand = admission_.estimate_demand(stream.app, stream.deadline_ms,
+                                        stream.max_stripes_per_task, nullptr);
+    report.decision = admission_.decide(demand);
+  }
+
+  stream_configs_.push_back(std::move(stream));
+  reports_.push_back(std::move(report));
+  const AdmissionDecision& decision = reports_.back().decision;
+
+  switch (decision.verdict) {
+    case AdmissionVerdict::Admit:
+      activate(id);
+      break;
+    case AdmissionVerdict::Queue:
+      wait_queue_.push_back(id);
+      if (obs::enabled()) {
+        obs::global().flight.record(obs::FrEventType::StreamReject, -1, id,
+                                    decision.demand.cores, 1.0);
+      }
+      break;
+    case AdmissionVerdict::Reject:
+      if (obs::enabled()) {
+        obs::global().flight.record(obs::FrEventType::StreamReject, -1, id,
+                                    decision.demand.cores, 0.0);
+      }
+      break;
+  }
+  update_fleet_gauges();
+  return id;
+}
+
+void StreamServer::activate(i32 id) {
+  const StreamConfig& stream = stream_configs_[static_cast<usize>(id)];
+  StreamReport& report = reports_[static_cast<usize>(id)];
+
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->config = stream;
+  session->demand = report.decision.demand;
+
+  exec::ExecutorConfig ec;
+  ec.shared_pool = &pool_;
+  ec.deadline_ms = stream.deadline_ms;
+  ec.policy = stream.policy;
+  ec.max_stripes_per_task = stream.max_stripes_per_task;
+  ec.warmup_frames = stream.warmup_frames;
+  // Per-stream ledger rows carry the stream id; metric/counter export stays
+  // off — N streams would write the same per-node series.
+  ec.ledger.enabled = stream.ledger;
+  ec.ledger.stream_id = id;
+  ec.ledger.export_metrics = false;
+  ec.ledger.trace_counters = false;
+  session->executor = std::make_unique<exec::Executor>(stream.app, ec);
+
+  const std::optional<exec::PredictorSnapshot> snap =
+      registry_.lookup(report.class_key);
+  if (snap.has_value() && snap->trained()) {
+    session->executor->warm_start(*snap);
+    report.warm_started = true;
+  }
+
+  // Per-stream SLOs under stream-prefixed names, so N monitors coexist in
+  // one MetricsRegistry.
+  std::vector<obs::SloSpec> specs;
+  obs::SloSpec miss;
+  miss.name = stream.name + "/deadline_miss_rate";
+  miss.kind = obs::SloKind::DeadlineMissRate;
+  miss.threshold = config_.slo_miss_rate;
+  obs::SloSpec p99;
+  p99.name = stream.name + "/p99_latency_ms";
+  p99.kind = obs::SloKind::P99LatencyMs;
+  p99.threshold = stream.deadline_ms * config_.slo_p99_factor;
+  for (obs::SloSpec* spec : {&miss, &p99}) {
+    spec->window = config_.slo_window;
+    spec->min_frames = config_.slo_min_frames;
+  }
+  specs.push_back(miss);
+  specs.push_back(p99);
+  session->slo = std::make_unique<obs::SloMonitor>(
+      std::move(specs), obs::enabled() ? &obs::global().metrics : nullptr);
+
+  if (fleet_slo_ == nullptr) {
+    // Fleet objectives derive from the first admitted stream's deadline —
+    // the fleet-level "are we keeping up" signal.
+    std::vector<obs::SloSpec> fleet_specs;
+    obs::SloSpec fmiss = miss;
+    fmiss.name = "fleet/deadline_miss_rate";
+    obs::SloSpec fp99 = p99;
+    fp99.name = "fleet/p99_latency_ms";
+    fleet_specs.push_back(fmiss);
+    fleet_specs.push_back(fp99);
+    fleet_slo_ = std::make_unique<obs::SloMonitor>(
+        std::move(fleet_specs),
+        obs::enabled() ? &obs::global().metrics : nullptr);
+  }
+
+  // A promoted stream starts at the fleet's current virtual time, not 0 —
+  // it must not monopolize the slots to "catch up" service it never queued
+  // for.
+  f64 min_vtime = 0.0;
+  bool first = true;
+  for (const auto& other : sessions_) {
+    if (other->done) continue;
+    if (first || other->vtime < min_vtime) min_vtime = other->vtime;
+    first = false;
+  }
+  session->vtime = first ? 0.0 : min_vtime;
+
+  admission_.commit(session->demand);
+  peak_committed_cores_ =
+      std::max(peak_committed_cores_, admission_.committed_cores());
+  if (obs::enabled()) {
+    obs::global().flight.record(obs::FrEventType::StreamAdmit, -1, id,
+                                session->demand.cores,
+                                admission_.residual_cores());
+  }
+  sessions_.push_back(std::move(session));
+}
+
+f64 StreamServer::active_weight() const {
+  f64 total = 0.0;
+  for (const auto& s : sessions_) {
+    if (!s->done) total += std::max(1e-9, s->config.weight);
+  }
+  return std::max(1e-9, total);
+}
+
+StreamServer::Session* StreamServer::pick_min_vtime() {
+  Session* best = nullptr;
+  for (const auto& s : sessions_) {
+    if (s->done || s->busy) continue;
+    if (best == nullptr || s->vtime < best->vtime) best = s.get();
+  }
+  return best;
+}
+
+void StreamServer::retire(Session& s) {
+  // Publish the trained stack so the next same-class stream warm-starts.
+  registry_.publish(reports_[static_cast<usize>(s.id)].class_key,
+                    s.executor->snapshot_predictors());
+  admission_.release(s.demand);
+  finalize_report(s);
+  if (obs::enabled()) {
+    const exec::ExecutorStats stats = s.executor->stats();
+    obs::global().flight.record(obs::FrEventType::StreamRetire, -1, s.id,
+                                static_cast<f64>(stats.frames),
+                                static_cast<f64>(stats.deadline_misses));
+  }
+  // Promote queued streams that now fit the refilled residual (FIFO).
+  for (auto it = wait_queue_.begin(); it != wait_queue_.end();) {
+    const i32 id = *it;
+    StreamReport& r = reports_[static_cast<usize>(id)];
+    const AdmissionDecision redecide = admission_.decide(r.decision.demand);
+    if (redecide.verdict == AdmissionVerdict::Admit) {
+      it = wait_queue_.erase(it);
+      activate(id);
+    } else {
+      ++it;
+    }
+  }
+  update_fleet_gauges();
+}
+
+void StreamServer::finalize_report(Session& s) {
+  StreamReport& r = reports_[static_cast<usize>(s.id)];
+  const exec::ExecutorStats stats = s.executor->stats();
+  r.served = true;
+  r.frames = stats.frames;
+  r.deadline_misses = stats.deadline_misses;
+  r.degraded_frames = stats.degraded_frames;
+  r.repartitions = stats.repartitions;
+  r.mean_ms = stats.mean_measured_ms;
+  r.miss_rate = stats.frames > 0
+                    ? static_cast<f64>(stats.deadline_misses) / stats.frames
+                    : 0.0;
+  if (!s.latencies_ms.empty()) {
+    r.p50_ms = percentile(s.latencies_ms, 50.0);
+    r.p99_ms = percentile(s.latencies_ms, 99.0);
+  }
+  r.early_ape_pct = early_cpu_ape(s.executor->ledger(), config_.early_frames);
+}
+
+void StreamServer::update_fleet_gauges() {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry& m = obs::global().metrics;
+  i32 active = 0;
+  for (const auto& s : sessions_) {
+    if (!s->done) ++active;
+  }
+  m.gauge("tripleC_serve_active_streams", "Streams currently being served")
+      .set(static_cast<f64>(active));
+  m.gauge("tripleC_serve_queued_streams", "Streams waiting for capacity")
+      .set(static_cast<f64>(wait_queue_.size()));
+  m.gauge("tripleC_serve_committed_cores",
+          "Cores committed by admission control")
+      .set(admission_.committed_cores());
+  m.gauge("tripleC_serve_capacity_cores",
+          "Total core capacity available to admission")
+      .set(admission_.capacity_cores());
+}
+
+void StreamServer::slot_loop() {
+  for (;;) {
+    Session* s = nullptr;
+    i32 share = 0;
+    {
+      common::MutexLock lock(mutex_);
+      for (;;) {
+        s = pick_min_vtime();
+        if (s != nullptr) break;
+        bool any_open = false;
+        for (const auto& sp : sessions_) {
+          if (!sp->done) {
+            any_open = true;
+            break;
+          }
+        }
+        if (!any_open) return;  // every stream served
+        work_cv_.wait(mutex_, [this]() TC_REQUIRES(mutex_) {
+          if (pick_min_vtime() != nullptr) return true;
+          for (const auto& sp : sessions_) {
+            if (!sp->done) return false;
+          }
+          return true;
+        });
+      }
+      s->busy = true;
+      // Weighted fair share of the pool, as seen by this stream's planner:
+      // its instance budget scales with its weight, so a heavy stream
+      // cannot starve the others even while it holds a slot.
+      share = std::max(
+          1, static_cast<i32>(std::floor(
+                 static_cast<f64>(pool_.thread_count()) *
+                 std::max(1e-9, s->config.weight) / active_weight())));
+    }
+
+    s->executor->set_pool_share(share);
+    const i32 t = s->next_frame;
+    const exec::ExecutedFrame frame = s->executor->step(t);
+
+    {
+      common::MutexLock lock(mutex_);
+      s->busy = false;
+      ++s->next_frame;
+      // WFQ bookkeeping: virtual time advances by the service received over
+      // the stream's weight; the next slot goes to the smallest vtime.
+      s->vtime += frame.measured_host_ms / std::max(1e-9, s->config.weight);
+      s->latencies_ms.push_back(frame.measured_host_ms);
+      if (s->slo != nullptr) {
+        s->slo->observe_frame(t, frame.measured_host_ms, frame.deadline_miss);
+      }
+      if (fleet_slo_ != nullptr) {
+        fleet_slo_->observe_frame(narrow<i32>(fleet_frame_++),
+                                  frame.measured_host_ms, frame.deadline_miss);
+      }
+      if (s->next_frame >= s->config.frames) {
+        s->done = true;
+        retire(*s);
+      }
+    }
+    work_cv_.notify_all();
+  }
+}
+
+void StreamServer::drain() {
+  i32 slots = 0;
+  {
+    common::MutexLock lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+    i32 open = 0;
+    for (const auto& s : sessions_) {
+      if (!s->done) ++open;
+    }
+    if (open == 0) return;
+    slots = std::clamp(std::min(config_.max_concurrent_streams, open), 1,
+                       narrow<i32>(pool_.thread_count()));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<usize>(slots));
+  for (i32 i = 0; i < slots; ++i) {
+    workers.emplace_back([this] { slot_loop(); });
+  }
+  for (std::thread& w : workers) w.join();
+  common::MutexLock lock(mutex_);
+  draining_ = false;
+  update_fleet_gauges();
+}
+
+StreamReport StreamServer::report(i32 id) const {
+  common::MutexLock lock(mutex_);
+  return reports_.at(static_cast<usize>(id));
+}
+
+std::vector<StreamReport> StreamServer::reports() const {
+  common::MutexLock lock(mutex_);
+  return reports_;
+}
+
+FleetReport StreamServer::fleet() const {
+  common::MutexLock lock(mutex_);
+  FleetReport f;
+  f.submitted = narrow<i32>(reports_.size());
+  std::vector<f64> all_latencies;
+  for (const StreamReport& r : reports_) {
+    if (r.served) {
+      ++f.admitted;
+    } else if (r.decision.verdict == AdmissionVerdict::Reject) {
+      ++f.rejected;
+    }
+    if (r.decision.verdict == AdmissionVerdict::Queue) ++f.queued;
+    f.frames += r.frames;
+    f.deadline_misses += r.deadline_misses;
+  }
+  for (const auto& s : sessions_) {
+    all_latencies.insert(all_latencies.end(), s->latencies_ms.begin(),
+                         s->latencies_ms.end());
+  }
+  if (!all_latencies.empty()) {
+    f.p50_ms = percentile(all_latencies, 50.0);
+    f.p99_ms = percentile(all_latencies, 99.0);
+  }
+  f.miss_rate =
+      f.frames > 0 ? static_cast<f64>(f.deadline_misses) / f.frames : 0.0;
+  f.capacity_cores = admission_.capacity_cores();
+  f.peak_committed_cores = peak_committed_cores_;
+  f.registry_publishes = registry_.publishes();
+  f.registry_hits = registry_.hits();
+  return f;
+}
+
+}  // namespace tc::serve

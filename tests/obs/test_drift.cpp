@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -207,6 +208,100 @@ TEST(SloMonitor, LatencySlosTrackWindowPercentiles) {
   EXPECT_GE(total, 2);
   EXPECT_EQ(fired.size(), static_cast<usize>(total));
   EXPECT_GT(mon.current("p99"), 20.0);
+}
+
+TEST(SloMonitor, WindowWraparoundEvictsOldFrames) {
+  SloSpec p99;
+  p99.name = "p99";
+  p99.kind = SloKind::P99LatencyMs;
+  p99.threshold = 1000.0;  // never breaches; this test is about the window
+  p99.window = 8;
+  p99.min_frames = 1;
+  SloSpec miss;
+  miss.name = "miss";
+  miss.kind = SloKind::DeadlineMissRate;
+  miss.threshold = 2.0;
+  miss.window = 8;
+  miss.min_frames = 1;
+  SloMonitor mon({p99, miss});
+
+  // Eight slow missed frames fill the ring...
+  for (i32 t = 0; t < 8; ++t) (void)mon.observe_frame(t, 100.0, true);
+  EXPECT_NEAR(mon.current("p99"), 100.0, 1e-9);
+  EXPECT_NEAR(mon.current("miss"), 1.0, 1e-9);
+
+  // ...then eight fast hits wrap it: nothing of the slow epoch may survive.
+  for (i32 t = 8; t < 16; ++t) (void)mon.observe_frame(t, 1.0, false);
+  EXPECT_NEAR(mon.current("p99"), 1.0, 1e-9);
+  EXPECT_NEAR(mon.current("miss"), 0.0, 1e-9);
+  const SloMonitor::WindowStats w = mon.window_snapshot();
+  EXPECT_EQ(w.frames, 8);
+  EXPECT_NEAR(w.p50, 1.0, 1e-9);
+  EXPECT_NEAR(w.miss_rate, 0.0, 1e-9);
+
+  // Half-wrapped: four old hits and four new misses -> 50 % miss rate.
+  for (i32 t = 16; t < 20; ++t) (void)mon.observe_frame(t, 50.0, true);
+  EXPECT_NEAR(mon.current("miss"), 0.5, 1e-9);
+}
+
+TEST(SloMonitor, P99TracksKnownDistribution) {
+  SloSpec p99;
+  p99.name = "p99";
+  p99.kind = SloKind::P99LatencyMs;
+  p99.threshold = 1000.0;
+  p99.window = 100;
+  p99.min_frames = 1;
+  SloMonitor mon({p99});
+  // Latencies 1..100: p99 of the full window lies in the top two values.
+  for (i32 t = 0; t < 100; ++t) {
+    (void)mon.observe_frame(t, static_cast<f64>(t + 1), false);
+  }
+  EXPECT_GE(mon.current("p99"), 99.0);
+  EXPECT_LE(mon.current("p99"), 100.0);
+  const SloMonitor::WindowStats w = mon.window_snapshot();
+  EXPECT_EQ(w.frames, 100);
+  EXPECT_NEAR(w.p50, 50.5, 1.0);
+  EXPECT_GE(w.p99, 99.0);
+}
+
+TEST(SloMonitor, ConcurrentMultiStreamFeedingStaysConsistent) {
+  // The serving layer feeds one fleet monitor from several scheduler slots
+  // concurrently; aggregates must account for every frame exactly once.
+  SloSpec miss;
+  miss.name = "fleet/miss";
+  miss.kind = SloKind::DeadlineMissRate;
+  miss.threshold = 0.9;   // high enough to never fire mid-test
+  miss.window = 4096;     // window holds every fed frame
+  miss.min_frames = 100000;
+  SloSpec p99;
+  p99.name = "fleet/p99";
+  p99.kind = SloKind::P99LatencyMs;
+  p99.threshold = 1e9;
+  p99.window = 4096;
+  p99.min_frames = 100000;
+  SloMonitor mon({miss, p99});
+
+  const i32 threads = 4;
+  const i32 frames_each = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (i32 w = 0; w < threads; ++w) {
+    workers.emplace_back([&mon, w] {
+      for (i32 t = 0; t < frames_each; ++t) {
+        // Stream w misses every other frame at latency 10 + w.
+        (void)mon.observe_frame(w * frames_each + t, 10.0 + w, t % 2 == 0);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const SloMonitor::WindowStats w = mon.window_snapshot();
+  EXPECT_EQ(w.frames, threads * frames_each);
+  EXPECT_NEAR(w.miss_rate, 0.5, 1e-9);  // every stream misses exactly half
+  // All latencies lie in [10, 13]; so must the window percentiles.
+  EXPECT_GE(w.p50, 10.0);
+  EXPECT_LE(w.p99, 13.0);
+  EXPECT_EQ(mon.breaches_total(), 0u);
 }
 
 TEST(SloMonitor, ResetRearms) {

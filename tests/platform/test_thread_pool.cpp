@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <numeric>
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include <gtest/gtest.h>
 
@@ -158,6 +161,56 @@ TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
 }
+
+TEST(ThreadPool, UnpinnedPoolReportsNotPinned) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.pinned());
+}
+
+TEST(ThreadPool, PinnedPoolStillExecutesCorrectly) {
+  // Pinning is a placement hint: on Linux pinned() turns true, elsewhere the
+  // request degrades to a no-op — either way the pool must work identically.
+  ThreadPool pool(2, /*pin_threads=*/true);
+#if defined(__linux__)
+  EXPECT_TRUE(pool.pinned());
+#else
+  EXPECT_FALSE(pool.pinned());
+#endif
+  std::atomic<i64> sum{0};
+  pool.parallel_ranges(1000, 4, [&](i32, IndexRange r) {
+    i64 local = 0;
+    for (i32 i = r.lo; i < r.hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+#if defined(__linux__)
+TEST(ThreadPool, PinnedWorkersRunOnTheirAssignedCores) {
+  const usize cores = std::thread::hardware_concurrency();
+  ThreadPool pool(2, /*pin_threads=*/true);
+  ASSERT_TRUE(pool.pinned());
+  std::vector<i32> cpu_of_job;
+  std::mutex m;
+  std::vector<std::function<void()>> jobs;
+  for (i32 j = 0; j < 16; ++j) {
+    jobs.emplace_back([&] {
+      const i32 cpu = sched_getcpu();
+      std::lock_guard<std::mutex> lock(m);
+      cpu_of_job.push_back(cpu);
+    });
+  }
+  pool.run_all(std::move(jobs));
+  // Worker i is pinned to core i mod cores: with 2 workers every job must
+  // observe a cpu in {0 mod cores, 1 mod cores}.
+  for (const i32 cpu : cpu_of_job) {
+    ASSERT_GE(cpu, 0);
+    EXPECT_TRUE(cpu == 0 % static_cast<i32>(cores) ||
+                cpu == 1 % static_cast<i32>(cores))
+        << "job ran on cpu " << cpu;
+  }
+}
+#endif
 
 TEST(ThreadPool, SingleThreadPoolStillCorrect) {
   ThreadPool pool(1);

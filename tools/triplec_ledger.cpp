@@ -95,6 +95,7 @@ bool parse_ledger(const JsonValue& root, Ledger& out) {
     obs::LedgerRow row;
     row.frame = static_cast<i32>(r.number_or("frame", -1));
     row.node = static_cast<i32>(r.number_or("node", -1));
+    row.stream = static_cast<i32>(r.number_or("stream", -1));
     row.scenario = static_cast<u32>(r.number_or("scenario", 0));
     row.ticket = static_cast<i64>(r.number_or("ticket", -1));
     row.stripes = static_cast<i32>(r.number_or("stripes", 1));
