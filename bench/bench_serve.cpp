@@ -17,13 +17,22 @@
 //                        CPU prediction error is compared against the cold
 //                        stream's (the ledger calibration report).
 //
+// With --telemetry a fourth phase measures the live ops plane's cost: the
+// 4-stream fleet is served twice — once bare, once with the telemetry
+// server up and a 1 Hz scraper hitting /metrics + /streams throughout the
+// drain — and the per-frame latency delta is recorded as the
+// "telemetry_overhead" family (target < 1%; compare_bench.py gates it).
+//
 // Writes BENCH_serve.json ("serve_fleet" family rows are diffable by
 // bench/compare_bench.py).  --smoke skips the structural exit gates
 // (sanitized or oversubscribed CI hosts).
 //
 // Usage: bench_serve [--frames N] [--size S] [--workers W] [--smoke]
+//                    [--telemetry]
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -46,6 +55,7 @@ struct Options {
   i32 size = 192;
   i32 workers = 4;   // shared pool threads
   bool smoke = false;
+  bool telemetry = false;  // measure scrape-under-load overhead
   std::string out = "BENCH_serve.json";
 };
 
@@ -59,6 +69,7 @@ Options parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--size") == 0) next(opt.size);
     else if (std::strcmp(argv[i], "--workers") == 0) next(opt.workers);
     else if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
+    else if (std::strcmp(argv[i], "--telemetry") == 0) opt.telemetry = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       opt.out = argv[++i];
   }
@@ -98,14 +109,20 @@ struct PhaseResult {
   f64 p99_ms = 0.0;
   f64 miss_rate = 0.0;
   f64 deadline_ms = 0.0;
+  i64 scrapes = 0;  ///< telemetry scrapes issued during the drain
   std::vector<serve::StreamReport> reports;
 };
 
 PhaseResult run_fleet(const Options& opt, i32 n_streams, f64 deadline_ms,
-                      bool add_infeasible, const char* name) {
+                      bool add_infeasible, const char* name,
+                      bool with_telemetry = false) {
   serve::ServeConfig sc;
   sc.pool_threads = opt.workers;
   sc.max_concurrent_streams = std::min(4, std::max(1, opt.workers));
+  if (with_telemetry) {
+    sc.telemetry.enabled = true;
+    sc.telemetry.port = 0;  // ephemeral
+  }
   serve::StreamServer server(sc);
 
   for (i32 i = 0; i < n_streams; ++i) {
@@ -129,12 +146,37 @@ PhaseResult run_fleet(const Options& opt, i32 n_streams, f64 deadline_ms,
     (void)server.submit(std::move(impossible));
   }
 
+  // 1 Hz scraper against the live endpoint for the whole drain — the
+  // production monitoring pattern whose latency cost the telemetry phase
+  // measures.
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  i64 scrapes = 0;
+  if (with_telemetry && server.telemetry() != nullptr &&
+      server.telemetry()->running()) {
+    const i32 port = server.telemetry()->port();
+    scraper = std::thread([&stop_scraper, &scrapes, port] {
+      while (!stop_scraper.load(std::memory_order_acquire)) {
+        (void)obs::http_get("127.0.0.1", port, "/metrics");
+        (void)obs::http_get("127.0.0.1", port, "/streams");
+        ++scrapes;
+        for (i32 i = 0; i < 20; ++i) {
+          if (stop_scraper.load(std::memory_order_acquire)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
   obs::ScopedTimer timer;
   server.drain();
   const f64 wall = timer.elapsed_ms();
+  stop_scraper.store(true, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
 
   PhaseResult r;
   r.name = name;
+  r.scrapes = scrapes;
   r.streams = n_streams + (add_infeasible ? 1 : 0);
   r.wall_ms = wall;
   r.deadline_ms = deadline_ms;
@@ -217,7 +259,8 @@ WarmStartResult run_warm_start(const Options& opt, f64 deadline_ms) {
 }
 
 std::string to_json(const Options& opt, const std::vector<PhaseResult>& sweep,
-                    const PhaseResult& oversub, const WarmStartResult& warm) {
+                    const PhaseResult& oversub, const WarmStartResult& warm,
+                    const PhaseResult* tel_base, const PhaseResult* tel_live) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"frames\": " << opt.frames << ",\n";
@@ -245,7 +288,23 @@ std::string to_json(const Options& opt, const std::vector<PhaseResult>& sweep,
   os << "  \"warm_start\": {\"cold_early_ape_pct\": "
      << warm.cold_early_ape_pct << ", \"warm_early_ape_pct\": "
      << warm.warm_early_ape_pct << ", \"warm_started\": "
-     << (warm.warm_started ? "true" : "false") << "}\n";
+     << (warm.warm_started ? "true" : "false") << "}";
+  if (tel_base != nullptr && tel_live != nullptr) {
+    const f64 overhead_pct =
+        tel_base->ms_per_frame > 0.0
+            ? (tel_live->ms_per_frame - tel_base->ms_per_frame) /
+                  tel_base->ms_per_frame * 100.0
+            : 0.0;
+    os << ",\n  \"telemetry_overhead\": [\n";
+    os << "    {\"name\": \"scrape_1hz\", \"ms_per_frame\": "
+       << tel_live->ms_per_frame << ", \"baseline_ms_per_frame\": "
+       << tel_base->ms_per_frame << ", \"overhead_pct\": " << overhead_pct
+       << ", \"scrapes\": " << tel_live->scrapes << ", \"fps\": "
+       << tel_live->fps << "}\n";
+    os << "  ]\n";
+  } else {
+    os << "\n";
+  }
   os << "}\n";
   return os.str();
 }
@@ -292,7 +351,30 @@ int main(int argc, char** argv) {
               warm.cold_early_ape_pct, warm.warm_early_ape_pct,
               warm.warm_started ? "yes" : "no");
 
-  const std::string json = to_json(opt, sweep, oversub, warm);
+  PhaseResult tel_base;
+  PhaseResult tel_live;
+  if (opt.telemetry) {
+    // Same fleet twice: bare, then with the ops endpoint up and a 1 Hz
+    // scraper running for the whole drain.  The per-frame latency delta is
+    // the cost of being observable.
+    tel_base = run_fleet(opt, 4, comfortable_ms, /*add_infeasible=*/false,
+                         "telemetry_off");
+    tel_live = run_fleet(opt, 4, comfortable_ms, /*add_infeasible=*/false,
+                         "scrape_1hz", /*with_telemetry=*/true);
+    const f64 overhead_pct =
+        tel_base.ms_per_frame > 0.0
+            ? (tel_live.ms_per_frame - tel_base.ms_per_frame) /
+                  tel_base.ms_per_frame * 100.0
+            : 0.0;
+    std::printf("telemetry: %.3f ms/frame bare, %.3f ms/frame with 1 Hz "
+                "scraper (%lld scrapes) -> overhead %+.2f%%\n\n",
+                tel_base.ms_per_frame, tel_live.ms_per_frame,
+                static_cast<long long>(tel_live.scrapes), overhead_pct);
+  }
+
+  const std::string json =
+      to_json(opt, sweep, oversub, warm, opt.telemetry ? &tel_base : nullptr,
+              opt.telemetry ? &tel_live : nullptr);
   if (obs::write_text_file(opt.out, json)) {
     std::printf("wrote %s\n", opt.out.c_str());
   }

@@ -28,6 +28,14 @@ bench with --reps 5 on a quiet machine, eyeball the diff, commit).
 With --require-same-host the host_cores check becomes a hard gate: a
 mismatch exits 3 instead of warning, for local baseline refreshes where a
 silent cross-machine comparison would poison the committed numbers.
+
+The "telemetry_overhead" family (bench_serve --telemetry) carries an extra
+within-run gate: each row's overhead_pct compares the same fleet served
+with and without a 1 Hz scraper in ONE run, so it is meaningful even on a
+noisy host.  Overhead beyond --telemetry-warn-pct (default 1) warns;
+beyond --telemetry-fail-pct (default 5) it exits 4, but only when the
+current run's host_cores matches the baseline's (same-host runs are the
+only ones whose absolute numbers we trust enough to block on).
 """
 
 import argparse
@@ -60,6 +68,32 @@ def load_rows(path):
     return rows, doc
 
 
+def check_telemetry_overhead(doc, path, same_host, args):
+    """Within-run scrape-overhead gate -> exit code (0 or 4)."""
+    worst = 0
+    for row in doc.get("telemetry_overhead", []):
+        if not isinstance(row, dict) or "overhead_pct" not in row:
+            continue
+        name = row.get("name", "?")
+        overhead = float(row["overhead_pct"])
+        scrapes = row.get("scrapes", "?")
+        if overhead > args.telemetry_fail_pct and same_host:
+            print(f"telemetry overhead gate: {path} {name} scrape overhead "
+                  f"{overhead:+.2f}% exceeds {args.telemetry_fail_pct:.0f}% "
+                  f"({scrapes} scrapes); failing", file=sys.stderr)
+            worst = 4
+        elif overhead > args.telemetry_warn_pct:
+            print(f"::warning::telemetry overhead: {name} "
+                  f"{overhead:+.2f}% above the "
+                  f"{args.telemetry_warn_pct:.0f}% target "
+                  f"({scrapes} scrapes)")
+        else:
+            print(f"telemetry overhead: {name} {overhead:+.2f}% "
+                  f"(target <{args.telemetry_warn_pct:.0f}%, "
+                  f"{scrapes} scrapes)")
+    return worst
+
+
 def compare_pair(baseline, current, args):
     try:
         base_rows, base_doc = load_rows(baseline)
@@ -80,6 +114,13 @@ def compare_pair(baseline, current, args):
     # the gate stays warn-only) instead of emitting misleading deltas.
     base_cores = base_doc.get("host_cores")
     cur_cores = cur_doc.get("host_cores")
+
+    # The telemetry-overhead gate is within-run (scraper vs no scraper in
+    # the SAME current document), so it runs before — and regardless of —
+    # the cross-machine comparability bail-out below.
+    telemetry_rc = check_telemetry_overhead(
+        cur_doc, current, same_host=(base_cores == cur_cores), args=args)
+
     if base_cores != cur_cores:
         if args.require_same_host:
             print(f"bench compare: host_cores differs "
@@ -91,7 +132,7 @@ def compare_pair(baseline, current, args):
               f"(baseline={base_cores} current={cur_cores}); skipping "
               f"comparison — rerun the baseline on this machine or refresh "
               f"bench/baselines/")
-        return 0
+        return telemetry_rc
 
     for key in ("frames", "size", "workers"):
         if base_doc.get(key) != cur_doc.get(key):
@@ -126,7 +167,7 @@ def compare_pair(baseline, current, args):
     else:
         print(f"bench compare: {regressions} row(s) regressed beyond "
               f"{args.threshold:.0f}% (warn-only)")
-    return 0
+    return telemetry_rc
 
 
 def main():
@@ -138,6 +179,12 @@ def main():
     parser.add_argument("--require-same-host", action="store_true",
                         help="exit 3 (instead of warning) when host_cores "
                              "differs between baseline and current")
+    parser.add_argument("--telemetry-warn-pct", type=float, default=1.0,
+                        help="warn when scrape-under-load overhead exceeds "
+                             "this percent")
+    parser.add_argument("--telemetry-fail-pct", type=float, default=5.0,
+                        help="exit 4 when scrape-under-load overhead exceeds "
+                             "this percent on a same-host comparison")
     args = parser.parse_args()
 
     if len(args.files) % 2 != 0 or not 2 <= len(args.files) <= 4:

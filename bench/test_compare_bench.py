@@ -12,6 +12,9 @@ Run directly or via ctest (registered as compare_bench_exit_codes with the
                                                 worst exit code wins
   * dynamic family discovery                 -> serve_fleet rows diffed
                                                 without a schema change
+  * telemetry_overhead gate                  -> warn >1%, exit 4 beyond
+                                                --telemetry-fail-pct on
+                                                same-host runs only
 """
 
 import json
@@ -116,6 +119,45 @@ def main():
         rc, out = run(same_a, same_b, serve_a, serve_other,
                       "--require-same-host")
         ok &= check("second-pair host mismatch exits 3", rc == 3)
+
+        # Telemetry-overhead gate: within-run overhead_pct rows in the
+        # CURRENT document are gated independently of the baseline diff.
+        def tel_doc(host_cores, overhead_pct):
+            doc = serve_doc(host_cores, 5.1)
+            doc["telemetry_overhead"] = [{
+                "name": "scrape_1hz", "ms_per_frame": 5.1,
+                "baseline_ms_per_frame": 5.0,
+                "overhead_pct": overhead_pct, "scrapes": 3, "fps": 196.0,
+            }]
+            return doc
+
+        tel_ok = write_doc(tmp, "tel_ok.json", tel_doc(8, 0.4))
+        rc, out = run(serve_a, tel_ok)
+        ok &= check("telemetry overhead under target exits 0",
+                    rc == 0 and "telemetry overhead: scrape_1hz" in out)
+
+        tel_warn = write_doc(tmp, "tel_warn.json", tel_doc(8, 2.3))
+        rc, out = run(serve_a, tel_warn)
+        ok &= check("telemetry overhead past warn threshold exits 0", rc == 0)
+        ok &= check("telemetry warn annotated",
+                    "::warning::telemetry overhead" in out)
+
+        tel_fail = write_doc(tmp, "tel_fail.json", tel_doc(8, 7.9))
+        rc, out = run(serve_a, tel_fail)
+        ok &= check("telemetry overhead past fail threshold exits 4", rc == 4)
+        ok &= check("telemetry failure names the gate",
+                    "telemetry overhead gate" in out)
+
+        # Cross-host runs never hard-fail the telemetry gate (absolute
+        # overhead numbers from a different machine are not trusted).
+        tel_cross = write_doc(tmp, "tel_cross.json", tel_doc(16, 7.9))
+        rc, out = run(serve_a, tel_cross)
+        ok &= check("cross-host telemetry overhead downgraded to warn",
+                    rc == 0 and "::warning::telemetry overhead" in out)
+
+        # The thresholds are tunable.
+        rc, out = run(serve_a, tel_warn, "--telemetry-fail-pct", "2")
+        ok &= check("telemetry fail threshold is tunable", rc == 4)
 
         # An odd file count is a usage error (argparse exits 2).
         rc, out = run(same_a, same_b, serve_a)

@@ -17,8 +17,18 @@
 // cold-start probe, and its early frames are already calibrated.
 //
 // Outputs: serve_fleet_metrics.prom (fleet gauges + per-stream SLOs).
+//
+// Live telemetry: `--telemetry-port N` starts the in-process HTTP ops
+// endpoint (obs/telemetry_server) on port N (0 = ephemeral; the bound port
+// is printed), and `--linger-ms M` keeps the process alive that long after
+// the fleet finishes so scrapers (curl, triplec_top, CI smoke) can read
+// /metrics, /streams, /ledger, /flight and /trace against a live process.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "obs/exporters.hpp"
@@ -57,8 +67,21 @@ void print_stream(const serve::StreamReport& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::set_enabled(true);
+
+  i32 telemetry_port = -1;  // < 0 = telemetry off
+  i32 linger_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-port") == 0 && i + 1 < argc) {
+      telemetry_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--linger-ms") == 0 && i + 1 < argc) {
+      linger_ms = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: serve_fleet [--telemetry-port N] [--linger-ms M]\n");
+      return 2;
+    }
+  }
 
   // Calibrate a realistic deadline from a two-frame serial probe.
   f64 frame_ms = 0.0;
@@ -78,7 +101,17 @@ int main() {
   serve::ServeConfig sc;
   sc.pool_threads = 4;
   sc.max_concurrent_streams = 4;
+  if (telemetry_port >= 0) {
+    sc.telemetry.enabled = true;
+    sc.telemetry.port = telemetry_port;
+  }
   serve::StreamServer server(sc);
+  if (server.telemetry() != nullptr && server.telemetry()->running()) {
+    std::printf("telemetry: http://127.0.0.1:%d (/metrics /streams /ledger "
+                "/flight /trace)\n",
+                server.telemetry()->port());
+    std::fflush(stdout);
+  }
 
   std::printf("submitting 4 streams (serial frame ~%.2f ms, pool=4)...\n",
               frame_ms);
@@ -124,6 +157,11 @@ int main() {
   if (!server.report(warm_id).warm_started) {
     std::printf("warning: follow-up stream did not warm-start\n");
     return 1;
+  }
+  if (linger_ms > 0) {
+    std::printf("lingering %d ms for scrapers...\n", linger_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <optional>
 #include <string>
@@ -135,6 +136,44 @@ Executor::Executor(app::StentBoostConfig app_config, ExecutorConfig config)
     ledger_ = std::make_unique<obs::PredictionLedger>(
         std::move(lc), obs::enabled() ? &obs::global().metrics : nullptr);
   }
+  if (config_.telemetry.enabled) {
+    status_agg_ = std::make_unique<obs::StatusAggregator>();
+    status_agg_->set_streams_provider([this] { return status_json(); });
+    if (ledger_ != nullptr) {
+      status_agg_->set_ledger_provider(
+          [this] { return ledger_->rows(); },
+          [](i32 node) { return std::string(app::node_name(node)); });
+    }
+    telemetry_ = std::make_unique<obs::TelemetryServer>(config_.telemetry,
+                                                        status_agg_.get());
+    telemetry_->start();
+    // The validation/audit startup gates above have passed: ready.
+    status_agg_->set_ready(true);
+  }
+}
+
+Executor::StatusSnapshot Executor::status_snapshot() const {
+  common::MutexLock lock(status_mutex_);
+  return status_;
+}
+
+std::string Executor::status_json() const {
+  const StatusSnapshot s = status_snapshot();
+  char deadline[32];
+  std::snprintf(deadline, sizeof(deadline), "%.6g", s.deadline_ms);
+  char mean[32];
+  std::snprintf(mean, sizeof(mean), "%.6g", s.stats.mean_measured_ms);
+  std::string out = "{\"ready\":true,\"streams\":[{\"id\":0";
+  out += ",\"name\":\"executor\",\"state\":\"active\"";
+  out += ",\"deadline_ms\":" + std::string(deadline);
+  out += ",\"frames_done\":" + std::to_string(s.stats.frames);
+  out += ",\"managed_frames\":" + std::to_string(s.stats.managed_frames);
+  out += ",\"deadline_misses\":" + std::to_string(s.stats.deadline_misses);
+  out += ",\"degraded_frames\":" + std::to_string(s.stats.degraded_frames);
+  out += ",\"repartitions\":" + std::to_string(s.stats.repartitions);
+  out += ",\"mean_ms\":" + std::string(mean);
+  out += "}]}";
+  return out;
 }
 
 i32 Executor::effective_threads() const {
@@ -502,6 +541,14 @@ void Executor::settle_frame(ExecutedFrame& result,
   last_frame_ = result;
   if (config_.diagnostics.enabled) {
     run_diagnostics(result, ewma_total, serial_total);
+  }
+
+  {
+    // Refresh the off-thread status mirror (status_snapshot()); frame
+    // counters and the deadline are otherwise stepping-thread-only state.
+    common::MutexLock lock(status_mutex_);
+    status_.stats = stats_;
+    status_.deadline_ms = deadline_set_ ? deadline_ms_ : 0.0;
   }
 }
 

@@ -43,6 +43,7 @@
 #include "obs/drift.hpp"
 #include "obs/ledger.hpp"
 #include "obs/postmortem.hpp"
+#include "obs/telemetry_server.hpp"
 #include "platform/thread_pool.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/qos.hpp"
@@ -173,6 +174,10 @@ struct ExecutorConfig {
   usize postmortem_ledger_rows = 32;
   /// Synthetic interference (see LoadSpike); off by default.
   LoadSpike load_spike;
+  /// In-process HTTP ops endpoint for a standalone executor (off by
+  /// default; the serving layer wires its own — see serve::ServeConfig).
+  /// Readiness flips once the validation/audit startup gates have passed.
+  obs::TelemetryConfig telemetry;
 };
 
 /// Outcome of one executed frame.
@@ -246,6 +251,20 @@ class Executor {
     return audit_report_;
   }
   [[nodiscard]] ExecutorStats stats() const { return stats_; }
+
+  /// Thread-safe copy of the frame counters and the active deadline —
+  /// stats() itself is only safe from the stepping thread; telemetry
+  /// handlers (and anything else off-thread) read this mirror, refreshed
+  /// once per settled frame.
+  struct StatusSnapshot {
+    ExecutorStats stats;
+    f64 deadline_ms = 0.0;  ///< 0 until the deadline is set
+  };
+  [[nodiscard]] StatusSnapshot status_snapshot() const
+      TC_EXCLUDES(status_mutex_);
+
+  /// Telemetry plane (null unless ExecutorConfig::telemetry.enabled).
+  [[nodiscard]] obs::TelemetryServer* telemetry() { return telemetry_.get(); }
 
   // --- predictor state (read-only, for tests/examples) ---------------------
   [[nodiscard]] const model::EwmaFilter& node_filter(i32 node) const {
@@ -403,6 +422,16 @@ class Executor {
   i64 next_ticket_ = 0;
   /// Last frame result, kept for explicit write_postmortem() requests.
   ExecutedFrame last_frame_;
+
+  /// Off-thread status mirror (see status_snapshot()).
+  mutable common::Mutex status_mutex_;
+  StatusSnapshot status_ TC_GUARDED_BY(status_mutex_);
+  /// Single-stream status JSON for the /streams endpoint.
+  [[nodiscard]] std::string status_json() const TC_EXCLUDES(status_mutex_);
+  /// Telemetry plane, declared last so it is destroyed *first*: handler
+  /// threads must stop before the state their providers snapshot.
+  std::unique_ptr<obs::StatusAggregator> status_agg_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace tc::exec

@@ -298,21 +298,43 @@ std::vector<SloBreach> SloMonitor::observe_frame(i32 frame, f64 latency_ms,
   return breaches;
 }
 
+namespace {
+
+f64 objective_value(const SloSpec& spec,
+                    const SloMonitor::WindowStats& w) {
+  switch (spec.kind) {
+    case SloKind::DeadlineMissRate:
+      return w.miss_rate;
+    case SloKind::P99LatencyMs:
+      return w.p99;
+    case SloKind::JitterP99MinusP50Ms:
+      return w.p99 - w.p50;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 f64 SloMonitor::current(std::string_view slo) const {
   common::MutexLock lock(mutex_);
   const WindowStats w = window_stats();
   for (const SloSpec& spec : specs_) {
-    if (spec.name != slo) continue;
-    switch (spec.kind) {
-      case SloKind::DeadlineMissRate:
-        return w.miss_rate;
-      case SloKind::P99LatencyMs:
-        return w.p99;
-      case SloKind::JitterP99MinusP50Ms:
-        return w.p99 - w.p50;
-    }
+    if (spec.name == slo) return objective_value(spec, w);
   }
   return 0.0;
+}
+
+SloMonitor::Snapshot SloMonitor::snapshot() const {
+  common::MutexLock lock(mutex_);
+  Snapshot s;
+  s.window = window_stats();
+  s.objectives.reserve(specs_.size());
+  for (const SloSpec& spec : specs_) {
+    s.objectives.push_back(ObjectiveStatus{spec, objective_value(spec, s.window)});
+  }
+  s.breaches_total = breaches_total_;
+  s.frames_seen = frames_seen_;
+  return s;
 }
 
 u64 SloMonitor::breaches_total() const {

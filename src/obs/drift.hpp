@@ -231,6 +231,22 @@ class SloMonitor {
   [[nodiscard]] f64 current(std::string_view slo) const TC_EXCLUDES(mutex_);
   /// Snapshot of the sliding-window aggregates (post-mortem context).
   [[nodiscard]] WindowStats window_snapshot() const TC_EXCLUDES(mutex_);
+
+  /// One objective's spec together with its current value.
+  struct ObjectiveStatus {
+    SloSpec spec;
+    f64 current = 0.0;
+  };
+  /// Everything the telemetry plane shows about this monitor, copied out
+  /// under one short-lived lock: window aggregates, every objective's
+  /// current value against its threshold, and the breach total.
+  struct Snapshot {
+    WindowStats window;
+    std::vector<ObjectiveStatus> objectives;
+    u64 breaches_total = 0;
+    i64 frames_seen = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const TC_EXCLUDES(mutex_);
   [[nodiscard]] u64 breaches_total() const TC_EXCLUDES(mutex_);
   [[nodiscard]] const std::vector<SloSpec>& specs() const { return specs_; }
 

@@ -30,6 +30,23 @@ const char* type_name(MetricType t) {
   return "untyped";
 }
 
+/// HELP text per the exposition format: `\` -> `\\`, newline -> `\n`
+/// (label *values* are escaped at construction by obs::label()).
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string braced(std::string_view labels) {
   if (labels.empty()) return "";
   return "{" + std::string(labels) + "}";
@@ -51,7 +68,7 @@ std::string to_prometheus(const MetricsRegistry& registry) {
   for (usize i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     if (families_done.insert(e.name).second) {
-      os << "# HELP " << e.name << " " << e.help << "\n";
+      os << "# HELP " << e.name << " " << escape_help(e.help) << "\n";
       os << "# TYPE " << e.name << " " << type_name(e.type) << "\n";
       // Emit every instrument of the family together, directly after its
       // header (the exposition format requires contiguous families).

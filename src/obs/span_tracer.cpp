@@ -1,5 +1,6 @@
 #include "obs/span_tracer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string_view>
@@ -144,7 +145,7 @@ void SpanTracer::clear() {
   events_.clear();
 }
 
-std::string SpanTracer::to_chrome_json() const {
+std::string SpanTracer::to_chrome_json(usize first_event) const {
   common::MutexLock lock(mutex_);
   std::ostringstream os;
   os << "{\"traceEvents\":[";
@@ -163,9 +164,10 @@ std::string SpanTracer::to_chrome_json() const {
     append_metadata(os, "thread_name", key.first, key.second, name,
                     /*with_tid=*/true);
   }
-  for (const SpanEvent& e : events_) {
+  for (usize i = std::min(first_event, events_.size()); i < events_.size();
+       ++i) {
     sep();
-    append_event(os, e);
+    append_event(os, events_[i]);
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

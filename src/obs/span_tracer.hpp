@@ -95,7 +95,11 @@ class SpanTracer {
 
   /// Serialize to the Chrome trace-event JSON object-format:
   /// {"traceEvents":[...]} with process/thread metadata events first.
-  [[nodiscard]] std::string to_chrome_json() const TC_EXCLUDES(mutex_);
+  /// `first_event` skips events recorded before that index — the telemetry
+  /// server's /trace endpoint marks the current size(), sleeps its capture
+  /// window out, and exports only the window's events.
+  [[nodiscard]] std::string to_chrome_json(usize first_event = 0) const
+      TC_EXCLUDES(mutex_);
 
  private:
   mutable common::Mutex mutex_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "obs/obs.hpp"
 
@@ -36,7 +38,19 @@ StreamServer::StreamServer(ServeConfig config)
                                      : static_cast<usize>(config.pool_threads),
             config.pin_threads),
       admission_(config.admission, narrow<i32>(pool_.thread_count()),
-                 plat::PlatformSpec::paper_platform()) {}
+                 plat::PlatformSpec::paper_platform()) {
+  status_agg_.set_streams_provider([this] { return fleet_status_json(); });
+  status_agg_.set_ledger_provider(
+      [this] { return ledger_rows(); },
+      [](i32 node) { return std::string(app::node_name(node)); });
+  if (config_.telemetry.enabled) {
+    telemetry_ =
+        std::make_unique<obs::TelemetryServer>(config_.telemetry, &status_agg_);
+    telemetry_->start();
+  }
+  // Startup gates passed (pool up, admission sized): ready for traffic.
+  status_agg_.set_ready(true);
+}
 
 StreamServer::~StreamServer() = default;
 
@@ -262,6 +276,21 @@ void StreamServer::update_fleet_gauges() {
       .set(static_cast<f64>(active));
   m.gauge("tripleC_serve_queued_streams", "Streams waiting for capacity")
       .set(static_cast<f64>(wait_queue_.size()));
+  // Per-stream lifecycle gauge, stream-labeled so N streams coexist:
+  // 0 = rejected, 1 = queued, 2 = active, 3 = done.
+  for (const StreamReport& r : reports_) {
+    f64 state = r.decision.verdict == AdmissionVerdict::Reject ? 0.0 : 1.0;
+    for (const auto& s : sessions_) {
+      if (s->id == r.id) {
+        state = s->done ? 3.0 : 2.0;
+        break;
+      }
+    }
+    m.gauge("tripleC_serve_stream_state",
+            "Stream lifecycle: 0 rejected, 1 queued, 2 active, 3 done",
+            obs::label("stream", r.name))
+        .set(state);
+  }
   m.gauge("tripleC_serve_committed_cores",
           "Cores committed by admission control")
       .set(admission_.committed_cores());
@@ -303,6 +332,7 @@ void StreamServer::slot_loop() {
           1, static_cast<i32>(std::floor(
                  static_cast<f64>(pool_.thread_count()) *
                  std::max(1e-9, s->config.weight) / active_weight())));
+      s->pool_share = share;  // fleet_status() mirror
     }
 
     s->executor->set_pool_share(share);
@@ -317,6 +347,7 @@ void StreamServer::slot_loop() {
       // the stream's weight; the next slot goes to the smallest vtime.
       s->vtime += frame.measured_host_ms / std::max(1e-9, s->config.weight);
       s->latencies_ms.push_back(frame.measured_host_ms);
+      if (frame.deadline_miss) ++s->deadline_misses;
       if (s->slo != nullptr) {
         s->slo->observe_frame(t, frame.measured_host_ms, frame.deadline_miss);
       }
@@ -398,6 +429,135 @@ FleetReport StreamServer::fleet() const {
   f.registry_publishes = registry_.publishes();
   f.registry_hits = registry_.hits();
   return f;
+}
+
+FleetStatus StreamServer::fleet_status() const {
+  common::MutexLock lock(mutex_);
+  FleetStatus fs;
+  fs.draining = draining_;
+  fs.capacity_cores = admission_.capacity_cores();
+  fs.committed_cores = admission_.committed_cores();
+  fs.fleet_frames = fleet_frame_;
+  if (fleet_slo_ != nullptr) fs.fleet_slo = fleet_slo_->window_snapshot();
+
+  fs.streams.reserve(reports_.size());
+  for (const StreamReport& r : reports_) {
+    StreamStatus st;
+    st.id = r.id;
+    st.name = r.name;
+    st.verdict = to_string(r.decision.verdict);
+    st.weight = r.weight;
+    st.deadline_ms = r.deadline_ms;
+    st.frames_total = stream_configs_[static_cast<usize>(r.id)].frames;
+
+    const Session* session = nullptr;
+    for (const auto& s : sessions_) {
+      if (s->id == r.id) {
+        session = s.get();
+        break;
+      }
+    }
+    if (session != nullptr) {
+      st.state = session->done ? "done" : "active";
+      session->done ? ++fs.done : ++fs.active;
+      st.vtime = session->vtime;
+      st.pool_share = session->pool_share;
+      st.frames_done = session->next_frame;
+      st.deadline_misses = session->deadline_misses;
+      if (session->slo != nullptr) st.slo = session->slo->window_snapshot();
+      // Rolling CPU calibration from the stream's own ledger (the ledger
+      // has its own mutex; lock order server -> ledger matches slot_loop).
+      if (const obs::PredictionLedger* ledger = session->executor->ledger()) {
+        obs::CalibrationWindow window(0);
+        for (const obs::LedgerRow& row : ledger->recent(128)) {
+          const std::optional<f64> err =
+              row.error_pct(obs::LedgerResource::CpuMs);
+          if (err.has_value()) window.add(*err);
+        }
+        const obs::CalibrationWindow::Stats cal = window.stats();
+        st.calibration_samples = cal.samples;
+        st.cpu_bias_pct = cal.bias_pct;
+        st.cpu_p95_ape_pct = cal.p95_ape_pct;
+      }
+    } else if (r.decision.verdict == AdmissionVerdict::Reject) {
+      st.state = "rejected";
+      ++fs.rejected;
+    } else {
+      st.state = "queued";
+      ++fs.queued;
+    }
+    fs.streams.push_back(std::move(st));
+  }
+  return fs;
+}
+
+namespace {
+
+std::string fmt_f64(f64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_window(std::string& out, const obs::SloMonitor::WindowStats& w) {
+  out += "{\"frames\":" + std::to_string(w.frames) +
+         ",\"miss_rate\":" + fmt_f64(w.miss_rate) +
+         ",\"p50_ms\":" + fmt_f64(w.p50) + ",\"p99_ms\":" + fmt_f64(w.p99) +
+         "}";
+}
+
+}  // namespace
+
+std::string StreamServer::fleet_status_json() const {
+  const FleetStatus fs = fleet_status();
+  std::string out = "{\"ready\":true";
+  out += ",\"draining\":" + std::string(fs.draining ? "true" : "false");
+  out += ",\"capacity_cores\":" + fmt_f64(fs.capacity_cores);
+  out += ",\"committed_cores\":" + fmt_f64(fs.committed_cores);
+  out += ",\"active\":" + std::to_string(fs.active);
+  out += ",\"done\":" + std::to_string(fs.done);
+  out += ",\"queued\":" + std::to_string(fs.queued);
+  out += ",\"rejected\":" + std::to_string(fs.rejected);
+  out += ",\"fleet_frames\":" + std::to_string(fs.fleet_frames);
+  out += ",\"fleet_slo\":";
+  append_window(out, fs.fleet_slo);
+  out += ",\"streams\":[";
+  for (usize i = 0; i < fs.streams.size(); ++i) {
+    const StreamStatus& st = fs.streams[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(st.id);
+    out += ",\"name\":\"" + common::json_escape(st.name) + "\"";
+    out += ",\"state\":\"" + std::string(st.state) + "\"";
+    out += ",\"verdict\":\"" + std::string(st.verdict) + "\"";
+    out += ",\"weight\":" + fmt_f64(st.weight);
+    out += ",\"deadline_ms\":" + fmt_f64(st.deadline_ms);
+    out += ",\"vtime_ms\":" + fmt_f64(st.vtime);
+    out += ",\"pool_share\":" + std::to_string(st.pool_share);
+    out += ",\"frames_done\":" + std::to_string(st.frames_done);
+    out += ",\"frames_total\":" + std::to_string(st.frames_total);
+    out += ",\"deadline_misses\":" + std::to_string(st.deadline_misses);
+    out += ",\"slo\":";
+    append_window(out, st.slo);
+    out += ",\"calibration\":{\"samples\":" +
+           std::to_string(st.calibration_samples) +
+           ",\"cpu_bias_pct\":" + fmt_f64(st.cpu_bias_pct) +
+           ",\"cpu_p95_ape_pct\":" + fmt_f64(st.cpu_p95_ape_pct) + "}";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<obs::LedgerRow> StreamServer::ledger_rows(usize per_stream) const {
+  common::MutexLock lock(mutex_);
+  std::vector<obs::LedgerRow> rows;
+  for (const auto& s : sessions_) {
+    const obs::PredictionLedger* ledger = s->executor->ledger();
+    if (ledger == nullptr) continue;
+    std::vector<obs::LedgerRow> part = ledger->recent(per_stream);
+    rows.insert(rows.end(), part.begin(), part.end());
+  }
+  return rows;
 }
 
 }  // namespace tc::serve

@@ -42,6 +42,8 @@
 #include "common/sync.hpp"
 #include "exec/executor.hpp"
 #include "obs/drift.hpp"
+#include "obs/status.hpp"
+#include "obs/telemetry_server.hpp"
 #include "platform/thread_pool.hpp"
 #include "serve/admission.hpp"
 #include "serve/registry.hpp"
@@ -83,6 +85,11 @@ struct ServeConfig {
   f64 slo_p99_factor = 1.50;
   i32 slo_window = 64;
   i32 slo_min_frames = 16;
+  /// In-process HTTP ops endpoint (obs/telemetry_server.hpp); off by
+  /// default.  When enabled the server starts with the StreamServer,
+  /// readiness flips once construction completes, and /streams serves
+  /// fleet_status_json().
+  obs::TelemetryConfig telemetry;
 };
 
 /// Everything known about one submitted stream after drain().
@@ -107,6 +114,48 @@ struct StreamReport {
   /// Mean CPU absolute percentage error over the first early_frames ledger
   /// rows — the warm-vs-cold calibration comparison (-1 = no ledger data).
   f64 early_ape_pct = -1.0;
+};
+
+/// Live view of one submitted stream (fleet_status(); safe to take at any
+/// time, including mid-drain from telemetry handler threads).
+struct StreamStatus {
+  i32 id = -1;
+  std::string name;
+  /// "active" | "done" | "queued" | "rejected".
+  std::string state;
+  /// Admission verdict at submission time ("admit" / "queue" / "reject").
+  std::string verdict;
+  f64 weight = 1.0;
+  f64 deadline_ms = 0.0;
+  /// Weighted-fair virtual time (ms of service / weight; 0 until served).
+  f64 vtime = 0.0;
+  /// Pool threads the stream's planner was last granted (0 until stepped).
+  i32 pool_share = 0;
+  i32 frames_done = 0;
+  i32 frames_total = 0;
+  i32 deadline_misses = 0;
+  /// Per-stream SLO sliding-window aggregates (zeros before any frame).
+  obs::SloMonitor::WindowStats slo;
+  /// Rolling CPU calibration over the stream ledger's most recent rows
+  /// (samples == 0 when the stream has no settled ledger data).
+  u64 calibration_samples = 0;
+  f64 cpu_bias_pct = 0.0;
+  f64 cpu_p95_ape_pct = 0.0;
+};
+
+/// Live fleet snapshot backing the telemetry plane's /streams endpoint.
+struct FleetStatus {
+  bool draining = false;
+  f64 capacity_cores = 0.0;
+  f64 committed_cores = 0.0;
+  i32 active = 0;
+  i32 done = 0;
+  i32 queued = 0;
+  i32 rejected = 0;
+  i64 fleet_frames = 0;
+  /// Fleet-wide SLO window (zeros before the first admitted stream).
+  obs::SloMonitor::WindowStats fleet_slo;
+  std::vector<StreamStatus> streams;
 };
 
 struct FleetReport {
@@ -148,6 +197,21 @@ class StreamServer {
   [[nodiscard]] std::vector<StreamReport> reports() const TC_EXCLUDES(mutex_);
   [[nodiscard]] FleetReport fleet() const TC_EXCLUDES(mutex_);
 
+  /// Live fleet snapshot — one short hold of the server mutex, safe to call
+  /// concurrently with drain() (the telemetry handlers do, at scrape rate).
+  [[nodiscard]] FleetStatus fleet_status() const TC_EXCLUDES(mutex_);
+  /// fleet_status() rendered as the /streams JSON document.
+  [[nodiscard]] std::string fleet_status_json() const TC_EXCLUDES(mutex_);
+  /// Most recent settled ledger rows across every session, merged in stream
+  /// order (rows carry their stream id); `per_stream` bounds the rows taken
+  /// from each session's ledger.
+  [[nodiscard]] std::vector<obs::LedgerRow> ledger_rows(
+      usize per_stream = 512) const TC_EXCLUDES(mutex_);
+
+  /// Telemetry plane (null unless ServeConfig::telemetry.enabled).
+  [[nodiscard]] obs::TelemetryServer* telemetry() { return telemetry_.get(); }
+  [[nodiscard]] obs::StatusAggregator& status() { return status_agg_; }
+
   [[nodiscard]] PredictorRegistry& registry() { return registry_; }
   [[nodiscard]] plat::ThreadPool& pool() { return pool_; }
   [[nodiscard]] const ServeConfig& config() const { return config_; }
@@ -169,6 +233,11 @@ class StreamServer {
     bool busy = false;  ///< currently stepped by a scheduler slot
     bool done = false;
     std::vector<f64> latencies_ms;
+    /// Mirrors kept under the server mutex for fleet_status(): executor
+    /// internals (stats, pool share) are only safe to read from the slot
+    /// that steps the stream, so the slot copies them here per frame.
+    i32 pool_share = 0;
+    i32 deadline_misses = 0;
   };
 
   /// Build the session for an admitted stream (executor on the shared pool,
@@ -203,6 +272,11 @@ class StreamServer {
   std::unique_ptr<obs::SloMonitor> fleet_slo_;
   /// Monotonic frame counter feeding the fleet SLO monitor.
   i64 fleet_frame_ TC_GUARDED_BY(mutex_) = 0;
+
+  /// Telemetry plane, declared last so it is destroyed *first*: the HTTP
+  /// handler threads must stop before the state their providers snapshot.
+  obs::StatusAggregator status_agg_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace tc::serve

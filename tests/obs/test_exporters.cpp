@@ -37,6 +37,17 @@ TEST(Prometheus, GoldenFormatForSmallRegistry) {
   EXPECT_EQ(to_prometheus(r), expected);
 }
 
+TEST(Prometheus, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry r;
+  // The exposition format requires \ -> \\ and newline -> \n inside HELP
+  // text; a raw newline would start a bogus sample line mid-comment.
+  r.counter("tripleC_quirks_total", "line one\nuses \\ backslash").add(1.0);
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("# HELP tripleC_quirks_total "
+                      "line one\\nuses \\\\ backslash\n"),
+            std::string::npos);
+}
+
 TEST(Prometheus, HostileLabelValuesStayInsideTheirSample) {
   MetricsRegistry r;
   // A node name with quote/backslash/newline must not break the exposition

@@ -1,0 +1,154 @@
+// Fleet-status snapshot accessors and the live-scrape concurrency contract:
+// four HTTP clients hammer /metrics and /streams while an 8-stream fleet
+// drains on the shared pool.  Every scrape must return 200 with parseable
+// JSON/Prometheus text, and (under TSan) must not race the scheduler —
+// handlers only ever touch StatusAggregator snapshots.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "obs/telemetry_server.hpp"
+#include "serve/stream_server.hpp"
+
+namespace tc::serve {
+namespace {
+
+StreamConfig make_stream(const char* name, f64 deadline_ms, i32 frames,
+                         u64 seed) {
+  StreamConfig stream;
+  stream.app = app::StentBoostConfig::make(96, 96, frames, seed);
+  stream.name = name;
+  stream.deadline_ms = deadline_ms;
+  stream.frames = frames;
+  return stream;
+}
+
+TEST(FleetStatus, SnapshotReflectsDrainedFleet) {
+  ServeConfig sc;
+  sc.pool_threads = 2;
+  sc.max_concurrent_streams = 2;
+  StreamServer server(sc);
+  (void)server.submit(make_stream("alpha", 500.0, /*frames=*/8, /*seed=*/1));
+  (void)server.submit(make_stream("beta", 500.0, /*frames=*/8, /*seed=*/2));
+  server.drain();
+
+  const FleetStatus fs = server.fleet_status();
+  EXPECT_FALSE(fs.draining);
+  EXPECT_EQ(fs.done, 2);
+  EXPECT_EQ(fs.active, 0);
+  EXPECT_EQ(fs.fleet_frames, 16);
+  EXPECT_GT(fs.capacity_cores, 0.0);
+  ASSERT_EQ(fs.streams.size(), 2u);
+  for (const StreamStatus& st : fs.streams) {
+    EXPECT_EQ(st.state, "done");
+    EXPECT_EQ(st.verdict, "admit");
+    EXPECT_EQ(st.frames_done, 8);
+    EXPECT_EQ(st.frames_total, 8);
+    // The default serve config runs the prediction ledger, so the rolling
+    // CPU calibration has samples.
+    EXPECT_GT(st.calibration_samples, 0u);
+  }
+
+  // The JSON rendering of the same snapshot parses and matches.
+  const common::JsonValue doc =
+      common::JsonValue::parse(server.fleet_status_json());
+  EXPECT_TRUE(doc.get("ready").as_bool());
+  EXPECT_EQ(doc.number_or("done", 0.0), 2.0);
+  ASSERT_EQ(doc.get("streams").items().size(), 2u);
+  const common::JsonValue& s0 = doc.get("streams").items()[0];
+  EXPECT_EQ(s0.string_or("state", ""), "done");
+  EXPECT_EQ(s0.get("slo").number_or("frames", -1.0), 8.0);
+  EXPECT_GT(s0.get("calibration").number_or("samples", 0.0), 0.0);
+}
+
+TEST(FleetStatus, LedgerRowsMergeAcrossStreams) {
+  ServeConfig sc;
+  sc.pool_threads = 2;
+  sc.max_concurrent_streams = 2;
+  StreamServer server(sc);
+  const i32 a = server.submit(make_stream("a", 500.0, 6, 3));
+  const i32 b = server.submit(make_stream("b", 500.0, 6, 4));
+  server.drain();
+  ASSERT_TRUE(server.report(a).served);
+  ASSERT_TRUE(server.report(b).served);
+
+  const std::vector<obs::LedgerRow> rows = server.ledger_rows();
+  ASSERT_FALSE(rows.empty());
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const obs::LedgerRow& row : rows) {
+    if (row.stream == a) saw_a = true;
+    if (row.stream == b) saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(TelemetryScrape, FourClientsHammerALiveEightStreamFleet) {
+  ServeConfig sc;
+  sc.pool_threads = 2;
+  sc.max_concurrent_streams = 4;
+  sc.telemetry.enabled = true;
+  sc.telemetry.port = 0;  // ephemeral
+  sc.telemetry.handler_threads = 4;
+  StreamServer server(sc);
+  ASSERT_NE(server.telemetry(), nullptr);
+  ASSERT_TRUE(server.telemetry()->running());
+  const i32 port = server.telemetry()->port();
+  ASSERT_GT(port, 0);
+
+  for (i32 i = 0; i < 8; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    (void)server.submit(make_stream(name.c_str(), 500.0, /*frames=*/6,
+                                    /*seed=*/static_cast<u64>(i + 1)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<i32> bad_scrapes{0};
+  std::atomic<i32> scrapes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (i32 c = 0; c < 4; ++c) {
+    clients.emplace_back([&stop, &bad_scrapes, &scrapes, port] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const obs::HttpResult metrics =
+            obs::http_get("127.0.0.1", port, "/metrics");
+        const obs::HttpResult streams =
+            obs::http_get("127.0.0.1", port, "/streams");
+        if (metrics.status != 200 || streams.status != 200) {
+          bad_scrapes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          try {
+            (void)common::JsonValue::parse(streams.body);
+          } catch (const common::JsonError&) {
+            bad_scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  server.drain();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(bad_scrapes.load(), 0);
+  EXPECT_GT(scrapes.load(), 0);
+  for (const StreamReport& r : server.reports()) {
+    EXPECT_TRUE(r.served) << r.name;
+    EXPECT_EQ(r.frames, 6) << r.name;
+  }
+
+  // The post-drain snapshot agrees with the reports.
+  const FleetStatus fs = server.fleet_status();
+  EXPECT_EQ(fs.done, 8);
+  EXPECT_EQ(fs.fleet_frames, 48);
+}
+
+}  // namespace
+}  // namespace tc::serve
